@@ -1,0 +1,59 @@
+// Ablation E10 (extension): temporal blocking — multiple time steps fused
+// per DRAM pass. The paper cites this direction ([2] Fu et al., [4] Nacci
+// et al.) as complementary to Smache's off-chip optimisation; this bench
+// quantifies the combination on our substrate: traffic falls ~1/K with
+// fused depth K, on-chip footprint rises ~K, cycles improve modestly
+// (compute was already streaming-rate-bound).
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/engine.hpp"
+
+int main() {
+  std::printf("=== Ablation: temporal blocking (cascade extension) ===\n");
+  std::printf("24x24 grid, 4-point stencil, OPEN boundaries, 24 time "
+              "steps total\n");
+  std::printf("(periodic boundaries cannot be fused within a pass — their "
+              "wrap data does not exist yet; see DESIGN.md)\n\n");
+
+  smache::ProblemSpec p;
+  p.height = 24;
+  p.width = 24;
+  p.shape = smache::grid::StencilShape::von_neumann4();
+  p.bc = smache::grid::BoundarySpec::all_open();
+  p.kernel = smache::rtl::KernelSpec::average_int();
+  p.steps = 24;
+
+  smache::Rng rng(0xCA5C);
+  smache::grid::Grid<smache::word_t> init(24, 24);
+  for (std::size_t i = 0; i < init.size(); ++i)
+    init[i] = static_cast<smache::word_t>(rng.next_below(4096));
+
+  const auto expected = smache::reference_run(p, init);
+  const smache::Engine engine(smache::EngineOptions::smache());
+
+  smache::TextTable t({"fused depth K", "passes", "cycles",
+                       "DRAM traffic KiB", "traffic vs K=1",
+                       "on-chip window bits", "correct"});
+  std::uint64_t base_traffic = 0;
+  for (const std::size_t depth : {1u, 2u, 3u, 4u, 6u, 8u, 12u, 24u}) {
+    const auto res = engine.run_cascade(p, init, depth);
+    if (depth == 1) base_traffic = res.dram.total_bytes();
+    t.begin_row();
+    t.add_cell(static_cast<std::uint64_t>(depth));
+    t.add_cell(static_cast<std::uint64_t>(p.steps / depth));
+    t.add_cell(res.cycles);
+    t.add_cell(static_cast<double>(res.dram.total_bytes()) / 1024.0, 1);
+    t.add_cell(static_cast<double>(res.dram.total_bytes()) /
+                   static_cast<double>(base_traffic),
+               3);
+    t.add_cell(res.estimate->r_stream + res.estimate->b_stream);
+    t.add_cell(std::string(res.output == expected ? "yes" : "NO"));
+  }
+  std::printf("%s\n", t.to_ascii().c_str());
+  std::printf("expected shape: traffic scales as 1/K while on-chip bits "
+              "scale as K — the classic temporal-blocking trade combined "
+              "with Smache's streaming window.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation E5: what happens under a REALISTIC memory model.
+//
+// The paper's simulation (and our functional preset) grants one access per
+// cycle regardless of address pattern; its introduction argues — citing
+// the authors' MP-STREAM work [11] — that random/redundant accesses
+// degrade sustained bandwidth on real DRAM. This bench quantifies that:
+// both designs run under the functional preset, a ddr-like preset, and a
+// small-row ddr preset (pessimistic row locality). The Smache advantage
+// must WIDEN as the memory gets more realistic, because its traffic is one
+// sequential burst per instance while the baseline issues word-granularity
+// scattered reads.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/engine.hpp"
+
+namespace {
+
+struct MemCase {
+  const char* name;
+  smache::mem::DramConfig cfg;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: DRAM model realism (paper §I / MP-STREAM "
+              "argument) ===\n");
+  std::printf("32x32 grid, 4-point stencil, circular/open boundaries, 10 "
+              "instances\n\n");
+
+  smache::ProblemSpec p = smache::ProblemSpec::paper_example();
+  p.height = 32;
+  p.width = 32;
+  p.steps = 10;
+
+  smache::Rng rng(0xD7A3);
+  smache::grid::Grid<smache::word_t> init(32, 32);
+  for (std::size_t i = 0; i < init.size(); ++i)
+    init[i] = static_cast<smache::word_t>(rng.next_below(1000));
+
+  auto ddr_small_rows = smache::mem::DramConfig::ddr_like();
+  ddr_small_rows.row_words = 64;
+
+  const MemCase cases[] = {
+      {"functional (paper-style)", smache::mem::DramConfig::functional()},
+      {"ddr-like (1Ki-word rows)", smache::mem::DramConfig::ddr_like()},
+      {"ddr-like (64-word rows)", ddr_small_rows},
+  };
+
+  smache::TextTable t({"memory model", "baseline cycles", "smache cycles",
+                       "smache/baseline", "baseline row-miss%",
+                       "smache row-miss%"});
+  for (const auto& mc : cases) {
+    smache::EngineOptions bopt = smache::EngineOptions::baseline();
+    bopt.dram = mc.cfg;
+    smache::EngineOptions sopt = smache::EngineOptions::smache();
+    sopt.dram = mc.cfg;
+    const auto b = smache::Engine(bopt).run(p, init);
+    const auto s = smache::Engine(sopt).run(p, init);
+    auto miss_pct = [](const smache::mem::DramStats& d) {
+      const auto total = d.row_hits + d.row_misses;
+      return total == 0 ? 0.0
+                        : 100.0 * static_cast<double>(d.row_misses) /
+                              static_cast<double>(total);
+    };
+    t.begin_row();
+    t.add_cell(std::string(mc.name));
+    t.add_cell(b.cycles);
+    t.add_cell(s.cycles);
+    t.add_cell(static_cast<double>(s.cycles) /
+                   static_cast<double>(b.cycles),
+               3);
+    t.add_cell(miss_pct(b.dram), 1);
+    t.add_cell(miss_pct(s.dram), 1);
+  }
+  std::printf("%s\n", t.to_ascii().c_str());
+  std::printf("expected shape: the smache/baseline cycle ratio shrinks as "
+              "row-activation penalties grow — continuous contiguous "
+              "streaming is exactly what Smache buys.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Ablation E4: warm-up amortisation (§III: "This warm-up cost is amortized
+// over multiple work-instance iterations").
+//
+// Runs the paper problem for increasing instance counts and reports the
+// fixed warm-up cost, marginal cycles per instance, and the fraction of
+// total time spent warming up — which must vanish as instances grow.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/engine.hpp"
+
+int main() {
+  std::printf("=== Ablation: warm-up amortisation (paper §III) ===\n");
+  std::printf("11x11 grid, 4-point stencil, circular/open boundaries\n\n");
+
+  smache::Rng rng(0xAB1A);
+  smache::grid::Grid<smache::word_t> init(11, 11);
+  for (std::size_t i = 0; i < init.size(); ++i)
+    init[i] = static_cast<smache::word_t>(rng.next_below(1000));
+
+  smache::TextTable t({"instances", "total cycles", "warm-up cycles",
+                       "cycles/instance", "warm-up share %"});
+  for (const std::size_t steps : {1u, 2u, 5u, 10u, 25u, 50u, 100u, 200u}) {
+    smache::ProblemSpec p = smache::ProblemSpec::paper_example();
+    p.steps = steps;
+    const auto res =
+        smache::Engine(smache::EngineOptions::smache()).run(p, init);
+    t.begin_row();
+    t.add_cell(static_cast<std::uint64_t>(steps));
+    t.add_cell(res.cycles);
+    t.add_cell(res.warmup_cycles);
+    t.add_cell(static_cast<double>(res.cycles) /
+                   static_cast<double>(steps),
+               1);
+    t.add_cell(100.0 * static_cast<double>(res.warmup_cycles) /
+                   static_cast<double>(res.cycles),
+               2);
+  }
+  std::printf("%s\n", t.to_ascii().c_str());
+  std::printf("expected shape: warm-up is a constant ~30 cycles (two row "
+              "prefetches); per-instance cycles converge to ~N + fill, and "
+              "the warm-up share decays toward zero — the paper's "
+              "amortisation claim.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Microbenchmark E7: Algorithm 1 and the planner — the static-analysis
+// cost of the paper's §II model, demonstrating it is cheap enough to sit
+// inside a design-space-exploration loop (its intended use).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "model/algorithm1.hpp"
+#include "model/planner.hpp"
+
+namespace {
+
+smache::model::RangeSpec random_range(smache::Rng& rng, std::size_t n) {
+  smache::model::RangeSpec r;
+  r.start = 0;
+  r.length = 1 + rng.next_below(10000);
+  for (std::size_t i = 0; i < n; ++i)
+    r.tuple.offsets.push_back(rng.next_in(-100000, 100000));
+  std::sort(r.tuple.offsets.begin(), r.tuple.offsets.end());
+  r.tuple.offsets.erase(
+      std::unique(r.tuple.offsets.begin(), r.tuple.offsets.end()),
+      r.tuple.offsets.end());
+  return r;
+}
+
+void BM_CalcOptSz_Interval(benchmark::State& state) {
+  smache::Rng rng(7);
+  const auto range =
+      random_range(rng, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto split = smache::model::calc_opt_sz(
+        range, smache::model::Algo1Mode::OptimalInterval);
+    benchmark::DoNotOptimize(split);
+  }
+}
+BENCHMARK(BM_CalcOptSz_Interval)->Arg(4)->Arg(9)->Arg(16);
+
+void BM_CalcOptSz_PaperPrefix(benchmark::State& state) {
+  smache::Rng rng(7);
+  const auto range =
+      random_range(rng, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto split = smache::model::calc_opt_sz(
+        range, smache::model::Algo1Mode::PaperPrefix);
+    benchmark::DoNotOptimize(split);
+  }
+}
+BENCHMARK(BM_CalcOptSz_PaperPrefix)->Arg(4)->Arg(9)->Arg(16);
+
+void BM_OptimalBufferSizes_ManyRanges(benchmark::State& state) {
+  smache::Rng rng(11);
+  std::vector<smache::model::RangeSpec> ranges;
+  for (std::int64_t i = 0; i < state.range(0); ++i)
+    ranges.push_back(random_range(rng, 5));
+  for (auto _ : state) {
+    auto sizes = smache::model::optimal_buffer_sizes(
+        ranges, smache::model::Algo1Mode::OptimalInterval);
+    benchmark::DoNotOptimize(sizes);
+  }
+}
+BENCHMARK(BM_OptimalBufferSizes_ManyRanges)->Arg(3)->Arg(32)->Arg(256);
+
+void BM_Planner_PaperProblem(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto plan = smache::model::Planner().plan(
+        dim, dim, smache::grid::StencilShape::von_neumann4(),
+        smache::grid::BoundarySpec::paper_example());
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_Planner_PaperProblem)->Arg(11)->Arg(256)->Arg(1024);
+
+void BM_Planner_MoorePeriodic(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto plan = smache::model::Planner().plan(
+        dim, dim, smache::grid::StencilShape::moore9(),
+        smache::grid::BoundarySpec::all_periodic());
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_Planner_MoorePeriodic)->Arg(16)->Arg(256);
+
+}  // namespace

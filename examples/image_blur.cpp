@@ -1,0 +1,87 @@
+// 3x3 box blur over an image — the multimedia side of the paper's
+// motivation ("scientific, multimedia and other HPC applications"). Uses
+// the 9-point Moore stencil with mirror boundaries (the standard image
+// convention) and integer pixels; compares Smache against the baseline on
+// cycles and traffic for several image sizes.
+//
+// Run: ./build/examples/image_blur [--size N --passes P]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+
+namespace {
+
+// A deterministic synthetic "photo": smooth gradients plus speckle noise.
+smache::grid::Grid<smache::word_t> synth_image(std::size_t n) {
+  smache::Rng rng(0x1A6E);
+  smache::grid::Grid<smache::word_t> img(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) {
+      const auto base = static_cast<std::int32_t>((r * 255) / n);
+      const auto noise = static_cast<std::int32_t>(rng.next_below(64));
+      img.at(r, c) = smache::to_word(base + noise);
+    }
+  return img;
+}
+
+std::uint64_t checksum(const smache::grid::Grid<smache::word_t>& g) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    h ^= g[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const smache::CliArgs args(argc, argv);
+  const auto size = static_cast<std::size_t>(args.get_int("size", 32));
+  const auto passes = static_cast<std::size_t>(args.get_int("passes", 3));
+
+  std::printf("3x3 box blur (Moore stencil, mirror boundaries)\n");
+  std::printf("===============================================\n");
+
+  smache::ProblemSpec problem;
+  problem.height = size;
+  problem.width = size;
+  problem.shape = smache::grid::StencilShape::moore9();
+  problem.bc = smache::grid::BoundarySpec::all_mirror();
+  problem.kernel = smache::rtl::KernelSpec::average_int();
+  problem.steps = passes;
+  std::printf("problem: %s\n\n", problem.describe().c_str());
+
+  const auto img = synth_image(size);
+
+  const auto smache_run =
+      smache::Engine(smache::EngineOptions::smache()).run(problem, img);
+  const auto baseline_run =
+      smache::Engine(smache::EngineOptions::baseline()).run(problem, img);
+  const auto expected = smache::reference_run(problem, img);
+
+  const bool ok = smache_run.output == expected &&
+                  baseline_run.output == expected;
+  std::printf("verification: %s (blurred checksum %016llx)\n\n",
+              ok ? "both designs BIT-EXACT" : "MISMATCH",
+              static_cast<unsigned long long>(checksum(smache_run.output)));
+
+  // A 9-point stencil is where buffering shines: the baseline re-reads
+  // every pixel nine times.
+  std::printf("cycles : baseline %8llu   smache %8llu  (x%.2f fewer)\n",
+              static_cast<unsigned long long>(baseline_run.cycles),
+              static_cast<unsigned long long>(smache_run.cycles),
+              static_cast<double>(baseline_run.cycles) /
+                  static_cast<double>(smache_run.cycles));
+  std::printf("traffic: baseline %8.1f   smache %8.1f KiB (x%.2f less)\n",
+              static_cast<double>(baseline_run.dram.total_bytes()) / 1024.0,
+              static_cast<double>(smache_run.dram.total_bytes()) / 1024.0,
+              static_cast<double>(baseline_run.dram.total_bytes()) /
+                  static_cast<double>(smache_run.dram.total_bytes()));
+  std::printf("note: mirror boundaries resolve inside the stream window — "
+              "no static buffers needed (%zu planned)\n",
+              smache_run.plan->static_buffers().size());
+  return ok ? 0 : 1;
+}

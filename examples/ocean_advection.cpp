@@ -1,0 +1,91 @@
+// Tracer advection in a re-entrant ocean channel — the kind of scientific
+// model the paper cites as motivation: "some scientific problems require
+// stencil computations with circular boundary conditions that result in
+// offsets as large as the entire grid-size itself".
+//
+// The channel is periodic along the flow direction (mapped to grid rows,
+// so the wrap reach is (H-1)*W — served by Smache static buffers) and has
+// open lateral walls. A first-order upwind scheme advects a tracer blob
+// with the flow; after H steps at Courant number 1 the blob returns to its
+// starting latitude — a strong end-to-end check of the circular boundary
+// plumbing.
+//
+// Run: ./build/examples/ocean_advection [--height H --width W]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "core/engine.hpp"
+
+namespace {
+
+std::size_t blob_row(const smache::grid::Grid<smache::word_t>& g) {
+  // Row with the largest tracer mass.
+  std::size_t best_row = 0;
+  float best = -1.0f;
+  for (std::size_t r = 0; r < g.height(); ++r) {
+    float mass = 0.0f;
+    for (std::size_t c = 0; c < g.width(); ++c)
+      mass += smache::from_word<float>(g.at(r, c));
+    if (mass > best) {
+      best = mass;
+      best_row = r;
+    }
+  }
+  return best_row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const smache::CliArgs args(argc, argv);
+  const auto height = static_cast<std::size_t>(args.get_int("height", 20));
+  const auto width = static_cast<std::size_t>(args.get_int("width", 16));
+
+  std::printf("Tracer advection in a re-entrant channel (Smache)\n");
+  std::printf("=================================================\n");
+
+  smache::ProblemSpec problem;
+  problem.height = height;
+  problem.width = width;
+  // Upwind tuple {centre, west, north}; flow is along rows (northward),
+  // so cy = 1 (Courant number 1 along the periodic axis), cx = 0.
+  problem.shape = smache::grid::StencilShape::upwind3();
+  problem.bc = {smache::grid::AxisBoundary::periodic(),
+                smache::grid::AxisBoundary::open()};
+  problem.kernel = smache::rtl::KernelSpec::upwind(0.0f, 1.0f);
+  problem.steps = height;  // one full trip around the channel
+  std::printf("problem: %s\n\n", problem.describe().c_str());
+
+  smache::grid::Grid<smache::word_t> init(height, width,
+                                          smache::to_word(0.0f));
+  const std::size_t start_row = 3;
+  for (std::size_t c = width / 4; c < 3 * width / 4; ++c)
+    init.at(start_row, c) = smache::to_word(1.0f);
+
+  const smache::Engine engine(smache::EngineOptions::smache());
+  const auto plan = engine.plan_only(problem);
+  std::printf("%s\n", plan.describe().c_str());
+
+  const auto run = engine.run(problem, init);
+  const auto expected = smache::reference_run(problem, init);
+  const bool exact = run.output == expected;
+
+  std::printf("simulated %llu cycles over %zu instances; DRAM read %.1f "
+              "KiB, wrote %.1f KiB\n",
+              static_cast<unsigned long long>(run.cycles), problem.steps,
+              static_cast<double>(run.dram.bytes_read()) / 1024.0,
+              static_cast<double>(run.dram.bytes_written()) / 1024.0);
+  std::printf("hardware vs software reference: %s\n",
+              exact ? "BIT-EXACT" : "MISMATCH");
+
+  // At Courant 1, exact upwind advection translates the field by one row
+  // per step; after `height` steps the blob is back where it started,
+  // having crossed the circular boundary once.
+  const std::size_t final_row = blob_row(run.output);
+  std::printf("tracer blob: started at row %zu, after a full circuit sits "
+              "at row %zu (%s)\n",
+              start_row, final_row,
+              final_row == start_row ? "returned through the wrap"
+                                     : "UNEXPECTED");
+  return exact && final_row == start_row ? 0 : 1;
+}

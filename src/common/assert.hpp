@@ -1,0 +1,68 @@
+// Lightweight contract checking for the Smache library.
+//
+// SMACHE_REQUIRE / SMACHE_ENSURE follow the C++ Core Guidelines (I.6, I.8)
+// precondition/postcondition idiom. They are always on: this library is a
+// simulator whose value is correctness, and the checks are cheap relative to
+// cycle evaluation. Violations throw `smache::contract_error` so tests can
+// assert on them instead of aborting the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace smache {
+
+/// Thrown when a precondition, postcondition, or internal invariant fails.
+class contract_error : public std::logic_error {
+ public:
+  explicit contract_error(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::string full = std::string(kind) + " failed: " + expr + " at " + file +
+                     ":" + std::to_string(line);
+  if (!msg.empty()) full += " — " + msg;
+  throw contract_error(full);
+}
+}  // namespace detail
+
+}  // namespace smache
+
+#define SMACHE_REQUIRE(expr)                                                 \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::smache::detail::contract_fail("precondition", #expr, __FILE__,       \
+                                      __LINE__, "");                         \
+  } while (false)
+
+#define SMACHE_REQUIRE_MSG(expr, msg)                                        \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::smache::detail::contract_fail("precondition", #expr, __FILE__,       \
+                                      __LINE__, (msg));                      \
+  } while (false)
+
+#define SMACHE_ENSURE(expr)                                                  \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::smache::detail::contract_fail("postcondition", #expr, __FILE__,      \
+                                      __LINE__, "");                         \
+  } while (false)
+
+#define SMACHE_ASSERT(expr)                                                  \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::smache::detail::contract_fail("invariant", #expr, __FILE__,          \
+                                      __LINE__, "");                         \
+  } while (false)
+
+#define SMACHE_ASSERT_MSG(expr, msg)                                         \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::smache::detail::contract_fail("invariant", #expr, __FILE__,          \
+                                      __LINE__, (msg));                      \
+  } while (false)

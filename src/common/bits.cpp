@@ -1,0 +1,25 @@
+// bits.hpp is header-only; this translation unit pins the static asserts so
+// they are checked exactly once per build.
+#include "common/bits.hpp"
+
+namespace smache {
+
+static_assert(addr_bits(0) == 0);
+static_assert(addr_bits(1) == 1);
+static_assert(addr_bits(2) == 1);
+static_assert(addr_bits(3) == 2);
+static_assert(addr_bits(1024) == 10);
+static_assert(addr_bits(1025) == 11);
+static_assert(count_bits(121) == 7);
+static_assert(ceil_log2(1) == 0);
+static_assert(ceil_log2(9) == 4);
+static_assert(is_pow2(1) && is_pow2(4096) && !is_pow2(12));
+static_assert(next_pow2(7) == 8);
+static_assert(next_pow2(1021) == 1024);
+static_assert(round_up(11, 4) == 12);
+static_assert(ceil_div(121, 8) == 16);
+static_assert(floor_mod(-1, 11) == 10);
+static_assert(mirror_index(-1, 4) == 1);
+static_assert(mirror_index(4, 4) == 2);
+
+}  // namespace smache

@@ -1,0 +1,83 @@
+// Bit-level arithmetic helpers used throughout the resource and address
+// calculations. All functions are constexpr and total (defined for every
+// input) so they can be used in static contexts and property tests.
+#pragma once
+
+#include <cstdint>
+
+namespace smache {
+
+/// Number of bits needed to represent values 0..n-1 (i.e. an address width
+/// for a memory of n entries). By convention `addr_bits(0) == 0` and
+/// `addr_bits(1) == 1` (a 1-deep memory still needs a degenerate address).
+constexpr std::uint32_t addr_bits(std::uint64_t n) noexcept {
+  if (n <= 1) return n == 0 ? 0u : 1u;
+  std::uint32_t bits = 0;
+  std::uint64_t v = n - 1;
+  while (v != 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits;
+}
+
+/// Number of bits needed to *count* 0..n inclusive (counter width).
+constexpr std::uint32_t count_bits(std::uint64_t n) noexcept {
+  return addr_bits(n + 1);
+}
+
+/// ceil(log2(n)) for n >= 1; 0 for n in {0, 1}.
+constexpr std::uint32_t ceil_log2(std::uint64_t n) noexcept {
+  if (n <= 1) return 0;
+  std::uint32_t bits = 0;
+  std::uint64_t v = n - 1;
+  while (v != 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits;
+}
+
+/// True iff n is a power of two (n > 0).
+constexpr bool is_pow2(std::uint64_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// Smallest power of two >= n (n = 0 maps to 1).
+constexpr std::uint64_t next_pow2(std::uint64_t n) noexcept {
+  if (n <= 1) return 1;
+  std::uint64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Round n up to the next multiple of m (m > 0).
+constexpr std::uint64_t round_up(std::uint64_t n, std::uint64_t m) noexcept {
+  if (m == 0) return n;
+  const std::uint64_t r = n % m;
+  return r == 0 ? n : n + (m - r);
+}
+
+/// Integer ceiling division.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  return b == 0 ? 0 : (a + b - 1) / b;
+}
+
+/// Floored modulo that is always in [0, m) even for negative a. Used for
+/// periodic (circular) boundary wrapping.
+constexpr std::int64_t floor_mod(std::int64_t a, std::int64_t m) noexcept {
+  if (m <= 0) return 0;
+  std::int64_t r = a % m;
+  return r < 0 ? r + m : r;
+}
+
+/// Mirror (reflective, non-repeating-edge) fold of coordinate a into [0, m).
+/// Pattern for m = 4: ... 2 1 | 0 1 2 3 | 2 1 0 1 ...
+constexpr std::int64_t mirror_index(std::int64_t a, std::int64_t m) noexcept {
+  if (m <= 1) return 0;
+  const std::int64_t period = 2 * (m - 1);
+  std::int64_t r = floor_mod(a, period);
+  return r < m ? r : period - r;
+}
+
+}  // namespace smache

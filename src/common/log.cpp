@@ -1,0 +1,36 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace smache {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+Log::Sink g_sink;  // empty -> default stderr sink
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Log::set_level(LogLevel level) noexcept { g_level = level; }
+LogLevel Log::level() noexcept { return g_level; }
+void Log::set_sink(Sink sink) { g_sink = std::move(sink); }
+
+void Log::write(LogLevel level, const std::string& message) {
+  if (level < g_level || g_level == LogLevel::Off) return;
+  if (g_sink) {
+    g_sink(level, message);
+    return;
+  }
+  std::fprintf(stderr, "[smache %s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace smache

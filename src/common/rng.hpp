@@ -1,0 +1,62 @@
+// Deterministic random number generation for tests, workload generators and
+// failure injection. A fixed, documented algorithm (SplitMix64 seeding a
+// xoshiro256**-like core) guarantees bit-identical workloads across
+// platforms, which std::mt19937 distributions do not.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace smache {
+
+/// Deterministic 64-bit PRNG (splitmix64). Small state, good diffusion,
+/// reproducible everywhere.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    SMACHE_REQUIRE(bound > 0);
+    // Rejection sampling to avoid modulo bias; the loop terminates quickly
+    // because the acceptance probability is > 1/2.
+    const std::uint64_t limit = bound * ((~std::uint64_t{0}) / bound);
+    std::uint64_t v = next_u64();
+    while (v >= limit) v = next_u64();
+    return v % bound;
+  }
+
+  /// Uniform value in the inclusive range [lo, hi].
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    SMACHE_REQUIRE(lo <= hi);
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1;  // may wrap to 0 at full range
+    if (span == 0) return static_cast<std::int64_t>(next_u64());
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// Bernoulli draw with probability p_num / p_den.
+  bool chance(std::uint64_t p_num, std::uint64_t p_den) {
+    SMACHE_REQUIRE(p_den > 0);
+    return next_below(p_den) < p_num;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_unit() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace smache

@@ -1,0 +1,8 @@
+#include "common/stats.hpp"
+
+// RunningStats is header-only; this file exists so the common library has a
+// stable archive member for it and future out-of-line additions.
+namespace smache {
+static_assert(safe_ratio(1.0, 0.0) == 0.0);
+static_assert(safe_ratio(6.0, 3.0) == 2.0);
+}  // namespace smache

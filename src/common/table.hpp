@@ -1,0 +1,63 @@
+// ASCII / CSV table rendering for benchmark harness output.
+//
+// Every bench binary prints the same rows the paper reports; this small
+// formatter keeps those tables aligned and lets them also be dumped as CSV
+// for downstream plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace smache {
+
+/// Column alignment inside an ASCII table.
+enum class Align { Left, Right };
+
+/// A simple row/column text table. Cells are strings; numeric helpers format
+/// with fixed precision. Rendering pads columns to the widest cell.
+class TextTable {
+ public:
+  /// Create a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Number of columns.
+  std::size_t columns() const noexcept { return headers_.size(); }
+  /// Number of data rows added so far.
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Begin a new row; subsequent add_cell calls fill it left to right.
+  void begin_row();
+  /// Append one cell to the current row. Throws if the row would overflow.
+  void add_cell(std::string text);
+  /// Convenience: numeric cells.
+  void add_cell(double value, int precision = 2);
+  void add_cell(std::uint64_t value);
+  void add_cell(std::int64_t value);
+
+  /// Add a fully-formed row at once (must match the column count).
+  void add_row(std::vector<std::string> cells);
+
+  /// Set per-column alignment (defaults: first column Left, rest Right).
+  void set_align(std::size_t column, Align align);
+
+  /// Render as an aligned ASCII table with a header rule.
+  std::string to_ascii() const;
+  /// Render as CSV (RFC-4180-style quoting for commas/quotes).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> align_;
+};
+
+/// Format a double with fixed precision (no locale surprises).
+std::string format_fixed(double value, int precision);
+
+/// Format bytes as a human-readable KiB string with 1 decimal, matching the
+/// paper's "KB" reporting (which is KiB arithmetic: 242000 B -> 236.3).
+std::string format_kib(std::uint64_t bytes);
+
+}  // namespace smache

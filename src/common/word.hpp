@@ -1,0 +1,35 @@
+// The machine word flowing through the simulated datapaths. The paper's
+// prototype uses 32-bit grid elements; all RTL-level modules move raw
+// 32-bit words, and typed kernels bit-cast at the boundary (see
+// rtl/kernel.hpp).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace smache {
+
+using word_t = std::uint32_t;
+inline constexpr std::uint32_t kWordBits = 32;
+inline constexpr std::uint32_t kWordBytes = 4;
+
+/// Bit-cast between the raw datapath word and a typed value (int32_t,
+/// float, uint32_t). memcpy is the defined-behaviour idiom; compilers
+/// lower it to a register move.
+template <typename T>
+word_t to_word(T value) noexcept {
+  static_assert(sizeof(T) == sizeof(word_t));
+  word_t w;
+  std::memcpy(&w, &value, sizeof w);
+  return w;
+}
+
+template <typename T>
+T from_word(word_t w) noexcept {
+  static_assert(sizeof(T) == sizeof(word_t));
+  T value;
+  std::memcpy(&value, &w, sizeof value);
+  return value;
+}
+
+}  // namespace smache

@@ -1,0 +1,182 @@
+#include "core/engine.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "grid/reference.hpp"
+#include "mem/dram.hpp"
+#include "rtl/baseline_top.hpp"
+#include "rtl/cascade_top.hpp"
+#include "rtl/smache_top.hpp"
+#include "sim/simulator.hpp"
+
+namespace smache {
+
+const char* to_string(Architecture arch) noexcept {
+  return arch == Architecture::Smache ? "smache" : "baseline";
+}
+
+std::string RunResult::summary() const {
+  std::ostringstream out;
+  out << to_string(arch) << ": cycles=" << cycles
+      << " fmax=" << timing.fmax_mhz
+      << "MHz dram_read=" << dram.bytes_read()
+      << "B dram_write=" << dram.bytes_written()
+      << "B time=" << exec_time_us << "us mops=" << mops;
+  return out.str();
+}
+
+model::BufferPlan Engine::plan_only(const ProblemSpec& problem) const {
+  problem.validate();
+  model::PlannerOptions popts;
+  popts.stream_impl = options_.stream_impl;
+  popts.bram_segment_threshold = options_.bram_segment_threshold;
+  return model::Planner(popts).plan(problem.height, problem.width,
+                                    problem.shape, problem.bc);
+}
+
+RunResult Engine::run(const ProblemSpec& problem,
+                      const grid::Grid<word_t>& initial) const {
+  SMACHE_REQUIRE(initial.height() == problem.height &&
+                 initial.width() == problem.width);
+  return execute(problem, &initial);
+}
+
+RunResult Engine::elaborate_only(const ProblemSpec& problem) const {
+  return execute(problem, nullptr);
+}
+
+RunResult Engine::execute(const ProblemSpec& problem,
+                          const grid::Grid<word_t>* initial) const {
+  problem.validate();
+  const std::size_t cells = problem.cells();
+
+  sim::Simulator sim;
+  mem::DramConfig dcfg = options_.dram;
+  if (options_.auto_bus)
+    dcfg.shared_bus = options_.arch == Architecture::Baseline;
+  mem::DramModel dram(sim, "dram", 2 * cells, dcfg);
+
+  if (initial != nullptr) {
+    const auto words = initial->to_words();
+    for (std::size_t i = 0; i < words.size(); ++i)
+      dram.poke(i, words[i]);
+  }
+
+  RunResult result;
+  result.arch = options_.arch;
+
+  if (options_.arch == Architecture::Smache) {
+    model::BufferPlan plan = plan_only(problem);
+    rtl::SmacheTop top(sim, "smache", plan, problem.kernel, dram,
+                       problem.steps);
+    result.estimate = cost::estimate_memory(plan);
+    result.timing = cost::estimate_smache_timing(plan);
+    if (initial != nullptr) {
+      sim.run_until([&] { return top.done() && dram.idle(); },
+                    options_.max_cycles);
+      result.cycles = sim.now();
+      result.warmup_cycles = top.warmup_end_cycle();
+      std::vector<word_t> out(cells);
+      for (std::size_t i = 0; i < cells; ++i)
+        out[i] = dram.peek(top.output_base() + i);
+      result.output =
+          grid::Grid<word_t>::from_words(problem.height, problem.width, out);
+    }
+    result.resources = cost::measure_actual(sim.ledger(), "smache");
+    result.plan = std::move(plan);
+  } else {
+    rtl::BaselineTop top(sim, "baseline", problem.height, problem.width,
+                         problem.shape, problem.bc, problem.kernel, dram,
+                         problem.steps);
+    result.timing = cost::estimate_baseline_timing(
+        problem.shape.size(),
+        grid::CaseMap(problem.height, problem.width, problem.shape)
+            .case_count());
+    if (initial != nullptr) {
+      sim.run_until([&] { return top.done() && dram.idle(); },
+                    options_.max_cycles);
+      result.cycles = sim.now();
+      std::vector<word_t> out(cells);
+      for (std::size_t i = 0; i < cells; ++i)
+        out[i] = dram.peek(top.output_base() + i);
+      result.output =
+          grid::Grid<word_t>::from_words(problem.height, problem.width, out);
+    }
+    result.resources = cost::measure_actual(sim.ledger(), "baseline");
+  }
+
+  result.dram = dram.stats();
+  result.ops = static_cast<std::uint64_t>(cells) * problem.steps *
+               problem.kernel.ops_per_point(problem.shape.size());
+  if (result.timing.fmax_mhz > 0.0 && result.cycles > 0) {
+    result.exec_time_us =
+        static_cast<double>(result.cycles) / result.timing.fmax_mhz;
+    result.mops = static_cast<double>(result.ops) / result.exec_time_us;
+  }
+  return result;
+}
+
+RunResult Engine::run_cascade(const ProblemSpec& problem,
+                              const grid::Grid<word_t>& initial,
+                              std::size_t depth) const {
+  problem.validate();
+  SMACHE_REQUIRE(initial.height() == problem.height &&
+                 initial.width() == problem.width);
+  SMACHE_REQUIRE_MSG(depth >= 1 && problem.steps % depth == 0,
+                     "steps must be a multiple of the cascade depth");
+  const std::size_t cells = problem.cells();
+  const std::size_t passes = problem.steps / depth;
+
+  sim::Simulator sim;
+  mem::DramConfig dcfg = options_.dram;
+  if (options_.auto_bus) dcfg.shared_bus = false;
+  mem::DramModel dram(sim, "dram", 2 * cells, dcfg);
+  const auto words = initial.to_words();
+  for (std::size_t i = 0; i < words.size(); ++i) dram.poke(i, words[i]);
+
+  model::BufferPlan plan = plan_only(problem);
+  rtl::CascadeTop top(sim, "cascade", plan, problem.kernel, dram, depth,
+                      passes);
+
+  RunResult result;
+  result.arch = Architecture::Smache;
+  result.estimate = cost::estimate_memory(plan);
+  // The cascade replicates the stream buffer per fused step.
+  result.estimate->r_stream *= depth;
+  result.estimate->b_stream *= depth;
+  result.timing = cost::estimate_smache_timing(plan);
+  sim.run_until([&] { return top.done() && dram.idle(); },
+                options_.max_cycles);
+  result.cycles = sim.now();
+  std::vector<word_t> out(cells);
+  for (std::size_t i = 0; i < cells; ++i)
+    out[i] = dram.peek(top.output_base() + i);
+  result.output =
+      grid::Grid<word_t>::from_words(problem.height, problem.width, out);
+  result.resources = cost::measure_actual(sim.ledger(), "cascade");
+  result.plan = std::move(plan);
+  result.dram = dram.stats();
+  result.ops = static_cast<std::uint64_t>(cells) * problem.steps *
+               problem.kernel.ops_per_point(problem.shape.size());
+  if (result.timing.fmax_mhz > 0.0 && result.cycles > 0) {
+    result.exec_time_us =
+        static_cast<double>(result.cycles) / result.timing.fmax_mhz;
+    result.mops = static_cast<double>(result.ops) / result.exec_time_us;
+  }
+  return result;
+}
+
+grid::Grid<word_t> reference_run(const ProblemSpec& problem,
+                                 const grid::Grid<word_t>& initial) {
+  problem.validate();
+  SMACHE_REQUIRE(initial.height() == problem.height &&
+                 initial.width() == problem.width);
+  const auto kernel = [&](const std::vector<grid::TupleElem>& tuple) {
+    return rtl::apply_kernel(problem.kernel, tuple);
+  };
+  return grid::run_steps(initial, problem.shape, problem.bc, kernel,
+                         problem.steps);
+}
+
+}  // namespace smache

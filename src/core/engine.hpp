@@ -1,0 +1,115 @@
+// The Engine — the library's front door. It elaborates a design (Smache or
+// the unbuffered baseline) onto the simulation substrate, runs the
+// requested work-instances cycle by cycle against the DRAM model, and
+// returns cycles, DRAM traffic, elaborated resources, predicted Fmax and
+// the derived Figure-2 metrics, together with the output grid for
+// verification.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "cost/cost_model.hpp"
+#include "cost/timing.hpp"
+#include "grid/grid.hpp"
+#include "mem/dram_config.hpp"
+#include "model/planner.hpp"
+
+namespace smache {
+
+enum class Architecture { Smache, Baseline };
+
+const char* to_string(Architecture arch) noexcept;
+
+struct EngineOptions {
+  Architecture arch = Architecture::Smache;
+  model::StreamImpl stream_impl = model::StreamImpl::Hybrid;
+  mem::DramConfig dram = mem::DramConfig::functional();
+  /// When true (default), the bus topology follows the architecture: the
+  /// baseline drives a single shared memory port, Smache uses independent
+  /// AXI-style read/write channels. Set false to use `dram.shared_bus`
+  /// exactly as given (for the bus-topology ablation).
+  bool auto_bus = true;
+  /// Hybrid split threshold forwarded to the planner.
+  std::size_t bram_segment_threshold = 4;
+  /// Simulation watchdog (cycles); generous default.
+  std::uint64_t max_cycles = 200'000'000;
+
+  static EngineOptions smache(model::StreamImpl impl =
+                                  model::StreamImpl::Hybrid) {
+    EngineOptions o;
+    o.arch = Architecture::Smache;
+    o.stream_impl = impl;
+    return o;
+  }
+  static EngineOptions baseline() {
+    EngineOptions o;
+    o.arch = Architecture::Baseline;
+    return o;
+  }
+};
+
+struct RunResult {
+  Architecture arch = Architecture::Smache;
+  std::uint64_t cycles = 0;
+  std::uint64_t warmup_cycles = 0;  // Smache only (0 for baseline)
+  mem::DramStats dram;
+  grid::Grid<word_t> output{1, 1};
+
+  /// Elaborated ("actual") resources from the ledger.
+  cost::MemoryActual resources;
+  /// Analytic estimate (Smache only; meaningless for the baseline).
+  std::optional<cost::MemoryEstimate> estimate;
+  std::optional<model::BufferPlan> plan;  // Smache only
+
+  // Timing-model outputs and the paper's derived Figure-2 metrics.
+  cost::DesignTiming timing;
+  std::uint64_t ops = 0;          // tuple elements processed
+  double exec_time_us = 0.0;      // cycles / fmax
+  double mops = 0.0;              // ops / exec_time
+
+  std::string summary() const;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {}) : options_(options) {}
+
+  const EngineOptions& options() const noexcept { return options_; }
+
+  /// Run `problem` starting from `initial` (row-major words). The returned
+  /// output grid is read back from the final DRAM region.
+  RunResult run(const ProblemSpec& problem,
+                const grid::Grid<word_t>& initial) const;
+
+  /// Plan without simulating (resource studies over huge grids).
+  model::BufferPlan plan_only(const ProblemSpec& problem) const;
+
+  /// Temporal-blocking extension (the "multiple time steps in one pass"
+  /// direction the paper cites as complementary work): fuse `depth` time
+  /// steps on chip per DRAM pass, cutting traffic by ~depth. Requires
+  /// problem.steps to be a multiple of depth and boundaries that resolve
+  /// in-stream (open/mirror/constant — periodic wraps need the
+  /// double-buffered static buffers of the per-instance engine).
+  RunResult run_cascade(const ProblemSpec& problem,
+                        const grid::Grid<word_t>& initial,
+                        std::size_t depth) const;
+
+  /// Elaborate the design and report resources without running a single
+  /// cycle (Table I's 1024x1024 rows).
+  RunResult elaborate_only(const ProblemSpec& problem) const;
+
+ private:
+  RunResult execute(const ProblemSpec& problem,
+                    const grid::Grid<word_t>* initial) const;
+  EngineOptions options_;
+};
+
+/// Golden software run of the same problem (the oracle for tests).
+grid::Grid<word_t> reference_run(const ProblemSpec& problem,
+                                 const grid::Grid<word_t>& initial);
+
+}  // namespace smache

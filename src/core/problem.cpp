@@ -1,0 +1,38 @@
+#include "core/problem.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "rtl/kernel_pipeline.hpp"
+
+namespace smache {
+
+void ProblemSpec::validate() const {
+  SMACHE_REQUIRE_MSG(height >= 1 && width >= 1,
+                     "grid must be at least 1x1");
+  SMACHE_REQUIRE_MSG(steps >= 1, "at least one work-instance required");
+  SMACHE_REQUIRE_MSG(shape.size() <= rtl::kMaxTuple,
+                     "stencil arity exceeds kMaxTuple");
+  // The zone construction needs the grid to exceed the stencil's span.
+  // A 1-row grid with a row-free stencil is a valid 1D problem.
+  const auto rspan = static_cast<std::size_t>(shape.dr_max() -
+                                              shape.dr_min());
+  const auto cspan = static_cast<std::size_t>(shape.dc_max() -
+                                              shape.dc_min());
+  SMACHE_REQUIRE_MSG(height > rspan,
+                     "grid height must exceed the stencil's row span");
+  SMACHE_REQUIRE_MSG(width > cspan,
+                     "grid width must exceed the stencil's column span");
+}
+
+std::string ProblemSpec::describe() const {
+  std::ostringstream out;
+  out << height << "x" << width << " grid, stencil " << shape.name()
+      << " (" << shape.size() << " points), rows "
+      << grid::to_string(bc.rows.kind) << ", cols "
+      << grid::to_string(bc.cols.kind) << ", kernel " << kernel.name()
+      << ", " << steps << " work-instance(s)";
+  return out.str();
+}
+
+}  // namespace smache

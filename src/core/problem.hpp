@@ -1,0 +1,44 @@
+// The public problem description: what to compute, on what grid, under
+// which boundary conditions, for how many work-instances.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "grid/boundary.hpp"
+#include "grid/stencil.hpp"
+#include "rtl/kernel.hpp"
+
+namespace smache {
+
+struct ProblemSpec {
+  std::size_t height = 0;
+  std::size_t width = 0;
+  grid::StencilShape shape = grid::StencilShape::von_neumann4();
+  grid::BoundarySpec bc = grid::BoundarySpec::paper_example();
+  rtl::KernelSpec kernel = rtl::KernelSpec::average_int();
+  /// Number of work-instances (time steps); output of step k feeds k+1.
+  std::size_t steps = 1;
+
+  std::size_t cells() const noexcept { return height * width; }
+
+  /// The paper's evaluation problem: 11x11 grid, 4-point averaging filter,
+  /// circular top/bottom + open left/right boundaries, 100 work-instances.
+  static ProblemSpec paper_example() {
+    ProblemSpec p;
+    p.height = 11;
+    p.width = 11;
+    p.shape = grid::StencilShape::von_neumann4();
+    p.bc = grid::BoundarySpec::paper_example();
+    p.kernel = rtl::KernelSpec::average_int();
+    p.steps = 100;
+    return p;
+  }
+
+  /// Throws contract_error with a descriptive message if inconsistent.
+  void validate() const;
+
+  std::string describe() const;
+};
+
+}  // namespace smache

@@ -1,0 +1,68 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace smache {
+
+std::string format_fig2(const RunResult& baseline, const RunResult& smache) {
+  TextTable t({"Metric", "Baseline", "Smache", "Smache/Baseline"});
+  auto row = [&](const std::string& name, double b, double s,
+                 int precision) {
+    t.begin_row();
+    t.add_cell(name);
+    t.add_cell(b, precision);
+    t.add_cell(s, precision);
+    t.add_cell(safe_ratio(s, b), 3);
+  };
+  row("Cycle-count", static_cast<double>(baseline.cycles),
+      static_cast<double>(smache.cycles), 0);
+  row("Freq (MHz)", baseline.timing.fmax_mhz, smache.timing.fmax_mhz, 1);
+  row("DRAM Traffic (KiB)",
+      static_cast<double>(baseline.dram.total_bytes()) / 1024.0,
+      static_cast<double>(smache.dram.total_bytes()) / 1024.0, 1);
+  row("Sim. Exec. Time (us)", baseline.exec_time_us, smache.exec_time_us, 1);
+  row("Performance (MOPS)", baseline.mops, smache.mops, 2);
+
+  std::ostringstream out;
+  out << t.to_ascii();
+  out << "overall simulated speed-up (baseline time / smache time): "
+      << format_fixed(safe_ratio(baseline.exec_time_us, smache.exec_time_us),
+                      2)
+      << "x\n";
+  return out.str();
+}
+
+std::string format_table1_rows(const std::string& label,
+                               const RunResult& result) {
+  SMACHE_REQUIRE_MSG(result.estimate.has_value(),
+                     "Table I rows need a Smache result with an estimate");
+  const auto& e = *result.estimate;
+  const auto& a = result.resources;
+  TextTable t({"Problem", "", "Rsc", "Bsc", "Rsm", "Bsm", "Rtotal",
+               "Btotal"});
+  t.begin_row();
+  t.add_cell(label);
+  t.add_cell(std::string("Estimate"));
+  t.add_cell(e.r_static);
+  t.add_cell(e.b_static);
+  t.add_cell(e.r_stream);
+  t.add_cell(e.b_stream);
+  t.add_cell(e.r_total());
+  t.add_cell(e.b_total());
+  t.begin_row();
+  t.add_cell(label);
+  t.add_cell(std::string("Actual"));
+  t.add_cell(a.r_static);
+  t.add_cell(a.b_static);
+  t.add_cell(a.r_stream);
+  t.add_cell(a.b_stream);
+  t.add_cell(a.r_total);
+  t.add_cell(a.b_total);
+  return t.to_ascii();
+}
+
+}  // namespace smache

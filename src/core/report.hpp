@@ -1,0 +1,20 @@
+// Paper-style report formatting: the Figure 2 metric table and the Table I
+// resource rows, shared by the bench binaries and examples.
+#pragma once
+
+#include <string>
+
+#include "core/engine.hpp"
+
+namespace smache {
+
+/// Figure-2-style comparison block for a (baseline, smache) result pair:
+/// absolute rows plus the normalised-against-baseline ratios.
+std::string format_fig2(const RunResult& baseline, const RunResult& smache);
+
+/// One Table-I-style row set (estimate vs actual) for a Smache result.
+/// `label` is e.g. "11x11r" or "1024x1024h".
+std::string format_table1_rows(const std::string& label,
+                               const RunResult& result);
+
+}  // namespace smache

@@ -1,0 +1,32 @@
+#include "cost/cost_model.hpp"
+
+namespace smache::cost {
+
+MemoryEstimate estimate_memory(const model::BufferPlan& plan,
+                               std::uint32_t word_bits) {
+  MemoryEstimate e;
+  e.r_stream = static_cast<std::uint64_t>(plan.reg_window_elems()) * word_bits;
+  e.b_stream =
+      static_cast<std::uint64_t>(plan.bram_window_elems()) * word_bits;
+  for (const auto& b : plan.static_buffers())
+    e.b_static += 2ull * b.length * b.replicas * word_bits;
+  e.r_static = 0;
+  return e;
+}
+
+MemoryActual measure_actual(const sim::ResourceLedger& ledger,
+                            const std::string& design_prefix) {
+  MemoryActual a;
+  const std::string st = design_prefix + "/static";
+  const std::string sm = design_prefix + "/stream";
+  a.r_static = ledger.total(sim::ResKind::RegisterBits, st);
+  a.b_static = ledger.total(sim::ResKind::BramBits, st);
+  a.r_stream = ledger.total(sim::ResKind::RegisterBits, sm);
+  a.b_stream = ledger.total(sim::ResKind::BramBits, sm);
+  a.r_total = ledger.total(sim::ResKind::RegisterBits, design_prefix);
+  a.b_total = ledger.total(sim::ResKind::BramBits, design_prefix);
+  a.m20k_blocks = ledger.total(sim::ResKind::BramBlocks, design_prefix);
+  return a;
+}
+
+}  // namespace smache::cost

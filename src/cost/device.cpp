@@ -1,0 +1,24 @@
+#include "cost/device.hpp"
+
+#include "common/bits.hpp"
+
+namespace smache::cost {
+
+FitReport check_fit(const DeviceModel& device, std::uint64_t register_bits,
+                    std::uint64_t bram_bits) {
+  FitReport r;
+  r.m20k_needed = smache::ceil_div(bram_bits, mem::kM20kBits);
+  r.register_utilisation = device.registers == 0
+                               ? 1.0
+                               : static_cast<double>(register_bits) /
+                                     static_cast<double>(device.registers);
+  r.bram_utilisation = device.bram_bits() == 0
+                           ? 1.0
+                           : static_cast<double>(bram_bits) /
+                                 static_cast<double>(device.bram_bits());
+  r.fits = register_bits <= device.registers &&
+           r.m20k_needed <= device.m20k_blocks;
+  return r;
+}
+
+}  // namespace smache::cost

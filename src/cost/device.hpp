@@ -1,0 +1,43 @@
+// FPGA device capacity model — enough geometry to turn bit counts into
+// block counts and check that a plan fits the part, in the spirit of the
+// paper's Stratix-V target.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mem/bram.hpp"
+
+namespace smache::cost {
+
+struct DeviceModel {
+  std::string name;
+  std::uint64_t alms = 0;
+  std::uint64_t registers = 0;    // dedicated flip-flops
+  std::uint64_t m20k_blocks = 0;  // 20 Kbit BRAM blocks
+  std::uint64_t bram_bits() const noexcept {
+    return m20k_blocks * mem::kM20kBits;
+  }
+
+  /// Stratix V GX A7 — the class of device the paper synthesised for.
+  static DeviceModel stratix_v() {
+    return DeviceModel{"Stratix V GX A7", 234720, 938880, 2560};
+  }
+  /// A small device, useful for exercising budget failures in tests.
+  static DeviceModel small_device() {
+    return DeviceModel{"small-test-device", 8000, 32000, 16};
+  }
+};
+
+/// Whether a (register bits, BRAM bits) footprint fits the device.
+struct FitReport {
+  bool fits = false;
+  double register_utilisation = 0.0;  // fraction of device registers
+  double bram_utilisation = 0.0;      // fraction of device BRAM bits
+  std::uint64_t m20k_needed = 0;
+};
+
+FitReport check_fit(const DeviceModel& device, std::uint64_t register_bits,
+                    std::uint64_t bram_bits);
+
+}  // namespace smache::cost

@@ -1,0 +1,54 @@
+#include "cost/dse.hpp"
+
+#include <algorithm>
+
+namespace smache::cost {
+
+std::string DsePoint::label() const {
+  if (impl == model::StreamImpl::RegisterOnly) return "Case-R";
+  return "Case-H/t" + std::to_string(bram_segment_threshold);
+}
+
+std::vector<DsePoint> explore(const DseRequest& request) {
+  std::vector<DsePoint> points;
+
+  auto add_point = [&](model::StreamImpl impl, std::size_t threshold) {
+    model::PlannerOptions opts;
+    opts.stream_impl = impl;
+    opts.bram_segment_threshold = threshold;
+    const model::Planner planner(opts);
+    const model::BufferPlan plan =
+        planner.plan(request.height, request.width, request.shape,
+                     request.bc);
+    DsePoint p;
+    p.impl = impl;
+    p.bram_segment_threshold = threshold;
+    p.memory = estimate_memory(plan);
+    p.timing = estimate_smache_timing(plan);
+    p.fit = check_fit(request.device, p.memory.r_total(), p.memory.b_total());
+    points.push_back(std::move(p));
+  };
+
+  add_point(model::StreamImpl::RegisterOnly, 4);
+  for (std::size_t t : request.thresholds)
+    add_point(model::StreamImpl::Hybrid, t);
+
+  // Pareto marking on (register bits, BRAM bits): a point is dominated if
+  // another point is <= on both axes and < on at least one.
+  for (auto& p : points) {
+    p.pareto = true;
+    for (const auto& q : points) {
+      const bool le = q.memory.r_total() <= p.memory.r_total() &&
+                      q.memory.b_total() <= p.memory.b_total();
+      const bool lt = q.memory.r_total() < p.memory.r_total() ||
+                      q.memory.b_total() < p.memory.b_total();
+      if (le && lt) {
+        p.pareto = false;
+        break;
+      }
+    }
+  }
+  return points;
+}
+
+}  // namespace smache::cost

@@ -1,0 +1,44 @@
+// Design-space exploration over the stream-buffer implementation knobs —
+// the exercise the paper's cost model exists to enable: trading register
+// bits against BRAM bits while watching predicted Fmax.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.hpp"
+#include "cost/device.hpp"
+#include "cost/timing.hpp"
+#include "grid/boundary.hpp"
+#include "grid/stencil.hpp"
+#include "model/planner.hpp"
+
+namespace smache::cost {
+
+/// One explored configuration with its predicted costs.
+struct DsePoint {
+  model::StreamImpl impl = model::StreamImpl::Hybrid;
+  std::size_t bram_segment_threshold = 4;
+  MemoryEstimate memory;
+  DesignTiming timing;
+  FitReport fit;
+  bool pareto = false;  // not dominated on (register bits, bram bits)
+  std::string label() const;
+};
+
+struct DseRequest {
+  std::size_t height = 0;
+  std::size_t width = 0;
+  grid::StencilShape shape = grid::StencilShape::von_neumann4();
+  grid::BoundarySpec bc = grid::BoundarySpec::paper_example();
+  DeviceModel device = DeviceModel::stratix_v();
+  /// Thresholds to sweep for the hybrid split (>= 3 each).
+  std::vector<std::size_t> thresholds = {3, 4, 8, 16, 32};
+};
+
+/// Sweep Case-R plus Case-H at each threshold; marks the register/BRAM
+/// Pareto frontier.
+std::vector<DsePoint> explore(const DseRequest& request);
+
+}  // namespace smache::cost

@@ -1,0 +1,69 @@
+#include "cost/timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.hpp"
+
+namespace smache::cost {
+
+namespace {
+DesignTiming pick(std::initializer_list<std::pair<const char*, double>>
+                      paths) {
+  DesignTiming t;
+  for (const auto& [name, ns] : paths) {
+    if (ns > t.critical_path_ns) {
+      t.critical_path_ns = ns;
+      t.critical_path = name;
+    }
+  }
+  t.fmax_mhz = t.critical_path_ns > 0 ? 1000.0 / t.critical_path_ns : 0.0;
+  return t;
+}
+
+double log2d(std::size_t n) { return n <= 1 ? 0.0 : std::log2(double(n)); }
+}  // namespace
+
+double kernel_path_ns(std::size_t tuple_size, const TimingParams& p) {
+  // Adder tree of depth ceil(log2(n)) on the carry chains, then the
+  // divide-by-valid-count mux (shift for 2/4, small multiply-add for 3).
+  const double tree =
+      static_cast<double>(smache::ceil_log2(std::max<std::size_t>(
+          tuple_size, 1))) *
+      p.carry32_ns;
+  return p.ff_clk_to_q_ns + tree + p.mux_level_ns + p.ff_setup_ns;
+}
+
+DesignTiming estimate_baseline_timing(std::size_t tuple_size,
+                                      std::size_t case_count,
+                                      const TimingParams& p) {
+  const double kernel = kernel_path_ns(tuple_size, p);
+  // Address generation: cell counter add + wrap mux + small case decode.
+  const double addr = p.ff_clk_to_q_ns + p.carry32_ns + p.mux_level_ns +
+                      p.lut_level_ns * log2d(case_count) * 0.25 +
+                      p.ff_setup_ns;
+  return pick({{"kernel adder tree", kernel}, {"address generation", addr}});
+}
+
+DesignTiming estimate_smache_timing(const model::BufferPlan& plan,
+                                    const TimingParams& p) {
+  const double kernel = kernel_path_ns(plan.shape().size(), p);
+  // Gather path: row/col zone compares -> case-select mux over all cases ->
+  // validity masking -> stall gate, with the shift-enable net fanning out
+  // to every window register stage.
+  const std::size_t cases = plan.cases().case_count();
+  const double gather =
+      p.ff_clk_to_q_ns + 2.0 * p.zone_compare_ns +
+      static_cast<double>(smache::ceil_log2(cases)) * p.mux_level_ns +
+      p.lut_level_ns + p.stall_gate_ns +
+      p.fanout_ns_per_log2 * log2d(plan.reg_window_elems()) + p.ff_setup_ns;
+  // Static-buffer read: M20K output register through the source mux into
+  // the kernel input register.
+  const double bram = p.bram_clk_to_out_ns + 2.0 * p.mux_level_ns +
+                      p.ff_setup_ns;
+  return pick({{"kernel adder tree", kernel},
+               {"gather case mux", gather},
+               {"static buffer read", bram}});
+}
+
+}  // namespace smache::cost

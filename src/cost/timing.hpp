@@ -1,0 +1,52 @@
+// Analytic timing (Fmax) model.
+//
+// We cannot run Quartus here, so Figure 2's frequency row comes from a
+// structural critical-path estimate: each design contributes paths built
+// from documented per-primitive delays, and Fmax = 1000 / longest-path-ns.
+// The two free families of constants were calibrated ONCE against the two
+// synthesis points the paper reports for the 11x11 4-point problem
+// (baseline 372.9 MHz, Smache 235.3 MHz); everything else — how paths grow
+// with case count, tap count, window size — follows from structure. See
+// DESIGN.md §2 for why this substitution preserves the experiment.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "model/planner.hpp"
+
+namespace smache::cost {
+
+struct TimingParams {
+  double ff_clk_to_q_ns = 0.20;
+  double ff_setup_ns = 0.12;
+  double lut_level_ns = 0.40;    // one 6-LUT level incl. local routing
+  double carry32_ns = 0.95;      // 32-bit carry-chain add/compare
+  double mux_level_ns = 0.40;    // one 4:1 mux level
+  double zone_compare_ns = 0.50; // small counter-vs-bound compare
+  double stall_gate_ns = 0.60;   // valid/ready handshake gating
+  double fanout_ns_per_log2 = 0.08;  // shift-enable net, per log2(loads)
+  double bram_clk_to_out_ns = 1.30;  // M20K registered output
+};
+
+struct DesignTiming {
+  double critical_path_ns = 0.0;
+  double fmax_mhz = 0.0;
+  std::string critical_path;  // which path dominated (for reports)
+};
+
+/// The shared arithmetic kernel path: adder tree over the tuple followed by
+/// the divide/normalise mux.
+double kernel_path_ns(std::size_t tuple_size, const TimingParams& p);
+
+/// Baseline design: kernel path vs. address-generation path.
+DesignTiming estimate_baseline_timing(std::size_t tuple_size,
+                                      std::size_t case_count,
+                                      const TimingParams& p = {});
+
+/// Smache design: kernel path vs. gather path (case select + tap mux +
+/// handshake + shift-enable fanout) vs. BRAM output path.
+DesignTiming estimate_smache_timing(const model::BufferPlan& plan,
+                                    const TimingParams& p = {});
+
+}  // namespace smache::cost

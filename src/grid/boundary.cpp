@@ -1,0 +1,53 @@
+#include "grid/boundary.hpp"
+
+namespace smache::grid {
+
+const char* to_string(BoundaryKind kind) noexcept {
+  switch (kind) {
+    case BoundaryKind::Open: return "open";
+    case BoundaryKind::Periodic: return "periodic";
+    case BoundaryKind::Mirror: return "mirror";
+    case BoundaryKind::Constant: return "constant";
+  }
+  return "?";
+}
+
+AxisResolved resolve_axis(std::int64_t x, std::int64_t dx, std::size_t n,
+                          const AxisBoundary& b) noexcept {
+  const std::int64_t target = x + dx;
+  const auto extent = static_cast<std::int64_t>(n);
+  if (target >= 0 && target < extent)
+    return {AxisResolved::Kind::Coord, static_cast<std::size_t>(target)};
+  switch (b.kind) {
+    case BoundaryKind::Open:
+      return {AxisResolved::Kind::Missing, 0};
+    case BoundaryKind::Periodic:
+      return {AxisResolved::Kind::Coord,
+              static_cast<std::size_t>(smache::floor_mod(target, extent))};
+    case BoundaryKind::Mirror:
+      return {AxisResolved::Kind::Coord,
+              static_cast<std::size_t>(smache::mirror_index(target, extent))};
+    case BoundaryKind::Constant:
+      return {AxisResolved::Kind::Constant, 0};
+  }
+  return {AxisResolved::Kind::Missing, 0};
+}
+
+Resolved resolve(std::size_t r, std::size_t c, std::int64_t dr,
+                 std::int64_t dc, std::size_t height, std::size_t width,
+                 const BoundarySpec& bc) noexcept {
+  const AxisResolved rr = resolve_axis(static_cast<std::int64_t>(r), dr,
+                                       height, bc.rows);
+  const AxisResolved cc = resolve_axis(static_cast<std::int64_t>(c), dc,
+                                       width, bc.cols);
+  if (rr.kind == AxisResolved::Kind::Missing ||
+      cc.kind == AxisResolved::Kind::Missing)
+    return {Resolved::Kind::Missing, 0, 0, 0};
+  if (rr.kind == AxisResolved::Kind::Constant)
+    return {Resolved::Kind::Constant, 0, 0, bc.rows.constant};
+  if (cc.kind == AxisResolved::Kind::Constant)
+    return {Resolved::Kind::Constant, 0, 0, bc.cols.constant};
+  return {Resolved::Kind::Cell, rr.coord, cc.coord, 0};
+}
+
+}  // namespace smache::grid

@@ -1,0 +1,89 @@
+// Boundary conditions per grid axis and neighbour resolution.
+//
+// The paper's example uses circular (periodic) boundaries on the horizontal
+// edges (rows wrap vertically) and open boundaries on the vertical edges.
+// This module generalises to any per-axis combination of:
+//   Open     — the neighbour does not exist; the kernel sees an invalid
+//              tuple element;
+//   Periodic — wrap around (the circular boundary of the paper; offsets may
+//              reach across the whole grid);
+//   Mirror   — reflect about the edge cell (no repeated edge);
+//   Constant — a fixed value supplied by the problem (Dirichlet halo).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bits.hpp"
+#include "common/word.hpp"
+
+namespace smache::grid {
+
+enum class BoundaryKind : std::uint8_t { Open, Periodic, Mirror, Constant };
+
+const char* to_string(BoundaryKind kind) noexcept;
+
+struct AxisBoundary {
+  BoundaryKind kind = BoundaryKind::Open;
+  /// Halo value for Constant boundaries (raw word).
+  word_t constant = 0;
+
+  static AxisBoundary open() { return {BoundaryKind::Open, 0}; }
+  static AxisBoundary periodic() { return {BoundaryKind::Periodic, 0}; }
+  static AxisBoundary mirror() { return {BoundaryKind::Mirror, 0}; }
+  static AxisBoundary constant_halo(word_t v) {
+    return {BoundaryKind::Constant, v};
+  }
+
+  friend bool operator==(const AxisBoundary&, const AxisBoundary&) = default;
+};
+
+/// Boundary specification for a 2D grid: rows = vertical axis (top/bottom
+/// edges), cols = horizontal axis (left/right edges).
+struct BoundarySpec {
+  AxisBoundary rows;
+  AxisBoundary cols;
+
+  /// The paper's configuration: circular top/bottom, open left/right.
+  static BoundarySpec paper_example() {
+    return {AxisBoundary::periodic(), AxisBoundary::open()};
+  }
+  static BoundarySpec all_periodic() {
+    return {AxisBoundary::periodic(), AxisBoundary::periodic()};
+  }
+  static BoundarySpec all_open() {
+    return {AxisBoundary::open(), AxisBoundary::open()};
+  }
+  static BoundarySpec all_mirror() {
+    return {AxisBoundary::mirror(), AxisBoundary::mirror()};
+  }
+
+  friend bool operator==(const BoundarySpec&, const BoundarySpec&) = default;
+};
+
+/// Result of resolving one stencil offset from one cell: either a concrete
+/// in-grid cell, a constant halo value, or nothing (open boundary).
+struct Resolved {
+  enum class Kind : std::uint8_t { Cell, Constant, Missing } kind;
+  std::size_t r = 0, c = 0;  // valid when kind == Cell
+  word_t constant = 0;       // valid when kind == Constant
+};
+
+/// Resolve coordinate `x + dx` on an axis of extent `n` under `b`.
+/// Returns the folded coordinate, the constant marker, or nothing.
+struct AxisResolved {
+  enum class Kind : std::uint8_t { Coord, Constant, Missing } kind;
+  std::size_t coord = 0;
+};
+
+AxisResolved resolve_axis(std::int64_t x, std::int64_t dx, std::size_t n,
+                          const AxisBoundary& b) noexcept;
+
+/// Full 2D resolution. If either axis resolves to Constant the result is the
+/// Constant of that axis (row axis takes precedence when both are constant).
+Resolved resolve(std::size_t r, std::size_t c, std::int64_t dr,
+                 std::int64_t dc, std::size_t height, std::size_t width,
+                 const BoundarySpec& bc) noexcept;
+
+}  // namespace smache::grid

@@ -1,0 +1,87 @@
+// 2D grid container with row-major storage — the data the stencil pipeline
+// streams. Deliberately minimal: indexing, bounds checking, and conversion
+// to/from the raw word vectors the simulated DRAM holds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/word.hpp"
+
+namespace smache::grid {
+
+template <typename T>
+class Grid {
+ public:
+  Grid(std::size_t height, std::size_t width, T fill = T{})
+      : height_(height), width_(width), data_(height * width, fill) {
+    SMACHE_REQUIRE(height >= 1 && width >= 1);
+  }
+
+  std::size_t height() const noexcept { return height_; }
+  std::size_t width() const noexcept { return width_; }
+  std::size_t size() const noexcept { return data_.size(); }
+
+  T& at(std::size_t r, std::size_t c) {
+    SMACHE_REQUIRE(r < height_ && c < width_);
+    return data_[r * width_ + c];
+  }
+  const T& at(std::size_t r, std::size_t c) const {
+    SMACHE_REQUIRE(r < height_ && c < width_);
+    return data_[r * width_ + c];
+  }
+
+  T& operator[](std::size_t i) {
+    SMACHE_REQUIRE(i < data_.size());
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    SMACHE_REQUIRE(i < data_.size());
+    return data_[i];
+  }
+
+  std::size_t linear(std::size_t r, std::size_t c) const {
+    SMACHE_REQUIRE(r < height_ && c < width_);
+    return r * width_ + c;
+  }
+  std::size_t row_of(std::size_t i) const {
+    SMACHE_REQUIRE(i < data_.size());
+    return i / width_;
+  }
+  std::size_t col_of(std::size_t i) const {
+    SMACHE_REQUIRE(i < data_.size());
+    return i % width_;
+  }
+
+  const std::vector<T>& data() const noexcept { return data_; }
+  std::vector<T>& data() noexcept { return data_; }
+
+  /// Pack into raw datapath words (bit-cast per element).
+  std::vector<word_t> to_words() const {
+    std::vector<word_t> out(data_.size());
+    for (std::size_t i = 0; i < data_.size(); ++i) out[i] = to_word(data_[i]);
+    return out;
+  }
+
+  static Grid from_words(std::size_t height, std::size_t width,
+                         const std::vector<word_t>& words) {
+    SMACHE_REQUIRE(words.size() == height * width);
+    Grid g(height, width);
+    for (std::size_t i = 0; i < words.size(); ++i)
+      g.data_[i] = from_word<T>(words[i]);
+    return g;
+  }
+
+  bool operator==(const Grid& other) const {
+    return height_ == other.height_ && width_ == other.width_ &&
+           data_ == other.data_;
+  }
+
+ private:
+  std::size_t height_;
+  std::size_t width_;
+  std::vector<T> data_;
+};
+
+}  // namespace smache::grid

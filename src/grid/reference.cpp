@@ -1,0 +1,29 @@
+#include "grid/reference.hpp"
+
+namespace smache::grid {
+
+std::vector<TupleElem> gather_tuple(const Grid<word_t>& in,
+                                    const StencilShape& shape,
+                                    const BoundarySpec& bc, std::size_t r,
+                                    std::size_t c) {
+  std::vector<TupleElem> tuple;
+  tuple.reserve(shape.size());
+  for (const Offset2& o : shape.offsets()) {
+    const Resolved res =
+        resolve(r, c, o.dr, o.dc, in.height(), in.width(), bc);
+    switch (res.kind) {
+      case Resolved::Kind::Cell:
+        tuple.push_back(TupleElem{in.at(res.r, res.c), true});
+        break;
+      case Resolved::Kind::Constant:
+        tuple.push_back(TupleElem{res.constant, true});
+        break;
+      case Resolved::Kind::Missing:
+        tuple.push_back(TupleElem{0, false});
+        break;
+    }
+  }
+  return tuple;
+}
+
+}  // namespace smache::grid

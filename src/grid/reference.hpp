@@ -1,0 +1,47 @@
+// Golden software reference executor. This is the semantic oracle: the
+// simulated hardware must produce bit-identical grids. It performs the
+// naive gather per cell through boundary resolution and applies the same
+// kernel functor the hardware pipeline uses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/word.hpp"
+#include "grid/boundary.hpp"
+#include "grid/grid.hpp"
+#include "grid/stencil.hpp"
+
+namespace smache::grid {
+
+/// Gather the stencil tuple for cell (r, c). Elements keep the stencil's
+/// offset order; invalid elements (open boundary) carry valid = false.
+std::vector<TupleElem> gather_tuple(const Grid<word_t>& in,
+                                    const StencilShape& shape,
+                                    const BoundarySpec& bc, std::size_t r,
+                                    std::size_t c);
+
+/// Apply one stencil step: out(r,c) = kernel(tuple(r,c)). The kernel is any
+/// callable word_t(const std::vector<TupleElem>&).
+template <typename Kernel>
+Grid<word_t> apply_stencil(const Grid<word_t>& in, const StencilShape& shape,
+                           const BoundarySpec& bc, Kernel&& kernel) {
+  Grid<word_t> out(in.height(), in.width());
+  for (std::size_t r = 0; r < in.height(); ++r)
+    for (std::size_t c = 0; c < in.width(); ++c)
+      out.at(r, c) = kernel(gather_tuple(in, shape, bc, r, c));
+  return out;
+}
+
+/// Run `steps` work-instances (output of step k feeds step k+1), matching
+/// the hardware's ping-pong DRAM regions.
+template <typename Kernel>
+Grid<word_t> run_steps(Grid<word_t> state, const StencilShape& shape,
+                       const BoundarySpec& bc, Kernel&& kernel,
+                       std::size_t steps) {
+  for (std::size_t s = 0; s < steps; ++s)
+    state = apply_stencil(state, shape, bc, kernel);
+  return state;
+}
+
+}  // namespace smache::grid

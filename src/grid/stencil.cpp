@@ -1,0 +1,78 @@
+#include "grid/stencil.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace smache::grid {
+
+StencilShape::StencilShape(std::string name, std::vector<Offset2> offsets)
+    : name_(std::move(name)), offsets_(std::move(offsets)) {
+  SMACHE_REQUIRE_MSG(!offsets_.empty(), "a stencil needs at least one offset");
+  // Duplicate offsets would silently double-count in kernels.
+  for (std::size_t i = 0; i < offsets_.size(); ++i)
+    for (std::size_t j = i + 1; j < offsets_.size(); ++j)
+      SMACHE_REQUIRE_MSG(!(offsets_[i] == offsets_[j]),
+                         "duplicate stencil offset");
+  dr_min_ = dr_max_ = offsets_[0].dr;
+  dc_min_ = dc_max_ = offsets_[0].dc;
+  for (const auto& o : offsets_) {
+    dr_min_ = std::min(dr_min_, o.dr);
+    dr_max_ = std::max(dr_max_, o.dr);
+    dc_min_ = std::min(dc_min_, o.dc);
+    dc_max_ = std::max(dc_max_, o.dc);
+  }
+}
+
+std::int64_t StencilShape::reach(std::size_t w) const noexcept {
+  std::int64_t lo = 0, hi = 0;
+  bool first = true;
+  for (const auto& o : offsets_) {
+    const std::int64_t lin = o.dr * static_cast<std::int64_t>(w) + o.dc;
+    if (first) {
+      lo = hi = lin;
+      first = false;
+    } else {
+      lo = std::min(lo, lin);
+      hi = std::max(hi, lin);
+    }
+  }
+  return hi - lo;
+}
+
+bool StencilShape::contains(Offset2 o) const noexcept {
+  return std::find(offsets_.begin(), offsets_.end(), o) != offsets_.end();
+}
+
+StencilShape StencilShape::von_neumann4() {
+  return StencilShape("von_neumann4",
+                      {{-1, 0}, {0, -1}, {0, 1}, {1, 0}});
+}
+
+StencilShape StencilShape::plus5() {
+  return StencilShape("plus5", {{-1, 0}, {0, -1}, {0, 0}, {0, 1}, {1, 0}});
+}
+
+StencilShape StencilShape::moore9() {
+  std::vector<Offset2> o;
+  for (std::int64_t dr = -1; dr <= 1; ++dr)
+    for (std::int64_t dc = -1; dc <= 1; ++dc) o.push_back({dr, dc});
+  return StencilShape("moore9", std::move(o));
+}
+
+StencilShape StencilShape::cross(std::int64_t k) {
+  SMACHE_REQUIRE(k >= 1);
+  return StencilShape("cross" + std::to_string(k),
+                      {{-k, 0}, {0, -k}, {0, 0}, {0, k}, {k, 0}});
+}
+
+StencilShape StencilShape::upwind3() {
+  return StencilShape("upwind3", {{0, 0}, {0, -1}, {-1, 0}});
+}
+
+StencilShape StencilShape::custom(std::string name,
+                                  std::vector<Offset2> offsets) {
+  return StencilShape(std::move(name), std::move(offsets));
+}
+
+}  // namespace smache::grid

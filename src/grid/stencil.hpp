@@ -1,0 +1,69 @@
+// Stencil shapes: ordered sets of (row, column) offsets around a centre
+// cell. The order is significant — it defines the tuple layout handed to
+// the computation kernel, and must match between the reference executor and
+// the simulated hardware.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smache::grid {
+
+struct Offset2 {
+  std::int64_t dr = 0;
+  std::int64_t dc = 0;
+  friend bool operator==(const Offset2&, const Offset2&) = default;
+};
+
+/// One gathered stencil element: the raw word plus a validity flag (open
+/// boundaries produce invalid elements the kernel must ignore).
+struct TupleElem {
+  std::uint32_t value = 0;
+  bool valid = false;
+};
+
+class StencilShape {
+ public:
+  StencilShape(std::string name, std::vector<Offset2> offsets);
+
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<Offset2>& offsets() const noexcept { return offsets_; }
+  std::size_t size() const noexcept { return offsets_.size(); }
+
+  // Extents of the shape (inclusive bounds over the offsets).
+  std::int64_t dr_min() const noexcept { return dr_min_; }
+  std::int64_t dr_max() const noexcept { return dr_max_; }
+  std::int64_t dc_min() const noexcept { return dc_min_; }
+  std::int64_t dc_max() const noexcept { return dc_max_; }
+
+  /// Paper §II: the reach of the linearised tuple on a row-major grid of
+  /// row width `w` — max linear offset minus min linear offset.
+  std::int64_t reach(std::size_t w) const noexcept;
+
+  /// True if the shape contains the given offset.
+  bool contains(Offset2 o) const noexcept;
+
+  // ---- factories for common shapes ----
+  /// 4-point von Neumann cross WITHOUT the centre — the paper's example
+  /// (N, W, E, S order).
+  static StencilShape von_neumann4();
+  /// 5-point plus: centre + von Neumann.
+  static StencilShape plus5();
+  /// 9-point Moore neighbourhood including centre (row-major order).
+  static StencilShape moore9();
+  /// Long-range cross: {(-k,0),(0,-k),(0,0),(0,k),(k,0)}.
+  static StencilShape cross(std::int64_t k);
+  /// Asymmetric upwind shape used in advection examples:
+  /// {(0,0),(0,-1),(-1,0)}.
+  static StencilShape upwind3();
+  /// Arbitrary custom shape.
+  static StencilShape custom(std::string name, std::vector<Offset2> offsets);
+
+ private:
+  std::string name_;
+  std::vector<Offset2> offsets_;
+  std::int64_t dr_min_ = 0, dr_max_ = 0, dc_min_ = 0, dc_max_ = 0;
+};
+
+}  // namespace smache::grid

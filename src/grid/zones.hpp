@@ -1,0 +1,95 @@
+// Boundary-case enumeration (the paper's "nine different stencil cases",
+// generalised).
+//
+// Cells are classified per axis into zones: each row within the stencil's
+// upward reach of the top edge is its own zone (row 0, row 1, …), likewise
+// near the bottom edge, and everything else is the single Mid zone. The
+// same applies to columns. A cell's *case* is the (row zone, column zone)
+// pair; every cell in a case resolves all its stencil offsets identically,
+// which is what lets the hardware select gather sources with a small case
+// mux instead of per-cell address logic.
+//
+// For the paper's 4-point stencil on any grid this yields 3×3 = 9 cases:
+// 4 corners, 4 edges, 1 interior — exactly Figure 1(a).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grid/stencil.hpp"
+
+namespace smache::grid {
+
+/// Zone classification for one axis.
+class AxisZones {
+ public:
+  /// `lo_span` = number of individual zones hugging the low edge
+  /// (= max(0, -min_offset)); `hi_span` likewise for the high edge
+  /// (= max(0, max_offset)); `extent` = axis length.
+  AxisZones(std::size_t extent, std::int64_t min_offset,
+            std::int64_t max_offset);
+
+  std::size_t extent() const noexcept { return extent_; }
+  std::size_t lo_span() const noexcept { return lo_span_; }
+  std::size_t hi_span() const noexcept { return hi_span_; }
+
+  /// Total number of zones on this axis (lo_span + 1 + hi_span).
+  std::size_t count() const noexcept { return lo_span_ + 1 + hi_span_; }
+  /// Index of the Mid zone.
+  std::size_t mid() const noexcept { return lo_span_; }
+
+  /// Zone of coordinate x.
+  std::size_t zone_of(std::size_t x) const;
+
+  /// True if the zone pins the coordinate to one exact value.
+  bool is_exact(std::size_t zone) const;
+  /// The exact coordinate of a non-Mid zone.
+  std::size_t exact_coord(std::size_t zone) const;
+
+  /// A representative coordinate for any zone (centre of the axis for Mid).
+  std::size_t representative(std::size_t zone) const;
+
+  /// Number of cells falling in this zone.
+  std::size_t population(std::size_t zone) const;
+
+ private:
+  std::size_t extent_;
+  std::size_t lo_span_;
+  std::size_t hi_span_;
+};
+
+/// Combined 2D case map for a grid + stencil.
+class CaseMap {
+ public:
+  CaseMap(std::size_t height, std::size_t width, const StencilShape& shape);
+
+  const AxisZones& rows() const noexcept { return rows_; }
+  const AxisZones& cols() const noexcept { return cols_; }
+
+  /// Total number of cases (rows.count() * cols.count()).
+  std::size_t case_count() const noexcept {
+    return rows_.count() * cols_.count();
+  }
+
+  /// Case id of a cell.
+  std::size_t case_of(std::size_t r, std::size_t c) const {
+    return rows_.zone_of(r) * cols_.count() + cols_.zone_of(c);
+  }
+
+  std::size_t case_id(std::size_t zone_r, std::size_t zone_c) const;
+  std::size_t zone_r_of(std::size_t case_id) const;
+  std::size_t zone_c_of(std::size_t case_id) const;
+
+  /// Human-readable label, e.g. "row0/colMid" (for reports and tests).
+  std::string label(std::size_t case_id) const;
+
+  /// Number of cells in a case.
+  std::size_t population(std::size_t case_id) const;
+
+ private:
+  AxisZones rows_;
+  AxisZones cols_;
+};
+
+}  // namespace smache::grid

@@ -1,0 +1,103 @@
+#include "mem/dram.hpp"
+
+namespace smache::mem {
+
+DramModel::DramModel(sim::Simulator& sim, const std::string& path,
+                     std::size_t size_words, const DramConfig& config)
+    : config_(config),
+      store_(size_words, 0),
+      read_req_(sim, path + "/read_req", config.req_queue_depth),
+      read_data_(sim, path + "/read_data", config.data_queue_depth),
+      write_req_(sim, path + "/write_req", config.write_queue_depth) {
+  SMACHE_REQUIRE(size_words >= 1);
+  SMACHE_REQUIRE_MSG(config.read_latency >= 1,
+                     "read_latency must be >= 1 (transit stage count)");
+  sim.add_module(this);
+}
+
+void DramModel::charge_row(std::uint64_t addr) {
+  if (!row_model_on()) return;
+  const auto row = static_cast<std::int64_t>(row_of(addr));
+  if (row != open_row_) {
+    wait_issue_ += config_.row_miss_cycles;
+    open_row_ = row;
+    ++stats_.row_misses;
+  } else {
+    ++stats_.row_hits;
+  }
+}
+
+void DramModel::eval() {
+  // ---- write engine (posted, one per cycle) ----
+  bool wrote = false;
+  if (write_req_.can_pop()) {
+    const DramWriteReq w = write_req_.pop();
+    SMACHE_REQUIRE_MSG(w.addr < store_.size(),
+                       "DRAM write request out of range");
+    store_[w.addr] = w.data;
+    ++stats_.words_written;
+    wrote = true;
+  }
+
+  // ---- injected stall: freeze the read path this cycle ----
+  if (stall_left_ > 0) {
+    --stall_left_;
+    ++stats_.injected_stall_cycles;
+    return;
+  }
+
+  // ---- delivery stage: head of the transit line -> read_data ----
+  const bool line_full = transit_.size() >= config_.read_latency;
+  if (line_full && !transit_.empty() && transit_.front().has_value() &&
+      !read_data_.can_push()) {
+    // Back-pressure from the design: the whole read pipe holds.
+    return;
+  }
+  if (line_full && !transit_.empty()) {
+    if (transit_.front().has_value()) {
+      read_data_.push(*transit_.front());
+      ++stats_.words_read;
+      ++stats_.read_busy_cycles;
+      --inflight_words_;
+    }
+    transit_.pop_front();
+  }
+
+  // ---- issue stage: one word per cycle when the bus is free ----
+  std::optional<word_t> issued;
+  const bool bus_free = !config_.shared_bus || !wrote;
+  if (wait_issue_ > 0) {
+    --wait_issue_;
+  } else if (bus_free) {
+    if (burst_left_ == 0 && read_req_.can_pop()) {
+      const DramReadReq req = read_req_.pop();
+      SMACHE_REQUIRE_MSG(req.burst >= 1, "zero-length DRAM burst");
+      SMACHE_REQUIRE_MSG(req.addr + req.burst <= store_.size(),
+                         "DRAM read request out of range");
+      cur_addr_ = req.addr;
+      burst_left_ = req.burst;
+      ++stats_.read_requests;
+      charge_row(cur_addr_);
+    }
+    if (burst_left_ > 0 && wait_issue_ == 0) {
+      issued = store_[cur_addr_];
+      ++inflight_words_;
+      --burst_left_;
+      ++cur_addr_;
+      // Mid-burst row crossing charges an activation before the next word.
+      if (burst_left_ > 0 && row_model_on() &&
+          cur_addr_ % config_.row_words == 0) {
+        charge_row(cur_addr_);
+      }
+      // Failure injection: periodic stall bursts.
+      if (config_.stall_every != 0 &&
+          ++words_since_stall_ >= config_.stall_every) {
+        words_since_stall_ = 0;
+        stall_left_ = config_.stall_cycles;
+      }
+    }
+  }
+  transit_.push_back(issued);
+}
+
+}  // namespace smache::mem

@@ -1,0 +1,67 @@
+// Distributed-RAM / register-file primitive: combinational (same-cycle)
+// reads from any number of positions, one clocked write port. This is the
+// "registers" half of the paper's hybrid BRAM/register proposal — tap
+// positions that must all be visible in the same cycle live here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "sim/clocked.hpp"
+#include "sim/simulator.hpp"
+
+namespace smache::mem {
+
+class RegFile : public sim::Clocked {
+ public:
+  RegFile(sim::Simulator& sim, std::string path, std::size_t depth,
+          std::uint32_t width_bits)
+      : depth_(depth), width_bits_(width_bits), store_(depth, 0) {
+    SMACHE_REQUIRE(depth >= 1);
+    SMACHE_REQUIRE(width_bits >= 1 && width_bits <= 64);
+    sim.register_clocked(this);
+    sim.ledger().add(std::move(path), sim::ResKind::RegisterBits,
+                     static_cast<std::uint64_t>(depth) * width_bits);
+  }
+
+  std::size_t depth() const noexcept { return depth_; }
+
+  /// Combinational read of committed state — any number per cycle
+  /// (registers have unlimited read fan-out).
+  std::uint64_t read(std::size_t addr) const {
+    SMACHE_REQUIRE(addr < depth_);
+    return store_[addr];
+  }
+
+  /// Clocked write (multiple per cycle allowed: each storage word is an
+  /// independent register with its own enable).
+  void write(std::size_t addr, std::uint64_t value) {
+    SMACHE_REQUIRE(addr < depth_);
+    writes_.push_back({addr, value & mask()});
+  }
+
+  void commit() override {
+    for (const auto& w : writes_) store_[w.addr] = w.value;
+    writes_.clear();
+  }
+
+ private:
+  std::uint64_t mask() const noexcept {
+    return width_bits_ >= 64 ? ~std::uint64_t{0}
+                             : ((std::uint64_t{1} << width_bits_) - 1);
+  }
+
+  struct Write {
+    std::size_t addr;
+    std::uint64_t value;
+  };
+
+  std::size_t depth_;
+  std::uint32_t width_bits_;
+  std::vector<std::uint64_t> store_;
+  std::vector<Write> writes_;
+};
+
+}  // namespace smache::mem

@@ -1,0 +1,173 @@
+#include "model/algorithm1.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace smache::model {
+
+namespace {
+
+std::uint64_t reach_of(const std::vector<std::int64_t>& sorted) {
+  if (sorted.empty()) return 0;
+  return static_cast<std::uint64_t>(sorted.back() - sorted.front());
+}
+
+RangeSplit make_split(std::vector<std::int64_t> kept,
+                      std::vector<std::int64_t> moved,
+                      std::uint64_t range_len) {
+  std::sort(kept.begin(), kept.end());
+  std::sort(moved.begin(), moved.end());
+  RangeSplit s;
+  s.stream_reach = reach_of(kept);
+  s.static_elems = moved.size() * range_len;
+  s.stream_offsets = std::move(kept);
+  s.static_offsets = std::move(moved);
+  return s;
+}
+
+RangeSplit paper_prefix(const RangeSpec& range) {
+  // Sort by |offset| descending: the farthest elements are moved to static
+  // buffers first, exactly matching the trade the paper's loop explores
+  // (static_i = i * R_j after moving i elements).
+  std::vector<std::int64_t> by_distance = range.tuple.offsets;
+  std::stable_sort(by_distance.begin(), by_distance.end(),
+                   [](std::int64_t a, std::int64_t b) {
+                     const auto aa = a < 0 ? -a : a;
+                     const auto bb = b < 0 ? -b : b;
+                     return aa > bb;
+                   });
+  const std::size_t n = by_distance.size();
+  std::uint64_t best_total = std::numeric_limits<std::uint64_t>::max();
+  std::size_t best_i = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Move the i farthest offsets to static buffers; keep the rest.
+    std::vector<std::int64_t> kept(by_distance.begin() +
+                                       static_cast<std::ptrdiff_t>(i),
+                                   by_distance.end());
+    std::sort(kept.begin(), kept.end());
+    const std::uint64_t total = reach_of(kept) + i * range.length;
+    if (total < best_total) {
+      best_total = total;
+      best_i = i;
+    }
+  }
+  std::vector<std::int64_t> moved(
+      by_distance.begin(),
+      by_distance.begin() + static_cast<std::ptrdiff_t>(best_i));
+  std::vector<std::int64_t> kept(
+      by_distance.begin() + static_cast<std::ptrdiff_t>(best_i),
+      by_distance.end());
+  return make_split(std::move(kept), std::move(moved), range.length);
+}
+
+RangeSplit optimal_interval(const RangeSpec& range) {
+  std::vector<std::int64_t> sorted = range.tuple.offsets;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  std::uint64_t best_total = std::numeric_limits<std::uint64_t>::max();
+  std::size_t best_a = 0, best_b = 0;
+  bool best_empty = true;
+  // Empty kept-set: everything static, reach 0.
+  best_total = n * range.length;
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a; b < n; ++b) {
+      const std::uint64_t reach =
+          static_cast<std::uint64_t>(sorted[b] - sorted[a]);
+      const std::uint64_t moved = n - (b - a + 1);
+      const std::uint64_t total = reach + moved * range.length;
+      // Strict < keeps the smallest interval on ties, preferring more
+      // static buffering only when it genuinely wins.
+      if (total < best_total) {
+        best_total = total;
+        best_a = a;
+        best_b = b;
+        best_empty = false;
+      }
+    }
+  }
+  std::vector<std::int64_t> kept, moved;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!best_empty && i >= best_a && i <= best_b)
+      kept.push_back(sorted[i]);
+    else
+      moved.push_back(sorted[i]);
+  }
+  return make_split(std::move(kept), std::move(moved), range.length);
+}
+
+}  // namespace
+
+RangeSplit calc_opt_sz(const RangeSpec& range, Algo1Mode mode) {
+  SMACHE_REQUIRE(!range.tuple.offsets.empty());
+  SMACHE_REQUIRE(range.length >= 1);
+  return mode == Algo1Mode::PaperPrefix ? paper_prefix(range)
+                                        : optimal_interval(range);
+}
+
+RangeSplit exhaustive_best_split(const RangeSpec& range) {
+  const auto& offs = range.tuple.offsets;
+  const std::size_t n = offs.size();
+  SMACHE_REQUIRE_MSG(n <= 20, "exhaustive oracle limited to 20 offsets");
+  std::uint64_t best_total = std::numeric_limits<std::uint64_t>::max();
+  std::uint32_t best_mask = 0;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::int64_t lo = 0, hi = 0;
+    bool any = false;
+    std::uint64_t moved = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        if (!any) {
+          lo = hi = offs[i];
+          any = true;
+        } else {
+          lo = std::min(lo, offs[i]);
+          hi = std::max(hi, offs[i]);
+        }
+      } else {
+        ++moved;
+      }
+    }
+    const std::uint64_t reach = any ? static_cast<std::uint64_t>(hi - lo) : 0;
+    const std::uint64_t total = reach + moved * range.length;
+    if (total < best_total) {
+      best_total = total;
+      best_mask = mask;
+    }
+  }
+  std::vector<std::int64_t> kept, moved_v;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (best_mask & (1u << i)) kept.push_back(offs[i]);
+    else moved_v.push_back(offs[i]);
+  }
+  return [&] {
+    std::sort(kept.begin(), kept.end());
+    std::sort(moved_v.begin(), moved_v.end());
+    RangeSplit s;
+    s.stream_reach = kept.empty()
+                         ? 0
+                         : static_cast<std::uint64_t>(kept.back() -
+                                                      kept.front());
+    s.static_elems = moved_v.size() * range.length;
+    s.stream_offsets = std::move(kept);
+    s.static_offsets = std::move(moved_v);
+    return s;
+  }();
+}
+
+BufferSizes optimal_buffer_sizes(const std::vector<RangeSpec>& ranges,
+                                 Algo1Mode mode) {
+  SMACHE_REQUIRE(!ranges.empty());
+  BufferSizes out;
+  for (const auto& r : ranges) {
+    RangeSplit s = calc_opt_sz(r, mode);
+    out.stream_buffer_reach =
+        std::max(out.stream_buffer_reach, s.stream_reach);
+    out.static_total_elems += s.static_elems;
+    out.per_range.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace smache::model

@@ -1,0 +1,67 @@
+// Algorithm 1 of the paper: optimal buffer size calculation.
+//
+// For each range j with tuple t_j of n_j offsets and length R_j, decide how
+// many tuple elements stay in the stream (window) buffer and how many move
+// to static buffers. The objective per range is
+//
+//     total_i = stream_i + static_i
+//   = reach(kept offsets) + (#moved offsets) * R_j
+//
+// and across ranges the footprint is max_j(stream_j) + sum_j(static_j),
+// because a single stream buffer (the one with the largest reach) serves
+// every range.
+//
+// Two variants are provided:
+//  * PaperPrefix — the literal reading of the paper's pseudocode: offsets
+//    sorted by |offset| descending are moved to static buffers one at a
+//    time (static_i = i * R_j), the remaining nearest offsets stay in the
+//    stream (stream_i = their reach);
+//  * OptimalInterval — observes that an optimal kept-set is always a
+//    contiguous value-interval of the sorted offsets (moving anything
+//    strictly inside the interval to static cannot reduce the reach but
+//    costs R_j), and enumerates all intervals. This is provably optimal
+//    over all subsets; tests verify it against exhaustive enumeration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/stream_model.hpp"
+
+namespace smache::model {
+
+enum class Algo1Mode { PaperPrefix, OptimalInterval };
+
+/// The split decision for one range.
+struct RangeSplit {
+  std::vector<std::int64_t> stream_offsets;  // kept in the window (sorted)
+  std::vector<std::int64_t> static_offsets;  // moved to static buffers
+  /// reach of the kept set (0 when empty — the stream still passes through).
+  std::uint64_t stream_reach = 0;
+  /// total static elements: |static_offsets| * R_j.
+  std::uint64_t static_elems = 0;
+
+  std::uint64_t total() const noexcept { return stream_reach + static_elems; }
+};
+
+/// Paper's calc_opt_sz for one range.
+RangeSplit calc_opt_sz(const RangeSpec& range, Algo1Mode mode);
+
+/// Exhaustive oracle (2^n subsets) for validation; n must be <= 20.
+RangeSplit exhaustive_best_split(const RangeSpec& range);
+
+/// The outer loop of Algorithm 1 over all ranges.
+struct BufferSizes {
+  std::vector<RangeSplit> per_range;
+  std::uint64_t stream_buffer_reach = 0;  // max_j stream_reach
+  std::uint64_t static_total_elems = 0;   // sum_j static_elems
+  /// tot = max_j(stream) + sum_j(static) — the paper's objective.
+  std::uint64_t total() const noexcept {
+    return stream_buffer_reach + static_total_elems;
+  }
+};
+
+BufferSizes optimal_buffer_sizes(const std::vector<RangeSpec>& ranges,
+                                 Algo1Mode mode);
+
+}  // namespace smache::model

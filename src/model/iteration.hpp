@@ -1,0 +1,72 @@
+// Iteration patterns — the paper's p_i / p_o: an ordered subset of a
+// permutation of 0..N-1 describing how a computation walks memory. Streams
+// are accesses through a pattern: s[i] = m[p(i)].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace smache::model {
+
+class IterationPattern {
+ public:
+  /// Identity pattern 0..n-1 (contiguous streaming — the pattern Smache is
+  /// designed to preserve).
+  static IterationPattern contiguous(std::uint64_t n) {
+    IterationPattern p;
+    p.kind_ = Kind::Affine;
+    p.start_ = 0;
+    p.stride_ = 1;
+    p.count_ = n;
+    return p;
+  }
+
+  /// Affine pattern start, start+stride, ... (stride >= 1).
+  static IterationPattern strided(std::uint64_t start, std::uint64_t stride,
+                                  std::uint64_t count) {
+    SMACHE_REQUIRE(stride >= 1);
+    IterationPattern p;
+    p.kind_ = Kind::Affine;
+    p.start_ = start;
+    p.stride_ = stride;
+    p.count_ = count;
+    return p;
+  }
+
+  /// Arbitrary explicit pattern (general ordered subset of a permutation).
+  static IterationPattern permutation(std::vector<std::uint64_t> indices) {
+    IterationPattern p;
+    p.kind_ = Kind::Explicit;
+    p.count_ = indices.size();
+    p.indices_ = std::move(indices);
+    return p;
+  }
+
+  std::uint64_t size() const noexcept { return count_; }
+
+  /// p(i): the memory index touched at stream position i.
+  std::uint64_t at(std::uint64_t i) const {
+    SMACHE_REQUIRE(i < count_);
+    return kind_ == Kind::Affine ? start_ + stride_ * i : indices_[i];
+  }
+
+  bool is_contiguous() const noexcept {
+    return kind_ == Kind::Affine && stride_ == 1;
+  }
+  bool is_affine() const noexcept { return kind_ == Kind::Affine; }
+  std::uint64_t stride() const noexcept {
+    return kind_ == Kind::Affine ? stride_ : 0;
+  }
+
+ private:
+  enum class Kind { Affine, Explicit };
+  Kind kind_ = Kind::Affine;
+  std::uint64_t start_ = 0;
+  std::uint64_t stride_ = 1;
+  std::uint64_t count_ = 0;
+  std::vector<std::uint64_t> indices_;
+};
+
+}  // namespace smache::model

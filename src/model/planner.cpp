@@ -1,0 +1,305 @@
+#include "model/planner.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace smache::model {
+
+const char* to_string(StreamImpl impl) noexcept {
+  return impl == StreamImpl::RegisterOnly ? "register-only (Case-R)"
+                                          : "hybrid (Case-H)";
+}
+
+BufferPlan::BufferPlan(std::size_t height, std::size_t width,
+                       grid::StencilShape shape, grid::BoundarySpec bc)
+    : height_(height),
+      width_(width),
+      shape_(std::move(shape)),
+      bc_(bc),
+      cases_(height, width, shape_) {}
+
+const std::vector<GatherSource>& BufferPlan::gather(
+    std::size_t case_id) const {
+  SMACHE_REQUIRE(case_id < gather_.size());
+  return gather_[case_id];
+}
+
+std::size_t BufferPlan::bram_window_elems() const noexcept {
+  std::size_t n = 0;
+  for (const auto& s : fifo_segments_) n += s.bram_len;
+  return n;
+}
+
+bool BufferPlan::needs_warmup() const noexcept {
+  for (const auto& b : static_buffers_)
+    if (b.write_through) return true;
+  return false;
+}
+
+std::string BufferPlan::describe() const {
+  std::ostringstream out;
+  out << "BufferPlan " << height_ << "x" << width_ << " stencil="
+      << shape_.name() << " rows=" << grid::to_string(bc_.rows.kind)
+      << " cols=" << grid::to_string(bc_.cols.kind) << "\n";
+  out << "  stream impl: " << to_string(stream_impl_) << "\n";
+  out << "  window: " << window_len_ << " elements (centre age "
+      << center_age_ << "), " << reg_ages_.size() << " in registers, "
+      << bram_window_elems() << " in BRAM across " << fifo_segments_.size()
+      << " FIFO segment(s)\n";
+  out << "  taps at ages:";
+  for (auto a : tap_ages_) out << ' ' << a;
+  out << "\n  static buffers: " << static_buffers_.size() << "\n";
+  for (const auto& b : static_buffers_)
+    out << "    " << b.name << " holds grid row " << b.grid_row << " ("
+        << b.length << " elems, x" << b.replicas << " replica(s), "
+        << (b.write_through ? "write-through" : "prefetch") << ")\n";
+  out << "  cases: " << cases_.case_count() << "\n";
+  return out.str();
+}
+
+namespace {
+
+/// Intermediate resolution for one (case, offset): what resolve() said,
+/// plus the linear stream distance for Cell targets and whether the target
+/// row is pinned to an exact value (required for static buffering).
+struct Entry {
+  grid::Resolved resolved;
+  std::int64_t d = 0;       // (rr - r*) * W + (cc - c*) for Cell kind
+  bool row_exact = false;   // target row known exactly for this case
+  std::size_t target_row = 0;
+  // decision:
+  bool use_static = false;
+};
+
+}  // namespace
+
+BufferPlan Planner::plan(std::size_t height, std::size_t width,
+                         const grid::StencilShape& shape,
+                         const grid::BoundarySpec& bc) const {
+  SMACHE_REQUIRE_MSG(opts_.bram_segment_threshold >= 3,
+                     "bram_segment_threshold must be >= 3 so every BRAM "
+                     "FIFO is deep enough for its pointer discipline");
+  BufferPlan plan(height, width, shape, bc);
+  plan.stream_impl_ = opts_.stream_impl;
+
+  const auto& cases = plan.cases();
+  const auto W = static_cast<std::int64_t>(width);
+  const std::size_t n_cases = cases.case_count();
+  const std::size_t n_off = shape.size();
+
+  // ---- Pass 1: resolve every (case, offset) pair ----
+  std::vector<std::vector<Entry>> entries(n_cases,
+                                          std::vector<Entry>(n_off));
+  for (std::size_t zr = 0; zr < cases.rows().count(); ++zr) {
+    for (std::size_t zc = 0; zc < cases.cols().count(); ++zc) {
+      const std::size_t id = cases.case_id(zr, zc);
+      const std::size_t r_rep = cases.rows().representative(zr);
+      const std::size_t c_rep = cases.cols().representative(zc);
+      for (std::size_t j = 0; j < n_off; ++j) {
+        const grid::Offset2 o = shape.offsets()[j];
+        Entry& e = entries[id][j];
+        e.resolved = grid::resolve(r_rep, c_rep, o.dr, o.dc, height, width,
+                                   bc);
+        if (e.resolved.kind == grid::Resolved::Kind::Cell) {
+          e.d = (static_cast<std::int64_t>(e.resolved.r) -
+                 static_cast<std::int64_t>(r_rep)) *
+                    W +
+                (static_cast<std::int64_t>(e.resolved.c) -
+                 static_cast<std::int64_t>(c_rep));
+          // The target row is exact when the cell's own row is exact (non
+          // Mid zone); Mid zones never wrap by zone construction, so their
+          // targets are relative.
+          e.row_exact = cases.rows().is_exact(zr);
+          e.target_row = e.resolved.r;
+        }
+      }
+    }
+  }
+
+  // ---- Pass 2: base window span from the all-Mid case ----
+  // The span always includes 0 (the pass-through position), which also
+  // guarantees a well-formed window for pure-future or pure-past shapes.
+  const std::size_t mid_case =
+      cases.case_id(cases.rows().mid(), cases.cols().mid());
+  std::int64_t d_lo = 0, d_hi = 0;
+  for (std::size_t j = 0; j < n_off; ++j) {
+    const Entry& e = entries[mid_case][j];
+    if (e.resolved.kind != grid::Resolved::Kind::Cell) continue;
+    d_lo = std::min(d_lo, e.d);
+    d_hi = std::max(d_hi, e.d);
+  }
+
+  // ---- Pass 3: window-vs-static decision for out-of-span targets ----
+  // Algorithm 1 objective applied greedily, nearest distance first: extend
+  // the window iff the extra window elements cost less than a new
+  // double-buffered static row bank (reusing an existing bank is free).
+  struct Far {
+    std::size_t case_id, off;
+    std::int64_t d;
+  };
+  std::vector<Far> far;
+  for (std::size_t id = 0; id < n_cases; ++id)
+    for (std::size_t j = 0; j < n_off; ++j) {
+      const Entry& e = entries[id][j];
+      if (e.resolved.kind == grid::Resolved::Kind::Cell &&
+          (e.d < d_lo || e.d > d_hi))
+        far.push_back(Far{id, j, e.d});
+    }
+  // Total order (ties broken on case/offset) so plans — and therefore
+  // bank numbering and generated Verilog — are identical on every
+  // platform.
+  std::sort(far.begin(), far.end(), [](const Far& a, const Far& b) {
+    const auto aa = a.d < 0 ? -a.d : a.d;
+    const auto bb = b.d < 0 ? -b.d : b.d;
+    if (aa != bb) return aa < bb;
+    if (a.case_id != b.case_id) return a.case_id < b.case_id;
+    return a.off < b.off;
+  });
+
+  std::map<std::size_t, std::size_t> bank_of_row;  // grid row -> bank index
+  for (const Far& f : far) {
+    Entry& e = entries[f.case_id][f.off];
+    if (e.d >= d_lo && e.d <= d_hi) continue;  // earlier extension covered it
+    const std::uint64_t extend_cost =
+        static_cast<std::uint64_t>(std::max<std::int64_t>(0, e.d - d_hi)) +
+        static_cast<std::uint64_t>(std::max<std::int64_t>(0, d_lo - e.d));
+    if (e.row_exact) {
+      const bool bank_exists = bank_of_row.count(e.target_row) != 0;
+      const std::uint64_t static_cost = bank_exists ? 0 : 2 * width;
+      if (static_cost < extend_cost) {
+        e.use_static = true;
+        if (!bank_exists) {
+          const std::size_t idx = bank_of_row.size();
+          bank_of_row.emplace(e.target_row, idx);
+        }
+        continue;
+      }
+    }
+    // Extend the window (ties also land here: fewer moving parts).
+    d_lo = std::min(d_lo, e.d);
+    d_hi = std::max(d_hi, e.d);
+  }
+
+  // ---- Pass 4: window geometry ----
+  // Ages: 1 = entry register (newest). The element for output index i sits
+  // at center_age when the tap for the farthest future distance d_hi sits
+  // at age 2 (one stage after entry). Oldest needed tap age + 1 exit stage.
+  plan.center_age_ = static_cast<std::size_t>(d_hi + 2);
+  plan.window_len_ = static_cast<std::size_t>(d_hi - d_lo + 3);
+
+  // ---- Pass 5: static buffer list & gather table ----
+  std::vector<StaticBufferSpec> banks(bank_of_row.size());
+  for (const auto& [row, idx] : bank_of_row) {
+    StaticBufferSpec b;
+    b.grid_row = row;
+    b.length = width;
+    b.replicas = 1;
+    b.write_through = true;
+    b.name = "row" + std::to_string(row);
+    banks[idx] = std::move(b);
+  }
+
+  plan.gather_.assign(n_cases, std::vector<GatherSource>(n_off));
+  for (std::size_t zr = 0; zr < cases.rows().count(); ++zr) {
+    for (std::size_t zc = 0; zc < cases.cols().count(); ++zc) {
+      const std::size_t id = cases.case_id(zr, zc);
+      const std::size_t c_rep = cases.cols().representative(zc);
+      std::map<std::size_t, std::size_t> reads_per_bank;
+      for (std::size_t j = 0; j < n_off; ++j) {
+        const Entry& e = entries[id][j];
+        GatherSource& g = plan.gather_[id][j];
+        switch (e.resolved.kind) {
+          case grid::Resolved::Kind::Missing:
+            g.kind = SourceKind::Skip;
+            break;
+          case grid::Resolved::Kind::Constant:
+            g.kind = SourceKind::Constant;
+            g.constant = e.resolved.constant;
+            break;
+          case grid::Resolved::Kind::Cell:
+            if (e.use_static) {
+              const std::size_t bank = bank_of_row.at(e.target_row);
+              g.kind = SourceKind::Static;
+              g.static_index = static_cast<std::uint32_t>(bank);
+              g.col_shift = static_cast<std::int64_t>(e.resolved.c) -
+                            static_cast<std::int64_t>(c_rep);
+              const std::size_t replica = reads_per_bank[bank]++;
+              g.replica = static_cast<std::uint32_t>(replica);
+              banks[bank].replicas =
+                  std::max(banks[bank].replicas, replica + 1);
+            } else {
+              g.kind = SourceKind::Window;
+              const std::int64_t age =
+                  static_cast<std::int64_t>(plan.center_age_) - e.d;
+              SMACHE_ASSERT(age >= 2 &&
+                            age <= static_cast<std::int64_t>(
+                                       plan.window_len_) -
+                                       1);
+              g.window_age = static_cast<std::uint32_t>(age);
+            }
+            break;
+        }
+      }
+    }
+  }
+  plan.static_buffers_ = std::move(banks);
+
+  // ---- Pass 6: tap ages and register/BRAM layout ----
+  std::vector<std::size_t> taps;
+  for (const auto& row : plan.gather_)
+    for (const auto& g : row)
+      if (g.kind == SourceKind::Window) taps.push_back(g.window_age);
+  std::sort(taps.begin(), taps.end());
+  taps.erase(std::unique(taps.begin(), taps.end()), taps.end());
+  plan.tap_ages_ = taps;
+
+  std::vector<std::size_t> regs;
+  std::vector<FifoSegment> segments;
+  if (opts_.stream_impl == StreamImpl::RegisterOnly) {
+    regs.resize(plan.window_len_);
+    for (std::size_t a = 1; a <= plan.window_len_; ++a) regs[a - 1] = a;
+  } else {
+    std::vector<std::size_t> anchors = taps;
+    anchors.push_back(1);
+    anchors.push_back(plan.window_len_);
+    std::sort(anchors.begin(), anchors.end());
+    anchors.erase(std::unique(anchors.begin(), anchors.end()),
+                  anchors.end());
+    regs = anchors;
+    for (std::size_t k = 0; k + 1 < anchors.size(); ++k) {
+      const std::size_t p = anchors[k], q = anchors[k + 1];
+      const std::size_t gap = q - p - 1;
+      if (gap == 0) continue;
+      if (gap <= opts_.bram_segment_threshold) {
+        for (std::size_t a = p + 1; a < q; ++a) regs.push_back(a);
+      } else {
+        segments.push_back(FifoSegment{p + 1, gap - 2, q - 1});
+        regs.push_back(p + 1);
+        regs.push_back(q - 1);
+      }
+    }
+    std::sort(regs.begin(), regs.end());
+    regs.erase(std::unique(regs.begin(), regs.end()), regs.end());
+  }
+  plan.reg_ages_ = std::move(regs);
+  plan.fifo_segments_ = std::move(segments);
+
+  // ---- Pass 7: feasibility ----
+  if (opts_.onchip_budget_bits) {
+    std::uint64_t static_elems = 0;
+    for (const auto& b : plan.static_buffers_)
+      static_elems += 2ull * b.length * b.replicas;
+    const std::uint64_t bits =
+        32ull * (plan.reg_window_elems() + plan.bram_window_elems() +
+                 static_elems);
+    SMACHE_REQUIRE_MSG(bits <= *opts_.onchip_budget_bits,
+                       "planned buffers exceed the on-chip budget: " +
+                           std::to_string(bits) + " bits needed");
+  }
+  return plan;
+}
+
+}  // namespace smache::model

@@ -1,0 +1,154 @@
+// The Planner turns a stencil problem into a concrete buffer architecture
+// (BufferPlan): the window geometry (register/BRAM layout and tap
+// positions), the set of static buffers, and the per-case gather table that
+// tells the hardware where every tuple element comes from.
+//
+// This is the paper's "two-layer architecture customization" (§III): the
+// *number and identity of static buffers* comes from static analysis
+// (layer 1), and the remaining parameters (taps, shifts, constants) are
+// configuration (layer 2). The window/static trade is decided with the
+// Algorithm 1 objective: a far element joins the window only if extending
+// the window span costs fewer on-chip elements than a (double-buffered)
+// static row buffer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/word.hpp"
+#include "grid/boundary.hpp"
+#include "grid/stencil.hpp"
+#include "grid/zones.hpp"
+
+namespace smache::model {
+
+/// Stream-buffer implementation style (the paper's Case-R / Case-H).
+enum class StreamImpl { RegisterOnly, Hybrid };
+
+const char* to_string(StreamImpl impl) noexcept;
+
+struct PlannerOptions {
+  StreamImpl stream_impl = StreamImpl::Hybrid;
+  /// Minimum interior gap between register positions that is worth a BRAM
+  /// FIFO segment; smaller gaps stay in registers. 4 reproduces the
+  /// microarchitecture the paper synthesised (see DESIGN.md §5).
+  std::size_t bram_segment_threshold = 4;
+  /// Optional feasibility check: total planned on-chip bits must fit.
+  std::optional<std::uint64_t> onchip_budget_bits;
+};
+
+/// A static buffer: one on-chip bank per far grid row, double-buffered.
+struct StaticBufferSpec {
+  std::string name;       // e.g. "rowT0", "rowB10"
+  std::size_t grid_row;   // input-grid row held by the active copy
+  std::size_t length;     // elements (= grid width)
+  std::size_t replicas;   // read-port replication (>= 1)
+  /// True: maintained by FSM-3 write-through from the kernel output (and
+  /// filled once by the FSM-1 warm-up). False: re-prefetched by FSM-1
+  /// every work-instance.
+  bool write_through = true;
+};
+
+/// Where one (case, tuple-element) pair is gathered from.
+enum class SourceKind : std::uint8_t { Window, Static, Constant, Skip };
+
+struct GatherSource {
+  SourceKind kind = SourceKind::Skip;
+  /// Window: the tap's age (1 = newest register stage).
+  std::uint32_t window_age = 0;
+  /// Static: buffer index, replica to read, and the column shift such that
+  /// element index = cell_col + col_shift (always lands in [0, width)).
+  std::uint32_t static_index = 0;
+  std::uint32_t replica = 0;
+  std::int64_t col_shift = 0;
+  /// Constant: halo value.
+  word_t constant = 0;
+};
+
+/// A BRAM FIFO segment of the hybrid window: values flow
+/// reg(in_stage_age) -> BRAM(bram_len elements) -> reg(out_stage_age).
+struct FifoSegment {
+  std::size_t in_stage_age = 0;
+  std::size_t bram_len = 0;
+  std::size_t out_stage_age = 0;
+};
+
+class BufferPlan {
+ public:
+  BufferPlan(std::size_t height, std::size_t width,
+             grid::StencilShape shape, grid::BoundarySpec bc);
+
+  std::size_t height() const noexcept { return height_; }
+  std::size_t width() const noexcept { return width_; }
+  const grid::StencilShape& shape() const noexcept { return shape_; }
+  const grid::BoundarySpec& bc() const noexcept { return bc_; }
+  const grid::CaseMap& cases() const noexcept { return cases_; }
+  StreamImpl stream_impl() const noexcept { return stream_impl_; }
+
+  /// Window geometry. Ages run 1 (newest) .. window_len (oldest); the
+  /// element at `center_age` is the cell currently being produced.
+  std::size_t window_len() const noexcept { return window_len_; }
+  std::size_t center_age() const noexcept { return center_age_; }
+  const std::vector<std::size_t>& reg_ages() const noexcept {
+    return reg_ages_;
+  }
+  const std::vector<FifoSegment>& fifo_segments() const noexcept {
+    return fifo_segments_;
+  }
+  const std::vector<std::size_t>& tap_ages() const noexcept {
+    return tap_ages_;
+  }
+
+  const std::vector<StaticBufferSpec>& static_buffers() const noexcept {
+    return static_buffers_;
+  }
+
+  /// gather(case_id) -> one GatherSource per stencil offset, in order.
+  const std::vector<GatherSource>& gather(std::size_t case_id) const;
+
+  // Derived counts used by the cost model.
+  std::size_t reg_window_elems() const noexcept { return reg_ages_.size(); }
+  std::size_t bram_window_elems() const noexcept;
+  std::size_t num_taps() const noexcept { return tap_ages_.size(); }
+  bool needs_warmup() const noexcept;
+
+  /// Pretty multi-line description for reports/examples.
+  std::string describe() const;
+
+ private:
+  friend class Planner;
+
+  std::size_t height_;
+  std::size_t width_;
+  grid::StencilShape shape_;
+  grid::BoundarySpec bc_;
+  grid::CaseMap cases_;
+  StreamImpl stream_impl_ = StreamImpl::Hybrid;
+
+  std::size_t window_len_ = 0;
+  std::size_t center_age_ = 0;
+  std::vector<std::size_t> reg_ages_;
+  std::vector<FifoSegment> fifo_segments_;
+  std::vector<std::size_t> tap_ages_;
+  std::vector<StaticBufferSpec> static_buffers_;
+  std::vector<std::vector<GatherSource>> gather_;
+};
+
+class Planner {
+ public:
+  explicit Planner(PlannerOptions opts = {}) : opts_(opts) {}
+
+  /// Derive the buffer architecture for a problem. Throws contract_error
+  /// with a descriptive message when the problem is infeasible (grid too
+  /// small for the stencil, or over the on-chip budget).
+  BufferPlan plan(std::size_t height, std::size_t width,
+                  const grid::StencilShape& shape,
+                  const grid::BoundarySpec& bc) const;
+
+ private:
+  PlannerOptions opts_;
+};
+
+}  // namespace smache::model

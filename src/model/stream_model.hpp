@@ -1,0 +1,69 @@
+// The paper's formal model (§II): streams over a memory vector, stream
+// tuples, and the two quantities that size buffers — *range* (how many
+// stream elements a computation covers) and *reach* (max minus min offset
+// within a tuple).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/word.hpp"
+#include "model/iteration.hpp"
+
+namespace smache::model {
+
+/// A read-only view of a memory vector through an iteration pattern:
+/// s[i] = m[p(i)]. Mirrors the paper's definition exactly.
+class StreamView {
+ public:
+  StreamView(const std::vector<word_t>& m, const IterationPattern& p)
+      : m_(&m), p_(&p) {
+    // Every pattern index must land inside the memory.
+    for (std::uint64_t i = 0; i < p.size(); ++i)
+      SMACHE_REQUIRE_MSG(p.at(i) < m.size(),
+                         "iteration pattern escapes the memory vector");
+  }
+
+  std::uint64_t size() const noexcept { return p_->size(); }
+  word_t at(std::uint64_t i) const {
+    SMACHE_REQUIRE(i < p_->size());
+    return (*m_)[p_->at(i)];
+  }
+
+ private:
+  const std::vector<word_t>* m_;
+  const IterationPattern* p_;
+};
+
+/// A stream tuple: the set of stream offsets a computation touches around
+/// each element (e.g. {-k,-1,0,+1,+k}).
+struct TupleSpec {
+  std::vector<std::int64_t> offsets;
+
+  std::int64_t min_offset() const {
+    SMACHE_REQUIRE(!offsets.empty());
+    std::int64_t lo = offsets[0];
+    for (auto o : offsets) lo = lo < o ? lo : o;
+    return lo;
+  }
+  std::int64_t max_offset() const {
+    SMACHE_REQUIRE(!offsets.empty());
+    std::int64_t hi = offsets[0];
+    for (auto o : offsets) hi = hi > o ? hi : o;
+    return hi;
+  }
+  /// Paper: reach = max offset - min offset.
+  std::int64_t reach() const { return max_offset() - min_offset(); }
+  std::size_t size() const noexcept { return offsets.size(); }
+};
+
+/// One of the k non-overlapping ranges the streams are divided into: a
+/// contiguous span of stream indices sharing a tuple shape.
+struct RangeSpec {
+  std::uint64_t start = 0;
+  std::uint64_t length = 0;  // R_j in the paper
+  TupleSpec tuple;
+};
+
+}  // namespace smache::model

@@ -1,0 +1,181 @@
+#include "rtl/baseline_top.hpp"
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace smache::rtl {
+
+BaselineTop::BaselineTop(sim::Simulator& sim, const std::string& path,
+                         std::size_t height, std::size_t width,
+                         const grid::StencilShape& shape,
+                         const grid::BoundarySpec& bc,
+                         const KernelSpec& kernel_spec, mem::DramModel& dram,
+                         std::size_t steps)
+    : height_(height),
+      width_(width),
+      cells_(height * width),
+      steps_(steps),
+      shape_(shape),
+      cases_(height, width, shape),
+      kernel_spec_(kernel_spec),
+      dram_(dram),
+      top_(sim, path + "/ctrl/top_fsm", Top::Run, 3),
+      instance_(sim, path + "/ctrl/instance", 0u,
+                smache::count_bits(steps)),
+      req_cell_(sim, path + "/ctrl/req_cell", 0,
+                smache::count_bits(cells_)),
+      req_elem_(sim, path + "/ctrl/req_elem", 0u,
+                smache::count_bits(shape.size())),
+      col_cell_(sim, path + "/ctrl/col_cell", 0,
+                smache::count_bits(cells_)),
+      col_elem_(sim, path + "/ctrl/col_elem", 0u,
+                smache::count_bits(shape.size())),
+      tuple_regs_(sim, path + "/datapath/tuple_regs", shape.size(), 0,
+                  kWordBits),
+      wb_count_(sim, path + "/ctrl/wb_count", 0,
+                smache::count_bits(cells_)) {
+  SMACHE_REQUIRE(steps >= 1);
+  SMACHE_REQUIRE(dram.size_words() >= 2 * cells_);
+  scratch_.resize(shape.size());
+
+  // Build the per-case source table (the baseline's address/mask logic).
+  const std::size_t n_cases = cases_.case_count();
+  sources_.assign(n_cases, std::vector<Source>(shape.size()));
+  for (std::size_t zr = 0; zr < cases_.rows().count(); ++zr) {
+    for (std::size_t zc = 0; zc < cases_.cols().count(); ++zc) {
+      const std::size_t id = cases_.case_id(zr, zc);
+      const std::size_t r_rep = cases_.rows().representative(zr);
+      const std::size_t c_rep = cases_.cols().representative(zc);
+      for (std::size_t j = 0; j < shape.size(); ++j) {
+        const grid::Offset2 o = shape.offsets()[j];
+        const grid::Resolved res =
+            grid::resolve(r_rep, c_rep, o.dr, o.dc, height, width, bc);
+        Source& s = sources_[id][j];
+        switch (res.kind) {
+          case grid::Resolved::Kind::Missing:
+            // Dummy read of the centre; masked out of the compute.
+            s.is_data = false;
+            break;
+          case grid::Resolved::Kind::Constant:
+            s.is_data = false;
+            s.is_constant = true;
+            s.constant = res.constant;
+            break;
+          case grid::Resolved::Kind::Cell:
+            s.is_data = true;
+            s.row_shift = static_cast<std::int64_t>(res.r) -
+                          static_cast<std::int64_t>(r_rep);
+            s.col_shift = static_cast<std::int64_t>(res.c) -
+                          static_cast<std::int64_t>(c_rep);
+            break;
+        }
+      }
+    }
+  }
+  sim.add_module(this);
+}
+
+bool BaselineTop::done() const noexcept { return top_.is(Top::Done); }
+
+std::uint64_t BaselineTop::in_base() const noexcept {
+  return (instance_.q() % 2 == 0) ? 0 : cells_;
+}
+std::uint64_t BaselineTop::out_base() const noexcept {
+  return (instance_.q() % 2 == 0) ? cells_ : 0;
+}
+std::uint64_t BaselineTop::output_base() const noexcept {
+  return (steps_ % 2 == 0) ? 0 : cells_;
+}
+
+std::uint64_t BaselineTop::element_addr(std::uint64_t cell,
+                                        const Source& s) const {
+  if (!s.is_data) return in_base() + cell;  // dummy read of the centre
+  const std::int64_t r =
+      static_cast<std::int64_t>(cell / width_) + s.row_shift;
+  const std::int64_t c =
+      static_cast<std::int64_t>(cell % width_) + s.col_shift;
+  SMACHE_ASSERT(r >= 0 && r < static_cast<std::int64_t>(height_));
+  SMACHE_ASSERT(c >= 0 && c < static_cast<std::int64_t>(width_));
+  return in_base() + static_cast<std::uint64_t>(r) * width_ +
+         static_cast<std::uint64_t>(c);
+}
+
+void BaselineTop::eval_run() {
+  const std::size_t tuple = shape_.size();
+
+  // -- requester: one single-word read request per cycle --
+  if (req_cell_.q() < cells_ && dram_.read_req().can_push()) {
+    const std::size_t case_id = cases_.case_of(
+        static_cast<std::size_t>(req_cell_.q()) / width_,
+        static_cast<std::size_t>(req_cell_.q()) % width_);
+    const Source& s = sources_[case_id][req_elem_.q()];
+    dram_.read_req().push(
+        mem::DramReadReq{element_addr(req_cell_.q(), s), 1});
+    if (req_elem_.q() + 1 == tuple) {
+      req_elem_.d(0);
+      req_cell_.d(req_cell_.q() + 1);
+    } else {
+      req_elem_.d(req_elem_.q() + 1);
+    }
+  }
+
+  // -- collector: one data word per cycle; kernel + write on the last --
+  if (col_cell_.q() < cells_ && dram_.read_data().can_pop()) {
+    const bool last = col_elem_.q() + 1 == tuple;
+    // On the final element the write must be postable in the same cycle.
+    if (!last || dram_.write_req().can_push()) {
+      const word_t v = dram_.read_data().pop();
+      if (!last) {
+        tuple_regs_.d(col_elem_.q(), v);
+        col_elem_.d(col_elem_.q() + 1);
+      } else {
+        const std::uint64_t cell = col_cell_.q();
+        const std::size_t case_id =
+            cases_.case_of(static_cast<std::size_t>(cell) / width_,
+                           static_cast<std::size_t>(cell) % width_);
+        for (std::size_t j = 0; j < tuple; ++j) {
+          const Source& s = sources_[case_id][j];
+          const word_t raw = j + 1 == tuple ? v : tuple_regs_.q(j);
+          if (s.is_data) scratch_[j] = grid::TupleElem{raw, true};
+          else if (s.is_constant)
+            scratch_[j] = grid::TupleElem{s.constant, true};
+          else
+            scratch_[j] = grid::TupleElem{0, false};
+        }
+        const word_t out = apply_kernel(kernel_spec_, scratch_);
+        dram_.write_req().push(mem::DramWriteReq{out_base() + cell, out});
+        col_elem_.d(0);
+        col_cell_.d(cell + 1);
+        wb_count_.d(wb_count_.q() + 1);
+        if (wb_count_.q() + 1 == cells_) {
+          top_.go(instance_.q() + 1 == steps_ ? Top::Done : Top::Gap);
+        }
+      }
+    }
+  }
+}
+
+void BaselineTop::eval() {
+  switch (top_.state()) {
+    case Top::Run:
+      eval_run();
+      break;
+    case Top::Gap:
+      // Memory fence between instances: the next instance reads the
+      // region the writes are still draining into.
+      if (dram_.write_req().empty() && dram_.idle()) {
+        instance_.d(instance_.q() + 1);
+        req_cell_.d(0);
+        req_elem_.d(0);
+        col_cell_.d(0);
+        col_elem_.d(0);
+        wb_count_.d(0);
+        top_.go(Top::Run);
+      }
+      break;
+    case Top::Done:
+      break;
+  }
+}
+
+}  // namespace smache::rtl

@@ -1,0 +1,91 @@
+// BaselineTop — the paper's comparison design: NO stencil buffering. Every
+// grid point reads its full tuple from global memory (word-granularity,
+// effectively random accesses), computes, and writes the result back. As in
+// the paper's accounting, a read is issued for every tuple element of every
+// point — elements masked by open boundaries issue a dummy read of the
+// centre cell (the traffic is what the paper counts: tuple-size words per
+// point).
+//
+// Two concurrent FSMs decoupled by the DRAM channels:
+//   requester — walks cells and tuple elements, issuing one single-word
+//               read request per cycle;
+//   collector — pulls data words, assembles the tuple with the per-case
+//               validity mask, applies the kernel, and posts the write.
+//
+// The design drives a SINGLE shared memory port (the natural naive
+// memory-mapped master): the engine configures the DRAM with shared_bus,
+// making writes contend with reads — tuple+1 issue slots per point.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/word.hpp"
+#include "grid/boundary.hpp"
+#include "grid/stencil.hpp"
+#include "grid/zones.hpp"
+#include "mem/dram.hpp"
+#include "rtl/kernel.hpp"
+#include "sim/fsm.hpp"
+#include "sim/reg.hpp"
+#include "sim/simulator.hpp"
+
+namespace smache::rtl {
+
+class BaselineTop : public sim::Module {
+ public:
+  BaselineTop(sim::Simulator& sim, const std::string& path,
+              std::size_t height, std::size_t width,
+              const grid::StencilShape& shape, const grid::BoundarySpec& bc,
+              const KernelSpec& kernel_spec, mem::DramModel& dram,
+              std::size_t steps);
+
+  bool done() const noexcept;
+  std::uint64_t output_base() const noexcept;
+
+  void eval() override;
+
+ private:
+  enum class Top : std::uint8_t { Run, Gap, Done };
+
+  /// How one tuple element of one case is served. Addressing is uniform:
+  /// address = (r + row_shift) * W + (c + col_shift). Shifts are computed
+  /// against the case's representative cell; exact (boundary) zones pin
+  /// the coordinate, so the shifted address is exact for every cell of the
+  /// case, wrapped or not.
+  struct Source {
+    bool is_data = false;      // a DRAM word participates in the tuple
+    bool is_constant = false;  // constant halo value instead
+    word_t constant = 0;
+    std::int64_t row_shift = 0;
+    std::int64_t col_shift = 0;
+  };
+
+  std::uint64_t in_base() const noexcept;
+  std::uint64_t out_base() const noexcept;
+  std::uint64_t element_addr(std::uint64_t cell, const Source& s) const;
+  void eval_run();
+
+  std::size_t height_, width_, cells_, steps_;
+  grid::StencilShape shape_;
+  grid::CaseMap cases_;
+  KernelSpec kernel_spec_;
+  mem::DramModel& dram_;
+
+  // sources_[case_id][element]
+  std::vector<std::vector<Source>> sources_;
+
+  sim::FsmState<Top> top_;
+  sim::Reg<std::uint32_t> instance_;
+  sim::Reg<std::uint64_t> req_cell_;
+  sim::Reg<std::uint32_t> req_elem_;
+  sim::Reg<std::uint64_t> col_cell_;
+  sim::Reg<std::uint32_t> col_elem_;
+  sim::RegArray<word_t> tuple_regs_;
+  sim::Reg<std::uint64_t> wb_count_;
+
+  std::vector<grid::TupleElem> scratch_;
+};
+
+}  // namespace smache::rtl

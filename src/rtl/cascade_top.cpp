@@ -1,0 +1,170 @@
+#include "rtl/cascade_top.hpp"
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace smache::rtl {
+
+CascadeTop::CascadeTop(sim::Simulator& sim, const std::string& path,
+                       const model::BufferPlan& plan,
+                       const KernelSpec& kernel_spec, mem::DramModel& dram,
+                       std::size_t depth, std::size_t passes)
+    : plan_(plan),
+      dram_(dram),
+      cells_(plan.height() * plan.width()),
+      passes_(passes),
+      sim_(sim),
+      top_(sim, path + "/ctrl/top_fsm", Top::Run, 3),
+      pass_(sim, path + "/ctrl/pass", 0u, smache::count_bits(passes)),
+      req_issued_(sim, path + "/ctrl/req_issued", false, 1),
+      wb_count_(sim, path + "/ctrl/wb_count", 0,
+                smache::count_bits(cells_)) {
+  SMACHE_REQUIRE(depth >= 1 && passes >= 1);
+  SMACHE_REQUIRE_MSG(plan.static_buffers().empty(),
+                     "cascading requires boundaries whose tuples resolve "
+                     "in-stream (open/mirror/constant); periodic wraps need "
+                     "SmacheTop's double-buffered static buffers");
+  SMACHE_REQUIRE(dram.size_words() >= 2 * cells_);
+
+  for (std::size_t k = 0; k < depth; ++k) {
+    const std::string stage_id = "stage" + std::to_string(k);
+    Stage st;
+    // Windows charge under <path>/stream/... (entries accumulate across
+    // stages, so the ledger's stream totals cover the whole cascade);
+    // kernels sit outside the module root, as in SmacheTop.
+    st.window = std::make_unique<StreamBuffer>(sim, path, plan);
+    st.kernel = std::make_unique<KernelPipeline>(
+        sim, "kernel/" + stage_id, kernel_spec, plan.shape().size(),
+        cells_);
+    st.shifts = std::make_unique<sim::Reg<std::uint64_t>>(
+        sim, path + "/ctrl/" + stage_id + "/shifts", 0,
+        smache::count_bits(cells_ + plan.window_len()));
+    st.emit_next = std::make_unique<sim::Reg<std::uint64_t>>(
+        sim, path + "/ctrl/" + stage_id + "/emit_next", 0,
+        smache::count_bits(cells_));
+    st.input = k == 0 ? nullptr
+                      : std::make_unique<sim::Fifo<word_t>>(
+                            sim, path + "/ctrl/" + stage_id + "/input", 4,
+                            kWordBits);
+    stages_.push_back(std::move(st));
+  }
+  sim.add_module(this);
+}
+
+bool CascadeTop::done() const noexcept { return top_.is(Top::Done); }
+
+std::uint64_t CascadeTop::in_base() const noexcept {
+  return (pass_.q() % 2 == 0) ? 0 : cells_;
+}
+std::uint64_t CascadeTop::out_base() const noexcept {
+  return (pass_.q() % 2 == 0) ? cells_ : 0;
+}
+std::uint64_t CascadeTop::output_base() const noexcept {
+  return (passes_ % 2 == 0) ? 0 : cells_;
+}
+
+void CascadeTop::eval_stage(std::size_t k) {
+  Stage& st = stages_[k];
+  const std::uint64_t n = st.shifts->q();
+  const std::uint64_t emit_i = st.emit_next->q();
+  const std::size_t center = plan_.center_age();
+
+  // -- tuple emission into this stage's kernel --
+  bool emitting = false;
+  if (emit_i < cells_ && n >= emit_i + center &&
+      st.kernel->in().can_push()) {
+    const std::size_t w = plan_.width();
+    const std::size_t case_id =
+        plan_.cases().case_of(emit_i / w, emit_i % w);
+    const auto& sources = plan_.gather(case_id);
+    TupleMsg msg;
+    msg.index = emit_i;
+    msg.count = static_cast<std::uint32_t>(sources.size());
+    for (std::size_t j = 0; j < sources.size(); ++j) {
+      const model::GatherSource& g = sources[j];
+      switch (g.kind) {
+        case model::SourceKind::Window:
+          msg.elems[j] = grid::TupleElem{st.window->tap(g.window_age), true};
+          break;
+        case model::SourceKind::Constant:
+          msg.elems[j] = grid::TupleElem{g.constant, true};
+          break;
+        case model::SourceKind::Skip:
+          msg.elems[j] = grid::TupleElem{0, false};
+          break;
+        case model::SourceKind::Static:
+          SMACHE_ASSERT_MSG(false, "cascade plans never contain static "
+                                   "sources");
+          break;
+      }
+    }
+    st.kernel->in().push(msg);
+    st.emit_next->d(emit_i + 1);
+    emitting = true;
+  }
+
+  // -- window shift from this stage's input channel --
+  const std::uint64_t emit_eff = emitting ? emit_i + 1 : emit_i;
+  const bool more_shifts = n < cells_ - 1 + center;
+  const bool window_room = n < emit_eff + center;
+  bool data_ok = true;
+  if (n < cells_) {
+    data_ok = k == 0 ? dram_.read_data().can_pop() : st.input->can_pop();
+  }
+  if (more_shifts && window_room && data_ok) {
+    word_t in = 0;
+    if (n < cells_)
+      in = k == 0 ? dram_.read_data().pop() : st.input->pop();
+    st.window->shift(in);
+    st.shifts->d(n + 1);
+  }
+
+  // -- drain this stage's kernel into the next stage / DRAM --
+  const bool last = k + 1 == stages_.size();
+  if (last) {
+    if (st.kernel->out().can_pop() && dram_.write_req().can_push()) {
+      const ResultMsg res = st.kernel->out().pop();
+      dram_.write_req().push(
+          mem::DramWriteReq{out_base() + res.index, res.value});
+      wb_count_.d(wb_count_.q() + 1);
+      if (wb_count_.q() + 1 == cells_) {
+        top_.go(pass_.q() + 1 == passes_ ? Top::Done : Top::Gap);
+      }
+    }
+  } else {
+    sim::Fifo<word_t>& next_in = *stages_[k + 1].input;
+    if (st.kernel->out().can_pop() && next_in.can_push()) {
+      next_in.push(st.kernel->out().pop().value);
+    }
+  }
+}
+
+void CascadeTop::eval() {
+  switch (top_.state()) {
+    case Top::Run: {
+      if (!req_issued_.q() && dram_.read_req().can_push()) {
+        dram_.read_req().push(
+            mem::DramReadReq{in_base(), static_cast<std::uint32_t>(cells_)});
+        req_issued_.d(true);
+      }
+      for (std::size_t k = 0; k < stages_.size(); ++k) eval_stage(k);
+      break;
+    }
+    case Top::Gap:
+      if (dram_.write_req().empty() && dram_.idle()) {
+        pass_.d(pass_.q() + 1);
+        req_issued_.d(false);
+        wb_count_.d(0);
+        for (auto& st : stages_) {
+          st.shifts->d(0);
+          st.emit_next->d(0);
+        }
+        top_.go(Top::Run);
+      }
+      break;
+    case Top::Done:
+      break;
+  }
+}
+
+}  // namespace smache::rtl

@@ -1,0 +1,90 @@
+// CascadeTop — temporal blocking: several work-instances computed in ONE
+// pass over the DRAM stream.
+//
+// The paper's related-work section describes processing "multiple time
+// steps in one pass" ([2] Fu et al., [4] Nacci et al.) as pertinent but
+// orthogonal to Smache's off-chip optimisation. This module implements
+// that extension on top of the same substrate: K stencil stages are
+// chained on chip,
+//
+//   DRAM read -> window_0 -> kernel_0 -> window_1 -> kernel_1 -> ...
+//             -> kernel_{K-1} -> DRAM write
+//
+// so K time steps cost ONE grid read and ONE grid write instead of K each —
+// the DRAM traffic drops by ~K while the cycle count stays ~N + K*fill.
+//
+// Restriction (fundamental, not an implementation shortcut): stage k+1
+// consumes stage k's output in stream order, so a stencil element may only
+// reference data already produced — which is violated by periodic
+// boundaries whose wrap needs the END of the grid at its start. Smache
+// solves that across instances with double-buffered static buffers; within
+// one fused pass the value does not exist yet. Cascading therefore
+// supports Open/Mirror/Constant boundaries (the classic temporal-blocking
+// setting) and rejects Periodic ones; use SmacheTop for those.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/word.hpp"
+#include "mem/dram.hpp"
+#include "model/planner.hpp"
+#include "rtl/kernel_pipeline.hpp"
+#include "rtl/stream_buffer.hpp"
+#include "sim/fifo.hpp"
+#include "sim/fsm.hpp"
+#include "sim/reg.hpp"
+#include "sim/simulator.hpp"
+
+namespace smache::rtl {
+
+class CascadeTop : public sim::Module {
+ public:
+  /// `depth` = time steps fused per pass; `passes` = number of passes, so
+  /// the run computes depth*passes work-instances in total. The plan must
+  /// have no static buffers (enforced: open/mirror/constant boundaries).
+  CascadeTop(sim::Simulator& sim, const std::string& path,
+             const model::BufferPlan& plan, const KernelSpec& kernel_spec,
+             mem::DramModel& dram, std::size_t depth, std::size_t passes);
+
+  bool done() const noexcept;
+  std::uint64_t output_base() const noexcept;
+  std::size_t depth() const noexcept { return stages_.size(); }
+
+  void eval() override;
+
+ private:
+  enum class Top : std::uint8_t { Run, Gap, Done };
+
+  /// One fused time step: a window fed from the previous stage plus its
+  /// kernel and gather progress counters.
+  struct Stage {
+    std::unique_ptr<StreamBuffer> window;
+    std::unique_ptr<KernelPipeline> kernel;
+    std::unique_ptr<sim::Reg<std::uint64_t>> shifts;
+    std::unique_ptr<sim::Reg<std::uint64_t>> emit_next;
+    // Between-stage channel carrying the previous kernel's output words in
+    // cell order (stage 0 reads DRAM directly).
+    std::unique_ptr<sim::Fifo<word_t>> input;
+  };
+
+  std::uint64_t in_base() const noexcept;
+  std::uint64_t out_base() const noexcept;
+  void eval_stage(std::size_t k);
+
+  const model::BufferPlan plan_;
+  mem::DramModel& dram_;
+  std::size_t cells_;
+  std::size_t passes_;
+  sim::Simulator& sim_;
+
+  std::vector<Stage> stages_;
+  sim::FsmState<Top> top_;
+  sim::Reg<std::uint32_t> pass_;
+  sim::Reg<bool> req_issued_;
+  sim::Reg<std::uint64_t> wb_count_;
+};
+
+}  // namespace smache::rtl

@@ -1,0 +1,134 @@
+#include "rtl/kernel.hpp"
+
+#include "common/assert.hpp"
+
+namespace smache::rtl {
+
+std::string KernelSpec::name() const {
+  std::string base;
+  switch (kind) {
+    case KernelKind::Average: base = "average"; break;
+    case KernelKind::Sum: base = "sum"; break;
+    case KernelKind::Max: base = "max"; break;
+    case KernelKind::Identity: base = "identity"; break;
+    case KernelKind::Diffusion: base = "diffusion"; break;
+    case KernelKind::Upwind: base = "upwind"; break;
+    case KernelKind::Gaussian3x3: base = "gaussian3x3"; break;
+    case KernelKind::Laplacian3x3: base = "laplacian3x3"; break;
+  }
+  return base + (value_type == ValueType::Int32 ? "/i32" : "/f32");
+}
+
+namespace {
+
+template <typename T>
+word_t apply_typed(const KernelSpec& spec,
+                   const std::vector<grid::TupleElem>& tuple) {
+  switch (spec.kind) {
+    case KernelKind::Average: {
+      // Sum in a wide/exact accumulator, then divide by the valid count.
+      // Integer division truncates toward zero, matching what a hardware
+      // divider-by-small-constant would produce.
+      double facc = 0.0;
+      std::int64_t iacc = 0;
+      std::uint32_t n = 0;
+      for (const auto& e : tuple) {
+        if (!e.valid) continue;
+        ++n;
+        if constexpr (std::is_same_v<T, float>) facc += from_word<float>(e.value);
+        else iacc += from_word<std::int32_t>(e.value);
+      }
+      if (n == 0) return 0;
+      if constexpr (std::is_same_v<T, float>)
+        return to_word(static_cast<float>(facc / n));
+      else
+        return to_word(static_cast<std::int32_t>(iacc /
+                                                 static_cast<std::int64_t>(n)));
+    }
+    case KernelKind::Sum: {
+      if constexpr (std::is_same_v<T, float>) {
+        float acc = 0.0f;
+        for (const auto& e : tuple)
+          if (e.valid) acc += from_word<float>(e.value);
+        return to_word(acc);
+      } else {
+        // Wrapping 32-bit sum, like a hardware adder.
+        std::uint32_t acc = 0;
+        for (const auto& e : tuple)
+          if (e.valid) acc += e.value;
+        return acc;
+      }
+    }
+    case KernelKind::Max: {
+      bool any = false;
+      T best{};
+      for (const auto& e : tuple) {
+        if (!e.valid) continue;
+        const T v = from_word<T>(e.value);
+        if (!any || v > best) {
+          best = v;
+          any = true;
+        }
+      }
+      return any ? to_word(best) : 0;
+    }
+    case KernelKind::Identity:
+      return tuple.empty() || !tuple[0].valid ? 0 : tuple[0].value;
+    case KernelKind::Diffusion: {
+      SMACHE_REQUIRE_MSG(!tuple.empty(), "diffusion needs a centre element");
+      const float centre =
+          tuple[0].valid ? from_word<float>(tuple[0].value) : 0.0f;
+      float nsum = 0.0f;
+      float n = 0.0f;
+      for (std::size_t i = 1; i < tuple.size(); ++i) {
+        if (!tuple[i].valid) continue;
+        nsum += from_word<float>(tuple[i].value);
+        n += 1.0f;
+      }
+      return to_word(centre + spec.alpha * (nsum - n * centre));
+    }
+    case KernelKind::Upwind: {
+      SMACHE_REQUIRE_MSG(tuple.size() >= 3,
+                         "upwind needs {centre, west, north}");
+      const float c = tuple[0].valid ? from_word<float>(tuple[0].value) : 0.0f;
+      const float w = tuple[1].valid ? from_word<float>(tuple[1].value) : c;
+      const float nv = tuple[2].valid ? from_word<float>(tuple[2].value) : c;
+      return to_word(c - spec.alpha * (c - w) - spec.beta * (c - nv));
+    }
+    case KernelKind::Gaussian3x3:
+    case KernelKind::Laplacian3x3: {
+      // Moore-ordered tuple (row-major, centre at index 4). Missing
+      // elements (open boundaries) reuse the centre value.
+      SMACHE_REQUIRE_MSG(tuple.size() == 9,
+                         "3x3 convolution kernels need a Moore tuple");
+      static constexpr std::int64_t kGauss[9] = {1, 2, 1, 2, 4, 2, 1, 2, 1};
+      static constexpr std::int64_t kLap[9] = {-1, -1, -1, -1, 8,
+                                               -1, -1, -1, -1};
+      const std::int64_t centre =
+          tuple[4].valid ? from_word<std::int32_t>(tuple[4].value) : 0;
+      std::int64_t acc = 0;
+      const std::int64_t* weights =
+          spec.kind == KernelKind::Gaussian3x3 ? kGauss : kLap;
+      for (std::size_t i = 0; i < 9; ++i) {
+        const std::int64_t v =
+            tuple[i].valid ? from_word<std::int32_t>(tuple[i].value)
+                           : centre;
+        acc += weights[i] * v;
+      }
+      if (spec.kind == KernelKind::Gaussian3x3) acc >>= 4;
+      return to_word(static_cast<std::int32_t>(acc));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+word_t apply_kernel(const KernelSpec& spec,
+                    const std::vector<grid::TupleElem>& tuple) {
+  return spec.value_type == ValueType::Float32
+             ? apply_typed<float>(spec, tuple)
+             : apply_typed<std::int32_t>(spec, tuple);
+}
+
+}  // namespace smache::rtl

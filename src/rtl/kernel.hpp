@@ -1,0 +1,87 @@
+// Computation kernels. The SAME functor is applied by the golden reference
+// executor and by the simulated hardware pipeline, which is what makes
+// bit-exact equivalence testing possible. Kernels operate on a gathered
+// tuple (values + validity flags, in stencil-offset order) and produce one
+// output word.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/word.hpp"
+#include "grid/stencil.hpp"
+
+namespace smache::rtl {
+
+/// Element type interpretation of the 32-bit datapath word.
+enum class ValueType : std::uint8_t { Int32, Float32 };
+
+enum class KernelKind : std::uint8_t {
+  /// Mean of the valid tuple elements (the paper's 4-point averaging
+  /// filter; elements masked by open boundaries are excluded).
+  Average,
+  /// Sum of the valid tuple elements.
+  Sum,
+  /// Maximum of the valid tuple elements (morphological dilate).
+  Max,
+  /// Pass the first tuple element through unchanged (plumbing tests).
+  Identity,
+  /// Explicit diffusion step: out = t0 + alpha * (sum(t1..) - n*t0), where
+  /// t0 must be the centre. Used by the heat example (Float32).
+  Diffusion,
+  /// First-order upwind advection: out = t0 - cx*(t0-t1) - cy*(t0-t2),
+  /// with tuple order {centre, west, north}. Used by the ocean example.
+  Upwind,
+  /// Fixed-point 3x3 Gaussian blur (weights 1-2-1/2-4-2/1-2-1, >>4) over
+  /// a Moore-ordered tuple; missing elements reuse the centre (edge
+  /// extension), matching common image-filter hardware.
+  Gaussian3x3,
+  /// 3x3 Laplacian edge detect (centre*8 - neighbours) over a
+  /// Moore-ordered tuple; missing elements reuse the centre so flat
+  /// borders report zero response.
+  Laplacian3x3,
+};
+
+struct KernelSpec {
+  KernelKind kind = KernelKind::Average;
+  ValueType value_type = ValueType::Int32;
+  /// Coefficients for Diffusion (alpha) and Upwind (alpha=cx, beta=cy).
+  float alpha = 0.0f;
+  float beta = 0.0f;
+
+  static KernelSpec average_int() {
+    return {KernelKind::Average, ValueType::Int32, 0.0f, 0.0f};
+  }
+  static KernelSpec average_float() {
+    return {KernelKind::Average, ValueType::Float32, 0.0f, 0.0f};
+  }
+  static KernelSpec diffusion(float alpha) {
+    return {KernelKind::Diffusion, ValueType::Float32, alpha, 0.0f};
+  }
+  static KernelSpec upwind(float cx, float cy) {
+    return {KernelKind::Upwind, ValueType::Float32, cx, cy};
+  }
+  static KernelSpec gaussian3x3() {
+    return {KernelKind::Gaussian3x3, ValueType::Int32, 0.0f, 0.0f};
+  }
+  static KernelSpec laplacian3x3() {
+    return {KernelKind::Laplacian3x3, ValueType::Int32, 0.0f, 0.0f};
+  }
+
+  std::string name() const;
+
+  /// Arithmetic operations per application, for the MOPS metric. The paper
+  /// counts one op per stencil point (4 for its 4-point filter), so we
+  /// count one op per tuple element.
+  std::uint64_t ops_per_point(std::size_t tuple_size) const {
+    return tuple_size;
+  }
+};
+
+/// Apply the kernel to one gathered tuple. Total: invalid elements are
+/// skipped; an all-invalid tuple yields 0.
+word_t apply_kernel(const KernelSpec& spec,
+                    const std::vector<grid::TupleElem>& tuple);
+
+}  // namespace smache::rtl

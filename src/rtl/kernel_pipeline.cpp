@@ -1,0 +1,73 @@
+#include "rtl/kernel_pipeline.hpp"
+
+#include "common/assert.hpp"
+
+namespace smache::rtl {
+
+KernelPipeline::KernelPipeline(sim::Simulator& sim, const std::string& path,
+                               KernelSpec spec, std::size_t tuple_size,
+                               std::size_t grid_cells, std::uint32_t latency)
+    : spec_(spec),
+      tuple_size_(tuple_size),
+      latency_(latency),
+      in_(sim, path + "/in", 2,
+          static_cast<std::uint32_t>(tuple_size * 33 +
+                                     smache::count_bits(grid_cells))),
+      out_(sim, path + "/out", 2,
+           32 + smache::count_bits(grid_cells)) {
+  SMACHE_REQUIRE(latency >= 1);
+  SMACHE_REQUIRE(tuple_size >= 1 && tuple_size <= kMaxTuple);
+  const std::uint32_t idx_bits = smache::count_bits(grid_cells);
+  for (std::uint32_t s = 0; s < latency; ++s) {
+    // Stage 0 still holds the tuple-wide partial state; later stages carry
+    // a narrowing payload down to one word.
+    const std::uint32_t payload_bits =
+        s == 0 ? static_cast<std::uint32_t>(tuple_size * 33)
+               : (s == 1 ? 64u : 32u);
+    stage_storage_.push_back(std::make_unique<sim::Reg<Stage>>(
+        sim, path + "/stage" + std::to_string(s), Stage{},
+        payload_bits + idx_bits + 1));
+    stages_.push_back(stage_storage_.back().get());
+  }
+  scratch_.resize(tuple_size);
+  sim.add_module(this);
+}
+
+bool KernelPipeline::empty() const noexcept {
+  if (!in_.empty() || !out_.empty()) return false;
+  for (const auto* s : stages_)
+    if (s->q().valid) return false;
+  return true;
+}
+
+void KernelPipeline::eval() {
+  // All-or-nothing advance: the pipeline only moves when its tail can
+  // retire into the output FIFO (or the tail is a bubble).
+  const Stage& tail = stages_.back()->q();
+  const bool can_retire = !tail.valid || out_.can_push();
+  if (!can_retire) return;
+
+  if (tail.valid) out_.push(ResultMsg{tail.index, tail.value});
+
+  // Shift interior stages.
+  for (std::size_t s = stages_.size(); s-- > 1;)
+    stages_[s]->d(stages_[s - 1]->q());
+
+  // Head stage: accept a new tuple if available; the arithmetic result is
+  // computed here and carried through the remaining stages (the stage regs
+  // charge the bits a real pipeline would hold).
+  if (in_.can_pop()) {
+    const TupleMsg msg = in_.pop();
+    SMACHE_ASSERT(msg.count <= tuple_size_);
+    scratch_.assign(msg.elems.begin(), msg.elems.begin() + msg.count);
+    Stage head;
+    head.valid = true;
+    head.index = msg.index;
+    head.value = apply_kernel(spec_, scratch_);
+    stages_[0]->d(head);
+  } else {
+    stages_[0]->d(Stage{});
+  }
+}
+
+}  // namespace smache::rtl

@@ -1,0 +1,82 @@
+// Pipelined computation kernel. The Smache module (Figure 1b) connects to
+// an external kernel through stall-capable streams; this models that kernel
+// as a fixed-latency arithmetic pipeline:
+//
+//   tuple in (FIFO) -> [stage 0: adder tree] -> [stage 1] -> [stage 2]
+//                      -> result out (FIFO)
+//
+// The whole pipeline freezes when the output FIFO is full (all-or-nothing
+// shift), propagating back-pressure to the gather unit. Results are
+// computed with the shared apply_kernel functor at entry and carried with
+// progressively narrower payloads; the register charge per stage mirrors
+// what a real pipeline would hold (partial sums, then a single word).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/word.hpp"
+#include "grid/stencil.hpp"
+#include "rtl/kernel.hpp"
+#include "sim/fifo.hpp"
+#include "sim/reg.hpp"
+#include "sim/simulator.hpp"
+
+namespace smache::rtl {
+
+/// Maximum tuple arity supported by the fixed message layout.
+inline constexpr std::size_t kMaxTuple = 32;
+
+/// Gathered tuple heading into the kernel.
+struct TupleMsg {
+  std::uint64_t index = 0;  // linear output cell index
+  std::uint32_t count = 0;  // tuple arity in use
+  std::array<grid::TupleElem, kMaxTuple> elems{};
+};
+
+/// Kernel result heading to write-back.
+struct ResultMsg {
+  std::uint64_t index = 0;
+  word_t value = 0;
+};
+
+class KernelPipeline : public sim::Module {
+ public:
+  /// `grid_cells` sizes the index counters; `latency` >= 1.
+  KernelPipeline(sim::Simulator& sim, const std::string& path,
+                 KernelSpec spec, std::size_t tuple_size,
+                 std::size_t grid_cells, std::uint32_t latency = 3);
+
+  sim::Fifo<TupleMsg>& in() noexcept { return in_; }
+  sim::Fifo<ResultMsg>& out() noexcept { return out_; }
+
+  const KernelSpec& spec() const noexcept { return spec_; }
+  std::uint32_t latency() const noexcept { return latency_; }
+
+  /// True when no tuple is in flight (used by drain checks).
+  bool empty() const noexcept;
+
+  void eval() override;
+
+ private:
+  struct Stage {
+    bool valid = false;
+    std::uint64_t index = 0;
+    word_t value = 0;
+  };
+
+  KernelSpec spec_;
+  std::size_t tuple_size_;
+  std::uint32_t latency_;
+  sim::Fifo<TupleMsg> in_;
+  sim::Fifo<ResultMsg> out_;
+  std::vector<sim::Reg<Stage>*> stages_;
+  std::vector<std::unique_ptr<sim::Reg<Stage>>> stage_storage_;
+  std::vector<grid::TupleElem> scratch_;
+};
+
+}  // namespace smache::rtl

@@ -1,0 +1,227 @@
+#include "rtl/smache_top.hpp"
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace smache::rtl {
+
+SmacheTop::SmacheTop(sim::Simulator& sim, const std::string& path,
+                     const model::BufferPlan& plan,
+                     const KernelSpec& kernel_spec, mem::DramModel& dram,
+                     std::size_t steps)
+    : plan_(plan),
+      dram_(dram),
+      steps_(steps),
+      cells_(plan.height() * plan.width()),
+      sim_(sim),
+      window_(sim, path, plan),
+      statics_(sim, path, plan),
+      // The kernel sits OUTSIDE the Smache module (Figure 1b), so its
+      // resources are charged under their own hierarchy root.
+      kernel_(sim, "kernel", kernel_spec, plan.shape().size(), cells_),
+      top_(sim, path + "/ctrl/top_fsm",
+           plan.needs_warmup() ? Top::Warmup : Top::Run, 4),
+      instance_(sim, path + "/ctrl/instance", 0u,
+                smache::count_bits(steps)),
+      shifts_(sim, path + "/ctrl/shifts", 0,
+              smache::count_bits(cells_ + plan.window_len())),
+      emit_next_(sim, path + "/ctrl/emit_next", 0,
+                 smache::count_bits(cells_)),
+      rdata_center_(sim, path + "/ctrl/rdata_center", -1,
+                    smache::count_bits(cells_) + 1),
+      req_issued_(sim, path + "/ctrl/req_issued", false, 1),
+      wb_count_(sim, path + "/ctrl/wb_count", 0,
+                smache::count_bits(cells_)),
+      warm_bank_(sim, path + "/ctrl/warm_bank", 0u,
+                 smache::count_bits(plan.static_buffers().size() + 1)),
+      warm_idx_(sim, path + "/ctrl/warm_idx", 0u,
+                smache::count_bits(plan.width())),
+      warm_req_(sim, path + "/ctrl/warm_req", false, 1) {
+  SMACHE_REQUIRE(steps >= 1);
+  SMACHE_REQUIRE_MSG(dram.size_words() >= 2 * cells_,
+                     "DRAM must hold two grid regions (ping-pong)");
+  for (std::size_t b = 0; b < plan_.static_buffers().size(); ++b)
+    warm_order_.push_back(b);
+  sim.add_module(this);
+}
+
+bool SmacheTop::done() const noexcept { return top_.is(Top::Done); }
+
+std::uint64_t SmacheTop::in_base() const noexcept {
+  return (instance_.q() % 2 == 0) ? 0 : cells_;
+}
+
+std::uint64_t SmacheTop::out_base() const noexcept {
+  return (instance_.q() % 2 == 0) ? cells_ : 0;
+}
+
+std::uint64_t SmacheTop::output_base() const noexcept {
+  return (steps_ % 2 == 0) ? 0 : cells_;
+}
+
+void SmacheTop::eval() {
+  sim_.tracer().sample(sim_.now(), "smache.top_state",
+                       static_cast<std::uint64_t>(top_.state()));
+  sim_.tracer().sample(sim_.now(), "smache.shifts", shifts_.q());
+  sim_.tracer().sample(sim_.now(), "smache.emit_next", emit_next_.q());
+  sim_.tracer().sample(sim_.now(), "smache.wb_count", wb_count_.q());
+  switch (top_.state()) {
+    case Top::Warmup: eval_warmup(); break;
+    case Top::Run: eval_run(); break;
+    case Top::Swap: eval_swap(); break;
+    case Top::Done: break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FSM-1: warm-up prefetch of static buffers.
+// ---------------------------------------------------------------------------
+void SmacheTop::eval_warmup() {
+  if (warm_bank_.q() >= warm_order_.size()) {
+    warmup_end_ = sim_.now();
+    top_.go(Top::Run);
+    return;
+  }
+  StaticBufferBank& bank = statics_.bank(warm_order_[warm_bank_.q()]);
+  const std::size_t w = plan_.width();
+  if (!warm_req_.q()) {
+    if (dram_.read_req().can_push()) {
+      dram_.read_req().push(mem::DramReadReq{
+          in_base() + bank.spec().grid_row * w,
+          static_cast<std::uint32_t>(w)});
+      warm_req_.d(true);
+    }
+    return;
+  }
+  if (dram_.read_data().can_pop()) {
+    const word_t v = dram_.read_data().pop();
+    bank.active_write(warm_idx_.q(), v);
+    if (warm_idx_.q() + 1 == w) {
+      warm_idx_.d(0);
+      warm_req_.d(false);
+      warm_bank_.d(warm_bank_.q() + 1);
+    } else {
+      warm_idx_.d(warm_idx_.q() + 1);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FSM-2 (gather) + FSM-3 (write-back), concurrent within Run.
+// ---------------------------------------------------------------------------
+void SmacheTop::issue_static_reads(std::uint64_t cell) {
+  const std::size_t w = plan_.width();
+  const std::size_t r = cell / w;
+  const std::size_t c = cell % w;
+  const std::size_t case_id = plan_.cases().case_of(r, c);
+  for (const auto& g : plan_.gather(case_id)) {
+    if (g.kind != model::SourceKind::Static) continue;
+    const auto idx = static_cast<std::int64_t>(c) + g.col_shift;
+    SMACHE_ASSERT(idx >= 0 && idx < static_cast<std::int64_t>(w));
+    statics_.bank(g.static_index)
+        .read(g.replica, static_cast<std::size_t>(idx));
+  }
+}
+
+void SmacheTop::emit_tuple(std::uint64_t cell) {
+  const std::size_t w = plan_.width();
+  const std::size_t r = cell / w;
+  const std::size_t c = cell % w;
+  const std::size_t case_id = plan_.cases().case_of(r, c);
+  const auto& sources = plan_.gather(case_id);
+
+  TupleMsg msg;
+  msg.index = cell;
+  msg.count = static_cast<std::uint32_t>(sources.size());
+  for (std::size_t j = 0; j < sources.size(); ++j) {
+    const model::GatherSource& g = sources[j];
+    switch (g.kind) {
+      case model::SourceKind::Window:
+        msg.elems[j] = grid::TupleElem{window_.tap(g.window_age), true};
+        break;
+      case model::SourceKind::Static:
+        msg.elems[j] = grid::TupleElem{
+            statics_.bank(g.static_index).rdata(g.replica), true};
+        break;
+      case model::SourceKind::Constant:
+        msg.elems[j] = grid::TupleElem{g.constant, true};
+        break;
+      case model::SourceKind::Skip:
+        msg.elems[j] = grid::TupleElem{0, false};
+        break;
+    }
+  }
+  kernel_.in().push(msg);
+}
+
+void SmacheTop::eval_run() {
+  const std::uint64_t n = shifts_.q();
+  const std::uint64_t emit_i = emit_next_.q();
+  const std::size_t center = plan_.center_age();
+
+  // -- FSM-2a: whole-grid burst request, once per instance --
+  if (!req_issued_.q() && dram_.read_req().can_push()) {
+    dram_.read_req().push(
+        mem::DramReadReq{in_base(), static_cast<std::uint32_t>(cells_)});
+    req_issued_.d(true);
+  }
+
+  // -- FSM-2b: tuple emission --
+  bool emitting = false;
+  if (emit_i < cells_ && n >= emit_i + center &&
+      rdata_center_.q() == static_cast<std::int64_t>(emit_i) &&
+      kernel_.in().can_push()) {
+    emit_tuple(emit_i);
+    emit_next_.d(emit_i + 1);
+    emitting = true;
+  }
+
+  // -- FSM-2c: pre-issue static reads for the next centre --
+  const std::uint64_t next_center = emitting ? emit_i + 1 : emit_i;
+  if (next_center < cells_) {
+    issue_static_reads(next_center);
+    rdata_center_.d(static_cast<std::int64_t>(next_center));
+  }
+
+  // -- FSM-2d: window shift --
+  const std::uint64_t emit_eff = emitting ? emit_i + 1 : emit_i;
+  const bool more_shifts = n < cells_ - 1 + center;
+  const bool window_room = n < emit_eff + center;
+  const bool data_ok = n < cells_ ? dram_.read_data().can_pop() : true;
+  if (more_shifts && window_room && data_ok) {
+    const word_t in = n < cells_ ? dram_.read_data().pop() : word_t{0};
+    window_.shift(in);
+    shifts_.d(n + 1);
+  }
+
+  // -- FSM-3: write-back + shadow capture --
+  if (kernel_.out().can_pop() && dram_.write_req().can_push()) {
+    const ResultMsg res = kernel_.out().pop();
+    dram_.write_req().push(
+        mem::DramWriteReq{out_base() + res.index, res.value});
+    const std::size_t w = plan_.width();
+    statics_.capture_output(res.index / w, res.index % w, res.value);
+    wb_count_.d(wb_count_.q() + 1);
+    if (wb_count_.q() + 1 == cells_) {
+      top_.go(instance_.q() + 1 == steps_ ? Top::Done : Top::Swap);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Instance boundary: drain writes, swap buffers and regions.
+// ---------------------------------------------------------------------------
+void SmacheTop::eval_swap() {
+  // Memory fence: the next instance reads the region we just wrote.
+  if (!dram_.write_req().empty() || !dram_.idle()) return;
+  statics_.swap_all();
+  instance_.d(instance_.q() + 1);
+  shifts_.d(0);
+  emit_next_.d(0);
+  rdata_center_.d(-1);
+  req_issued_.d(false);
+  wb_count_.d(0);
+  top_.go(Top::Run);
+}
+
+}  // namespace smache::rtl

@@ -1,0 +1,110 @@
+// SmacheTop — the complete smart-cache module of Figure 1(b), connected to
+// a DRAM model and a kernel pipeline, sequencing work-instances.
+//
+// Three concurrent FSMs (all evaluated every cycle, communicating only
+// through registers and FIFOs, exactly like the paper's three concurrent
+// Verilog state machines):
+//
+//   FSM-1 (prefetch): during the one-off WARM-UP pass it burst-reads the
+//     grid rows held by write-through static buffers into their ACTIVE
+//     copies (non-write-through buffers would be refetched every
+//     instance). This is the "additional warm-up work-instance" of §III,
+//     amortised over all later instances.
+//
+//   FSM-2 (gather): issues one whole-grid burst read per instance, shifts
+//     the arriving words through the stream buffer, and emits one stencil
+//     tuple per cycle to the kernel: window taps are combinational register
+//     reads; static-buffer taps were issued one cycle earlier (synchronous
+//     BRAM read) by the same FSM's pre-issue stage; constants and skips
+//     come from the gather table. Back-pressure from the kernel freezes
+//     shifting so tap alignment is never lost.
+//
+//   FSM-3 (write-back): drains kernel results to the DRAM write channel
+//     and write-through-captures results landing in static-buffer rows
+//     into the SHADOW copies, so the next instance's boundary data is
+//     already on chip when the buffers swap.
+//
+// Work-instances ping-pong between two DRAM regions (in/out). The SWAP
+// state waits for the write channel to drain (a memory fence) before
+// flipping regions and double buffers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/word.hpp"
+#include "grid/zones.hpp"
+#include "mem/dram.hpp"
+#include "model/planner.hpp"
+#include "rtl/kernel_pipeline.hpp"
+#include "rtl/static_buffer.hpp"
+#include "rtl/stream_buffer.hpp"
+#include "sim/fsm.hpp"
+#include "sim/reg.hpp"
+#include "sim/simulator.hpp"
+
+namespace smache::rtl {
+
+class SmacheTop : public sim::Module {
+ public:
+  /// `steps` = number of work-instances. Region 0 of `dram` must hold the
+  /// initial grid; after completion the result is in region (steps % 2).
+  SmacheTop(sim::Simulator& sim, const std::string& path,
+            const model::BufferPlan& plan, const KernelSpec& kernel_spec,
+            mem::DramModel& dram, std::size_t steps);
+
+  /// All instances complete (results may still be draining to DRAM; pair
+  /// with DramModel::idle()).
+  bool done() const noexcept;
+
+  /// Cycle at which the warm-up pass completed (for amortisation reports).
+  std::uint64_t warmup_end_cycle() const noexcept { return warmup_end_; }
+
+  /// DRAM word offset of the final output region.
+  std::uint64_t output_base() const noexcept;
+
+  const model::BufferPlan& plan() const noexcept { return plan_; }
+  KernelPipeline& kernel() noexcept { return kernel_; }
+
+  void eval() override;
+
+ private:
+  enum class Top : std::uint8_t { Warmup, Run, Swap, Done };
+
+  std::uint64_t in_base() const noexcept;
+  std::uint64_t out_base() const noexcept;
+  void eval_warmup();
+  void eval_run();
+  void eval_swap();
+  void emit_tuple(std::uint64_t cell);
+  void issue_static_reads(std::uint64_t cell);
+
+  const model::BufferPlan plan_;
+  mem::DramModel& dram_;
+  std::size_t steps_;
+  std::size_t cells_;  // grid height * width
+  sim::Simulator& sim_;
+
+  StreamBuffer window_;
+  StaticBufferSet statics_;
+  KernelPipeline kernel_;
+
+  // Controller registers (all charged under <path>/ctrl).
+  sim::FsmState<Top> top_;
+  sim::Reg<std::uint32_t> instance_;
+  sim::Reg<std::uint64_t> shifts_;
+  sim::Reg<std::uint64_t> emit_next_;
+  sim::Reg<std::int64_t> rdata_center_;
+  sim::Reg<bool> req_issued_;
+  sim::Reg<std::uint64_t> wb_count_;
+  sim::Reg<std::uint32_t> warm_bank_;
+  sim::Reg<std::uint32_t> warm_idx_;
+  sim::Reg<bool> warm_req_;
+
+  std::uint64_t warmup_end_ = 0;
+  // Warm-up bank order (indices into statics_, write-through first).
+  std::vector<std::size_t> warm_order_;
+};
+
+}  // namespace smache::rtl

@@ -1,0 +1,82 @@
+#include "rtl/static_buffer.hpp"
+
+#include "common/assert.hpp"
+
+namespace smache::rtl {
+
+StaticBufferBank::StaticBufferBank(sim::Simulator& sim,
+                                   const std::string& path,
+                                   const model::StaticBufferSpec& spec)
+    : spec_(spec), active_(sim, path + "/active_sel", false, 1) {
+  SMACHE_REQUIRE(spec.length >= 1);
+  SMACHE_REQUIRE(spec.replicas >= 1);
+  for (std::size_t r = 0; r < spec.replicas; ++r) {
+    for (int phase = 0; phase < 2; ++phase) {
+      copies_.push_back(std::make_unique<mem::BramBank>(
+          sim,
+          path + "/rep" + std::to_string(r) + (phase == 0 ? "/ping" : "/pong"),
+          spec.length, kWordBits, mem::BramBank::Mode::Ram));
+    }
+  }
+}
+
+mem::BramBank& StaticBufferBank::bank(std::size_t replica,
+                                      bool shadow) const {
+  SMACHE_REQUIRE(replica < spec_.replicas);
+  const bool phase = active_.q() ^ shadow;
+  return *copies_[replica * 2 + (phase ? 1 : 0)];
+}
+
+void StaticBufferBank::read(std::size_t replica, std::size_t index) {
+  bank(replica, /*shadow=*/false).read(index);
+}
+
+word_t StaticBufferBank::rdata(std::size_t replica) const {
+  return static_cast<word_t>(bank(replica, /*shadow=*/false).rdata());
+}
+
+void StaticBufferBank::shadow_write(std::size_t index, word_t value) {
+  for (std::size_t r = 0; r < spec_.replicas; ++r)
+    bank(r, /*shadow=*/true).write(index, value);
+}
+
+void StaticBufferBank::active_write(std::size_t index, word_t value) {
+  for (std::size_t r = 0; r < spec_.replicas; ++r)
+    bank(r, /*shadow=*/false).write(index, value);
+}
+
+void StaticBufferBank::swap() { active_.d(!active_.q()); }
+
+word_t StaticBufferBank::peek_active(std::size_t index) const {
+  return static_cast<word_t>(bank(0, /*shadow=*/false).peek(index));
+}
+
+StaticBufferSet::StaticBufferSet(sim::Simulator& sim, const std::string& path,
+                                 const model::BufferPlan& plan) {
+  for (const auto& spec : plan.static_buffers())
+    banks_.push_back(std::make_unique<StaticBufferBank>(
+        sim, path + "/static/" + spec.name, spec));
+}
+
+StaticBufferBank& StaticBufferSet::bank(std::size_t i) {
+  SMACHE_REQUIRE(i < banks_.size());
+  return *banks_[i];
+}
+
+const StaticBufferBank& StaticBufferSet::bank(std::size_t i) const {
+  SMACHE_REQUIRE(i < banks_.size());
+  return *banks_[i];
+}
+
+void StaticBufferSet::capture_output(std::size_t row, std::size_t col,
+                                     word_t value) {
+  for (auto& b : banks_)
+    if (b->spec().write_through && b->spec().grid_row == row)
+      b->shadow_write(col, value);
+}
+
+void StaticBufferSet::swap_all() {
+  for (auto& b : banks_) b->swap();
+}
+
+}  // namespace smache::rtl

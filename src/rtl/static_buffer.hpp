@@ -1,0 +1,89 @@
+// Static buffers (the paper's §III "Static Buffers"): on-chip banks that
+// hold a FIXED set of grid elements — one whole row per bank here — instead
+// of a moving window, making their footprint independent of the stencil's
+// reach. Each bank is transparently double-buffered:
+//
+//   active copy — read by the gather unit; holds rows of the CURRENT input
+//                 grid (work-instance k);
+//   shadow copy — written through by FSM-3 as the kernel emits the output
+//                 grid (work-instance k+1);
+//   swap()      — a 1-bit flip at each work-instance boundary, making the
+//                 freshly captured rows the next instance's inputs.
+//
+// Multi-tap cases (several stencil offsets landing in the same bank in the
+// same cycle) are served by replicating the bank — matching the paper's
+// note that concurrent BRAM reads synthesise into multiple identical BRAMs.
+// Every replica carries both copies; warm-up and write-through update all
+// replicas in lock-step from the single write stream (one write port each).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/word.hpp"
+#include "mem/bram.hpp"
+#include "model/planner.hpp"
+#include "sim/reg.hpp"
+#include "sim/simulator.hpp"
+
+namespace smache::rtl {
+
+class StaticBufferBank {
+ public:
+  StaticBufferBank(sim::Simulator& sim, const std::string& path,
+                   const model::StaticBufferSpec& spec);
+
+  const model::StaticBufferSpec& spec() const noexcept { return spec_; }
+
+  /// Issue a synchronous read on the ACTIVE copy of one replica; the value
+  /// is available from rdata(replica) next cycle.
+  void read(std::size_t replica, std::size_t index);
+  word_t rdata(std::size_t replica) const;
+
+  /// FSM-3 write-through: store an output-grid element into the SHADOW
+  /// copy of every replica.
+  void shadow_write(std::size_t index, word_t value);
+
+  /// FSM-1 warm-up / prefetch: store an input-grid element into the ACTIVE
+  /// copy of every replica.
+  void active_write(std::size_t index, word_t value);
+
+  /// Flip active/shadow at a work-instance boundary (takes effect next
+  /// cycle, like any register).
+  void swap();
+
+  /// Test backdoor: committed contents of the active copy of replica 0.
+  word_t peek_active(std::size_t index) const;
+
+ private:
+  // copies_[replica][phase]; phase 0/1 selected by active_.
+  mem::BramBank& bank(std::size_t replica, bool shadow) const;
+
+  model::StaticBufferSpec spec_;
+  sim::Reg<bool> active_;
+  std::vector<std::unique_ptr<mem::BramBank>> copies_;
+};
+
+/// The full static-buffer set of a plan, built under `<path>/static/...`.
+class StaticBufferSet {
+ public:
+  StaticBufferSet(sim::Simulator& sim, const std::string& path,
+                  const model::BufferPlan& plan);
+
+  std::size_t count() const noexcept { return banks_.size(); }
+  StaticBufferBank& bank(std::size_t i);
+  const StaticBufferBank& bank(std::size_t i) const;
+
+  /// Banks whose grid_row matches `row` receive this output element via
+  /// write-through (FSM-3 capture path).
+  void capture_output(std::size_t row, std::size_t col, word_t value);
+
+  void swap_all();
+
+ private:
+  std::vector<std::unique_ptr<StaticBufferBank>> banks_;
+};
+
+}  // namespace smache::rtl

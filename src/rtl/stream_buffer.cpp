@@ -1,0 +1,107 @@
+#include "rtl/stream_buffer.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace smache::rtl {
+
+StreamBuffer::StreamBuffer(sim::Simulator& sim, const std::string& path,
+                           const model::BufferPlan& plan)
+    : window_len_(plan.window_len()) {
+  reg_ages_ = plan.reg_ages();
+  std::sort(reg_ages_.begin(), reg_ages_.end());
+  SMACHE_REQUIRE(!reg_ages_.empty() && reg_ages_.front() == 1);
+  for (std::size_t slot = 0; slot < reg_ages_.size(); ++slot)
+    reg_index_[reg_ages_[slot]] = slot;
+
+  regs_ = std::make_unique<sim::RegArray<word_t>>(
+      sim, path + "/stream/window_regs", reg_ages_.size(), word_t{0},
+      kWordBits);
+
+  for (std::size_t s = 0; s < plan.fifo_segments().size(); ++s) {
+    const model::FifoSegment& fs = plan.fifo_segments()[s];
+    SMACHE_REQUIRE_MSG(fs.bram_len >= 2,
+                       "BRAM FIFO segments need >= 2 slots for the pointer "
+                       "discipline");
+    Segment seg;
+    seg.in_stage_age = fs.in_stage_age;
+    seg.out_stage_age = fs.out_stage_age;
+    seg.bram_len = fs.bram_len;
+    const std::string spath = path + "/stream/fifo" + std::to_string(s);
+    seg.bram = std::make_unique<mem::BramBank>(
+        sim, spath, fs.bram_len, kWordBits, mem::BramBank::Mode::Fifo);
+    seg.ptr = std::make_unique<sim::Reg<std::uint32_t>>(
+        sim, spath + "/ptr", 0u, smache::addr_bits(fs.bram_len));
+    segments_.push_back(std::move(seg));
+  }
+
+  // Precompute each register slot's feed. Slot for age 1 takes the shift
+  // input; a slot whose age is an out_stage takes the segment's BRAM
+  // output; every other slot takes the register at age-1 (which must
+  // exist: BRAM interiors are always bounded by stage registers).
+  feeds_.resize(reg_ages_.size());
+  for (std::size_t slot = 0; slot < reg_ages_.size(); ++slot) {
+    const std::size_t age = reg_ages_[slot];
+    if (age == 1) {
+      feeds_[slot] = {Feed::Input, 0};
+      continue;
+    }
+    bool fed = false;
+    for (std::size_t s = 0; s < segments_.size(); ++s) {
+      if (segments_[s].out_stage_age == age) {
+        feeds_[slot] = {Feed::Bram, s};
+        fed = true;
+        break;
+      }
+    }
+    if (fed) continue;
+    const auto prev = reg_index_.find(age - 1);
+    SMACHE_REQUIRE_MSG(prev != reg_index_.end(),
+                       "window layout broken: register at age " +
+                           std::to_string(age) +
+                           " has no register or BRAM feeding it");
+    feeds_[slot] = {Feed::PrevReg, prev->second};
+  }
+}
+
+void StreamBuffer::shift(word_t in) {
+  // Schedule all register updates (non-blocking; reads see committed
+  // state, so ordering across slots is irrelevant).
+  for (std::size_t slot = 0; slot < feeds_.size(); ++slot) {
+    switch (feeds_[slot].kind) {
+      case Feed::Input:
+        regs_->d(slot, in);
+        break;
+      case Feed::PrevReg:
+        regs_->d(slot, regs_->q(feeds_[slot].arg));
+        break;
+      case Feed::Bram:
+        regs_->d(slot,
+                 static_cast<word_t>(segments_[feeds_[slot].arg]
+                                         .bram->rdata()));
+        break;
+    }
+  }
+  // Advance every BRAM segment.
+  for (auto& seg : segments_) {
+    const std::uint32_t p = seg.ptr->q();
+    const std::uint32_t next =
+        static_cast<std::uint32_t>((p + 1) % seg.bram_len);
+    const std::size_t in_slot = reg_index_.at(seg.in_stage_age);
+    seg.bram->write(p, regs_->q(in_slot));
+    seg.bram->read(next);
+    seg.ptr->d(next);
+  }
+}
+
+word_t StreamBuffer::tap(std::size_t age) const {
+  const auto it = reg_index_.find(age);
+  SMACHE_REQUIRE_MSG(it != reg_index_.end(),
+                     "tap(" + std::to_string(age) +
+                         ") is not a register-mapped window position");
+  return regs_->q(it->second);
+}
+
+}  // namespace smache::rtl

@@ -1,0 +1,84 @@
+// The stream (window) buffer with hybrid register/BRAM implementation —
+// the paper's §III "Stream Buffers and Hybrid use of registers and BRAM".
+//
+// Logically this is a delay line of window_len elements; age 1 is the
+// newest element, age window_len the oldest. Physically, positions the
+// gather unit must see in the same cycle (the stencil taps, plus the entry
+// and exit stages) are registers; long runs between taps are BRAM FIFO
+// segments bounded by in/out stage registers:
+//
+//   reg(in_stage) -> BRAM circular buffer (bram_len slots) -> reg(out_stage)
+//
+// The BRAM pointer discipline gives a fixed residence of bram_len shifts
+// per value using one read and one write port per cycle:
+//
+//   per shift: out_stage.d(bram.rdata());           // read issued last shift
+//              bram.write(ptr, in_stage.q());
+//              bram.read((ptr + 1) % bram_len);     // for the next shift
+//              ptr <- (ptr + 1) % bram_len
+//
+// bram_len >= 2 is required so the read and write of one shift never touch
+// the same slot; the planner guarantees >= 3.
+//
+// Case-R (RegisterOnly plans) degenerates to all positions in registers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/word.hpp"
+#include "mem/bram.hpp"
+#include "model/planner.hpp"
+#include "sim/reg.hpp"
+#include "sim/simulator.hpp"
+
+namespace smache::rtl {
+
+class StreamBuffer {
+ public:
+  StreamBuffer(sim::Simulator& sim, const std::string& path,
+               const model::BufferPlan& plan);
+
+  std::size_t window_len() const noexcept { return window_len_; }
+
+  /// Schedule one shift: `in` enters at age 1, every stored element ages by
+  /// one. Must be called at most once per cycle.
+  void shift(word_t in);
+
+  /// Combinational read of a register-mapped age (taps, stages). Ages
+  /// inside BRAM segments are not readable — the planner never taps them.
+  word_t tap(std::size_t age) const;
+
+  /// True if `age` is register-mapped (readable via tap()).
+  bool is_reg_age(std::size_t age) const {
+    return reg_index_.count(age) != 0;
+  }
+
+ private:
+  struct Segment {
+    std::size_t in_stage_age;
+    std::size_t out_stage_age;
+    std::size_t bram_len;
+    std::unique_ptr<mem::BramBank> bram;
+    std::unique_ptr<sim::Reg<std::uint32_t>> ptr;
+  };
+
+  std::size_t window_len_;
+  // Register-mapped ages, stored compactly: reg_index_[age] -> slot in regs_.
+  std::map<std::size_t, std::size_t> reg_index_;
+  std::unique_ptr<sim::RegArray<word_t>> regs_;
+  std::vector<std::size_t> reg_ages_;  // slot -> age (sorted ascending)
+  std::vector<Segment> segments_;
+  // For each register slot: where its next value comes from during a shift.
+  enum class Feed : std::uint8_t { Input, PrevReg, Bram };
+  struct FeedSpec {
+    Feed kind = Feed::Input;
+    std::size_t arg = 0;  // PrevReg: source slot; Bram: segment index
+  };
+  std::vector<FeedSpec> feeds_;
+};
+
+}  // namespace smache::rtl

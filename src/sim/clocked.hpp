@@ -1,0 +1,37 @@
+// Interfaces of the two-phase (eval/commit) cycle simulator.
+//
+// The substrate mimics an HDL simulator with exclusively non-blocking
+// assignment: during a cycle every Module::eval reads only *committed* state
+// and schedules next-state writes; after all modules evaluated, every Clocked
+// element commits atomically. Consequences:
+//   * module evaluation order never affects results (like well-formed RTL);
+//   * a value written at cycle t is visible at cycle t+1, exactly one
+//     flip-flop stage.
+#pragma once
+
+#include <cstdint>
+
+namespace smache::sim {
+
+class Simulator;
+
+/// A state element participating in the clock edge. Implementations must be
+/// registered with the Simulator (construction does this) and must only
+/// mutate observable state inside commit().
+class Clocked {
+ public:
+  virtual ~Clocked() = default;
+  /// Apply all next-state writes scheduled during the eval phase.
+  virtual void commit() = 0;
+};
+
+/// A behavioural block evaluated once per cycle. eval() may read committed
+/// state anywhere and schedule writes on Regs/Fifos/Brams; it must not
+/// observe its own same-cycle writes.
+class Module {
+ public:
+  virtual ~Module() = default;
+  virtual void eval() = 0;
+};
+
+}  // namespace smache::sim

@@ -1,0 +1,96 @@
+// Clocked FIFO channel — the only way modules communicate in this substrate.
+//
+// Semantics (all hardware-like):
+//   * at most one push and one pop per cycle (one write port, one read port);
+//   * a value pushed at cycle t becomes poppable at cycle t+1;
+//   * can_push() is based on committed occupancy plus this cycle's pending
+//     push, NOT on this cycle's pop — like a FIFO whose `full` flag is
+//     registered. This makes producer/consumer evaluation order irrelevant;
+//   * capacity must be >= 1.
+//
+// Resource accounting: FIFOs charge `capacity * bits_each` register bits
+// plus head/tail pointers. Design-level FIFOs that should synthesise into
+// BRAM use mem::BramBank-based structures instead; this class models the
+// small register-based skid/channel FIFOs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+#include "sim/clocked.hpp"
+#include "sim/simulator.hpp"
+#include "sim/reg.hpp"
+
+namespace smache::sim {
+
+template <typename T>
+class Fifo : public Clocked {
+ public:
+  Fifo(Simulator& sim, std::string path, std::size_t capacity,
+       std::uint32_t bits_each = default_bits<T>())
+      : capacity_(capacity) {
+    SMACHE_REQUIRE(capacity >= 1);
+    sim.register_clocked(this);
+    const std::uint64_t ptr_bits = 2ull * (addr_bits(capacity) + 1);
+    sim.ledger().add(std::move(path), ResKind::RegisterBits,
+                     static_cast<std::uint64_t>(capacity) * bits_each +
+                         ptr_bits);
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  /// Committed occupancy (start-of-cycle view).
+  std::size_t size() const noexcept { return items_.size(); }
+  bool empty() const noexcept { return items_.empty(); }
+
+  /// True iff a push this cycle is accepted. Ignores this cycle's pop by
+  /// design (registered-full semantics).
+  bool can_push() const noexcept {
+    return !push_pending_ && items_.size() < capacity_;
+  }
+
+  /// Schedule a push; the value is visible to the consumer next cycle.
+  void push(const T& v) {
+    SMACHE_REQUIRE_MSG(can_push(), "fifo overflow or double push in a cycle");
+    pending_value_ = v;
+    push_pending_ = true;
+  }
+
+  /// True iff a pop this cycle would return data.
+  bool can_pop() const noexcept { return !pop_pending_ && !items_.empty(); }
+
+  /// Committed front element; valid only when can_pop().
+  const T& front() const {
+    SMACHE_REQUIRE(!items_.empty());
+    return items_.front();
+  }
+
+  /// Schedule a pop of the front element and return it.
+  T pop() {
+    SMACHE_REQUIRE_MSG(can_pop(), "fifo underflow or double pop in a cycle");
+    pop_pending_ = true;
+    return items_.front();
+  }
+
+  void commit() override {
+    if (pop_pending_) {
+      items_.pop_front();
+      pop_pending_ = false;
+    }
+    if (push_pending_) {
+      items_.push_back(pending_value_);
+      push_pending_ = false;
+    }
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> items_;
+  T pending_value_{};
+  bool push_pending_ = false;
+  bool pop_pending_ = false;
+};
+
+}  // namespace smache::sim

@@ -1,0 +1,107 @@
+// Flip-flop primitives: Reg<T> (a single register) and RegArray<T> (a block
+// of registers with one commit). Both charge their bit counts to the
+// ResourceLedger so elaborated designs produce synthesis-style reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "sim/clocked.hpp"
+#include "sim/simulator.hpp"
+
+namespace smache::sim {
+
+/// Default resource width for a register holding T. Override per-register
+/// for packed fields (FSM states, flags, counters) via the `bits` argument.
+template <typename T>
+constexpr std::uint32_t default_bits() noexcept {
+  if constexpr (std::is_same_v<T, bool>) return 1;
+  else return static_cast<std::uint32_t>(sizeof(T) * 8);
+}
+
+/// A single clocked register. q() reads the committed value; d() schedules
+/// the next value. If d() is not called in a cycle the register holds.
+template <typename T>
+class Reg : public Clocked {
+ public:
+  /// `bits` is the synthesis width charged to the ledger (e.g. a 7-bit
+  /// counter stored in an int should pass 7).
+  Reg(Simulator& sim, std::string path, T init,
+      std::uint32_t bits = default_bits<T>())
+      : q_(init), next_(init) {
+    sim.register_clocked(this);
+    sim.ledger().add(std::move(path), ResKind::RegisterBits, bits);
+  }
+
+  const T& q() const noexcept { return q_; }
+  void d(const T& v) {
+    next_ = v;
+    pending_ = true;
+  }
+
+  void commit() override {
+    if (pending_) {
+      q_ = next_;
+      pending_ = false;
+    }
+  }
+
+ private:
+  T q_;
+  T next_;
+  bool pending_ = false;
+};
+
+/// A block of N registers committed together (e.g. a shift window). One
+/// Clocked registration regardless of N keeps large windows fast to commit.
+template <typename T>
+class RegArray : public Clocked {
+ public:
+  RegArray(Simulator& sim, std::string path, std::size_t count, T init,
+           std::uint32_t bits_each = default_bits<T>())
+      : q_(count, init), next_(count, init) {
+    sim.register_clocked(this);
+    sim.ledger().add(std::move(path), ResKind::RegisterBits,
+                     static_cast<std::uint64_t>(count) * bits_each);
+  }
+
+  std::size_t size() const noexcept { return q_.size(); }
+
+  const T& q(std::size_t i) const {
+    SMACHE_REQUIRE(i < q_.size());
+    return q_[i];
+  }
+
+  void d(std::size_t i, const T& v) {
+    SMACHE_REQUIRE(i < next_.size());
+    next_[i] = v;
+    dirty_.push_back(i);
+  }
+
+  /// Schedule a one-position shift toward higher indices with `in` entering
+  /// at index 0 (the canonical stream-buffer move). Equivalent to
+  /// d(i+1, q(i)) for all i plus d(0, in), but in one pass.
+  void shift_in(const T& in) {
+    for (std::size_t i = next_.size(); i-- > 1;) {
+      next_[i] = q_[i - 1];
+      dirty_.push_back(i);
+    }
+    next_[0] = in;
+    dirty_.push_back(0);
+  }
+
+  void commit() override {
+    for (std::size_t i : dirty_) q_[i] = next_[i];
+    dirty_.clear();
+  }
+
+ private:
+  std::vector<T> q_;
+  std::vector<T> next_;
+  std::vector<std::size_t> dirty_;
+};
+
+}  // namespace smache::sim

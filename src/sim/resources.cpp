@@ -1,0 +1,67 @@
+#include "sim/resources.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace smache::sim {
+
+void ResourceLedger::add(std::string path, ResKind kind,
+                         std::uint64_t amount) {
+  entries_.push_back(ResEntry{std::move(path), kind, amount});
+}
+
+bool ResourceLedger::prefix_matches(std::string_view path,
+                                    std::string_view prefix) {
+  if (prefix.empty()) return true;
+  if (path.size() < prefix.size()) return false;
+  if (path.substr(0, prefix.size()) != prefix) return false;
+  // Segment-aware: the character after the prefix must be a separator or
+  // end-of-string, so "a/b" does not match "a/bc".
+  return path.size() == prefix.size() || path[prefix.size()] == '/';
+}
+
+std::uint64_t ResourceLedger::total(ResKind kind,
+                                    std::string_view prefix) const {
+  std::uint64_t sum = 0;
+  for (const auto& e : entries_)
+    if (e.kind == kind && prefix_matches(e.path, prefix)) sum += e.amount;
+  return sum;
+}
+
+std::vector<ResEntry> ResourceLedger::entries(std::string_view prefix) const {
+  std::vector<ResEntry> out;
+  for (const auto& e : entries_)
+    if (prefix_matches(e.path, prefix)) out.push_back(e);
+  return out;
+}
+
+std::string ResourceLedger::report() const {
+  // Aggregate by first path segment.
+  struct Sums {
+    std::uint64_t reg = 0, bram = 0, blocks = 0;
+  };
+  std::map<std::string, Sums> groups;
+  for (const auto& e : entries_) {
+    const auto slash = e.path.find('/');
+    const std::string head =
+        slash == std::string::npos ? e.path : e.path.substr(0, slash);
+    auto& s = groups[head];
+    switch (e.kind) {
+      case ResKind::RegisterBits: s.reg += e.amount; break;
+      case ResKind::BramBits: s.bram += e.amount; break;
+      case ResKind::BramBlocks: s.blocks += e.amount; break;
+    }
+  }
+  std::ostringstream out;
+  out << "resource report (bits):\n";
+  for (const auto& [name, s] : groups) {
+    out << "  " << name << ": registers=" << s.reg << " bram=" << s.bram;
+    if (s.blocks) out << " m20k=" << s.blocks;
+    out << '\n';
+  }
+  return out.str();
+}
+
+void ResourceLedger::clear() { entries_.clear(); }
+
+}  // namespace smache::sim

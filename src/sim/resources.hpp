@@ -1,0 +1,51 @@
+// Hierarchical resource accounting — the simulator's equivalent of a
+// synthesis report. Every hardware primitive (register, BRAM bank) registers
+// the bits it would occupy on the FPGA under a hierarchical path such as
+// "smache/stream_buffer/taps". Reports then aggregate by path prefix, which
+// is how the Table I benchmark splits static-buffer (sc) from
+// stream-buffer (sm) contributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smache::sim {
+
+/// Kinds of accountable resources. RegisterBits and BramBits correspond to
+/// the paper's R and B columns; BramBlocks is the M20K block count derived
+/// by the device model.
+enum class ResKind { RegisterBits, BramBits, BramBlocks };
+
+struct ResEntry {
+  std::string path;
+  ResKind kind;
+  std::uint64_t amount;
+};
+
+class ResourceLedger {
+ public:
+  /// Record `amount` units of `kind` under `path`. Amounts accumulate; the
+  /// same path may be charged repeatedly (e.g. one entry per register).
+  void add(std::string path, ResKind kind, std::uint64_t amount);
+
+  /// Sum of all amounts of `kind` whose path starts with `prefix`
+  /// ("" sums everything). Prefix matching is segment-aware: "a/b" matches
+  /// "a/b" and "a/b/c" but not "a/bc".
+  std::uint64_t total(ResKind kind, std::string_view prefix = "") const;
+
+  /// All entries under a prefix (for detailed reports).
+  std::vector<ResEntry> entries(std::string_view prefix = "") const;
+
+  /// Multi-line human-readable report of totals per top-level group.
+  std::string report() const;
+
+  void clear();
+
+ private:
+  static bool prefix_matches(std::string_view path, std::string_view prefix);
+  std::vector<ResEntry> entries_;
+};
+
+}  // namespace smache::sim

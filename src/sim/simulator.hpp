@@ -1,0 +1,81 @@
+// The cycle scheduler. See clocked.hpp for the two-phase semantics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "sim/clocked.hpp"
+#include "sim/resources.hpp"
+#include "sim/trace.hpp"
+
+namespace smache::sim {
+
+/// Single-clock, two-phase cycle simulator. Non-owning: the test bench or
+/// engine owns modules and state elements; they register themselves here on
+/// construction and must outlive the Simulator's last step().
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current cycle number (count of completed steps).
+  std::uint64_t now() const noexcept { return cycle_; }
+
+  /// Register a behavioural module; evaluated every cycle in registration
+  /// order (order is irrelevant for correctness, fixed for determinism).
+  void add_module(Module* m) {
+    SMACHE_REQUIRE(m != nullptr);
+    modules_.push_back(m);
+  }
+
+  /// Register a state element; committed every cycle after all evals.
+  void register_clocked(Clocked* c) {
+    SMACHE_REQUIRE(c != nullptr);
+    clocked_.push_back(c);
+  }
+
+  /// Resource accounting shared by every primitive built on this simulator.
+  ResourceLedger& ledger() noexcept { return ledger_; }
+  const ResourceLedger& ledger() const noexcept { return ledger_; }
+
+  /// Shared signal tracer (disabled by default; modules sample through it
+  /// unconditionally, which is near-free when disabled).
+  Tracer& tracer() noexcept { return tracer_; }
+  const Tracer& tracer() const noexcept { return tracer_; }
+
+  /// Advance exactly one cycle: eval phase then commit phase.
+  void step() {
+    for (Module* m : modules_) m->eval();
+    for (Clocked* c : clocked_) c->commit();
+    ++cycle_;
+  }
+
+  /// Step until `done()` returns true (checked after each cycle) or
+  /// `max_cycles` elapse. Returns the number of cycles stepped.
+  /// Throws if the budget is exhausted before completion — a hang in the
+  /// simulated design is a bug, never silent.
+  std::uint64_t run_until(const std::function<bool()>& done,
+                          std::uint64_t max_cycles) {
+    const std::uint64_t start = cycle_;
+    while (cycle_ - start < max_cycles) {
+      step();
+      if (done()) return cycle_ - start;
+    }
+    throw contract_error("simulation exceeded max_cycles=" +
+                         std::to_string(max_cycles) +
+                         " without reaching completion");
+  }
+
+ private:
+  std::uint64_t cycle_ = 0;
+  std::vector<Module*> modules_;
+  std::vector<Clocked*> clocked_;
+  ResourceLedger ledger_;
+  Tracer tracer_;
+};
+
+}  // namespace smache::sim

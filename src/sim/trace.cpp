@@ -1,0 +1,15 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace smache::sim {
+
+std::string Tracer::to_csv() const {
+  std::ostringstream out;
+  out << "cycle,signal,value\n";
+  for (const auto& r : rows_)
+    out << r.cycle << ',' << r.signal << ',' << r.value << '\n';
+  return out.str();
+}
+
+}  // namespace smache::sim

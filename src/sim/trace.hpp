@@ -1,0 +1,40 @@
+// Optional cycle trace: modules sample named signals each cycle; the trace
+// renders to CSV for debugging pipelines. Disabled tracers are near-free
+// (one branch per sample), so RTL modules can sample unconditionally.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smache::sim {
+
+class Tracer {
+ public:
+  /// A disabled tracer drops samples.
+  explicit Tracer(bool enabled = false) : enabled_(enabled) {}
+
+  bool enabled() const noexcept { return enabled_; }
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+
+  void sample(std::uint64_t cycle, const char* signal, std::uint64_t value) {
+    if (!enabled_) return;
+    rows_.push_back(Row{cycle, signal, value});
+  }
+
+  struct Row {
+    std::uint64_t cycle;
+    std::string signal;
+    std::uint64_t value;
+  };
+
+  const std::vector<Row>& rows() const noexcept { return rows_; }
+  std::string to_csv() const;
+  void clear() noexcept { rows_.clear(); }
+
+ private:
+  bool enabled_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace smache::sim

@@ -1,0 +1,91 @@
+#include "sim/vcd.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace smache::sim {
+
+namespace {
+
+/// VCD identifier codes: short printable strings '!', '"', ... '!!', ...
+std::string id_code(std::size_t index) {
+  std::string code;
+  do {
+    code += static_cast<char>('!' + index % 94);
+    index /= 94;
+  } while (index != 0);
+  return code;
+}
+
+std::string to_binary(std::uint64_t value) {
+  if (value == 0) return "0";
+  std::string bits;
+  while (value != 0) {
+    bits += static_cast<char>('0' + (value & 1));
+    value >>= 1;
+  }
+  std::reverse(bits.begin(), bits.end());
+  return bits;
+}
+
+}  // namespace
+
+std::string to_vcd(const Tracer& tracer, const VcdOptions& options) {
+  // Collect the signal set and group by scope (text before the first '.').
+  struct SignalInfo {
+    std::string scope;
+    std::string name;
+    std::string code;
+  };
+  std::map<std::string, SignalInfo> signals;
+  for (const auto& row : tracer.rows()) {
+    if (signals.count(row.signal)) continue;
+    const auto dot = row.signal.find('.');
+    SignalInfo info;
+    info.scope = dot == std::string::npos ? "top" : row.signal.substr(0, dot);
+    info.name =
+        dot == std::string::npos ? row.signal : row.signal.substr(dot + 1);
+    info.code = id_code(signals.size());
+    signals.emplace(row.signal, std::move(info));
+  }
+
+  std::ostringstream out;
+  out << "$date smache simulation $end\n";
+  out << "$version smache tracer $end\n";
+  out << "$timescale " << options.timescale << " $end\n";
+
+  // Scope declarations grouped by module.
+  std::map<std::string, std::vector<const SignalInfo*>> by_scope;
+  std::map<std::string, const SignalInfo*> ordered;
+  for (const auto& [full, info] : signals) ordered[full] = &info;
+  for (const auto& [full, info] : ordered) by_scope[info->scope].push_back(info);
+  for (const auto& [scope, sigs] : by_scope) {
+    out << "$scope module " << scope << " $end\n";
+    for (const SignalInfo* s : sigs)
+      out << "$var wire " << options.width << ' ' << s->code << ' '
+          << s->name << " $end\n";
+    out << "$upscope $end\n";
+  }
+  out << "$enddefinitions $end\n";
+
+  // Change-only dump, rows replayed in cycle order (the tracer appends in
+  // simulation order, but group identical timestamps together).
+  std::map<std::string, std::uint64_t> last_value;
+  std::uint64_t current_time = ~std::uint64_t{0};
+  for (const auto& row : tracer.rows()) {
+    const auto it = last_value.find(row.signal);
+    if (it != last_value.end() && it->second == row.value) continue;
+    last_value[row.signal] = row.value;
+    if (row.cycle != current_time) {
+      out << '#' << row.cycle << '\n';
+      current_time = row.cycle;
+    }
+    out << 'b' << to_binary(row.value) << ' '
+        << signals.at(row.signal).code << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace smache::sim

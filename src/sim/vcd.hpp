@@ -1,0 +1,24 @@
+// VCD (Value Change Dump) rendering of a Tracer capture, so simulated
+// controller behaviour can be inspected in GTKWave & friends — the
+// debugging workflow an RTL engineer would expect from this substrate.
+#pragma once
+
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace smache::sim {
+
+struct VcdOptions {
+  /// Timescale string for the header (one simulator cycle = one tick).
+  std::string timescale = "1ns";
+  /// Width of every dumped vector (signals are stored as uint64 samples).
+  unsigned width = 64;
+};
+
+/// Render the tracer's rows as a VCD document: one module scope per
+/// dotted-path prefix ("smache.shifts" lands in scope "smache" as signal
+/// "shifts"), with change-only emission per timestamp.
+std::string to_vcd(const Tracer& tracer, const VcdOptions& options = {});
+
+}  // namespace smache::sim

@@ -1,0 +1,157 @@
+// Tests for Algorithm 1 (optimal buffer size calculation): the paper's
+// worked intuition, optimality of the interval variant against exhaustive
+// subset enumeration, and the outer max/sum composition.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "model/algorithm1.hpp"
+
+namespace smache::model {
+namespace {
+
+RangeSpec make_range(std::vector<std::int64_t> offsets,
+                     std::uint64_t length) {
+  RangeSpec r;
+  r.start = 0;
+  r.length = length;
+  r.tuple.offsets = std::move(offsets);
+  return r;
+}
+
+TEST(TupleSpec, ReachMatchesPaperExample) {
+  // Paper: tuple (m[i], m[i-1], m[i+1], m[i-k], m[i+k]) has reach 2k.
+  const std::int64_t k = 1000;
+  TupleSpec t{{0, -1, 1, -k, k}};
+  EXPECT_EQ(t.reach(), 2 * k);
+  EXPECT_EQ(t.min_offset(), -k);
+  EXPECT_EQ(t.max_offset(), k);
+}
+
+TEST(Algorithm1, SmallRangePrefersStaticForFarOffsets) {
+  // Range of 11 elements (one grid row), tuple with a whole-grid offset:
+  // moving the far element to a static buffer costs 11, keeping it in the
+  // stream costs ~110 of reach.
+  const auto r = make_range({-1, 0, 1, 110}, 11);
+  const auto s = calc_opt_sz(r, Algo1Mode::OptimalInterval);
+  EXPECT_EQ(s.static_offsets, (std::vector<std::int64_t>{110}));
+  EXPECT_EQ(s.stream_reach, 2u);
+  EXPECT_EQ(s.static_elems, 11u);
+  EXPECT_EQ(s.total(), 13u);
+}
+
+TEST(Algorithm1, LargeRangePrefersStream) {
+  // Same tuple over a huge range: static buffering one element costs the
+  // whole range; the window wins.
+  const auto r = make_range({-1, 0, 1, 110}, 100000);
+  const auto s = calc_opt_sz(r, Algo1Mode::OptimalInterval);
+  EXPECT_TRUE(s.static_offsets.empty());
+  EXPECT_EQ(s.stream_reach, 111u);
+}
+
+TEST(Algorithm1, PaperPrefixMatchesIntervalOnSymmetricTuples) {
+  // For symmetric tuples the farthest-first prefix order IS the optimal
+  // interval shrink order, so the variants agree.
+  for (std::uint64_t len : {1u, 5u, 40u, 1000u}) {
+    const auto r = make_range({-50, -1, 0, 1, 50}, len);
+    const auto a = calc_opt_sz(r, Algo1Mode::PaperPrefix);
+    const auto b = calc_opt_sz(r, Algo1Mode::OptimalInterval);
+    EXPECT_EQ(a.total(), b.total()) << "range length " << len;
+  }
+}
+
+TEST(Algorithm1, IntervalNeverWorseThanPaperPrefix) {
+  Rng rng(0xA160);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::int64_t> offs;
+    const auto n = 1 + rng.next_below(7);
+    for (std::uint64_t i = 0; i < n; ++i)
+      offs.push_back(rng.next_in(-200, 200));
+    // Deduplicate (tuples are sets of offsets).
+    std::sort(offs.begin(), offs.end());
+    offs.erase(std::unique(offs.begin(), offs.end()), offs.end());
+    const auto r = make_range(offs, 1 + rng.next_below(300));
+    const auto paper = calc_opt_sz(r, Algo1Mode::PaperPrefix);
+    const auto opt = calc_opt_sz(r, Algo1Mode::OptimalInterval);
+    EXPECT_LE(opt.total(), paper.total());
+  }
+}
+
+TEST(Algorithm1, IntervalMatchesExhaustiveOracle) {
+  Rng rng(0xBEEF);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<std::int64_t> offs;
+    const auto n = 1 + rng.next_below(10);
+    for (std::uint64_t i = 0; i < n; ++i)
+      offs.push_back(rng.next_in(-500, 500));
+    std::sort(offs.begin(), offs.end());
+    offs.erase(std::unique(offs.begin(), offs.end()), offs.end());
+    const auto r = make_range(offs, 1 + rng.next_below(400));
+    const auto opt = calc_opt_sz(r, Algo1Mode::OptimalInterval);
+    const auto oracle = exhaustive_best_split(r);
+    EXPECT_EQ(opt.total(), oracle.total())
+        << "interval variant must be subset-optimal";
+  }
+}
+
+TEST(Algorithm1, SplitPartitionsTheTuple) {
+  const auto r = make_range({-7, -2, 0, 3, 9, 40}, 13);
+  for (auto mode : {Algo1Mode::PaperPrefix, Algo1Mode::OptimalInterval}) {
+    const auto s = calc_opt_sz(r, mode);
+    EXPECT_EQ(s.stream_offsets.size() + s.static_offsets.size(),
+              r.tuple.offsets.size());
+    EXPECT_EQ(s.static_elems, s.static_offsets.size() * r.length);
+  }
+}
+
+TEST(Algorithm1, SingleOffsetTuple) {
+  const auto r = make_range({5}, 100);
+  const auto s = calc_opt_sz(r, Algo1Mode::OptimalInterval);
+  EXPECT_EQ(s.stream_reach, 0u);
+  EXPECT_TRUE(s.static_offsets.empty());
+}
+
+TEST(Algorithm1, EmptyTupleRejected) {
+  const auto r = make_range({}, 10);
+  EXPECT_THROW(calc_opt_sz(r, Algo1Mode::OptimalInterval),
+               smache::contract_error);
+}
+
+TEST(Algorithm1, OuterLoopMaxStreamPlusSumStatic) {
+  // Paper: tot = max_j(stream) + sum_j(static). Two ranges: one keeps a
+  // wide window, one pushes an element static; the totals compose.
+  std::vector<RangeSpec> ranges;
+  ranges.push_back(make_range({-1, 0, 1}, 1000));        // reach 2, no static
+  ranges.push_back(make_range({-1, 0, 1, 500}, 4));      // static wins: 4
+  ranges.push_back(make_range({-30, 0, 30}, 100000));    // reach 60
+  const auto sizes =
+      optimal_buffer_sizes(ranges, Algo1Mode::OptimalInterval);
+  EXPECT_EQ(sizes.stream_buffer_reach, 60u);
+  EXPECT_EQ(sizes.static_total_elems, 4u);
+  EXPECT_EQ(sizes.total(), 64u);
+  ASSERT_EQ(sizes.per_range.size(), 3u);
+}
+
+TEST(Algorithm1, PaperGridScenario) {
+  // The paper's 11x11 circular-boundary problem expressed in the formal
+  // model: top row (range of 11) has a tuple element (H-1)*W away; the
+  // optimiser should place exactly that element in a static buffer and
+  // keep the +/-W window for the mid range.
+  const std::int64_t W = 11;
+  std::vector<RangeSpec> ranges;
+  ranges.push_back(make_range({-1, 1, W, 10 * W}, 11));        // top row
+  ranges.push_back(make_range({-W, -1, 1, W}, 9 * 11));        // middle
+  ranges.push_back(make_range({-10 * W, -W, -1, 1}, 11));      // bottom row
+  const auto sizes =
+      optimal_buffer_sizes(ranges, Algo1Mode::OptimalInterval);
+  EXPECT_EQ(sizes.per_range[0].static_offsets,
+            (std::vector<std::int64_t>{10 * W}));
+  EXPECT_EQ(sizes.per_range[2].static_offsets,
+            (std::vector<std::int64_t>{-10 * W}));
+  EXPECT_TRUE(sizes.per_range[1].static_offsets.empty());
+  EXPECT_EQ(sizes.stream_buffer_reach, 2u * W);
+  EXPECT_EQ(sizes.static_total_elems, 22u);  // the T and B buffers
+}
+
+}  // namespace
+}  // namespace smache::model

@@ -1,0 +1,168 @@
+// Tests for the cost model (Table I estimate formulas), the device model,
+// the calibrated timing model, and the DSE sweep.
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.hpp"
+#include "cost/device.hpp"
+#include "cost/dse.hpp"
+#include "cost/timing.hpp"
+#include "model/planner.hpp"
+
+namespace smache::cost {
+namespace {
+
+model::BufferPlan plan_for(std::size_t dim, model::StreamImpl impl) {
+  model::PlannerOptions o;
+  o.stream_impl = impl;
+  return model::Planner(o).plan(dim, dim,
+                                grid::StencilShape::von_neumann4(),
+                                grid::BoundarySpec::paper_example());
+}
+
+TEST(CostModel, TableIEstimates11x11r) {
+  const auto e =
+      estimate_memory(plan_for(11, model::StreamImpl::RegisterOnly));
+  EXPECT_EQ(e.r_stream, 800u);
+  EXPECT_EQ(e.b_stream, 0u);
+  EXPECT_EQ(e.b_static, 1408u);
+  EXPECT_EQ(e.r_static, 0u);
+}
+
+TEST(CostModel, TableIEstimates11x11h) {
+  const auto e = estimate_memory(plan_for(11, model::StreamImpl::Hybrid));
+  EXPECT_EQ(e.r_stream, 352u);
+  EXPECT_EQ(e.b_stream, 448u);
+  EXPECT_EQ(e.b_static, 1408u);
+}
+
+TEST(CostModel, TableIEstimates1024r) {
+  const auto e =
+      estimate_memory(plan_for(1024, model::StreamImpl::RegisterOnly));
+  EXPECT_EQ(e.r_stream, 65632u);
+  EXPECT_EQ(e.b_static, 131072u);
+}
+
+TEST(CostModel, TableIEstimates1024h) {
+  const auto e = estimate_memory(plan_for(1024, model::StreamImpl::Hybrid));
+  EXPECT_EQ(e.r_stream, 352u);
+  EXPECT_EQ(e.b_stream, 65280u);
+  EXPECT_EQ(e.b_static, 131072u);
+}
+
+TEST(CostModel, ReplicasMultiplyStaticBits) {
+  model::PlannerOptions o;
+  const auto plan = model::Planner(o).plan(
+      16, 16, grid::StencilShape::moore9(),
+      {grid::AxisBoundary::periodic(), grid::AxisBoundary::open()});
+  const auto e = estimate_memory(plan);
+  // 2 banks x 3 replicas x 2 copies x 16 elems x 32 bits.
+  EXPECT_EQ(e.b_static, 2u * 3 * 2 * 16 * 32);
+}
+
+TEST(Device, StratixVFitsThePaperDesigns) {
+  const auto dev = DeviceModel::stratix_v();
+  const auto e = estimate_memory(plan_for(1024, model::StreamImpl::Hybrid));
+  const auto fit = check_fit(dev, e.r_total(), e.b_total());
+  EXPECT_TRUE(fit.fits);
+  EXPECT_LT(fit.bram_utilisation, 0.01);
+}
+
+TEST(Device, SmallDeviceRejectsRegisterHeavyDesign) {
+  const auto dev = DeviceModel::small_device();
+  const auto e =
+      estimate_memory(plan_for(1024, model::StreamImpl::RegisterOnly));
+  EXPECT_FALSE(check_fit(dev, e.r_total(), e.b_total()).fits);
+}
+
+TEST(Timing, CalibratedNearPaperSynthesisPoints) {
+  // Baseline 372.9 MHz, Smache 235.3 MHz on the 11x11 problem; the model
+  // is calibrated to land within 5% of both.
+  const auto b = estimate_baseline_timing(4, 9);
+  EXPECT_NEAR(b.fmax_mhz, 372.9, 372.9 * 0.05);
+  const auto s = estimate_smache_timing(plan_for(11, model::StreamImpl::Hybrid));
+  EXPECT_NEAR(s.fmax_mhz, 235.3, 235.3 * 0.05);
+}
+
+TEST(Timing, BaselineClocksFasterThanSmache) {
+  const auto b = estimate_baseline_timing(4, 9);
+  const auto s =
+      estimate_smache_timing(plan_for(11, model::StreamImpl::Hybrid));
+  EXPECT_GT(b.fmax_mhz, s.fmax_mhz);
+}
+
+TEST(Timing, MoreCasesLowerFmax) {
+  // Moore (9 offsets) on all-periodic boundaries has the same 9 cases but
+  // a deeper kernel tree; compare case growth instead with cross(2):
+  // 5x5 = 25 cases vs 9 -> deeper case mux -> slower gather path.
+  model::PlannerOptions o;
+  const auto small_cases = model::Planner(o).plan(
+      32, 32, grid::StencilShape::von_neumann4(),
+      grid::BoundarySpec::paper_example());
+  const auto many_cases = model::Planner(o).plan(
+      32, 32, grid::StencilShape::cross(2),
+      grid::BoundarySpec::paper_example());
+  EXPECT_GT(many_cases.cases().case_count(),
+            small_cases.cases().case_count());
+  EXPECT_LT(estimate_smache_timing(many_cases).fmax_mhz,
+            estimate_smache_timing(small_cases).fmax_mhz);
+}
+
+TEST(Timing, HugeRegisterWindowSlowsTheShiftEnable) {
+  const auto small = plan_for(11, model::StreamImpl::RegisterOnly);
+  const auto large = plan_for(1024, model::StreamImpl::RegisterOnly);
+  EXPECT_LT(estimate_smache_timing(large).fmax_mhz,
+            estimate_smache_timing(small).fmax_mhz);
+}
+
+TEST(Timing, ReportsDominantPath) {
+  const auto s =
+      estimate_smache_timing(plan_for(11, model::StreamImpl::Hybrid));
+  EXPECT_FALSE(s.critical_path.empty());
+  EXPECT_GT(s.critical_path_ns, 0.0);
+}
+
+TEST(Dse, SweepsBothCasesAndMarksPareto) {
+  DseRequest req;
+  req.height = 64;
+  req.width = 64;
+  const auto points = explore(req);
+  ASSERT_GE(points.size(), 3u);
+  bool saw_reg_only = false, any_pareto = false;
+  for (const auto& p : points) {
+    if (p.impl == model::StreamImpl::RegisterOnly) saw_reg_only = true;
+    if (p.pareto) any_pareto = true;
+  }
+  EXPECT_TRUE(saw_reg_only);
+  EXPECT_TRUE(any_pareto);
+}
+
+TEST(Dse, HybridDominatesOnRegistersAtScale) {
+  DseRequest req;
+  req.height = 512;
+  req.width = 512;
+  const auto points = explore(req);
+  const DsePoint* reg_only = nullptr;
+  const DsePoint* hybrid = nullptr;
+  for (const auto& p : points) {
+    if (p.impl == model::StreamImpl::RegisterOnly) reg_only = &p;
+    else if (!hybrid) hybrid = &p;
+  }
+  ASSERT_NE(reg_only, nullptr);
+  ASSERT_NE(hybrid, nullptr);
+  // The paper's §IV trade-off: hybrid slashes registers, costs BRAM.
+  EXPECT_LT(hybrid->memory.r_total(), reg_only->memory.r_total() / 50);
+  EXPECT_GT(hybrid->memory.b_total(), reg_only->memory.b_total());
+}
+
+TEST(Dse, LabelsAreDistinct) {
+  DseRequest req;
+  req.height = 32;
+  req.width = 32;
+  const auto points = explore(req);
+  std::set<std::string> labels;
+  for (const auto& p : points) labels.insert(p.label());
+  EXPECT_EQ(labels.size(), points.size());
+}
+
+}  // namespace
+}  // namespace smache::cost

@@ -1,0 +1,153 @@
+// Datapath stress: hostile bit patterns (NaN, infinities, denormals,
+// all-ones, sign edge cases) must travel through the full simulated
+// pipeline bit-exactly, and extreme grid geometries must work.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+
+namespace smache {
+namespace {
+
+TEST(DatapathStress, HostileFloatPatternsPassThroughIdentity) {
+  // Identity kernel: every word must come out exactly as it went in,
+  // whatever IEEE class its bits encode.
+  ProblemSpec p;
+  p.height = 4;
+  p.width = 8;
+  p.shape = grid::StencilShape::custom("c", {{0, 0}});
+  p.bc = grid::BoundarySpec::all_open();
+  p.kernel = rtl::KernelSpec{rtl::KernelKind::Identity,
+                             rtl::ValueType::Float32, 0, 0};
+  p.steps = 3;
+
+  grid::Grid<word_t> init(4, 8);
+  const word_t patterns[] = {
+      0x7FC00000u,  // quiet NaN
+      0x7F800000u,  // +inf
+      0xFF800000u,  // -inf
+      0x00000001u,  // smallest denormal
+      0x807FFFFFu,  // largest negative denormal
+      0x80000000u,  // -0.0
+      0xFFFFFFFFu,  // NaN with payload
+      0x3F800000u,  // 1.0
+  };
+  for (std::size_t i = 0; i < init.size(); ++i)
+    init[i] = patterns[i % 8];
+
+  const auto res = Engine(EngineOptions::smache()).run(p, init);
+  EXPECT_EQ(res.output, init) << "identity must preserve every bit";
+}
+
+TEST(DatapathStress, NaNPropagatesIdenticallyToReference) {
+  // Float averaging with NaNs present: hardware and reference must agree
+  // bit-for-bit (NaN payload canonicalisation happens in both or neither,
+  // since they share the arithmetic functor).
+  ProblemSpec p;
+  p.height = 6;
+  p.width = 6;
+  p.shape = grid::StencilShape::von_neumann4();
+  p.bc = grid::BoundarySpec::all_periodic();
+  p.kernel = rtl::KernelSpec::average_float();
+  p.steps = 2;
+  grid::Grid<word_t> init(6, 6, to_word(1.0f));
+  init.at(2, 3) = 0x7FC00000u;  // NaN seed
+  init.at(4, 1) = 0x7F800000u;  // +inf seed
+  const auto res = Engine(EngineOptions::smache()).run(p, init);
+  EXPECT_EQ(res.output, reference_run(p, init));
+}
+
+TEST(DatapathStress, IntExtremesThroughAverage) {
+  ProblemSpec p = ProblemSpec::paper_example();
+  p.steps = 3;
+  grid::Grid<word_t> init(11, 11);
+  Rng rng(0x5712E55);
+  const std::int32_t extremes[] = {
+      std::numeric_limits<std::int32_t>::max(),
+      std::numeric_limits<std::int32_t>::min(),
+      -1,
+      0,
+      1,
+  };
+  for (std::size_t i = 0; i < init.size(); ++i)
+    init[i] = to_word(extremes[rng.next_below(5)]);
+  for (auto arch : {Architecture::Smache, Architecture::Baseline}) {
+    EngineOptions opts;
+    opts.arch = arch;
+    EXPECT_EQ(Engine(opts).run(p, init).output, reference_run(p, init))
+        << to_string(arch);
+  }
+}
+
+TEST(DatapathStress, TallThinGrid) {
+  ProblemSpec p;
+  p.height = 64;
+  p.width = 3;
+  p.shape = grid::StencilShape::von_neumann4();
+  p.bc = grid::BoundarySpec::paper_example();
+  p.steps = 2;
+  Rng rng(1);
+  grid::Grid<word_t> init(64, 3);
+  for (std::size_t i = 0; i < init.size(); ++i)
+    init[i] = static_cast<word_t>(rng.next_below(999));
+  EXPECT_EQ(Engine(EngineOptions::smache()).run(p, init).output,
+            reference_run(p, init));
+}
+
+TEST(DatapathStress, ShortWideGrid) {
+  ProblemSpec p;
+  p.height = 3;
+  p.width = 64;
+  p.shape = grid::StencilShape::von_neumann4();
+  p.bc = grid::BoundarySpec::paper_example();
+  p.steps = 2;
+  Rng rng(2);
+  grid::Grid<word_t> init(3, 64);
+  for (std::size_t i = 0; i < init.size(); ++i)
+    init[i] = static_cast<word_t>(rng.next_below(999));
+  EXPECT_EQ(Engine(EngineOptions::smache()).run(p, init).output,
+            reference_run(p, init));
+}
+
+TEST(DatapathStress, MinimumViableGrid) {
+  // The smallest grid the 4-point stencil admits: 3x3.
+  ProblemSpec p;
+  p.height = 3;
+  p.width = 3;
+  p.shape = grid::StencilShape::von_neumann4();
+  p.bc = grid::BoundarySpec::all_periodic();
+  p.steps = 4;
+  grid::Grid<word_t> init(3, 3);
+  for (std::size_t i = 0; i < 9; ++i)
+    init[i] = static_cast<word_t>(i * 11 + 1);
+  for (auto arch : {Architecture::Smache, Architecture::Baseline}) {
+    EngineOptions opts;
+    opts.arch = arch;
+    EXPECT_EQ(Engine(opts).run(p, init).output, reference_run(p, init))
+        << to_string(arch);
+  }
+}
+
+TEST(DatapathStress, LargeGridLongRun) {
+  // A heavier integration point: 96x96, 8 instances (~75k cells updated).
+  ProblemSpec p = ProblemSpec::paper_example();
+  p.height = 96;
+  p.width = 96;
+  p.steps = 8;
+  Rng rng(3);
+  grid::Grid<word_t> init(96, 96);
+  for (std::size_t i = 0; i < init.size(); ++i)
+    init[i] = static_cast<word_t>(rng.next_below(1 << 16));
+  const auto res = Engine(EngineOptions::smache()).run(p, init);
+  EXPECT_EQ(res.output, reference_run(p, init));
+  // Streaming-rate sanity: ~1.05 cycles/point at this size.
+  EXPECT_LT(static_cast<double>(res.cycles) /
+                static_cast<double>(p.cells() * p.steps),
+            1.2);
+}
+
+}  // namespace
+}  // namespace smache

@@ -1,0 +1,148 @@
+// Failure-injection tests: DRAM stall bursts, realistic latencies, tiny
+// channel queues, and shared-bus contention must change CYCLE COUNTS only —
+// never results. This validates the stall/back-pressure integration the
+// paper's AXI4-Stream interface provides.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+
+namespace smache {
+namespace {
+
+grid::Grid<word_t> random_grid(std::size_t h, std::size_t w,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  grid::Grid<word_t> g(h, w);
+  for (std::size_t i = 0; i < g.size(); ++i)
+    g[i] = static_cast<word_t>(rng.next_below(1 << 16));
+  return g;
+}
+
+ProblemSpec small_problem() {
+  ProblemSpec p = ProblemSpec::paper_example();
+  p.steps = 5;
+  return p;
+}
+
+TEST(FailureInjection, DramStallsDoNotChangeResults) {
+  const auto p = small_problem();
+  const auto init = random_grid(11, 11, 31);
+  const auto expected = reference_run(p, init);
+
+  EngineOptions clean = EngineOptions::smache();
+  const auto clean_res = Engine(clean).run(p, init);
+
+  EngineOptions stalled = EngineOptions::smache();
+  stalled.dram.stall_every = 7;
+  stalled.dram.stall_cycles = 3;
+  const auto stalled_res = Engine(stalled).run(p, init);
+
+  EXPECT_EQ(clean_res.output, expected);
+  EXPECT_EQ(stalled_res.output, expected);
+  EXPECT_GT(stalled_res.cycles, clean_res.cycles)
+      << "stalls must cost time";
+  EXPECT_GT(stalled_res.dram.injected_stall_cycles, 0u);
+}
+
+TEST(FailureInjection, StallsEveryWordWorstCase) {
+  const auto p = small_problem();
+  const auto init = random_grid(11, 11, 32);
+  EngineOptions brutal = EngineOptions::smache();
+  brutal.dram.stall_every = 1;
+  brutal.dram.stall_cycles = 2;
+  const auto res = Engine(brutal).run(p, init);
+  EXPECT_EQ(res.output, reference_run(p, init));
+}
+
+TEST(FailureInjection, BaselineSurvivesStallsToo) {
+  const auto p = small_problem();
+  const auto init = random_grid(11, 11, 33);
+  EngineOptions stalled = EngineOptions::baseline();
+  stalled.dram.stall_every = 5;
+  stalled.dram.stall_cycles = 4;
+  const auto res = Engine(stalled).run(p, init);
+  EXPECT_EQ(res.output, reference_run(p, init));
+}
+
+TEST(FailureInjection, TinyQueuesOnlyCostCycles) {
+  const auto p = small_problem();
+  const auto init = random_grid(11, 11, 34);
+  const auto expected = reference_run(p, init);
+  for (auto arch : {Architecture::Smache, Architecture::Baseline}) {
+    EngineOptions opts;
+    opts.arch = arch;
+    opts.dram.req_queue_depth = 1;
+    opts.dram.data_queue_depth = 1;
+    opts.dram.write_queue_depth = 1;
+    const auto res = Engine(opts).run(p, init);
+    EXPECT_EQ(res.output, expected) << to_string(arch);
+  }
+}
+
+TEST(FailureInjection, DdrLikeTimingPreservesResults) {
+  const auto p = small_problem();
+  const auto init = random_grid(11, 11, 35);
+  const auto expected = reference_run(p, init);
+  for (auto arch : {Architecture::Smache, Architecture::Baseline}) {
+    EngineOptions opts;
+    opts.arch = arch;
+    opts.dram = mem::DramConfig::ddr_like();
+    const auto res = Engine(opts).run(p, init);
+    EXPECT_EQ(res.output, expected) << to_string(arch);
+  }
+}
+
+TEST(FailureInjection, SharedBusSmacheStillCorrect) {
+  // Force the ablation topology: Smache on a shared single port.
+  const auto p = small_problem();
+  const auto init = random_grid(11, 11, 36);
+  EngineOptions opts = EngineOptions::smache();
+  opts.auto_bus = false;
+  opts.dram.shared_bus = true;
+  const auto res = Engine(opts).run(p, init);
+  EXPECT_EQ(res.output, reference_run(p, init));
+}
+
+TEST(FailureInjection, IndependentBusBaselineStillCorrect) {
+  const auto p = small_problem();
+  const auto init = random_grid(11, 11, 37);
+  EngineOptions opts = EngineOptions::baseline();
+  opts.auto_bus = false;
+  opts.dram.shared_bus = false;
+  const auto res = Engine(opts).run(p, init);
+  EXPECT_EQ(res.output, reference_run(p, init));
+}
+
+TEST(FailureInjection, DdrLikeWidensTheGap) {
+  // Under realistic row-miss penalties the baseline's random accesses get
+  // slower while Smache's sequential burst barely notices — the MP-STREAM
+  // argument from the paper's introduction. The grid must span several
+  // DRAM rows for row misses to exist at all, so use 32x32 with 64-word
+  // rows (the 11x11 grid fits inside a single row and sees no misses).
+  ProblemSpec p = ProblemSpec::paper_example();
+  p.height = 32;
+  p.width = 32;
+  p.steps = 3;
+  const auto init = random_grid(32, 32, 38);
+
+  const auto cyc = [&](Architecture arch, bool realistic) {
+    EngineOptions opts;
+    opts.arch = arch;
+    opts.dram = realistic ? mem::DramConfig::ddr_like()
+                          : mem::DramConfig::functional();
+    if (realistic) opts.dram.row_words = 64;
+    return Engine(opts).run(p, init).cycles;
+  };
+  const double func_ratio =
+      static_cast<double>(cyc(Architecture::Smache, false)) /
+      static_cast<double>(cyc(Architecture::Baseline, false));
+  const double ddr_ratio =
+      static_cast<double>(cyc(Architecture::Smache, true)) /
+      static_cast<double>(cyc(Architecture::Baseline, true));
+  EXPECT_LT(ddr_ratio, func_ratio)
+      << "realistic DRAM must favour Smache even more";
+}
+
+}  // namespace
+}  // namespace smache

@@ -1,0 +1,69 @@
+// Unit tests for Grid<T>: indexing, conversions, equality.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "grid/grid.hpp"
+
+namespace smache::grid {
+namespace {
+
+TEST(Grid, RowMajorLayout) {
+  Grid<int> g(3, 4);
+  int v = 0;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 4; ++c) g.at(r, c) = v++;
+  EXPECT_EQ(g[0], 0);
+  EXPECT_EQ(g[5], g.at(1, 1));
+  EXPECT_EQ(g.linear(2, 3), 11u);
+  EXPECT_EQ(g.row_of(7), 1u);
+  EXPECT_EQ(g.col_of(7), 3u);
+}
+
+TEST(Grid, FillConstructor) {
+  Grid<int> g(2, 2, 9);
+  EXPECT_EQ(g.at(0, 0), 9);
+  EXPECT_EQ(g.at(1, 1), 9);
+  EXPECT_EQ(g.size(), 4u);
+}
+
+TEST(Grid, BoundsChecked) {
+  Grid<int> g(2, 3);
+  EXPECT_THROW(g.at(2, 0), contract_error);
+  EXPECT_THROW(g.at(0, 3), contract_error);
+  EXPECT_THROW(g[6], contract_error);
+  EXPECT_THROW(Grid<int>(0, 3), contract_error);
+}
+
+TEST(Grid, WordRoundTripInt) {
+  Grid<std::int32_t> g(2, 2);
+  g.at(0, 0) = -7;
+  g.at(1, 1) = 123456;
+  const auto words = g.to_words();
+  const auto back = Grid<std::int32_t>::from_words(2, 2, words);
+  EXPECT_EQ(back, g);
+}
+
+TEST(Grid, WordRoundTripFloat) {
+  Grid<float> g(1, 3);
+  g.at(0, 0) = 1.5f;
+  g.at(0, 1) = -0.25f;
+  g.at(0, 2) = 1e-20f;
+  EXPECT_EQ(Grid<float>::from_words(1, 3, g.to_words()), g);
+}
+
+TEST(Grid, FromWordsRejectsWrongSize) {
+  std::vector<word_t> w(5);
+  EXPECT_THROW((Grid<word_t>::from_words(2, 3, w)), contract_error);
+}
+
+TEST(Grid, EqualityIncludesShape) {
+  Grid<int> a(2, 3, 1), b(3, 2, 1);
+  EXPECT_FALSE(a == b);
+  Grid<int> c(2, 3, 1);
+  EXPECT_TRUE(a == c);
+  c.at(1, 2) = 2;
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace smache::grid

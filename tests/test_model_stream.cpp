@@ -1,0 +1,62 @@
+// Tests for the formal stream model (§II): iteration patterns and stream
+// views s[i] = m[p(i)].
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "model/stream_model.hpp"
+
+namespace smache::model {
+namespace {
+
+TEST(IterationPattern, Contiguous) {
+  const auto p = IterationPattern::contiguous(5);
+  EXPECT_EQ(p.size(), 5u);
+  EXPECT_TRUE(p.is_contiguous());
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(p.at(i), i);
+  EXPECT_THROW(p.at(5), smache::contract_error);
+}
+
+TEST(IterationPattern, Strided) {
+  const auto p = IterationPattern::strided(3, 4, 4);
+  EXPECT_FALSE(p.is_contiguous());
+  EXPECT_TRUE(p.is_affine());
+  EXPECT_EQ(p.stride(), 4u);
+  EXPECT_EQ(p.at(0), 3u);
+  EXPECT_EQ(p.at(3), 15u);
+  EXPECT_THROW(IterationPattern::strided(0, 0, 4), smache::contract_error);
+}
+
+TEST(IterationPattern, Permutation) {
+  const auto p = IterationPattern::permutation({4, 2, 0, 9});
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_FALSE(p.is_affine());
+  EXPECT_EQ(p.at(0), 4u);
+  EXPECT_EQ(p.at(3), 9u);
+}
+
+TEST(StreamView, AccessesThroughPattern) {
+  // The paper's defining equation: s[i] = m[p(i)].
+  std::vector<word_t> m = {10, 11, 12, 13, 14, 15};
+  const auto p = IterationPattern::permutation({5, 0, 3});
+  StreamView s(m, p);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.at(0), 15u);
+  EXPECT_EQ(s.at(1), 10u);
+  EXPECT_EQ(s.at(2), 13u);
+}
+
+TEST(StreamView, RejectsEscapingPattern) {
+  std::vector<word_t> m(4);
+  const auto p = IterationPattern::permutation({0, 4});
+  EXPECT_THROW(StreamView(m, p), smache::contract_error);
+}
+
+TEST(StreamView, ContiguousIsIdentity) {
+  std::vector<word_t> m = {7, 8, 9};
+  const auto p = IterationPattern::contiguous(3);
+  StreamView s(m, p);
+  for (std::uint64_t i = 0; i < 3; ++i) EXPECT_EQ(s.at(i), m[i]);
+}
+
+}  // namespace
+}  // namespace smache::model

@@ -1,0 +1,257 @@
+// Tests for the Planner: window geometry, the register/BRAM hybrid split,
+// static-buffer derivation, and the gather table — including the exact
+// microarchitectural constants Table I of the paper is built on.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/assert.hpp"
+#include "model/planner.hpp"
+
+namespace smache::model {
+namespace {
+
+Planner hybrid_planner(std::size_t threshold = 4) {
+  PlannerOptions o;
+  o.stream_impl = StreamImpl::Hybrid;
+  o.bram_segment_threshold = threshold;
+  return Planner(o);
+}
+
+Planner regonly_planner() {
+  PlannerOptions o;
+  o.stream_impl = StreamImpl::RegisterOnly;
+  return Planner(o);
+}
+
+TEST(Planner, PaperWindowGeometry) {
+  // 11x11, 4-point stencil: window = 2W+3 = 25 elements, centre age W+2.
+  const auto plan = hybrid_planner().plan(
+      11, 11, grid::StencilShape::von_neumann4(),
+      grid::BoundarySpec::paper_example());
+  EXPECT_EQ(plan.window_len(), 25u);
+  EXPECT_EQ(plan.center_age(), 13u);
+}
+
+TEST(Planner, PaperHybridSplitMatchesTableI) {
+  // Table I's estimate rows encode: 11 window registers, 14 BRAM elements
+  // (two FIFO segments of W-4 = 7).
+  const auto plan = hybrid_planner().plan(
+      11, 11, grid::StencilShape::von_neumann4(),
+      grid::BoundarySpec::paper_example());
+  EXPECT_EQ(plan.reg_window_elems(), 11u);
+  EXPECT_EQ(plan.bram_window_elems(), 14u);
+  ASSERT_EQ(plan.fifo_segments().size(), 2u);
+  EXPECT_EQ(plan.fifo_segments()[0].bram_len, 7u);
+  EXPECT_EQ(plan.fifo_segments()[1].bram_len, 7u);
+}
+
+TEST(Planner, PaperHybridSplitScalesTo1024) {
+  const auto plan = hybrid_planner().plan(
+      1024, 1024, grid::StencilShape::von_neumann4(),
+      grid::BoundarySpec::paper_example());
+  EXPECT_EQ(plan.window_len(), 2051u);
+  EXPECT_EQ(plan.reg_window_elems(), 11u);
+  EXPECT_EQ(plan.bram_window_elems(), 2040u);
+}
+
+TEST(Planner, RegisterOnlyPutsEverythingInRegs) {
+  const auto plan = regonly_planner().plan(
+      11, 11, grid::StencilShape::von_neumann4(),
+      grid::BoundarySpec::paper_example());
+  EXPECT_EQ(plan.reg_window_elems(), 25u);
+  EXPECT_EQ(plan.bram_window_elems(), 0u);
+  EXPECT_TRUE(plan.fifo_segments().empty());
+}
+
+TEST(Planner, PaperStaticBuffersAreTopAndBottomRows) {
+  const auto plan = hybrid_planner().plan(
+      11, 11, grid::StencilShape::von_neumann4(),
+      grid::BoundarySpec::paper_example());
+  ASSERT_EQ(plan.static_buffers().size(), 2u);
+  std::set<std::size_t> rows;
+  for (const auto& b : plan.static_buffers()) {
+    rows.insert(b.grid_row);
+    EXPECT_EQ(b.length, 11u);
+    EXPECT_EQ(b.replicas, 1u);
+    EXPECT_TRUE(b.write_through);
+  }
+  EXPECT_EQ(rows, (std::set<std::size_t>{0, 10}));
+  EXPECT_TRUE(plan.needs_warmup());
+}
+
+TEST(Planner, OpenBoundariesNeedNoStaticBuffers) {
+  const auto plan = hybrid_planner().plan(
+      11, 11, grid::StencilShape::von_neumann4(),
+      grid::BoundarySpec::all_open());
+  EXPECT_TRUE(plan.static_buffers().empty());
+  EXPECT_FALSE(plan.needs_warmup());
+}
+
+TEST(Planner, MirrorBoundariesResolveInWindow) {
+  const auto plan = hybrid_planner().plan(
+      11, 11, grid::StencilShape::von_neumann4(),
+      grid::BoundarySpec::all_mirror());
+  EXPECT_TRUE(plan.static_buffers().empty());
+}
+
+TEST(Planner, TinyPeriodicGridPrefersWindowExtension) {
+  // H=3: the wrap target is only 2W away; extending the window (+W each
+  // side) is cheaper than two double-buffered row banks (4W).
+  const auto plan = hybrid_planner().plan(
+      3, 11, grid::StencilShape::von_neumann4(),
+      {grid::AxisBoundary::periodic(), grid::AxisBoundary::open()});
+  EXPECT_TRUE(plan.static_buffers().empty());
+  EXPECT_EQ(plan.window_len(), 2u * 22 + 3);
+}
+
+TEST(Planner, FivePointCrossGetsFourStaticBuffers) {
+  // cross(2) with periodic rows: rows 0,1 and H-2,H-1 are all both far
+  // targets; four banks, all write-through.
+  const auto plan = hybrid_planner().plan(
+      64, 64, grid::StencilShape::cross(2),
+      {grid::AxisBoundary::periodic(), grid::AxisBoundary::open()});
+  std::set<std::size_t> rows;
+  for (const auto& b : plan.static_buffers()) rows.insert(b.grid_row);
+  EXPECT_EQ(rows, (std::set<std::size_t>{0, 1, 62, 63}));
+}
+
+TEST(Planner, MoorePeriodicRowsReplicatesBanks) {
+  // Moore's three upper offsets all hit the bottom-row bank in the top-row
+  // cases -> 3 concurrent reads -> 3 replicas (the paper's multi-port
+  // observation).
+  const auto plan = hybrid_planner().plan(
+      16, 16, grid::StencilShape::moore9(),
+      {grid::AxisBoundary::periodic(), grid::AxisBoundary::open()});
+  ASSERT_EQ(plan.static_buffers().size(), 2u);
+  for (const auto& b : plan.static_buffers()) EXPECT_EQ(b.replicas, 3u);
+}
+
+TEST(Planner, GatherTableCoversEveryCaseAndOffset) {
+  const auto plan = hybrid_planner().plan(
+      11, 11, grid::StencilShape::von_neumann4(),
+      grid::BoundarySpec::paper_example());
+  EXPECT_EQ(plan.cases().case_count(), 9u);
+  for (std::size_t id = 0; id < 9; ++id)
+    EXPECT_EQ(plan.gather(id).size(), 4u);
+}
+
+TEST(Planner, GatherMidCaseIsAllWindow) {
+  const auto plan = hybrid_planner().plan(
+      11, 11, grid::StencilShape::von_neumann4(),
+      grid::BoundarySpec::paper_example());
+  const auto mid = plan.cases().case_of(5, 5);
+  for (const auto& g : plan.gather(mid))
+    EXPECT_EQ(g.kind, SourceKind::Window);
+  // Tap ages for N,W,E,S at centre age 13: 13+11=24, 14, 12, 13-11=2.
+  EXPECT_EQ(plan.gather(mid)[0].window_age, 24u);
+  EXPECT_EQ(plan.gather(mid)[1].window_age, 14u);
+  EXPECT_EQ(plan.gather(mid)[2].window_age, 12u);
+  EXPECT_EQ(plan.gather(mid)[3].window_age, 2u);
+}
+
+TEST(Planner, GatherCornerCaseMixesSources) {
+  const auto plan = hybrid_planner().plan(
+      11, 11, grid::StencilShape::von_neumann4(),
+      grid::BoundarySpec::paper_example());
+  const auto corner = plan.cases().case_of(0, 0);
+  const auto& g = plan.gather(corner);
+  EXPECT_EQ(g[0].kind, SourceKind::Static);  // N wraps to bottom row
+  EXPECT_EQ(g[0].col_shift, 0);
+  EXPECT_EQ(g[1].kind, SourceKind::Skip);    // W open
+  EXPECT_EQ(g[2].kind, SourceKind::Window);  // E
+  EXPECT_EQ(g[3].kind, SourceKind::Window);  // S
+}
+
+TEST(Planner, ConstantBoundaryProducesConstantSources) {
+  const auto plan = hybrid_planner().plan(
+      8, 8, grid::StencilShape::von_neumann4(),
+      {grid::AxisBoundary::constant_halo(77), grid::AxisBoundary::open()});
+  const auto top = plan.cases().case_of(0, 3);
+  EXPECT_EQ(plan.gather(top)[0].kind, SourceKind::Constant);
+  EXPECT_EQ(plan.gather(top)[0].constant, 77u);
+}
+
+TEST(Planner, WindowTapsAreRegisterMapped) {
+  for (auto impl : {StreamImpl::RegisterOnly, StreamImpl::Hybrid}) {
+    PlannerOptions o;
+    o.stream_impl = impl;
+    const auto plan = Planner(o).plan(
+        10, 12, grid::StencilShape::moore9(),
+        grid::BoundarySpec::all_periodic());
+    std::set<std::size_t> regs(plan.reg_ages().begin(),
+                               plan.reg_ages().end());
+    for (auto age : plan.tap_ages())
+      EXPECT_TRUE(regs.count(age)) << "tap age " << age
+                                   << " must be a register";
+  }
+}
+
+TEST(Planner, WindowAccountingIsExhaustive) {
+  // Every window age is either a register or inside exactly one BRAM
+  // segment.
+  const auto plan = hybrid_planner().plan(
+      32, 32, grid::StencilShape::von_neumann4(),
+      grid::BoundarySpec::paper_example());
+  std::vector<int> owner(plan.window_len() + 1, 0);
+  for (auto age : plan.reg_ages()) owner[age] += 1;
+  for (const auto& s : plan.fifo_segments())
+    for (std::size_t a = s.in_stage_age + 1; a < s.out_stage_age; ++a)
+      owner[a] += 1;
+  for (std::size_t age = 1; age <= plan.window_len(); ++age)
+    EXPECT_EQ(owner[age], 1) << "age " << age;
+  EXPECT_EQ(plan.reg_window_elems() + plan.bram_window_elems(),
+            plan.window_len());
+}
+
+TEST(Planner, ThresholdBelowThreeRejected) {
+  PlannerOptions o;
+  o.bram_segment_threshold = 2;
+  EXPECT_THROW(Planner(o).plan(11, 11, grid::StencilShape::von_neumann4(),
+                               grid::BoundarySpec::paper_example()),
+               smache::contract_error);
+}
+
+TEST(Planner, LargeThresholdDegeneratesToRegisterOnly) {
+  PlannerOptions o;
+  o.stream_impl = StreamImpl::Hybrid;
+  o.bram_segment_threshold = 1000;
+  const auto plan = Planner(o).plan(11, 11,
+                                    grid::StencilShape::von_neumann4(),
+                                    grid::BoundarySpec::paper_example());
+  EXPECT_EQ(plan.reg_window_elems(), plan.window_len());
+  EXPECT_TRUE(plan.fifo_segments().empty());
+}
+
+TEST(Planner, BudgetEnforced) {
+  PlannerOptions o;
+  o.onchip_budget_bits = 100;  // absurdly small
+  EXPECT_THROW(Planner(o).plan(11, 11, grid::StencilShape::von_neumann4(),
+                               grid::BoundarySpec::paper_example()),
+               smache::contract_error);
+  PlannerOptions generous;
+  generous.onchip_budget_bits = 10'000'000;
+  EXPECT_NO_THROW(Planner(generous).plan(
+      11, 11, grid::StencilShape::von_neumann4(),
+      grid::BoundarySpec::paper_example()));
+}
+
+TEST(Planner, GridTooSmallForStencilRejected) {
+  EXPECT_THROW(hybrid_planner().plan(2, 11,
+                                     grid::StencilShape::von_neumann4(),
+                                     grid::BoundarySpec::all_open()),
+               smache::contract_error);
+}
+
+TEST(Planner, DescribeMentionsKeyFacts) {
+  const auto plan = hybrid_planner().plan(
+      11, 11, grid::StencilShape::von_neumann4(),
+      grid::BoundarySpec::paper_example());
+  const std::string d = plan.describe();
+  EXPECT_NE(d.find("window: 25"), std::string::npos);
+  EXPECT_NE(d.find("static buffers: 2"), std::string::npos);
+  EXPECT_NE(d.find("cases: 9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smache::model

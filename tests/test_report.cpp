@@ -1,0 +1,106 @@
+// Tests for the report formatting (the Figure 2 / Table I presentation
+// layer) and the engine API surface (validation, option factories,
+// summaries).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+#include "core/report.hpp"
+
+namespace smache {
+namespace {
+
+RunResult quick(Architecture arch) {
+  ProblemSpec p = ProblemSpec::paper_example();
+  p.steps = 3;
+  Rng rng(1);
+  grid::Grid<word_t> init(11, 11);
+  for (std::size_t i = 0; i < init.size(); ++i)
+    init[i] = static_cast<word_t>(rng.next_below(100));
+  EngineOptions opts;
+  opts.arch = arch;
+  return Engine(opts).run(p, init);
+}
+
+TEST(Report, Fig2ContainsAllFiveMetricRows) {
+  const auto b = quick(Architecture::Baseline);
+  const auto s = quick(Architecture::Smache);
+  const std::string fig = format_fig2(b, s);
+  EXPECT_NE(fig.find("Cycle-count"), std::string::npos);
+  EXPECT_NE(fig.find("Freq (MHz)"), std::string::npos);
+  EXPECT_NE(fig.find("DRAM Traffic (KiB)"), std::string::npos);
+  EXPECT_NE(fig.find("Sim. Exec. Time (us)"), std::string::npos);
+  EXPECT_NE(fig.find("Performance (MOPS)"), std::string::npos);
+  EXPECT_NE(fig.find("speed-up"), std::string::npos);
+}
+
+TEST(Report, Table1RowsHaveEstimateAndActual) {
+  const auto s = quick(Architecture::Smache);
+  const std::string rows = format_table1_rows("11x11h", s);
+  EXPECT_NE(rows.find("Estimate"), std::string::npos);
+  EXPECT_NE(rows.find("Actual"), std::string::npos);
+  EXPECT_NE(rows.find("Rsm"), std::string::npos);
+  EXPECT_NE(rows.find("Btotal"), std::string::npos);
+  EXPECT_NE(rows.find("11x11h"), std::string::npos);
+}
+
+TEST(Report, Table1RejectsBaselineResults) {
+  const auto b = quick(Architecture::Baseline);
+  EXPECT_THROW(format_table1_rows("x", b), contract_error);
+}
+
+TEST(EngineApi, SummaryMentionsKeyNumbers) {
+  const auto s = quick(Architecture::Smache);
+  const std::string sum = s.summary();
+  EXPECT_NE(sum.find("smache"), std::string::npos);
+  EXPECT_NE(sum.find("cycles="), std::string::npos);
+  EXPECT_NE(sum.find("mops="), std::string::npos);
+}
+
+TEST(EngineApi, OptionFactories) {
+  EXPECT_EQ(EngineOptions::baseline().arch, Architecture::Baseline);
+  EXPECT_EQ(EngineOptions::smache().arch, Architecture::Smache);
+  EXPECT_EQ(EngineOptions::smache(model::StreamImpl::RegisterOnly)
+                .stream_impl,
+            model::StreamImpl::RegisterOnly);
+}
+
+TEST(EngineApi, ValidationErrorsAreDescriptive) {
+  ProblemSpec p = ProblemSpec::paper_example();
+  p.steps = 0;
+  grid::Grid<word_t> init(11, 11);
+  try {
+    Engine(EngineOptions::smache()).run(p, init);
+    FAIL() << "should have thrown";
+  } catch (const contract_error& e) {
+    EXPECT_NE(std::string(e.what()).find("work-instance"),
+              std::string::npos);
+  }
+}
+
+TEST(EngineApi, DescribeIsHumanReadable) {
+  const ProblemSpec p = ProblemSpec::paper_example();
+  const std::string d = p.describe();
+  EXPECT_NE(d.find("11x11"), std::string::npos);
+  EXPECT_NE(d.find("von_neumann4"), std::string::npos);
+  EXPECT_NE(d.find("periodic"), std::string::npos);
+  EXPECT_NE(d.find("100 work-instance"), std::string::npos);
+}
+
+TEST(EngineApi, MaxCyclesWatchdogFires) {
+  ProblemSpec p = ProblemSpec::paper_example();
+  grid::Grid<word_t> init(11, 11, 0);
+  EngineOptions opts = EngineOptions::smache();
+  opts.max_cycles = 10;  // cannot possibly finish
+  EXPECT_THROW(Engine(opts).run(p, init), contract_error);
+}
+
+TEST(EngineApi, ArchitectureNames) {
+  EXPECT_STREQ(to_string(Architecture::Smache), "smache");
+  EXPECT_STREQ(to_string(Architecture::Baseline), "baseline");
+  EXPECT_STREQ(model::to_string(model::StreamImpl::Hybrid),
+               "hybrid (Case-H)");
+}
+
+}  // namespace
+}  // namespace smache

@@ -1,0 +1,136 @@
+// Property tests for the resource model: across many configurations the
+// analytic estimate must track the elaborated "actual" within a small
+// tolerance — the claim Table I exists to support ("our predicted cost very
+// closely tracks the actual resource utilization").
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/bits.hpp"
+#include "core/engine.hpp"
+
+namespace smache {
+namespace {
+
+class ResourceSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, model::StreamImpl>> {};
+
+TEST_P(ResourceSweep, EstimateTracksElaboratedActual) {
+  const auto [dim, impl] = GetParam();
+  ProblemSpec p = ProblemSpec::paper_example();
+  p.height = dim;
+  p.width = dim;
+  p.steps = 1;
+  const auto res = Engine(EngineOptions::smache(impl)).elaborate_only(p);
+  ASSERT_TRUE(res.estimate.has_value());
+  const auto& e = *res.estimate;
+  const auto& a = res.resources;
+
+  // Stream-buffer datapath registers are estimated exactly; the elaborated
+  // value adds only the FIFO pointer registers.
+  std::uint64_t ptr_bits = 0;
+  for (const auto& seg : res.plan->fifo_segments())
+    ptr_bits += addr_bits(seg.bram_len);
+  EXPECT_EQ(a.r_stream, e.r_stream + ptr_bits);
+  // BRAM actuals exceed estimates only by physical rounding, bounded by
+  // one padded word row per bank plus alignment.
+  EXPECT_GE(a.b_stream, e.b_stream);
+  EXPECT_GE(a.b_static, e.b_static);
+  EXPECT_LE(a.b_stream, e.b_stream + 32ull * 8 *
+                                         (res.plan->fifo_segments().size() +
+                                          1));
+  EXPECT_LE(a.b_static,
+            e.b_static + 32ull * 2 * (res.plan->static_buffers().size() + 1) *
+                             2);
+  // Controller overhead exists but stays small in absolute terms.
+  EXPECT_GE(a.r_total, e.r_total());
+  EXPECT_LE(a.r_total - a.r_stream - a.r_static, 400u)
+      << "controller registers should be bounded";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dims, ResourceSweep,
+    ::testing::Combine(::testing::Values(8, 11, 32, 64, 256, 1024),
+                       ::testing::Values(model::StreamImpl::Hybrid,
+                                         model::StreamImpl::RegisterOnly)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<std::size_t, model::StreamImpl>>& i) {
+      return "d" + std::to_string(std::get<0>(i.param)) +
+             (std::get<1>(i.param) == model::StreamImpl::Hybrid ? "h" : "r");
+    });
+
+TEST(ResourceExact, TableIBramActualsMatchPaperExactly) {
+  // Our elaboration reproduces the paper's BRAM "actual" numbers exactly
+  // (the register actuals depend on controller details and only match in
+  // regime — see EXPERIMENTS.md).
+  struct Row {
+    std::size_t dim;
+    model::StreamImpl impl;
+    std::uint64_t b_static, b_stream, b_total;
+  };
+  const Row rows[] = {
+      {11, model::StreamImpl::RegisterOnly, 1536, 0, 1536},
+      {11, model::StreamImpl::Hybrid, 1536, 512, 2048},
+      {1024, model::StreamImpl::RegisterOnly, 131200, 0, 131200},
+      {1024, model::StreamImpl::Hybrid, 131200, 65536, 196736},
+  };
+  for (const auto& row : rows) {
+    ProblemSpec p = ProblemSpec::paper_example();
+    p.height = row.dim;
+    p.width = row.dim;
+    p.steps = 1;
+    const auto res =
+        Engine(EngineOptions::smache(row.impl)).elaborate_only(p);
+    EXPECT_EQ(res.resources.b_static, row.b_static) << row.dim;
+    EXPECT_EQ(res.resources.b_stream, row.b_stream) << row.dim;
+    EXPECT_EQ(res.resources.b_total, row.b_total) << row.dim;
+  }
+}
+
+TEST(ResourceExact, StreamRegisterEstimateIsExact) {
+  // The datapath window registers are fully determined by the plan, so
+  // estimate == actual for the r_stream datapath portion up to the FIFO
+  // pointer registers.
+  for (auto impl :
+       {model::StreamImpl::Hybrid, model::StreamImpl::RegisterOnly}) {
+    ProblemSpec p = ProblemSpec::paper_example();
+    p.steps = 1;
+    const auto res = Engine(EngineOptions::smache(impl)).elaborate_only(p);
+    const auto& e = *res.estimate;
+    // Pointer registers: addr_bits(7)=3 per FIFO segment.
+    const std::uint64_t ptr_bits =
+        impl == model::StreamImpl::Hybrid ? 2 * 3 : 0;
+    EXPECT_EQ(res.resources.r_stream, e.r_stream + ptr_bits);
+  }
+}
+
+TEST(ResourceExact, HybridTradeoffAtScale) {
+  // The paper's 1M-element headline: Case-R ~66K registers + 131K BRAM
+  // bits vs Case-H ~1.5K registers(+ctrl) + 196K BRAM bits.
+  ProblemSpec p = ProblemSpec::paper_example();
+  p.height = 1024;
+  p.width = 1024;
+  p.steps = 1;
+  const auto r = Engine(EngineOptions::smache(model::StreamImpl::RegisterOnly))
+                     .elaborate_only(p);
+  const auto h =
+      Engine(EngineOptions::smache(model::StreamImpl::Hybrid))
+          .elaborate_only(p);
+  EXPECT_GT(r.resources.r_total, 65000u);
+  EXPECT_LT(h.resources.r_total, 2000u);
+  EXPECT_GT(h.resources.b_total, r.resources.b_total);
+}
+
+TEST(ResourceExact, BaselineRegisterFootprintIsTiny) {
+  ProblemSpec p = ProblemSpec::paper_example();
+  p.steps = 1;
+  const auto res = Engine(EngineOptions::baseline()).elaborate_only(p);
+  // The paper reports 262 registers for its baseline; ours is the same
+  // regime: tuple regs (4x32) plus counters.
+  EXPECT_LT(res.resources.r_total, 400u);
+  EXPECT_GT(res.resources.r_total, 100u);
+}
+
+}  // namespace
+}  // namespace smache

@@ -1,0 +1,78 @@
+// Unit tests for stencil shapes: factories, extents, reach, validation.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "grid/stencil.hpp"
+
+namespace smache::grid {
+namespace {
+
+TEST(Stencil, VonNeumann4HasNoCentre) {
+  const auto s = StencilShape::von_neumann4();
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_FALSE(s.contains({0, 0}));
+  EXPECT_TRUE(s.contains({-1, 0}));
+  EXPECT_TRUE(s.contains({1, 0}));
+  EXPECT_TRUE(s.contains({0, -1}));
+  EXPECT_TRUE(s.contains({0, 1}));
+}
+
+TEST(Stencil, Plus5AddsCentre) {
+  const auto s = StencilShape::plus5();
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_TRUE(s.contains({0, 0}));
+}
+
+TEST(Stencil, Moore9Extents) {
+  const auto s = StencilShape::moore9();
+  EXPECT_EQ(s.size(), 9u);
+  EXPECT_EQ(s.dr_min(), -1);
+  EXPECT_EQ(s.dr_max(), 1);
+  EXPECT_EQ(s.dc_min(), -1);
+  EXPECT_EQ(s.dc_max(), 1);
+}
+
+TEST(Stencil, CrossKExtents) {
+  const auto s = StencilShape::cross(3);
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s.dr_min(), -3);
+  EXPECT_EQ(s.dc_max(), 3);
+  EXPECT_THROW(StencilShape::cross(0), smache::contract_error);
+}
+
+TEST(Stencil, ReachOnRowMajorGrid) {
+  // Paper §II: reach = max linear offset - min linear offset.
+  const auto vn = StencilShape::von_neumann4();
+  EXPECT_EQ(vn.reach(11), 22);    // -11 .. +11
+  EXPECT_EQ(vn.reach(1024), 2048);
+  const auto m = StencilShape::moore9();
+  EXPECT_EQ(m.reach(10), 22);     // -11 .. +11
+  const auto up = StencilShape::upwind3();
+  EXPECT_EQ(up.reach(8), 8);      // -8 .. 0
+}
+
+TEST(Stencil, DuplicateOffsetsRejected) {
+  EXPECT_THROW(StencilShape::custom("dup", {{0, 0}, {0, 0}}),
+               smache::contract_error);
+}
+
+TEST(Stencil, EmptyRejected) {
+  EXPECT_THROW(StencilShape::custom("empty", {}), smache::contract_error);
+}
+
+TEST(Stencil, OrderIsPreserved) {
+  // Tuple order is a contract between gather and kernel.
+  const auto s = StencilShape::von_neumann4();
+  EXPECT_EQ(s.offsets()[0], (Offset2{-1, 0}));  // N
+  EXPECT_EQ(s.offsets()[1], (Offset2{0, -1}));  // W
+  EXPECT_EQ(s.offsets()[2], (Offset2{0, 1}));   // E
+  EXPECT_EQ(s.offsets()[3], (Offset2{1, 0}));   // S
+}
+
+TEST(Stencil, SingleOffsetReachZeroIsFine) {
+  const auto s = StencilShape::custom("one", {{0, 0}});
+  EXPECT_EQ(s.reach(100), 0);
+}
+
+}  // namespace
+}  // namespace smache::grid

@@ -1,0 +1,109 @@
+// Unit tests for the boundary-case enumeration (AxisZones / CaseMap),
+// including the paper's nine-case example.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/assert.hpp"
+#include "grid/zones.hpp"
+
+namespace smache::grid {
+namespace {
+
+TEST(AxisZones, FourPointStencilAxis) {
+  // offsets -1..+1 on an 11-long axis: zones {0, Mid, 10}.
+  AxisZones z(11, -1, 1);
+  EXPECT_EQ(z.count(), 3u);
+  EXPECT_EQ(z.lo_span(), 1u);
+  EXPECT_EQ(z.hi_span(), 1u);
+  EXPECT_EQ(z.zone_of(0), 0u);
+  EXPECT_EQ(z.zone_of(1), z.mid());
+  EXPECT_EQ(z.zone_of(9), z.mid());
+  EXPECT_EQ(z.zone_of(10), 2u);
+  EXPECT_TRUE(z.is_exact(0));
+  EXPECT_FALSE(z.is_exact(z.mid()));
+  EXPECT_EQ(z.exact_coord(2), 10u);
+  EXPECT_EQ(z.population(z.mid()), 9u);
+  EXPECT_EQ(z.population(0), 1u);
+}
+
+TEST(AxisZones, AsymmetricOffsets) {
+  // offsets -3..+1 on a 10-long axis: zones {0,1,2, Mid, 9}.
+  AxisZones z(10, -3, 1);
+  EXPECT_EQ(z.count(), 5u);
+  EXPECT_EQ(z.zone_of(2), 2u);
+  EXPECT_EQ(z.zone_of(3), z.mid());
+  EXPECT_EQ(z.zone_of(8), z.mid());
+  EXPECT_EQ(z.zone_of(9), 4u);
+  EXPECT_EQ(z.exact_coord(4), 9u);
+}
+
+TEST(AxisZones, PurePositiveOffsets) {
+  // offsets 0..+2: no low zones.
+  AxisZones z(8, 0, 2);
+  EXPECT_EQ(z.count(), 3u);
+  EXPECT_EQ(z.mid(), 0u);
+  EXPECT_EQ(z.zone_of(0), 0u);
+  EXPECT_EQ(z.zone_of(5), 0u);
+  EXPECT_EQ(z.zone_of(6), 1u);
+  EXPECT_EQ(z.zone_of(7), 2u);
+}
+
+TEST(AxisZones, TooShortAxisRejected) {
+  EXPECT_THROW(AxisZones(2, -1, 1), smache::contract_error);
+  EXPECT_NO_THROW(AxisZones(3, -1, 1));
+}
+
+TEST(AxisZones, RepresentativeIsInZone) {
+  AxisZones z(11, -2, 2);
+  for (std::size_t zone = 0; zone < z.count(); ++zone)
+    EXPECT_EQ(z.zone_of(z.representative(zone)), zone);
+}
+
+TEST(CaseMap, PaperExampleHasNineCases) {
+  const CaseMap cm(11, 11, StencilShape::von_neumann4());
+  EXPECT_EQ(cm.case_count(), 9u);
+  // Count distinct cases over the whole grid and their populations:
+  // 4 corners (pop 1), 4 edges (pop 9), 1 interior (pop 81).
+  std::map<std::size_t, std::size_t> pop;
+  for (std::size_t r = 0; r < 11; ++r)
+    for (std::size_t c = 0; c < 11; ++c) ++pop[cm.case_of(r, c)];
+  EXPECT_EQ(pop.size(), 9u);
+  std::multiset<std::size_t> sizes;
+  for (const auto& [id, n] : pop) {
+    sizes.insert(n);
+    EXPECT_EQ(n, cm.population(id));
+  }
+  EXPECT_EQ(sizes.count(1), 4u);
+  EXPECT_EQ(sizes.count(9), 4u);
+  EXPECT_EQ(sizes.count(81), 1u);
+}
+
+TEST(CaseMap, RoundTripIds) {
+  const CaseMap cm(10, 12, StencilShape::moore9());
+  for (std::size_t zr = 0; zr < cm.rows().count(); ++zr)
+    for (std::size_t zc = 0; zc < cm.cols().count(); ++zc) {
+      const auto id = cm.case_id(zr, zc);
+      EXPECT_EQ(cm.zone_r_of(id), zr);
+      EXPECT_EQ(cm.zone_c_of(id), zc);
+    }
+}
+
+TEST(CaseMap, LabelsAreDistinct) {
+  const CaseMap cm(11, 11, StencilShape::von_neumann4());
+  std::set<std::string> labels;
+  for (std::size_t id = 0; id < cm.case_count(); ++id)
+    labels.insert(cm.label(id));
+  EXPECT_EQ(labels.size(), cm.case_count());
+  EXPECT_EQ(cm.label(cm.case_of(5, 5)), "rowMid/colMid");
+  EXPECT_EQ(cm.label(cm.case_of(0, 0)), "row0/col0");
+}
+
+TEST(CaseMap, CenterOnlyStencilHasOneCase) {
+  const CaseMap cm(5, 5, StencilShape::custom("c", {{0, 0}}));
+  EXPECT_EQ(cm.case_count(), 1u);
+  EXPECT_EQ(cm.case_of(0, 0), cm.case_of(4, 4));
+}
+
+}  // namespace
+}  // namespace smache::grid
