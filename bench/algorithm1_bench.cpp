@@ -3,6 +3,8 @@
 // inside a design-space-exploration loop (its intended use).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "common/rng.hpp"
 #include "model/algorithm1.hpp"
 #include "model/planner.hpp"

@@ -1,0 +1,26 @@
+# Defines the INTERFACE target `smache_warnings` carrying the first-party
+# warning policy. Layer libraries, tests, benches, and examples link it
+# PRIVATE; third_party code never does, so vendored headers stay exempt
+# from -Werror (they are also consumed as SYSTEM includes).
+
+add_library(smache_warnings INTERFACE)
+
+if(MSVC)
+  target_compile_options(smache_warnings INTERFACE /W4)
+  if(SMACHE_WERROR)
+    target_compile_options(smache_warnings INTERFACE /WX)
+  endif()
+else()
+  target_compile_options(smache_warnings INTERFACE
+    -Wall -Wextra -Wpedantic -Wshadow)
+  if(SMACHE_WERROR)
+    target_compile_options(smache_warnings INTERFACE -Werror)
+  endif()
+  if(CMAKE_CXX_COMPILER_ID STREQUAL "GNU"
+     AND CMAKE_CXX_COMPILER_VERSION VERSION_GREATER_EQUAL 12
+     AND CMAKE_CXX_COMPILER_VERSION VERSION_LESS 14)
+    # GCC 12/13 emit false-positive -Wrestrict on std::string operator+
+    # chains at -O2 (GCC PR105329).
+    target_compile_options(smache_warnings INTERFACE -Wno-restrict)
+  endif()
+endif()

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Header self-containment check: every public header under src/ must compile
+# standalone (no reliance on includer-provided declarations). Keeps the
+# layered library structure honest as the tree grows.
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+CXX="${CXX:-g++}"
+STD="${STD:-c++20}"
+
+fails=0
+for header in src/*/*.hpp; do
+  if ! "${CXX}" -std="${STD}" -Isrc -Wall -Wextra -fsyntax-only \
+       -x c++ "${header}" 2>/tmp/check_headers_err; then
+    echo "NOT SELF-CONTAINED: ${header}"
+    sed -n '1,5p' /tmp/check_headers_err
+    fails=$((fails + 1))
+  fi
+done
+
+if [ "${fails}" -ne 0 ]; then
+  echo "${fails} header(s) failed the self-containment check"
+  exit 1
+fi
+echo "all $(ls src/*/*.hpp | wc -l) headers are self-contained"

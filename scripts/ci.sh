@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification wall: configure, build everything (library, all tests,
+# benches, examples), and run the full CTest suite. Any failure is fatal.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+BUILD_TYPE="${BUILD_TYPE:-Release}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)}"
+
+./scripts/check_headers.sh
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE="${BUILD_TYPE}" "$@"
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+# (cd form rather than --test-dir keeps the CMake 3.16 floor honest)
+(cd "${BUILD_DIR}" && ctest --output-on-failure -j "${JOBS}")

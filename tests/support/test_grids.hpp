@@ -1,0 +1,27 @@
+// Shared test fixtures: seeded random grid generation. Every engine-level
+// test seeds its own Rng so runs are reproducible; the bound parameter
+// controls the value range (0 = full 64-bit words truncated to word_t),
+// matching the ranges the individual suites historically used.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/word.hpp"
+#include "grid/grid.hpp"
+
+namespace smache::test_support {
+
+inline grid::Grid<word_t> random_grid(std::size_t h, std::size_t w,
+                                      std::uint64_t seed,
+                                      std::uint64_t bound = 0) {
+  Rng rng(seed);
+  grid::Grid<word_t> g(h, w);
+  for (std::size_t i = 0; i < g.size(); ++i)
+    g[i] = static_cast<word_t>(bound == 0 ? rng.next_u64()
+                                          : rng.next_below(bound));
+  return g;
+}
+
+}  // namespace smache::test_support

@@ -1,0 +1,68 @@
+// Meta-tests for the vendored minibenchmark shim: the bench targets only
+// produce trustworthy numbers if State's iteration protocol, argument
+// plumbing, and registration chaining behave like Google Benchmark's.
+#include <gtest/gtest.h>
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+
+namespace {
+
+TEST(BenchmarkShim, StateRunsExactlyRequestedIterations) {
+  benchmark::State state(17, {});
+  std::int64_t count = 0;
+  for (auto _ : state) ++count;
+  EXPECT_EQ(count, 17);
+  EXPECT_EQ(state.iterations(), 17);
+}
+
+TEST(BenchmarkShim, StateWithZeroIterationsRunsNoBody) {
+  benchmark::State state(0, {});
+  bool entered = false;
+  for (auto _ : state) entered = true;
+  EXPECT_FALSE(entered);
+}
+
+TEST(BenchmarkShim, RangeDeliversArgumentsPositionally) {
+  benchmark::State state(1, {11, 256});
+  EXPECT_EQ(state.range(0), 11);
+  EXPECT_EQ(state.range(1), 256);
+  EXPECT_EQ(state.range(7), 0);  // out of range → benign zero
+}
+
+TEST(BenchmarkShim, CountersAndLabelAreRecorded) {
+  benchmark::State state(4, {});
+  for (auto _ : state) {
+  }
+  state.SetItemsProcessed(400);
+  state.SetBytesProcessed(1600);
+  state.SetLabel("label text");
+  EXPECT_EQ(state.items_processed(), 400);
+  EXPECT_EQ(state.bytes_processed(), 1600);
+  EXPECT_STREQ(state.label().c_str(), "label text");
+}
+
+TEST(BenchmarkShim, RegistrationChainingAccumulatesArgSets) {
+  auto* b = ::benchmark::internal::RegisterBenchmark(
+      "BM_ShimSelfTest", [](benchmark::State& s) {
+        for (auto _ : s) {
+        }
+      });
+  b->Arg(4)->Arg(9)->Arg(16);
+  ASSERT_EQ(b->arg_sets().size(), 3u);
+  EXPECT_EQ(b->arg_sets()[1].front(), 9);
+  EXPECT_STREQ(b->name().c_str(), "BM_ShimSelfTest");
+}
+
+TEST(BenchmarkShim, DoNotOptimizeAcceptsArbitraryValues) {
+  const int x = 42;
+  const std::string s = "sink";
+  benchmark::DoNotOptimize(x);
+  benchmark::DoNotOptimize(s);
+  benchmark::ClobberMemory();
+  SUCCEED();
+}
+
+}  // namespace

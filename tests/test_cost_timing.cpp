@@ -2,6 +2,8 @@
 // the calibrated timing model, and the DSE sweep.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "cost/cost_model.hpp"
 #include "cost/device.hpp"
 #include "cost/dse.hpp"

@@ -7,18 +7,16 @@
 
 #include "common/rng.hpp"
 #include "core/engine.hpp"
+#include "core/report.hpp"
 #include "rtl/verilog_export.hpp"
+#include "support/test_grids.hpp"
 
 namespace smache {
 namespace {
 
 grid::Grid<word_t> random_grid(std::size_t h, std::size_t w,
                                std::uint64_t seed) {
-  Rng rng(seed);
-  grid::Grid<word_t> g(h, w);
-  for (std::size_t i = 0; i < g.size(); ++i)
-    g[i] = static_cast<word_t>(rng.next_u64());
-  return g;
+  return test_support::random_grid(h, w, seed);
 }
 
 TEST(Determinism, RepeatedSmacheRunsAreIdentical) {
@@ -89,6 +87,27 @@ TEST(Determinism, GeneratedVerilogIsStableAcrossPlans) {
     return rtl::export_verilog(plan);
   };
   EXPECT_EQ(gen(), gen());
+}
+
+TEST(Determinism, RenderedReportsAreIdentical) {
+  // Two back-to-back engine runs must agree not just on individual counters
+  // but on the entire rendered report (summary text, Figure-2 block and
+  // Table-I rows) — the strongest whole-report guard for future batching
+  // or async refactors, since any field drifting shows up in the text.
+  ProblemSpec p = ProblemSpec::paper_example();
+  p.steps = 5;
+  const auto init = random_grid(11, 11, 93);
+  const Engine baseline(EngineOptions::baseline());
+  const Engine smache(EngineOptions::smache());
+  const auto base_a = baseline.run(p, init);
+  const auto base_b = baseline.run(p, init);
+  const auto sm_a = smache.run(p, init);
+  const auto sm_b = smache.run(p, init);
+  EXPECT_EQ(base_a.summary(), base_b.summary());
+  EXPECT_EQ(sm_a.summary(), sm_b.summary());
+  EXPECT_EQ(format_fig2(base_a, sm_a), format_fig2(base_b, sm_b));
+  EXPECT_EQ(format_table1_rows("11x11", sm_a),
+            format_table1_rows("11x11", sm_b));
 }
 
 TEST(Determinism, CascadeRunsAreIdentical) {

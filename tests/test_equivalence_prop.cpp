@@ -11,6 +11,7 @@
 
 #include "common/rng.hpp"
 #include "core/engine.hpp"
+#include "support/test_grids.hpp"
 
 namespace smache {
 namespace {
@@ -36,11 +37,7 @@ class EquivalenceSweep : public ::testing::TestWithParam<Param> {};
 
 grid::Grid<word_t> random_grid(std::size_t h, std::size_t w,
                                std::uint64_t seed) {
-  Rng rng(seed);
-  grid::Grid<word_t> g(h, w);
-  for (std::size_t i = 0; i < g.size(); ++i)
-    g[i] = static_cast<word_t>(rng.next_below(100000));
-  return g;
+  return test_support::random_grid(h, w, seed, 100000);
 }
 
 TEST_P(EquivalenceSweep, HardwareMatchesReference) {

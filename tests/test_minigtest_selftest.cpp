@@ -1,0 +1,223 @@
+// Meta-tests for the vendored minigtest harness: the build-and-verify wall
+// is only trustworthy if the harness itself demonstrably reports failures,
+// propagates non-zero exit codes, honours --gtest_filter, and instantiates
+// parameterized suites. In-process tests exercise the generator and filter
+// internals directly; subprocess tests re-execute this binary to observe
+// end-to-end behaviour exactly as CTest does.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#if defined(__linux__)
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Child-mode tests: inert under CTest (the env var is unset), activated by
+// the subprocess meta-tests below.
+// ---------------------------------------------------------------------------
+TEST(SelfTestChild, DeliberateFailure) {
+  if (std::getenv("MINIGTEST_SELFTEST_CHILD") == nullptr) return;
+  EXPECT_EQ(1, 2) << "deliberate failure for exit-code propagation";
+}
+
+TEST(SelfTestChild, DeliberateFatalFailure) {
+  if (std::getenv("MINIGTEST_SELFTEST_CHILD") == nullptr) return;
+  ASSERT_TRUE(false) << "fatal stop";
+  std::fprintf(stdout, "UNREACHABLE_AFTER_FATAL\n");
+}
+
+TEST(SelfTestChild, AlwaysPasses) { EXPECT_TRUE(true); }
+
+class SelfTestChildParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(SelfTestChildParam, ParamIsOdd) {
+  // All instantiated values are odd; proves GetParam() delivers the values
+  // the generator produced.
+  EXPECT_EQ(GetParam() % 2, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Odds, SelfTestChildParam,
+                         ::testing::Values(1, 3, 5),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "v" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Subprocess driver
+// ---------------------------------------------------------------------------
+struct RunOutput {
+  int exit_code;
+  std::string output;
+};
+
+RunOutput RunSelf(const std::string& args, bool child_mode) {
+#if defined(__linux__)
+  // /proc/self/exe must be resolved here: inside `sh -c` it would name the
+  // shell, not this binary.
+  std::array<char, 4096> exe_path{};
+  const auto len =
+      readlink("/proc/self/exe", exe_path.data(), exe_path.size() - 1);
+  if (len <= 0) throw std::runtime_error("readlink(/proc/self/exe) failed");
+  std::string cmd;
+  if (child_mode) cmd += "MINIGTEST_SELFTEST_CHILD=1 ";
+  cmd += "'" + std::string(exe_path.data(), static_cast<std::size_t>(len)) +
+         "' " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) throw std::runtime_error("popen failed");
+  std::string output;
+  std::array<char, 4096> buffer;
+  std::size_t n;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0)
+    output.append(buffer.data(), n);
+  const int status = pclose(pipe);
+  const int exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return {exit_code, output};
+#else
+  (void)args;
+  (void)child_mode;
+  return {-1, ""};
+#endif
+}
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+std::size_t CountOccurrences(const std::string& haystack,
+                             const std::string& needle) {
+  std::size_t count = 0;
+  for (auto pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size()))
+    ++count;
+  return count;
+}
+
+#if defined(__linux__)
+
+TEST(MinigtestSelfTest, FailingAssertionYieldsNonZeroExit) {
+  const auto run =
+      RunSelf("--gtest_filter=SelfTestChild.DeliberateFailure", true);
+  EXPECT_NE(run.exit_code, 0);
+  EXPECT_TRUE(Contains(run.output, "[  FAILED  ]"));
+  EXPECT_TRUE(Contains(run.output,
+                       "deliberate failure for exit-code propagation"));
+  EXPECT_TRUE(Contains(run.output, "SelfTestChild.DeliberateFailure"));
+}
+
+TEST(MinigtestSelfTest, FatalAssertionStopsTestBody) {
+  const auto run =
+      RunSelf("--gtest_filter=SelfTestChild.DeliberateFatalFailure", true);
+  EXPECT_NE(run.exit_code, 0);
+  EXPECT_FALSE(Contains(run.output, "UNREACHABLE_AFTER_FATAL"));
+}
+
+TEST(MinigtestSelfTest, PassingRunExitsZero) {
+  const auto run = RunSelf("--gtest_filter=SelfTestChild.AlwaysPasses", true);
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_TRUE(Contains(run.output, "[       OK ] SelfTestChild.AlwaysPasses"));
+  EXPECT_TRUE(Contains(run.output, "[  PASSED  ] 1 tests."));
+}
+
+TEST(MinigtestSelfTest, FilterExcludesFailingTest) {
+  // The deliberately failing test exists in the child binary, but a filter
+  // selecting only the passing test must keep the run green.
+  const auto run = RunSelf("--gtest_filter=SelfTestChild.AlwaysPasses", true);
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_FALSE(Contains(run.output, "DeliberateFailure"));
+}
+
+TEST(MinigtestSelfTest, NegativeFilterPatternWorks) {
+  const auto run =
+      RunSelf("--gtest_filter=SelfTestChild.*-SelfTestChild.Deliberate*",
+              true);
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_TRUE(Contains(run.output, "SelfTestChild.AlwaysPasses"));
+  EXPECT_FALSE(Contains(run.output, "[ RUN      ] SelfTestChild.Deliberate"));
+}
+
+TEST(MinigtestSelfTest, ParameterizedSuiteInstantiatesAllValues) {
+  const auto run = RunSelf("--gtest_filter=Odds/SelfTestChildParam.*", false);
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_EQ(CountOccurrences(run.output, "[       OK ]"), 3u);
+  EXPECT_TRUE(Contains(run.output, "Odds/SelfTestChildParam.ParamIsOdd/v1"));
+  EXPECT_TRUE(Contains(run.output, "Odds/SelfTestChildParam.ParamIsOdd/v3"));
+  EXPECT_TRUE(Contains(run.output, "Odds/SelfTestChildParam.ParamIsOdd/v5"));
+}
+
+TEST(MinigtestSelfTest, ListTestsShowsParameterizedInstances) {
+  const auto run = RunSelf("--gtest_list_tests", false);
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_TRUE(Contains(run.output, "Odds/SelfTestChildParam."));
+  EXPECT_TRUE(Contains(run.output, "ParamIsOdd/v5"));
+  // Listing must not execute any test body.
+  EXPECT_FALSE(Contains(run.output, "[ RUN      ]"));
+}
+
+#endif  // defined(__linux__)
+
+// ---------------------------------------------------------------------------
+// In-process checks of the harness building blocks.
+// ---------------------------------------------------------------------------
+TEST(MinigtestInternals, GeneratorValuesProducesAllElements) {
+  const ::testing::ParamGenerator<std::size_t> gen =
+      ::testing::Values(8, 11, 32);
+  ASSERT_EQ(gen.values.size(), 3u);
+  EXPECT_EQ(gen.values[0], 8u);
+  EXPECT_EQ(gen.values[2], 32u);
+}
+
+TEST(MinigtestInternals, GeneratorCombineProducesCartesianProduct) {
+  const ::testing::ParamGenerator<std::tuple<int, int>> gen =
+      ::testing::Combine(::testing::Values(1, 2, 3),
+                         ::testing::Values(10, 20));
+  ASSERT_EQ(gen.values.size(), 6u);
+  EXPECT_EQ(std::get<0>(gen.values.front()), 1);
+  EXPECT_EQ(std::get<1>(gen.values.front()), 10);
+  EXPECT_EQ(std::get<0>(gen.values.back()), 3);
+  EXPECT_EQ(std::get<1>(gen.values.back()), 20);
+}
+
+TEST(MinigtestInternals, GeneratorValuesInAcceptsContainersAndArrays) {
+  const std::vector<int> v{4, 5, 6};
+  const ::testing::ParamGenerator<int> from_vec = ::testing::ValuesIn(v);
+  EXPECT_EQ(from_vec.values.size(), 3u);
+
+  static const int arr[] = {7, 8};
+  const ::testing::ParamGenerator<int> from_arr = ::testing::ValuesIn(arr);
+  ASSERT_EQ(from_arr.values.size(), 2u);
+  EXPECT_EQ(from_arr.values[1], 8);
+}
+
+TEST(MinigtestInternals, FilterSyntaxMatchesLikeGoogleTest) {
+  using ::testing::internal::FilterMatches;
+  EXPECT_TRUE(FilterMatches("*", "Suite.Name"));
+  EXPECT_TRUE(FilterMatches("Suite.*", "Suite.Name"));
+  EXPECT_FALSE(FilterMatches("Other.*", "Suite.Name"));
+  EXPECT_TRUE(FilterMatches("A.*:B.*", "B.Case"));
+  EXPECT_FALSE(FilterMatches("A.*-A.Bad", "A.Bad"));
+  EXPECT_TRUE(FilterMatches("A.*-A.Bad", "A.Good"));
+  EXPECT_TRUE(FilterMatches("*Param*/v?", "Odds/P.ParamIsOdd/v1"));
+}
+
+TEST(MinigtestInternals, ExpectationMacrosSupportExceptionChecks) {
+  EXPECT_THROW(throw std::runtime_error("boom"), std::runtime_error);
+  EXPECT_THROW({ throw std::logic_error("block form"); }, std::logic_error);
+  EXPECT_NO_THROW(static_cast<void>(0));
+}
+
+TEST(MinigtestInternals, NumericComparisonsBehave) {
+  EXPECT_NEAR(1.0, 1.05, 0.1);
+  EXPECT_DOUBLE_EQ(0.1 + 0.2, 0.3);  // 4-ULP tolerance absorbs the rounding.
+  EXPECT_STREQ("abc", "abc");
+}
+
+}  // namespace

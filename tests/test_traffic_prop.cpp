@@ -10,17 +10,14 @@
 
 #include "common/rng.hpp"
 #include "core/engine.hpp"
+#include "support/test_grids.hpp"
 
 namespace smache {
 namespace {
 
 grid::Grid<word_t> random_grid(std::size_t h, std::size_t w,
                                std::uint64_t seed) {
-  Rng rng(seed);
-  grid::Grid<word_t> g(h, w);
-  for (std::size_t i = 0; i < g.size(); ++i)
-    g[i] = static_cast<word_t>(rng.next_below(1 << 20));
-  return g;
+  return test_support::random_grid(h, w, seed, 1 << 20);
 }
 
 class TrafficSweep

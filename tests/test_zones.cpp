@@ -2,6 +2,7 @@
 // including the paper's nine-case example.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 
 #include "common/assert.hpp"

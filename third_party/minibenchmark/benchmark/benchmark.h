@@ -1,0 +1,154 @@
+// minibenchmark — a dependency-free shim for the Google Benchmark API subset
+// used by this repository: BENCHMARK(fn)->Arg(n), benchmark::State (range,
+// iterations, SetItemsProcessed, SetLabel), and benchmark::DoNotOptimize.
+// The library supplies main() (see benchmark_main.cpp), matching how the
+// bench sources rely on benchmark::benchmark_main.
+#ifndef MINIBENCHMARK_BENCHMARK_BENCHMARK_H_
+#define MINIBENCHMARK_BENCHMARK_BENCHMARK_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace benchmark {
+
+class State {
+ public:
+  State(std::int64_t max_iterations, std::vector<std::int64_t> args)
+      : max_iterations_(max_iterations), args_(std::move(args)) {}
+
+  // Range-for protocol: `for (auto _ : state)` runs exactly
+  // max_iterations_ times. The sentinel comparison drives the countdown.
+  // The dereferenced value has a non-trivial destructor so that the
+  // idiomatic `for (auto _ : state)` does not trip -Wunused-variable.
+  struct IterationToken {
+    IterationToken() {}
+    ~IterationToken() {}
+  };
+  struct Iterator {
+    State* state;
+    bool operator!=(const Iterator&) { return state->KeepRunning(); }
+    void operator++() {}
+    IterationToken operator*() const { return {}; }
+  };
+  Iterator begin() { return {this}; }
+  Iterator end() { return {this}; }
+
+  bool KeepRunning() {
+    if (count_ >= max_iterations_) return false;
+    ++count_;
+    return true;
+  }
+
+  std::int64_t range(std::size_t index = 0) const {
+    return index < args_.size() ? args_[index] : 0;
+  }
+  std::int64_t iterations() const { return count_; }
+
+  void SetItemsProcessed(std::int64_t items) { items_processed_ = items; }
+  void SetBytesProcessed(std::int64_t bytes) { bytes_processed_ = bytes; }
+  void SetLabel(const std::string& label) { label_ = label; }
+
+  std::int64_t items_processed() const { return items_processed_; }
+  std::int64_t bytes_processed() const { return bytes_processed_; }
+  const std::string& label() const { return label_; }
+
+ private:
+  std::int64_t max_iterations_;
+  std::int64_t count_ = 0;
+  std::vector<std::int64_t> args_;
+  std::int64_t items_processed_ = 0;
+  std::int64_t bytes_processed_ = 0;
+  std::string label_;
+};
+
+using Function = void (*)(State&);
+
+namespace internal {
+
+class Benchmark {
+ public:
+  Benchmark(std::string name, Function fn) : name_(std::move(name)), fn_(fn) {}
+
+  Benchmark* Arg(std::int64_t value) {
+    arg_sets_.push_back({value});
+    return this;
+  }
+  Benchmark* Args(std::vector<std::int64_t> values) {
+    arg_sets_.push_back(std::move(values));
+    return this;
+  }
+  Benchmark* Range(std::int64_t lo, std::int64_t hi) {
+    // Emit lo, then the multiplier progression from max(lo, 1) — a lo of 0
+    // must not stall the loop.
+    if (lo < 1) arg_sets_.push_back({lo});
+    for (std::int64_t v = lo < 1 ? 1 : lo; v < hi; v *= 8)
+      arg_sets_.push_back({v});
+    arg_sets_.push_back({hi});
+    return this;
+  }
+  Benchmark* Unit(int) { return this; }
+  Benchmark* Iterations(std::int64_t n) {
+    fixed_iterations_ = n;
+    return this;
+  }
+
+  const std::string& name() const { return name_; }
+  Function fn() const { return fn_; }
+  const std::vector<std::vector<std::int64_t>>& arg_sets() const {
+    return arg_sets_;
+  }
+  std::int64_t fixed_iterations() const { return fixed_iterations_; }
+
+ private:
+  std::string name_;
+  Function fn_;
+  std::vector<std::vector<std::int64_t>> arg_sets_;
+  std::int64_t fixed_iterations_ = 0;
+};
+
+std::vector<Benchmark*>& Registry();
+Benchmark* RegisterBenchmark(const char* name, Function fn);
+
+}  // namespace internal
+
+// Time units accepted by ->Unit(); reporting is always nanoseconds here.
+enum TimeUnit { kNanosecond, kMicrosecond, kMillisecond, kSecond };
+
+template <typename T>
+inline void DoNotOptimize(T const& value) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "r,m"(value) : "memory");
+#else
+  static volatile const void* sink;
+  sink = &value;
+#endif
+}
+
+inline void ClobberMemory() {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : : "memory");
+#endif
+}
+
+void Initialize(int* argc, char** argv);
+void RunSpecifiedBenchmarks();
+
+}  // namespace benchmark
+
+#define BENCHMARK(fn)                                                  \
+  static ::benchmark::internal::Benchmark* MINIBENCH_CONCAT_(          \
+      minibench_reg_, __LINE__) =                                      \
+      ::benchmark::internal::RegisterBenchmark(#fn, fn)
+#define MINIBENCH_CONCAT_IMPL_(a, b) a##b
+#define MINIBENCH_CONCAT_(a, b) MINIBENCH_CONCAT_IMPL_(a, b)
+
+#define BENCHMARK_MAIN()                            \
+  int main(int argc, char** argv) {                 \
+    ::benchmark::Initialize(&argc, argv);           \
+    ::benchmark::RunSpecifiedBenchmarks();          \
+    return 0;                                       \
+  }
+
+#endif  // MINIBENCHMARK_BENCHMARK_BENCHMARK_H_

@@ -1,0 +1,9 @@
+// Library-provided main(), mirroring benchmark::benchmark_main — the bench
+// sources register with BENCHMARK(...) and define no main of their own.
+#include <benchmark/benchmark.h>
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

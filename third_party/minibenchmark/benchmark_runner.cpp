@@ -1,0 +1,106 @@
+// minibenchmark runner: registry storage, adaptive timing loop, and a
+// console reporter close enough to Google Benchmark's for eyeballing.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace benchmark {
+namespace internal {
+
+std::vector<Benchmark*>& Registry() {
+  static std::vector<Benchmark*> registry;
+  return registry;
+}
+
+Benchmark* RegisterBenchmark(const char* name, Function fn) {
+  auto* b = new Benchmark(name, fn);  // Lives for the process; freed by exit.
+  Registry().push_back(b);
+  return b;
+}
+
+namespace {
+
+double MinTimeSeconds() {
+  if (const char* env = std::getenv("MINIBENCH_MIN_TIME"))
+    return std::atof(env);
+  return 0.1;
+}
+
+struct RunResult {
+  std::int64_t iterations;
+  double seconds;
+  std::int64_t items_processed;
+  std::string label;
+};
+
+RunResult RunOnce(Function fn, std::int64_t iterations,
+                  const std::vector<std::int64_t>& args) {
+  State state(iterations, args);
+  const auto start = std::chrono::steady_clock::now();
+  fn(state);
+  const auto stop = std::chrono::steady_clock::now();
+  return {state.iterations(),
+          std::chrono::duration<double>(stop - start).count(),
+          state.items_processed(), state.label()};
+}
+
+void Report(const std::string& name, const RunResult& r) {
+  const double ns_per_iter =
+      r.iterations > 0 ? r.seconds * 1e9 / static_cast<double>(r.iterations)
+                       : 0.0;
+  std::printf("%-48s %14.1f ns %12lld iters", name.c_str(), ns_per_iter,
+              static_cast<long long>(r.iterations));
+  if (r.items_processed > 0 && r.seconds > 0.0)
+    std::printf(" %12.3g items/s",
+                static_cast<double>(r.items_processed) / r.seconds);
+  if (!r.label.empty()) std::printf("  %s", r.label.c_str());
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+void RunBenchmark(const Benchmark& b, const std::vector<std::int64_t>& args) {
+  std::string name = b.name();
+  for (const auto a : args) name += "/" + std::to_string(a);
+
+  if (b.fixed_iterations() > 0) {
+    Report(name, RunOnce(b.fn(), b.fixed_iterations(), args));
+    return;
+  }
+  // Adaptive sizing: grow the iteration count until the wall time is
+  // meaningful, then report the final (largest) run.
+  const double min_time = MinTimeSeconds();
+  std::int64_t iters = 1;
+  RunResult result = RunOnce(b.fn(), iters, args);
+  while (result.seconds < min_time && iters < (std::int64_t{1} << 40)) {
+    const double scale =
+        result.seconds > 1e-9 ? min_time / result.seconds * 1.4 : 1000.0;
+    const auto next =
+        static_cast<std::int64_t>(static_cast<double>(iters) * scale) + 1;
+    iters = next > iters ? next : iters * 2;
+    result = RunOnce(b.fn(), iters, args);
+  }
+  Report(name, result);
+}
+
+}  // namespace
+}  // namespace internal
+
+void Initialize(int*, char**) {}
+
+void RunSpecifiedBenchmarks() {
+  std::printf("%-48s %17s %18s\n", "Benchmark", "Time", "Iterations");
+  std::printf("%s\n", std::string(84, '-').c_str());
+  for (const auto* b : internal::Registry()) {
+    if (b->arg_sets().empty()) {
+      internal::RunBenchmark(*b, {});
+    } else {
+      for (const auto& args : b->arg_sets()) internal::RunBenchmark(*b, args);
+    }
+  }
+}
+
+}  // namespace benchmark

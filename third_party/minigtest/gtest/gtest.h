@@ -1,0 +1,939 @@
+// minigtest — a dependency-free, GoogleTest-compatible testing harness.
+//
+// Implements the subset of the GoogleTest API used by this repository so the
+// test suite builds with nothing beyond a C++17 compiler:
+//
+//   * TEST, TEST_P / INSTANTIATE_TEST_SUITE_P (Values / ValuesIn / Combine,
+//     custom name generators via testing::TestParamInfo)
+//   * EXPECT_/ASSERT_ EQ NE TRUE FALSE GT GE LT LE STREQ NEAR DOUBLE_EQ
+//     THROW NO_THROW, plus FAIL / ADD_FAILURE / SUCCEED, all with
+//     `<< "message"` streaming
+//   * ::testing::InitGoogleTest, RUN_ALL_TESTS, --gtest_filter=PATTERNS,
+//     --gtest_list_tests, and GoogleTest-style pass/fail output with a
+//     non-zero exit code on any failure
+//
+// The build can swap in real GoogleTest (see SMACHE_USE_SYSTEM_GTEST in the
+// top-level CMakeLists.txt); test sources compile unchanged against either.
+#ifndef MINIGTEST_GTEST_GTEST_H_
+#define MINIGTEST_GTEST_GTEST_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace testing {
+
+// ---------------------------------------------------------------------------
+// Value printing: stream when the type supports it, fall back otherwise.
+// ---------------------------------------------------------------------------
+namespace internal {
+
+template <typename T, typename = void>
+struct IsStreamable : std::false_type {};
+template <typename T>
+struct IsStreamable<T, std::void_t<decltype(std::declval<std::ostream&>()
+                                            << std::declval<const T&>())>>
+    : std::true_type {};
+
+template <typename T>
+void UniversalPrint(const T& value, std::ostream& os) {
+  if constexpr (IsStreamable<T>::value) {
+    os << value;
+  } else if constexpr (std::is_enum_v<T>) {
+    os << static_cast<long long>(
+        static_cast<std::underlying_type_t<T>>(value));
+  } else {
+    os << sizeof(T) << "-byte object <unprintable>";
+  }
+}
+
+inline void UniversalPrint(std::nullptr_t, std::ostream& os) { os << "nullptr"; }
+inline void UniversalPrint(bool b, std::ostream& os) {
+  os << (b ? "true" : "false");
+}
+inline void UniversalPrint(const char* s, std::ostream& os) {
+  if (s == nullptr)
+    os << "NULL";
+  else
+    os << '"' << s << '"';
+}
+inline void UniversalPrint(char* s, std::ostream& os) {
+  UniversalPrint(static_cast<const char*>(s), os);
+}
+inline void UniversalPrint(const std::string& s, std::ostream& os) {
+  os << '"' << s << '"';
+}
+
+template <typename T>
+std::string PrintToString(const T& value) {
+  std::ostringstream os;
+  UniversalPrint(value, os);
+  return os.str();
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Message: ostream-like accumulator appended to failures via `<<`.
+// ---------------------------------------------------------------------------
+class Message {
+ public:
+  Message() = default;
+  template <typename T>
+  Message& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+  std::string GetString() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// ---------------------------------------------------------------------------
+// AssertionResult
+// ---------------------------------------------------------------------------
+class AssertionResult {
+ public:
+  explicit AssertionResult(bool success) : success_(success) {}
+  AssertionResult(bool success, std::string message)
+      : success_(success), message_(std::move(message)) {}
+  explicit operator bool() const { return success_; }
+  const char* failure_message() const { return message_.c_str(); }
+  template <typename T>
+  AssertionResult& operator<<(const T& value) {
+    std::ostringstream os;
+    os << value;
+    message_ += os.str();
+    return *this;
+  }
+
+ private:
+  bool success_;
+  std::string message_;
+};
+
+inline AssertionResult AssertionSuccess() { return AssertionResult(true); }
+inline AssertionResult AssertionFailure() { return AssertionResult(false); }
+
+// ---------------------------------------------------------------------------
+// Test registry
+// ---------------------------------------------------------------------------
+class Test;
+
+namespace internal {
+
+struct TestEntry {
+  std::string suite_name;
+  std::string test_name;
+  std::function<Test*()> factory;
+  std::string full_name() const { return suite_name + "." + test_name; }
+};
+
+// Central run state; a single translation unit per binary instantiates the
+// inline storage (C++17 inline variables).
+class UnitTestImpl {
+ public:
+  static UnitTestImpl& Get() {
+    static UnitTestImpl instance;
+    return instance;
+  }
+
+  void AddTest(TestEntry entry) { tests_.push_back(std::move(entry)); }
+  void AddExpander(std::function<void()> fn) {
+    expanders_.push_back(std::move(fn));
+  }
+
+  std::vector<TestEntry>& tests() { return tests_; }
+
+  void ExpandParameterizedTests() {
+    for (auto& fn : expanders_) fn();
+    expanders_.clear();
+  }
+
+  // Current-test failure bookkeeping (set by AssertHelper).
+  void RecordFailure(const std::string& file, int line,
+                     const std::string& message) {
+    current_test_failed_ = true;
+    std::cout << file << ":" << line << ": Failure" << std::endl;
+    if (!message.empty()) std::cout << message << std::endl;
+    for (auto it = trace_stack_.rbegin(); it != trace_stack_.rend(); ++it)
+      std::cout << "Google Test trace:\n" << *it << std::endl;
+  }
+
+  void RecordSkip(const std::string& message) {
+    current_test_skipped_ = true;
+    if (!message.empty()) std::cout << message << std::endl;
+  }
+
+  bool current_test_failed_ = false;
+  bool current_test_skipped_ = false;
+  std::string filter_ = "*";
+  bool list_tests_ = false;
+  std::vector<std::string> trace_stack_;
+
+ private:
+  std::vector<TestEntry> tests_;
+  std::vector<std::function<void()>> expanders_;
+};
+
+// Simple glob: '*' matches any run, '?' matches one character.
+inline bool GlobMatch(const char* pattern, const char* str) {
+  if (*pattern == '\0') return *str == '\0';
+  if (*pattern == '*')
+    return GlobMatch(pattern + 1, str) ||
+           (*str != '\0' && GlobMatch(pattern, str + 1));
+  if (*str == '\0') return false;
+  if (*pattern != '?' && *pattern != *str) return false;
+  return GlobMatch(pattern + 1, str + 1);
+}
+
+// gtest filter syntax: positive patterns ':' separated, then an optional
+// '-' introducing ':'-separated negative patterns.
+inline bool FilterMatches(const std::string& filter, const std::string& name) {
+  std::string positive = filter;
+  std::string negative;
+  const auto dash = filter.find('-');
+  if (dash != std::string::npos) {
+    positive = filter.substr(0, dash);
+    negative = filter.substr(dash + 1);
+  }
+  if (positive.empty()) positive = "*";
+  const auto matches_any = [&name](const std::string& patterns) {
+    std::size_t start = 0;
+    while (start <= patterns.size()) {
+      auto end = patterns.find(':', start);
+      if (end == std::string::npos) end = patterns.size();
+      const std::string pat = patterns.substr(start, end - start);
+      if (!pat.empty() && GlobMatch(pat.c_str(), name.c_str())) return true;
+      start = end + 1;
+    }
+    return false;
+  };
+  if (!matches_any(positive)) return false;
+  if (!negative.empty() && matches_any(negative)) return false;
+  return true;
+}
+
+// RAII helper behind SCOPED_TRACE: failure reports include every trace
+// frame active at the failure point.
+class ScopedTraceHelper {
+ public:
+  ScopedTraceHelper(const char* file, int line, const Message& message) {
+    std::ostringstream os;
+    os << file << ":" << line << ": " << message.GetString();
+    UnitTestImpl::Get().trace_stack_.push_back(os.str());
+  }
+  ~ScopedTraceHelper() { UnitTestImpl::Get().trace_stack_.pop_back(); }
+  ScopedTraceHelper(const ScopedTraceHelper&) = delete;
+  ScopedTraceHelper& operator=(const ScopedTraceHelper&) = delete;
+};
+
+class SkipHelper {
+ public:
+  // Streaming target for `GTEST_SKIP() << "reason"`.
+  void operator=(const Message& message) const {
+    UnitTestImpl::Get().RecordSkip(message.GetString());
+  }
+};
+
+class AssertHelper {
+ public:
+  enum Type { kNonFatal, kFatal };
+  AssertHelper(Type type, const char* file, int line, std::string message)
+      : type_(type), file_(file), line_(line), message_(std::move(message)) {}
+  // The '=' operator is how the trailing `<< "..."` text reaches the report:
+  // EXPECT_x(...) expands to `AssertHelper(...) = Message() << ...`.
+  void operator=(const Message& message) const {
+    std::string full = message_;
+    const std::string extra = message.GetString();
+    if (!extra.empty()) full += "\n" + extra;
+    UnitTestImpl::Get().RecordFailure(file_, line_, full);
+  }
+
+ private:
+  Type type_;
+  const char* file_;
+  int line_;
+  std::string message_;
+};
+
+// ---------------------------------------------------------------------------
+// Comparison helpers
+// ---------------------------------------------------------------------------
+template <typename T1, typename T2>
+AssertionResult CmpHelperFailure(const char* expr1, const char* expr2,
+                                 const T1& val1, const T2& val2,
+                                 const char* op) {
+  std::ostringstream os;
+  os << "Expected: (" << expr1 << ") " << op << " (" << expr2
+     << "), actual: " << PrintToString(val1) << " vs " << PrintToString(val2);
+  return AssertionResult(false, os.str());
+}
+
+template <typename T1, typename T2>
+AssertionResult CmpHelperEQ(const char* expr1, const char* expr2,
+                            const T1& val1, const T2& val2) {
+  if (val1 == val2) return AssertionSuccess();
+  std::ostringstream os;
+  os << "Expected equality of these values:\n  " << expr1 << "\n    Which is: "
+     << PrintToString(val1) << "\n  " << expr2 << "\n    Which is: "
+     << PrintToString(val2);
+  return AssertionResult(false, os.str());
+}
+
+#define MINIGTEST_DEFINE_CMP_HELPER_(name, op)                              \
+  template <typename T1, typename T2>                                       \
+  AssertionResult CmpHelper##name(const char* expr1, const char* expr2,     \
+                                  const T1& val1, const T2& val2) {         \
+    if (val1 op val2) return AssertionSuccess();                            \
+    return CmpHelperFailure(expr1, expr2, val1, val2, #op);                 \
+  }
+
+MINIGTEST_DEFINE_CMP_HELPER_(NE, !=)
+MINIGTEST_DEFINE_CMP_HELPER_(GT, >)
+MINIGTEST_DEFINE_CMP_HELPER_(GE, >=)
+MINIGTEST_DEFINE_CMP_HELPER_(LT, <)
+MINIGTEST_DEFINE_CMP_HELPER_(LE, <=)
+#undef MINIGTEST_DEFINE_CMP_HELPER_
+
+inline AssertionResult CmpHelperSTREQ(const char* expr1, const char* expr2,
+                                      const char* val1, const char* val2) {
+  if (val1 == nullptr && val2 == nullptr) return AssertionSuccess();
+  if (val1 != nullptr && val2 != nullptr && std::strcmp(val1, val2) == 0)
+    return AssertionSuccess();
+  std::ostringstream os;
+  os << "Expected equality of these values:\n  " << expr1 << "\n    Which is: ";
+  UniversalPrint(val1, os);
+  os << "\n  " << expr2 << "\n    Which is: ";
+  UniversalPrint(val2, os);
+  return AssertionResult(false, os.str());
+}
+
+inline AssertionResult CmpHelperNear(const char* expr1, const char* expr2,
+                                     const char* abs_error_expr, double val1,
+                                     double val2, double abs_error) {
+  const double diff = std::fabs(val1 - val2);
+  if (diff <= abs_error) return AssertionSuccess();
+  std::ostringstream os;
+  os << "The difference between " << expr1 << " and " << expr2 << " is "
+     << diff << ", which exceeds " << abs_error_expr << ", where\n"
+     << expr1 << " evaluates to " << val1 << ",\n"
+     << expr2 << " evaluates to " << val2 << ", and\n"
+     << abs_error_expr << " evaluates to " << abs_error << ".";
+  return AssertionResult(false, os.str());
+}
+
+// GoogleTest-compatible 4-ULP floating point comparison.
+inline AssertionResult CmpHelperDoubleEQ(const char* expr1, const char* expr2,
+                                         double val1, double val2) {
+  const auto to_biased = [](double d) -> std::uint64_t {
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    const std::uint64_t sign_mask = std::uint64_t{1} << 63;
+    return (bits & sign_mask) ? ~bits + 1 : bits | sign_mask;
+  };
+  bool equal = false;
+  if (std::isnan(val1) || std::isnan(val2)) {
+    equal = false;
+  } else {
+    const std::uint64_t b1 = to_biased(val1);
+    const std::uint64_t b2 = to_biased(val2);
+    const std::uint64_t ulp_diff = b1 >= b2 ? b1 - b2 : b2 - b1;
+    equal = ulp_diff <= 4;
+  }
+  if (equal) return AssertionSuccess();
+  std::ostringstream os;
+  os << "Expected equality of these values:\n  " << expr1
+     << "\n    Which is: " << val1 << "\n  " << expr2
+     << "\n    Which is: " << val2;
+  return AssertionResult(false, os.str());
+}
+
+inline AssertionResult BoolResult(const char* expr, bool value, bool expected) {
+  if (value == expected) return AssertionSuccess();
+  std::ostringstream os;
+  os << "Value of: " << expr << "\n  Actual: " << (value ? "true" : "false")
+     << "\nExpected: " << (expected ? "true" : "false");
+  return AssertionResult(false, os.str());
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Test base class
+// ---------------------------------------------------------------------------
+class Test {
+ public:
+  virtual ~Test() = default;
+  virtual void SetUp() {}
+  virtual void TearDown() {}
+  virtual void TestBody() = 0;
+
+  static void SetUpTestSuite() {}
+  static void TearDownTestSuite() {}
+};
+
+// ---------------------------------------------------------------------------
+// Parameterized tests
+// ---------------------------------------------------------------------------
+template <typename T>
+struct TestParamInfo {
+  TestParamInfo(const T& p, std::size_t i) : param(p), index(i) {}
+  T param;
+  std::size_t index;
+};
+
+template <typename T>
+class WithParamInterface {
+ public:
+  using ParamType = T;
+  virtual ~WithParamInterface() = default;
+  static const ParamType& GetParam() {
+    if (parameter_ == nullptr) {
+      std::cerr << "GetParam() called outside a parameterized test"
+                << std::endl;
+      std::abort();
+    }
+    return *parameter_;
+  }
+  // Internal: set by the instantiation machinery before each construction.
+  static void SetParam(const ParamType* p) { parameter_ = p; }
+
+ private:
+  static inline const ParamType* parameter_ = nullptr;
+};
+
+template <typename T>
+class TestWithParam : public Test, public WithParamInterface<T> {};
+
+// --- Generators -----------------------------------------------------------
+template <typename T>
+struct ParamGenerator {
+  std::vector<T> values;
+};
+
+namespace internal {
+
+template <typename... Ts>
+struct ValueArray {
+  std::tuple<Ts...> values;
+  template <typename T>
+  operator ParamGenerator<T>() const {  // NOLINT(google-explicit-constructor)
+    ParamGenerator<T> gen;
+    std::apply(
+        [&gen](const Ts&... vs) {
+          (gen.values.push_back(static_cast<T>(vs)), ...);
+        },
+        values);
+    return gen;
+  }
+};
+
+template <typename C>
+struct ValuesInHolder {
+  std::vector<typename C::value_type> values;
+  template <typename T>
+  operator ParamGenerator<T>() const {  // NOLINT(google-explicit-constructor)
+    ParamGenerator<T> gen;
+    for (const auto& v : values) gen.values.push_back(static_cast<T>(v));
+    return gen;
+  }
+};
+
+template <typename... Gens>
+struct CartesianProductHolder {
+  std::tuple<Gens...> generators;
+
+  template <typename... Ts>
+  operator ParamGenerator<std::tuple<Ts...>>() const {  // NOLINT
+    static_assert(sizeof...(Ts) == sizeof...(Gens),
+                  "Combine() arity must match the tuple parameter arity");
+    std::tuple<ParamGenerator<Ts>...> converted =
+        ConvertAll<Ts...>(std::index_sequence_for<Ts...>{});
+    ParamGenerator<std::tuple<Ts...>> out;
+    // Accumulate via tuple_cat so parameter types need not be
+    // default-constructible.
+    Product<0, Ts...>(converted, std::tuple<>{}, out.values);
+    return out;
+  }
+
+ private:
+  template <typename... Ts, std::size_t... Is>
+  std::tuple<ParamGenerator<Ts>...> ConvertAll(
+      std::index_sequence<Is...>) const {
+    return {static_cast<ParamGenerator<Ts>>(std::get<Is>(generators))...};
+  }
+
+  template <std::size_t I, typename... Ts, typename Partial>
+  static void Product(const std::tuple<ParamGenerator<Ts>...>& gens,
+                      const Partial& partial,
+                      std::vector<std::tuple<Ts...>>& out) {
+    if constexpr (I == sizeof...(Ts)) {
+      out.push_back(partial);
+    } else {
+      for (const auto& v : std::get<I>(gens).values)
+        Product<I + 1, Ts...>(gens, std::tuple_cat(partial, std::make_tuple(v)),
+                              out);
+    }
+  }
+};
+
+}  // namespace internal
+
+template <typename... Ts>
+internal::ValueArray<Ts...> Values(Ts... values) {
+  return {std::make_tuple(values...)};
+}
+
+template <typename C>
+internal::ValuesInHolder<C> ValuesIn(const C& container) {
+  return {std::vector<typename C::value_type>(std::begin(container),
+                                              std::end(container))};
+}
+
+template <typename T, std::size_t N>
+auto ValuesIn(const T (&array)[N]) {
+  internal::ValuesInHolder<std::vector<T>> holder;
+  holder.values.assign(array, array + N);
+  return holder;
+}
+
+template <typename ForwardIt>
+auto ValuesIn(ForwardIt begin, ForwardIt end) {
+  using T = typename std::iterator_traits<ForwardIt>::value_type;
+  internal::ValuesInHolder<std::vector<T>> holder;
+  holder.values.assign(begin, end);
+  return holder;
+}
+
+template <typename... Gens>
+internal::CartesianProductHolder<Gens...> Combine(Gens... gens) {
+  return {std::make_tuple(gens...)};
+}
+
+namespace internal {
+
+// Per-fixture registry holding TEST_P patterns and INSTANTIATE_ generators;
+// expanded into concrete TestEntry objects lazily at RUN_ALL_TESTS so
+// declaration order between the two macros does not matter.
+template <typename SuiteClass>
+class ParamRegistry {
+ public:
+  using ParamType = typename SuiteClass::ParamType;
+  using Factory = Test* (*)(const ParamType&);
+  using Namer = std::function<std::string(const TestParamInfo<ParamType>&)>;
+
+  static ParamRegistry& Instance() {
+    static ParamRegistry registry;
+    return registry;
+  }
+
+  int AddPattern(const char* suite_name, const char* test_name,
+                 Factory factory) {
+    EnsureExpanderRegistered();
+    suite_name_ = suite_name;
+    patterns_.push_back({test_name, factory});
+    return 0;
+  }
+
+  template <typename Gen>
+  int AddInstantiation(const char* prefix, const Gen& gen) {
+    return AddInstantiation(prefix, gen, Namer{});
+  }
+
+  template <typename Gen>
+  int AddInstantiation(const char* prefix, const Gen& gen, Namer namer) {
+    EnsureExpanderRegistered();
+    ParamGenerator<ParamType> converted = gen;
+    instantiations_.push_back(
+        {prefix,
+         std::make_shared<std::vector<ParamType>>(std::move(converted.values)),
+         std::move(namer)});
+    return 0;
+  }
+
+ private:
+  struct Pattern {
+    std::string test_name;
+    Factory factory;
+  };
+  struct Instantiation {
+    std::string prefix;
+    std::shared_ptr<std::vector<ParamType>> values;
+    Namer namer;
+  };
+
+  void EnsureExpanderRegistered() {
+    if (expander_registered_) return;
+    expander_registered_ = true;
+    UnitTestImpl::Get().AddExpander([this] { Expand(); });
+  }
+
+  void Expand() {
+    for (const auto& inst : instantiations_) {
+      for (const auto& pattern : patterns_) {
+        for (std::size_t i = 0; i < inst.values->size(); ++i) {
+          const std::string param_name =
+              inst.namer
+                  ? inst.namer(TestParamInfo<ParamType>((*inst.values)[i], i))
+                  : std::to_string(i);
+          TestEntry entry;
+          entry.suite_name = inst.prefix + "/" + suite_name_;
+          entry.test_name = pattern.test_name + "/" + param_name;
+          // The shared_ptr keeps the parameter vector alive for the whole
+          // run; SetParam points the fixture at the value pre-construction.
+          auto values = inst.values;
+          auto factory = pattern.factory;
+          entry.factory = [values, factory, i]() -> Test* {
+            SuiteClass::SetParam(&(*values)[i]);
+            return factory((*values)[i]);
+          };
+          UnitTestImpl::Get().AddTest(std::move(entry));
+        }
+      }
+    }
+  }
+
+  std::string suite_name_;
+  std::vector<Pattern> patterns_;
+  std::vector<Instantiation> instantiations_;
+  bool expander_registered_ = false;
+};
+
+inline int RegisterTest(const char* suite, const char* name,
+                        Test* (*factory)()) {
+  TestEntry entry;
+  entry.suite_name = suite;
+  entry.test_name = name;
+  entry.factory = factory;
+  UnitTestImpl::Get().AddTest(std::move(entry));
+  return 0;
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Init / run
+// ---------------------------------------------------------------------------
+inline void InitGoogleTest(int* argc, char** argv) {
+  auto& impl = internal::UnitTestImpl::Get();
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--gtest_filter=", 0) == 0) {
+      impl.filter_ = arg.substr(std::strlen("--gtest_filter="));
+    } else if (arg == "--gtest_list_tests") {
+      impl.list_tests_ = true;
+    } else if (arg.rfind("--gtest_color", 0) == 0 ||
+               arg.rfind("--gtest_brief", 0) == 0 ||
+               arg.rfind("--gtest_output", 0) == 0 ||
+               arg == "--gtest_also_run_disabled_tests") {
+      // Accepted and ignored: minigtest always prints plain full output.
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+inline void InitGoogleTest() {}
+
+inline int RunAllTests() {
+  auto& impl = internal::UnitTestImpl::Get();
+  impl.ExpandParameterizedTests();
+
+  if (impl.list_tests_) {
+    std::string last_suite;
+    for (const auto& t : impl.tests()) {
+      if (!internal::FilterMatches(impl.filter_, t.full_name())) continue;
+      if (t.suite_name != last_suite) {
+        std::cout << t.suite_name << "." << std::endl;
+        last_suite = t.suite_name;
+      }
+      std::cout << "  " << t.test_name << std::endl;
+    }
+    return 0;
+  }
+
+  std::vector<const internal::TestEntry*> selected;
+  for (const auto& t : impl.tests())
+    if (internal::FilterMatches(impl.filter_, t.full_name()))
+      selected.push_back(&t);
+
+  std::cout << "[==========] Running " << selected.size() << " tests."
+            << std::endl;
+  std::vector<std::string> failed;
+  std::size_t skipped = 0;
+  for (const auto* t : selected) {
+    std::cout << "[ RUN      ] " << t->full_name() << std::endl;
+    impl.current_test_failed_ = false;
+    impl.current_test_skipped_ = false;
+    impl.trace_stack_.clear();
+    try {
+      std::unique_ptr<Test> test(t->factory());
+      test->SetUp();
+      // GoogleTest contract: a fatal failure (or skip) in SetUp suppresses
+      // the test body; TearDown always runs.
+      if (!impl.current_test_failed_ && !impl.current_test_skipped_)
+        test->TestBody();
+      test->TearDown();
+    } catch (const std::exception& e) {
+      impl.RecordFailure("<unknown>", 0,
+                         std::string("uncaught exception: ") + e.what());
+    } catch (...) {
+      impl.RecordFailure("<unknown>", 0, "uncaught non-std exception");
+    }
+    if (impl.current_test_failed_) {
+      failed.push_back(t->full_name());
+      std::cout << "[  FAILED  ] " << t->full_name() << std::endl;
+    } else if (impl.current_test_skipped_) {
+      ++skipped;
+      std::cout << "[  SKIPPED ] " << t->full_name() << std::endl;
+    } else {
+      std::cout << "[       OK ] " << t->full_name() << std::endl;
+    }
+  }
+  std::cout << "[==========] " << selected.size() << " tests ran." << std::endl;
+  std::cout << "[  PASSED  ] " << (selected.size() - failed.size() - skipped)
+            << " tests." << std::endl;
+  if (skipped > 0)
+    std::cout << "[  SKIPPED ] " << skipped << " tests." << std::endl;
+  if (!failed.empty()) {
+    std::cout << "[  FAILED  ] " << failed.size() << " tests, listed below:"
+              << std::endl;
+    for (const auto& name : failed)
+      std::cout << "[  FAILED  ] " << name << std::endl;
+  }
+  return failed.empty() ? 0 : 1;
+}
+
+}  // namespace testing
+
+inline int RUN_ALL_TESTS() { return ::testing::RunAllTests(); }
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+#define GTEST_CONCAT_IMPL_(a, b) a##b
+#define GTEST_CONCAT_(a, b) GTEST_CONCAT_IMPL_(a, b)
+#define GTEST_TEST_CLASS_NAME_(suite, name) suite##_##name##_Test
+
+#define GTEST_AMBIGUOUS_ELSE_BLOCKER_ \
+  switch (0)                          \
+  case 0:                             \
+  default:
+
+#define GTEST_MESSAGE_AT_(file, line, message, type)                   \
+  ::testing::internal::AssertHelper(type, file, line, message) =       \
+      ::testing::Message()
+
+#define GTEST_NONFATAL_FAILURE_(message)                         \
+  GTEST_MESSAGE_AT_(__FILE__, __LINE__, message,                 \
+                    ::testing::internal::AssertHelper::kNonFatal)
+
+#define GTEST_FATAL_FAILURE_(message)                                 \
+  return GTEST_MESSAGE_AT_(__FILE__, __LINE__, message,               \
+                           ::testing::internal::AssertHelper::kFatal)
+
+#define GTEST_ASSERT_(expression, on_failure)                   \
+  GTEST_AMBIGUOUS_ELSE_BLOCKER_                                 \
+  if (::testing::AssertionResult gtest_ar = (expression))       \
+    ;                                                           \
+  else                                                          \
+    on_failure(gtest_ar.failure_message())
+
+#define TEST(suite, name)                                                    \
+  class GTEST_TEST_CLASS_NAME_(suite, name) : public ::testing::Test {       \
+   public:                                                                   \
+    void TestBody() override;                                                \
+    static ::testing::Test* Create() {                                       \
+      return new GTEST_TEST_CLASS_NAME_(suite, name)();                      \
+    }                                                                        \
+                                                                             \
+   private:                                                                  \
+    static inline const int gtest_registering_dummy_ =                       \
+        ::testing::internal::RegisterTest(#suite, #name, &Create);           \
+  };                                                                         \
+  void GTEST_TEST_CLASS_NAME_(suite, name)::TestBody()
+
+#define TEST_F(fixture, name)                                                \
+  class GTEST_TEST_CLASS_NAME_(fixture, name) : public fixture {             \
+   public:                                                                   \
+    void TestBody() override;                                                \
+    static ::testing::Test* Create() {                                       \
+      return new GTEST_TEST_CLASS_NAME_(fixture, name)();                    \
+    }                                                                        \
+                                                                             \
+   private:                                                                  \
+    static inline const int gtest_registering_dummy_ =                       \
+        ::testing::internal::RegisterTest(#fixture, #name, &Create);         \
+  };                                                                         \
+  void GTEST_TEST_CLASS_NAME_(fixture, name)::TestBody()
+
+#define TEST_P(suite, name)                                                  \
+  class GTEST_TEST_CLASS_NAME_(suite, name) : public suite {                 \
+   public:                                                                   \
+    void TestBody() override;                                                \
+    static ::testing::Test* Create(const suite::ParamType&) {                \
+      return new GTEST_TEST_CLASS_NAME_(suite, name)();                      \
+    }                                                                        \
+                                                                             \
+   private:                                                                  \
+    static inline const int gtest_registering_dummy_ =                       \
+        ::testing::internal::ParamRegistry<suite>::Instance().AddPattern(    \
+            #suite, #name, &Create);                                         \
+  };                                                                         \
+  void GTEST_TEST_CLASS_NAME_(suite, name)::TestBody()
+
+#define INSTANTIATE_TEST_SUITE_P(prefix, suite, ...)                      \
+  static const int GTEST_CONCAT_(gtest_instantiation_dummy_, __LINE__) =  \
+      ::testing::internal::ParamRegistry<suite>::Instance()               \
+          .AddInstantiation(#prefix, __VA_ARGS__)
+
+// Legacy alias kept for sources written against older GoogleTest.
+#define INSTANTIATE_TEST_CASE_P INSTANTIATE_TEST_SUITE_P
+
+// --- Boolean --------------------------------------------------------------
+#define EXPECT_TRUE(condition)                                               \
+  GTEST_ASSERT_(::testing::internal::BoolResult(#condition,                  \
+                                                static_cast<bool>(condition),\
+                                                true),                       \
+                GTEST_NONFATAL_FAILURE_)
+#define EXPECT_FALSE(condition)                                              \
+  GTEST_ASSERT_(::testing::internal::BoolResult(#condition,                  \
+                                                static_cast<bool>(condition),\
+                                                false),                      \
+                GTEST_NONFATAL_FAILURE_)
+#define ASSERT_TRUE(condition)                                               \
+  GTEST_ASSERT_(::testing::internal::BoolResult(#condition,                  \
+                                                static_cast<bool>(condition),\
+                                                true),                       \
+                GTEST_FATAL_FAILURE_)
+#define ASSERT_FALSE(condition)                                              \
+  GTEST_ASSERT_(::testing::internal::BoolResult(#condition,                  \
+                                                static_cast<bool>(condition),\
+                                                false),                      \
+                GTEST_FATAL_FAILURE_)
+
+// --- Comparisons ----------------------------------------------------------
+#define MINIGTEST_CMP_(helper, v1, v2, on_failure)                        \
+  GTEST_ASSERT_(::testing::internal::CmpHelper##helper(#v1, #v2, v1, v2), \
+                on_failure)
+
+#define EXPECT_EQ(v1, v2) MINIGTEST_CMP_(EQ, v1, v2, GTEST_NONFATAL_FAILURE_)
+#define EXPECT_NE(v1, v2) MINIGTEST_CMP_(NE, v1, v2, GTEST_NONFATAL_FAILURE_)
+#define EXPECT_GT(v1, v2) MINIGTEST_CMP_(GT, v1, v2, GTEST_NONFATAL_FAILURE_)
+#define EXPECT_GE(v1, v2) MINIGTEST_CMP_(GE, v1, v2, GTEST_NONFATAL_FAILURE_)
+#define EXPECT_LT(v1, v2) MINIGTEST_CMP_(LT, v1, v2, GTEST_NONFATAL_FAILURE_)
+#define EXPECT_LE(v1, v2) MINIGTEST_CMP_(LE, v1, v2, GTEST_NONFATAL_FAILURE_)
+#define ASSERT_EQ(v1, v2) MINIGTEST_CMP_(EQ, v1, v2, GTEST_FATAL_FAILURE_)
+#define ASSERT_NE(v1, v2) MINIGTEST_CMP_(NE, v1, v2, GTEST_FATAL_FAILURE_)
+#define ASSERT_GT(v1, v2) MINIGTEST_CMP_(GT, v1, v2, GTEST_FATAL_FAILURE_)
+#define ASSERT_GE(v1, v2) MINIGTEST_CMP_(GE, v1, v2, GTEST_FATAL_FAILURE_)
+#define ASSERT_LT(v1, v2) MINIGTEST_CMP_(LT, v1, v2, GTEST_FATAL_FAILURE_)
+#define ASSERT_LE(v1, v2) MINIGTEST_CMP_(LE, v1, v2, GTEST_FATAL_FAILURE_)
+
+#define EXPECT_STREQ(v1, v2) \
+  GTEST_ASSERT_(::testing::internal::CmpHelperSTREQ(#v1, #v2, v1, v2), \
+                GTEST_NONFATAL_FAILURE_)
+#define ASSERT_STREQ(v1, v2) \
+  GTEST_ASSERT_(::testing::internal::CmpHelperSTREQ(#v1, #v2, v1, v2), \
+                GTEST_FATAL_FAILURE_)
+
+#define EXPECT_NEAR(v1, v2, abs_error)                                    \
+  GTEST_ASSERT_(::testing::internal::CmpHelperNear(#v1, #v2, #abs_error,  \
+                                                   v1, v2, abs_error),    \
+                GTEST_NONFATAL_FAILURE_)
+#define ASSERT_NEAR(v1, v2, abs_error)                                    \
+  GTEST_ASSERT_(::testing::internal::CmpHelperNear(#v1, #v2, #abs_error,  \
+                                                   v1, v2, abs_error),    \
+                GTEST_FATAL_FAILURE_)
+
+#define EXPECT_DOUBLE_EQ(v1, v2)                                          \
+  GTEST_ASSERT_(::testing::internal::CmpHelperDoubleEQ(#v1, #v2, v1, v2), \
+                GTEST_NONFATAL_FAILURE_)
+#define ASSERT_DOUBLE_EQ(v1, v2)                                          \
+  GTEST_ASSERT_(::testing::internal::CmpHelperDoubleEQ(#v1, #v2, v1, v2), \
+                GTEST_FATAL_FAILURE_)
+#define EXPECT_FLOAT_EQ(v1, v2) EXPECT_NEAR(v1, v2, 1e-5)
+
+// --- Exceptions -----------------------------------------------------------
+#define MINIGTEST_TEST_THROW_(statement, expected_exception, fail)           \
+  GTEST_AMBIGUOUS_ELSE_BLOCKER_                                              \
+  if (::std::string gtest_msg_value; true) {                                 \
+    bool gtest_caught_expected = false;                                      \
+    try {                                                                    \
+      { statement; }                                                         \
+    } catch (expected_exception const&) {                                    \
+      gtest_caught_expected = true;                                          \
+    } catch (...) {                                                          \
+      gtest_msg_value = "Expected: " #statement                              \
+                        " throws an exception of type " #expected_exception  \
+                        ".\n  Actual: it throws a different type.";          \
+      goto GTEST_CONCAT_(gtest_label_testthrow_, __LINE__);                  \
+    }                                                                        \
+    if (!gtest_caught_expected) {                                            \
+      gtest_msg_value = "Expected: " #statement                              \
+                        " throws an exception of type " #expected_exception  \
+                        ".\n  Actual: it throws nothing.";                   \
+      goto GTEST_CONCAT_(gtest_label_testthrow_, __LINE__);                  \
+    }                                                                        \
+  } else                                                                     \
+    GTEST_CONCAT_(gtest_label_testthrow_, __LINE__)                          \
+        : fail(gtest_msg_value.c_str())
+
+#define MINIGTEST_TEST_NO_THROW_(statement, fail)                            \
+  GTEST_AMBIGUOUS_ELSE_BLOCKER_                                              \
+  if (::std::string gtest_msg_value; true) {                                 \
+    try {                                                                    \
+      { statement; }                                                         \
+    } catch (const ::std::exception& gtest_e) {                              \
+      gtest_msg_value = ::std::string("Expected: " #statement                \
+                                      " doesn't throw an exception.\n"       \
+                                      "  Actual: it throws ") +              \
+                        gtest_e.what();                                      \
+      goto GTEST_CONCAT_(gtest_label_testnothrow_, __LINE__);                \
+    } catch (...) {                                                          \
+      gtest_msg_value = "Expected: " #statement                              \
+                        " doesn't throw an exception.\n"                     \
+                        "  Actual: it throws.";                              \
+      goto GTEST_CONCAT_(gtest_label_testnothrow_, __LINE__);                \
+    }                                                                        \
+  } else                                                                     \
+    GTEST_CONCAT_(gtest_label_testnothrow_, __LINE__)                        \
+        : fail(gtest_msg_value.c_str())
+
+#define EXPECT_THROW(statement, expected_exception) \
+  MINIGTEST_TEST_THROW_(statement, expected_exception, GTEST_NONFATAL_FAILURE_)
+#define ASSERT_THROW(statement, expected_exception) \
+  MINIGTEST_TEST_THROW_(statement, expected_exception, GTEST_FATAL_FAILURE_)
+#define EXPECT_NO_THROW(statement) \
+  MINIGTEST_TEST_NO_THROW_(statement, GTEST_NONFATAL_FAILURE_)
+#define ASSERT_NO_THROW(statement) \
+  MINIGTEST_TEST_NO_THROW_(statement, GTEST_FATAL_FAILURE_)
+
+// --- Explicit success / failure / skip ------------------------------------
+#define ADD_FAILURE() GTEST_NONFATAL_FAILURE_("Failed")
+#define FAIL() GTEST_FATAL_FAILURE_("Failed")
+#define SUCCEED() static_cast<void>(0)
+#define GTEST_SKIP() \
+  return ::testing::internal::SkipHelper() = ::testing::Message()
+
+#define SCOPED_TRACE(message)                                          \
+  const ::testing::internal::ScopedTraceHelper GTEST_CONCAT_(          \
+      gtest_trace_, __LINE__)(__FILE__, __LINE__,                      \
+                              ::testing::Message() << (message))
+
+#endif  // MINIGTEST_GTEST_GTEST_H_
