@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Run every bench target and record machine-readable results.
+#
+# For the two Google-Benchmark-style targets the binary's own
+# --benchmark_out JSON is used (per-benchmark ns/iter and items/s); the
+# eight standalone paper-figure benches get a wall-clock wrapper JSON. One
+# BENCH_<target>.json per target lands in $OUT_DIR, so CI can archive them
+# and trajectory can be compared across commits (e.g. with `jq`).
+#
+# Usage: scripts/bench.sh [target...]        (default: all 10 targets)
+#   BUILD_DIR  build tree holding bench/ binaries   (default: build)
+#   OUT_DIR    where BENCH_*.json files are written (default:
+#              $BUILD_DIR/bench_results)
+#   REPS       wall-clock repetitions for standalone benches (default: 3;
+#              the fastest repetition is reported to damp scheduler noise)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT_DIR="${OUT_DIR:-${BUILD_DIR}/bench_results}"
+REPS="${REPS:-3}"
+
+GBENCH_TARGETS=(algorithm1_bench micro_sim_primitives)
+STANDALONE_TARGETS=(ablation_bus_topology ablation_cascade
+  ablation_dram_models ablation_hybrid_sweep ablation_warmup
+  fig2_smache_vs_baseline scaling_gridsize table1_resources)
+
+if [ "$#" -gt 0 ]; then
+  TARGETS=("$@")
+else
+  TARGETS=("${GBENCH_TARGETS[@]}" "${STANDALONE_TARGETS[@]}")
+fi
+
+mkdir -p "${OUT_DIR}"
+
+is_gbench() {
+  local t
+  for t in "${GBENCH_TARGETS[@]}"; do
+    [ "$t" = "$1" ] && return 0
+  done
+  return 1
+}
+
+# Microseconds since epoch, without forking (EPOCHREALTIME is bash >= 5,
+# "sec.usec" — dropping the dot yields integer microseconds).
+now_us() {
+  echo "${EPOCHREALTIME/./}"
+}
+
+for target in "${TARGETS[@]}"; do
+  bin="${BUILD_DIR}/bench/${target}"
+  if [ ! -x "${bin}" ]; then
+    echo "bench.sh: missing ${bin} (build the '${target}' target first)" >&2
+    exit 1
+  fi
+  out="${OUT_DIR}/BENCH_${target}.json"
+  if is_gbench "${target}"; then
+    "${bin}" "--benchmark_out=${out}" --benchmark_out_format=json \
+      > /dev/null
+    echo "wrote ${out} (minibenchmark report)"
+  else
+    best_us=""
+    for _ in $(seq 1 "${REPS}"); do
+      t0=$(now_us)
+      "${bin}" > /dev/null
+      t1=$(now_us)
+      dt=$((t1 - t0))
+      if [ -z "${best_us}" ] || [ "${dt}" -lt "${best_us}" ]; then
+        best_us=${dt}
+      fi
+    done
+    printf '{\n  "name": "%s",\n  "run_type": "wall_clock",\n  "repetitions": %s,\n  "wall_time_best_us": %s\n}\n' \
+      "${target}" "${REPS}" "${best_us}" > "${out}"
+    echo "wrote ${out} (wall ${best_us} us, best of ${REPS})"
+  fi
+done

@@ -1,5 +1,6 @@
 #include "core/engine.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/assert.hpp"
@@ -11,6 +12,38 @@
 #include "sim/simulator.hpp"
 
 namespace smache {
+
+namespace {
+
+/// Read a finished work-instance's output region back through the DRAM
+/// test-bench backdoor — one bulk span instead of a peek() (with its
+/// per-call range check) per cell.
+grid::Grid<word_t> read_output_grid(const mem::DramModel& dram,
+                                    std::uint64_t base, std::size_t height,
+                                    std::size_t width) {
+  const std::size_t cells = height * width;
+  const word_t* span = dram.peek_span(base, cells);
+  return grid::Grid<word_t>::from_words(
+      height, width, std::vector<word_t>(span, span + cells));
+}
+
+/// Drive the simulation to completion with batched predicate polling: the
+/// burst bound combines the top's outstanding work with the DRAM drain
+/// (both retire at most one unit per cycle), which run_until_done turns
+/// into the exact per-cycle-checked completion cycle.
+template <typename Top>
+void run_to_completion(sim::Simulator& sim, const Top& top,
+                       const mem::DramModel& dram,
+                       std::uint64_t max_cycles) {
+  sim.run_until_done(
+      [&] { return top.done() && dram.idle(); },
+      [&] {
+        return std::max(top.min_cycles_to_done(), dram.min_cycles_to_idle());
+      },
+      max_cycles);
+}
+
+}  // namespace
 
 const char* to_string(Architecture arch) noexcept {
   return arch == Architecture::Smache ? "smache" : "baseline";
@@ -73,15 +106,11 @@ RunResult Engine::execute(const ProblemSpec& problem,
     result.estimate = cost::estimate_memory(plan);
     result.timing = cost::estimate_smache_timing(plan);
     if (initial != nullptr) {
-      sim.run_until([&] { return top.done() && dram.idle(); },
-                    options_.max_cycles);
+      run_to_completion(sim, top, dram, options_.max_cycles);
       result.cycles = sim.now();
       result.warmup_cycles = top.warmup_end_cycle();
-      std::vector<word_t> out(cells);
-      for (std::size_t i = 0; i < cells; ++i)
-        out[i] = dram.peek(top.output_base() + i);
-      result.output =
-          grid::Grid<word_t>::from_words(problem.height, problem.width, out);
+      result.output = read_output_grid(dram, top.output_base(),
+                                       problem.height, problem.width);
     }
     result.resources = cost::measure_actual(sim.ledger(), "smache");
     result.plan = std::move(plan);
@@ -94,14 +123,10 @@ RunResult Engine::execute(const ProblemSpec& problem,
         grid::CaseMap(problem.height, problem.width, problem.shape)
             .case_count());
     if (initial != nullptr) {
-      sim.run_until([&] { return top.done() && dram.idle(); },
-                    options_.max_cycles);
+      run_to_completion(sim, top, dram, options_.max_cycles);
       result.cycles = sim.now();
-      std::vector<word_t> out(cells);
-      for (std::size_t i = 0; i < cells; ++i)
-        out[i] = dram.peek(top.output_base() + i);
-      result.output =
-          grid::Grid<word_t>::from_words(problem.height, problem.width, out);
+      result.output = read_output_grid(dram, top.output_base(),
+                                       problem.height, problem.width);
     }
     result.resources = cost::measure_actual(sim.ledger(), "baseline");
   }
@@ -146,14 +171,11 @@ RunResult Engine::run_cascade(const ProblemSpec& problem,
   result.estimate->r_stream *= depth;
   result.estimate->b_stream *= depth;
   result.timing = cost::estimate_smache_timing(plan);
-  sim.run_until([&] { return top.done() && dram.idle(); },
-                options_.max_cycles);
+  run_to_completion(sim, top, dram, options_.max_cycles);
   result.cycles = sim.now();
-  std::vector<word_t> out(cells);
-  for (std::size_t i = 0; i < cells; ++i)
-    out[i] = dram.peek(top.output_base() + i);
   result.output =
-      grid::Grid<word_t>::from_words(problem.height, problem.width, out);
+      read_output_grid(dram, top.output_base(), problem.height,
+                       problem.width);
   result.resources = cost::measure_actual(sim.ledger(), "cascade");
   result.plan = std::move(plan);
   result.dram = dram.stats();

@@ -42,10 +42,12 @@ class BramBank : public sim::Clocked {
   BramBank(sim::Simulator& sim, std::string path, std::size_t depth,
            std::uint32_t width_bits, Mode mode)
       : depth_(depth), width_bits_(width_bits), mode_(mode),
-        store_(depth, 0) {
+        store_(depth, 0),
+        ctl_{store_.data(), 0, 0, 0, 0, false, false} {
     SMACHE_REQUIRE(depth >= 1);
     SMACHE_REQUIRE(width_bits >= 1 && width_bits <= 64);
     sim.register_clocked(this);
+    set_bram_commit(&ctl_);
     const std::uint64_t bits = physical_bits();
     sim.ledger().add(path, sim::ResKind::BramBits, bits);
     sim.ledger().add(path, sim::ResKind::BramBlocks,
@@ -71,22 +73,26 @@ class BramBank : public sim::Clocked {
   /// Issue a synchronous read; rdata() returns the value next cycle.
   void read(std::size_t addr) {
     SMACHE_REQUIRE(addr < depth_);
-    SMACHE_REQUIRE_MSG(!read_pending_, "two reads in one cycle on 1R port");
-    read_addr_ = addr;
-    read_pending_ = true;
+    SMACHE_REQUIRE_MSG(!ctl_.read_pending,
+                       "two reads in one cycle on 1R port");
+    ctl_.read_addr = addr;
+    ctl_.read_pending = true;
+    mark_dirty();
   }
 
   /// Registered read data from the most recent read(). Holds its value
   /// until the next read completes.
-  std::uint64_t rdata() const noexcept { return rdata_; }
+  std::uint64_t rdata() const noexcept { return ctl_.rdata; }
 
   /// Issue a write, applied at the clock edge.
   void write(std::size_t addr, std::uint64_t value) {
     SMACHE_REQUIRE(addr < depth_);
-    SMACHE_REQUIRE_MSG(!write_pending_, "two writes in one cycle on 1W port");
-    write_addr_ = addr;
-    write_value_ = value & mask();
-    write_pending_ = true;
+    SMACHE_REQUIRE_MSG(!ctl_.write_pending,
+                       "two writes in one cycle on 1W port");
+    ctl_.write_addr = addr;
+    ctl_.write_value = value & mask();
+    ctl_.write_pending = true;
+    mark_dirty();
   }
 
   /// Test-bench backdoor (NOT hardware): inspect committed contents.
@@ -102,14 +108,16 @@ class BramBank : public sim::Clocked {
 
   void commit() override {
     // Read samples the array before this cycle's write lands:
-    // read-before-write semantics.
-    if (read_pending_) {
-      rdata_ = store_[read_addr_];
-      read_pending_ = false;
+    // read-before-write semantics. Normally executed inline by the commit
+    // loop via the registered BramCommitCtl; kept equivalent here for
+    // direct callers.
+    if (ctl_.read_pending) {
+      ctl_.rdata = store_[ctl_.read_addr];
+      ctl_.read_pending = false;
     }
-    if (write_pending_) {
-      store_[write_addr_] = write_value_;
-      write_pending_ = false;
+    if (ctl_.write_pending) {
+      store_[ctl_.write_addr] = ctl_.write_value;
+      ctl_.write_pending = false;
     }
   }
 
@@ -123,12 +131,7 @@ class BramBank : public sim::Clocked {
   std::uint32_t width_bits_;
   Mode mode_;
   std::vector<std::uint64_t> store_;
-  std::size_t read_addr_ = 0;
-  bool read_pending_ = false;
-  std::uint64_t rdata_ = 0;
-  std::size_t write_addr_ = 0;
-  std::uint64_t write_value_ = 0;
-  bool write_pending_ = false;
+  BramCommitCtl ctl_;
 };
 
 }  // namespace smache::mem

@@ -8,7 +8,8 @@ DramModel::DramModel(sim::Simulator& sim, const std::string& path,
       store_(size_words, 0),
       read_req_(sim, path + "/read_req", config.req_queue_depth),
       read_data_(sim, path + "/read_data", config.data_queue_depth),
-      write_req_(sim, path + "/write_req", config.write_queue_depth) {
+      write_req_(sim, path + "/write_req", config.write_queue_depth),
+      transit_(config.read_latency >= 1 ? config.read_latency : 1) {
   SMACHE_REQUIRE(size_words >= 1);
   SMACHE_REQUIRE_MSG(config.read_latency >= 1,
                      "read_latency must be >= 1 (transit stage count)");
@@ -28,6 +29,14 @@ void DramModel::charge_row(std::uint64_t addr) {
 }
 
 void DramModel::eval() {
+  // Inert fast path: nothing queued, nothing in flight, no stall burst
+  // draining. A full eval would only rotate empty transit slots, which is
+  // unobservable — delivery latency is set by the transit line LENGTH, not
+  // its fill level (a word entering with s slots ahead waits
+  // (latency - s - 1) growth cycles plus s + 1 drains = latency cycles
+  // regardless of s), so freezing the line while inert is exact.
+  if (stall_left_ == 0 && idle()) return;
+
   // ---- write engine (posted, one per cycle) ----
   bool wrote = false;
   if (write_req_.can_pop()) {

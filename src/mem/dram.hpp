@@ -25,8 +25,8 @@
 // it; all externally visible effects go through the clocked FIFOs).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <string>
 #include <vector>
@@ -36,6 +36,7 @@
 #include "mem/dram_config.hpp"
 #include "sim/clocked.hpp"
 #include "sim/fifo.hpp"
+#include "sim/ring_buffer.hpp"
 #include "sim/simulator.hpp"
 
 namespace smache::mem {
@@ -75,12 +76,31 @@ class DramModel : public sim::Module {
     SMACHE_REQUIRE(addr < store_.size());
     store_[addr] = value;
   }
+  /// Bulk backdoor: a pointer to `count` committed words starting at
+  /// `addr` (valid until the next poke/eval — copy out before stepping).
+  const word_t* peek_span(std::uint64_t addr, std::uint64_t count) const {
+    SMACHE_REQUIRE(addr + count <= store_.size());
+    return store_.data() + addr;
+  }
 
   /// True when nothing is queued or in flight — used by completion
   /// predicates.
   bool idle() const noexcept {
     return burst_left_ == 0 && inflight_words_ == 0 && read_req_.empty() &&
            write_req_.empty();
+  }
+
+  /// Lower bound on cycles until idle() can become true, for
+  /// Simulator::run_until_done batching: posted writes drain at most one
+  /// per cycle, the issue stage retires at most one burst word or queued
+  /// request per cycle, and at most one in-flight word leaves the transit
+  /// line per cycle. These retire concurrently, so the bound is their max.
+  std::uint64_t min_cycles_to_idle() const noexcept {
+    const std::uint64_t issue_backlog =
+        static_cast<std::uint64_t>(burst_left_) + read_req_.size();
+    return std::max({static_cast<std::uint64_t>(write_req_.size()),
+                     static_cast<std::uint64_t>(inflight_words_),
+                     issue_backlog});
   }
 
   void eval() override;
@@ -108,7 +128,9 @@ class DramModel : public sim::Module {
   std::uint32_t stall_left_ = 0;
   std::uint64_t words_since_stall_ = 0;
   std::int64_t open_row_ = -1;
-  std::deque<std::optional<word_t>> transit_;
+  // TRANSIT line: one slot per latency stage, at most `read_latency` deep —
+  // a fixed ring buffer, not a deque, since the depth never changes.
+  sim::RingBuffer<std::optional<word_t>> transit_;
   std::uint32_t inflight_words_ = 0;
 };
 

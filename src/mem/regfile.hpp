@@ -40,6 +40,7 @@ class RegFile : public sim::Clocked {
   void write(std::size_t addr, std::uint64_t value) {
     SMACHE_REQUIRE(addr < depth_);
     writes_.push_back({addr, value & mask()});
+    mark_dirty();
   }
 
   void commit() override {

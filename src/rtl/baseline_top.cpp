@@ -67,6 +67,8 @@ BaselineTop::BaselineTop(sim::Simulator& sim, const std::string& path,
                           static_cast<std::int64_t>(r_rep);
             s.col_shift = static_cast<std::int64_t>(res.c) -
                           static_cast<std::int64_t>(c_rep);
+            s.lin_shift =
+                s.row_shift * static_cast<std::int64_t>(width) + s.col_shift;
             break;
         }
       }
@@ -90,14 +92,13 @@ std::uint64_t BaselineTop::output_base() const noexcept {
 std::uint64_t BaselineTop::element_addr(std::uint64_t cell,
                                         const Source& s) const {
   if (!s.is_data) return in_base() + cell;  // dummy read of the centre
-  const std::int64_t r =
-      static_cast<std::int64_t>(cell / width_) + s.row_shift;
-  const std::int64_t c =
-      static_cast<std::int64_t>(cell % width_) + s.col_shift;
-  SMACHE_ASSERT(r >= 0 && r < static_cast<std::int64_t>(height_));
-  SMACHE_ASSERT(c >= 0 && c < static_cast<std::int64_t>(width_));
-  return in_base() + static_cast<std::uint64_t>(r) * width_ +
-         static_cast<std::uint64_t>(c);
+  // (r + row_shift) * W + (c + col_shift) == cell + lin_shift; the zone
+  // resolution that produced the shifts guarantees the target stays inside
+  // the grid for every cell of the case.
+  const std::int64_t addr = static_cast<std::int64_t>(cell) + s.lin_shift;
+  SMACHE_ASSERT(addr >= 0 &&
+                addr < static_cast<std::int64_t>(cells_));
+  return in_base() + static_cast<std::uint64_t>(addr);
 }
 
 void BaselineTop::eval_run() {
@@ -105,9 +106,7 @@ void BaselineTop::eval_run() {
 
   // -- requester: one single-word read request per cycle --
   if (req_cell_.q() < cells_ && dram_.read_req().can_push()) {
-    const std::size_t case_id = cases_.case_of(
-        static_cast<std::size_t>(req_cell_.q()) / width_,
-        static_cast<std::size_t>(req_cell_.q()) % width_);
+    const std::size_t case_id = case_of_cell_[req_cell_.q()];
     const Source& s = sources_[case_id][req_elem_.q()];
     dram_.read_req().push(
         mem::DramReadReq{element_addr(req_cell_.q(), s), 1});
@@ -130,9 +129,7 @@ void BaselineTop::eval_run() {
         col_elem_.d(col_elem_.q() + 1);
       } else {
         const std::uint64_t cell = col_cell_.q();
-        const std::size_t case_id =
-            cases_.case_of(static_cast<std::size_t>(cell) / width_,
-                           static_cast<std::size_t>(cell) % width_);
+        const std::size_t case_id = case_of_cell_[cell];
         for (std::size_t j = 0; j < tuple; ++j) {
           const Source& s = sources_[case_id][j];
           const word_t raw = j + 1 == tuple ? v : tuple_regs_.q(j);
@@ -156,6 +153,8 @@ void BaselineTop::eval_run() {
 }
 
 void BaselineTop::eval() {
+  if (case_of_cell_.empty())
+    case_of_cell_ = build_case_table(cases_, height_, width_);
   switch (top_.state()) {
     case Top::Run:
       eval_run();

@@ -27,6 +27,7 @@
 #include "grid/zones.hpp"
 #include "mem/dram.hpp"
 #include "rtl/kernel.hpp"
+#include "rtl/top_support.hpp"
 #include "sim/fsm.hpp"
 #include "sim/reg.hpp"
 #include "sim/simulator.hpp"
@@ -44,6 +45,16 @@ class BaselineTop : public sim::Module {
   bool done() const noexcept;
   std::uint64_t output_base() const noexcept;
 
+  /// Lower bound on cycles until done() can become true, for
+  /// Simulator::run_until_done (see outstanding_writeback_bound; the
+  /// collector posts at most one write per cycle, on each tuple's final
+  /// element).
+  std::uint64_t min_cycles_to_done() const noexcept {
+    if (top_.is(Top::Done)) return 0;
+    return outstanding_writeback_bound(steps_, instance_.q(), cells_,
+                                       wb_count_.q());
+  }
+
   void eval() override;
 
  private:
@@ -60,6 +71,10 @@ class BaselineTop : public sim::Module {
     word_t constant = 0;
     std::int64_t row_shift = 0;
     std::int64_t col_shift = 0;
+    // row_shift * W + col_shift: with row-major addressing the shifted
+    // address is simply cell + lin_shift, saving the requester a div/mod
+    // pair every cycle.
+    std::int64_t lin_shift = 0;
   };
 
   std::uint64_t in_base() const noexcept;
@@ -75,6 +90,11 @@ class BaselineTop : public sim::Module {
 
   // sources_[case_id][element]
   std::vector<std::vector<Source>> sources_;
+  // cell -> case id, precomputed: case_of() resolves zones with a per-axis
+  // walk, far too slow to repeat for every request and collect of every
+  // cycle. Behavioural lookup only — charges nothing to the ledger, exactly
+  // like sources_. Built lazily on the first eval (see eval()).
+  std::vector<std::uint32_t> case_of_cell_;
 
   sim::FsmState<Top> top_;
   sim::Reg<std::uint32_t> instance_;

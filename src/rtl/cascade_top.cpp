@@ -73,11 +73,10 @@ void CascadeTop::eval_stage(std::size_t k) {
   bool emitting = false;
   if (emit_i < cells_ && n >= emit_i + center &&
       st.kernel->in().can_push()) {
-    const std::size_t w = plan_.width();
-    const std::size_t case_id =
-        plan_.cases().case_of(emit_i / w, emit_i % w);
+    const std::size_t case_id = case_of_cell_[emit_i];
     const auto& sources = plan_.gather(case_id);
-    TupleMsg msg;
+    // Staged in place; every elems[0..count) field is written below.
+    TupleMsg& msg = st.kernel->in().push_slot();
     msg.index = emit_i;
     msg.count = static_cast<std::uint32_t>(sources.size());
     for (std::size_t j = 0; j < sources.size(); ++j) {
@@ -98,7 +97,6 @@ void CascadeTop::eval_stage(std::size_t k) {
           break;
       }
     }
-    st.kernel->in().push(msg);
     st.emit_next->d(emit_i + 1);
     emitting = true;
   }
@@ -140,6 +138,9 @@ void CascadeTop::eval_stage(std::size_t k) {
 }
 
 void CascadeTop::eval() {
+  if (case_of_cell_.empty())
+    case_of_cell_ =
+        build_case_table(plan_.cases(), plan_.height(), plan_.width());
   switch (top_.state()) {
     case Top::Run: {
       if (!req_issued_.q() && dram_.read_req().can_push()) {

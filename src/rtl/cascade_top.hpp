@@ -33,6 +33,7 @@
 #include "model/planner.hpp"
 #include "rtl/kernel_pipeline.hpp"
 #include "rtl/stream_buffer.hpp"
+#include "rtl/top_support.hpp"
 #include "sim/fifo.hpp"
 #include "sim/fsm.hpp"
 #include "sim/reg.hpp"
@@ -52,6 +53,15 @@ class CascadeTop : public sim::Module {
   bool done() const noexcept;
   std::uint64_t output_base() const noexcept;
   std::size_t depth() const noexcept { return stages_.size(); }
+
+  /// Lower bound on cycles until done() can become true, for
+  /// Simulator::run_until_done (see outstanding_writeback_bound; the last
+  /// stage posts at most one DRAM write per cycle).
+  std::uint64_t min_cycles_to_done() const noexcept {
+    if (top_.is(Top::Done)) return 0;
+    return outstanding_writeback_bound(passes_, pass_.q(), cells_,
+                                       wb_count_.q());
+  }
 
   void eval() override;
 
@@ -81,6 +91,9 @@ class CascadeTop : public sim::Module {
   sim::Simulator& sim_;
 
   std::vector<Stage> stages_;
+  // cell -> case id, precomputed (behavioural lookup, nothing charged):
+  // every stage resolves the emitted cell's case every cycle.
+  std::vector<std::uint32_t> case_of_cell_;
   sim::FsmState<Top> top_;
   sim::Reg<std::uint32_t> pass_;
   sim::Reg<bool> req_issued_;

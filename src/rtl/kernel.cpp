@@ -22,8 +22,7 @@ std::string KernelSpec::name() const {
 namespace {
 
 template <typename T>
-word_t apply_typed(const KernelSpec& spec,
-                   const std::vector<grid::TupleElem>& tuple) {
+word_t apply_typed(const KernelSpec& spec, TupleView tuple) {
   switch (spec.kind) {
     case KernelKind::Average: {
       // Sum in a wide/exact accumulator, then divide by the valid count.
@@ -124,8 +123,7 @@ word_t apply_typed(const KernelSpec& spec,
 
 }  // namespace
 
-word_t apply_kernel(const KernelSpec& spec,
-                    const std::vector<grid::TupleElem>& tuple) {
+word_t apply_kernel(const KernelSpec& spec, TupleView tuple) {
   return spec.value_type == ValueType::Float32
              ? apply_typed<float>(spec, tuple)
              : apply_typed<std::int32_t>(spec, tuple);

@@ -79,9 +79,26 @@ struct KernelSpec {
   }
 };
 
+/// Lightweight non-owning view of a gathered tuple — hot callers (the
+/// kernel pipeline, the baseline collector) hand over their message buffer
+/// directly instead of copying into a vector first.
+struct TupleView {
+  const grid::TupleElem* data = nullptr;
+  std::size_t count = 0;
+
+  std::size_t size() const noexcept { return count; }
+  bool empty() const noexcept { return count == 0; }
+  const grid::TupleElem& operator[](std::size_t i) const { return data[i]; }
+  const grid::TupleElem* begin() const noexcept { return data; }
+  const grid::TupleElem* end() const noexcept { return data + count; }
+};
+
 /// Apply the kernel to one gathered tuple. Total: invalid elements are
 /// skipped; an all-invalid tuple yields 0.
-word_t apply_kernel(const KernelSpec& spec,
-                    const std::vector<grid::TupleElem>& tuple);
+word_t apply_kernel(const KernelSpec& spec, TupleView tuple);
+inline word_t apply_kernel(const KernelSpec& spec,
+                           const std::vector<grid::TupleElem>& tuple) {
+  return apply_kernel(spec, TupleView{tuple.data(), tuple.size()});
+}
 
 }  // namespace smache::rtl

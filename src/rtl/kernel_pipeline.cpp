@@ -29,7 +29,6 @@ KernelPipeline::KernelPipeline(sim::Simulator& sim, const std::string& path,
         payload_bits + idx_bits + 1));
     stages_.push_back(stage_storage_.back().get());
   }
-  scratch_.resize(tuple_size);
   sim.add_module(this);
 }
 
@@ -41,13 +40,22 @@ bool KernelPipeline::empty() const noexcept {
 }
 
 void KernelPipeline::eval() {
+  // Idle fast path: no valid tuple in any stage and nothing to accept.
+  // Advancing would only shift bubbles into bubbles — the committed state
+  // after such a cycle is bit-identical to not scheduling the writes at
+  // all, so skip them (and their dirty-list commits).
+  if (occupancy_ == 0 && in_.empty()) return;
+
   // All-or-nothing advance: the pipeline only moves when its tail can
   // retire into the output FIFO (or the tail is a bubble).
   const Stage& tail = stages_.back()->q();
   const bool can_retire = !tail.valid || out_.can_push();
   if (!can_retire) return;
 
-  if (tail.valid) out_.push(ResultMsg{tail.index, tail.value});
+  if (tail.valid) {
+    out_.push(ResultMsg{tail.index, tail.value});
+    --occupancy_;
+  }
 
   // Shift interior stages.
   for (std::size_t s = stages_.size(); s-- > 1;)
@@ -57,14 +65,15 @@ void KernelPipeline::eval() {
   // computed here and carried through the remaining stages (the stage regs
   // charge the bits a real pipeline would hold).
   if (in_.can_pop()) {
-    const TupleMsg msg = in_.pop();
+    const TupleMsg& msg = in_.front();  // valid until the commit phase
     SMACHE_ASSERT(msg.count <= tuple_size_);
-    scratch_.assign(msg.elems.begin(), msg.elems.begin() + msg.count);
     Stage head;
     head.valid = true;
     head.index = msg.index;
-    head.value = apply_kernel(spec_, scratch_);
+    head.value = apply_kernel(spec_, TupleView{msg.elems.data(), msg.count});
     stages_[0]->d(head);
+    in_.drop();
+    ++occupancy_;
   } else {
     stages_[0]->d(Stage{});
   }

@@ -76,7 +76,10 @@ class KernelPipeline : public sim::Module {
   sim::Fifo<ResultMsg> out_;
   std::vector<sim::Reg<Stage>*> stages_;
   std::vector<std::unique_ptr<sim::Reg<Stage>>> stage_storage_;
-  std::vector<grid::TupleElem> scratch_;
+  // Valid tuples currently in the stage registers (behavioural bookkeeping,
+  // private to eval): when zero with no input waiting, a cycle would only
+  // shift bubbles into bubbles, so eval skips the stage writes entirely.
+  std::uint32_t occupancy_ = 0;
 };
 
 }  // namespace smache::rtl

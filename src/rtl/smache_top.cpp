@@ -45,6 +45,19 @@ SmacheTop::SmacheTop(sim::Simulator& sim, const std::string& path,
   sim.add_module(this);
 }
 
+void SmacheTop::build_cell_tables() {
+  case_of_cell_ =
+      build_case_table(plan_.cases(), plan_.height(), plan_.width());
+  row_of_cell_.reserve(cells_);
+  col_of_cell_.reserve(cells_);
+  for (std::size_t r = 0; r < plan_.height(); ++r) {
+    for (std::size_t c = 0; c < plan_.width(); ++c) {
+      row_of_cell_.push_back(static_cast<std::uint32_t>(r));
+      col_of_cell_.push_back(static_cast<std::uint32_t>(c));
+    }
+  }
+}
+
 bool SmacheTop::done() const noexcept { return top_.is(Top::Done); }
 
 std::uint64_t SmacheTop::in_base() const noexcept {
@@ -60,6 +73,7 @@ std::uint64_t SmacheTop::output_base() const noexcept {
 }
 
 void SmacheTop::eval() {
+  if (case_of_cell_.empty()) build_cell_tables();
   sim_.tracer().sample(sim_.now(), "smache.top_state",
                        static_cast<std::uint64_t>(top_.state()));
   sim_.tracer().sample(sim_.now(), "smache.shifts", shifts_.q());
@@ -111,9 +125,8 @@ void SmacheTop::eval_warmup() {
 // ---------------------------------------------------------------------------
 void SmacheTop::issue_static_reads(std::uint64_t cell) {
   const std::size_t w = plan_.width();
-  const std::size_t r = cell / w;
-  const std::size_t c = cell % w;
-  const std::size_t case_id = plan_.cases().case_of(r, c);
+  const std::size_t c = col_of_cell_[cell];
+  const std::size_t case_id = case_of_cell_[cell];
   for (const auto& g : plan_.gather(case_id)) {
     if (g.kind != model::SourceKind::Static) continue;
     const auto idx = static_cast<std::int64_t>(c) + g.col_shift;
@@ -124,13 +137,12 @@ void SmacheTop::issue_static_reads(std::uint64_t cell) {
 }
 
 void SmacheTop::emit_tuple(std::uint64_t cell) {
-  const std::size_t w = plan_.width();
-  const std::size_t r = cell / w;
-  const std::size_t c = cell % w;
-  const std::size_t case_id = plan_.cases().case_of(r, c);
+  const std::size_t case_id = case_of_cell_[cell];
   const auto& sources = plan_.gather(case_id);
 
-  TupleMsg msg;
+  // Assemble the (wide) tuple directly in the channel's staging slot; the
+  // consumer reads exactly elems[0..count), which this loop fully writes.
+  TupleMsg& msg = kernel_.in().push_slot();
   msg.index = cell;
   msg.count = static_cast<std::uint32_t>(sources.size());
   for (std::size_t j = 0; j < sources.size(); ++j) {
@@ -151,7 +163,6 @@ void SmacheTop::emit_tuple(std::uint64_t cell) {
         break;
     }
   }
-  kernel_.in().push(msg);
 }
 
 void SmacheTop::eval_run() {
@@ -199,8 +210,8 @@ void SmacheTop::eval_run() {
     const ResultMsg res = kernel_.out().pop();
     dram_.write_req().push(
         mem::DramWriteReq{out_base() + res.index, res.value});
-    const std::size_t w = plan_.width();
-    statics_.capture_output(res.index / w, res.index % w, res.value);
+    statics_.capture_output(row_of_cell_[res.index], col_of_cell_[res.index],
+                            res.value);
     wb_count_.d(wb_count_.q() + 1);
     if (wb_count_.q() + 1 == cells_) {
       top_.go(instance_.q() + 1 == steps_ ? Top::Done : Top::Swap);

@@ -40,6 +40,7 @@
 #include "rtl/kernel_pipeline.hpp"
 #include "rtl/static_buffer.hpp"
 #include "rtl/stream_buffer.hpp"
+#include "rtl/top_support.hpp"
 #include "sim/fsm.hpp"
 #include "sim/reg.hpp"
 #include "sim/simulator.hpp"
@@ -58,6 +59,16 @@ class SmacheTop : public sim::Module {
   /// with DramModel::idle()).
   bool done() const noexcept;
 
+  /// Lower bound on cycles until done() can become true, for
+  /// Simulator::run_until_done (see outstanding_writeback_bound; FSM-3
+  /// retires at most one write-back per cycle, and the warm-up pass only
+  /// adds cycles on top of the bound).
+  std::uint64_t min_cycles_to_done() const noexcept {
+    if (top_.is(Top::Done)) return 0;
+    return outstanding_writeback_bound(steps_, instance_.q(), cells_,
+                                       wb_count_.q());
+  }
+
   /// Cycle at which the warm-up pass completed (for amortisation reports).
   std::uint64_t warmup_end_cycle() const noexcept { return warmup_end_; }
 
@@ -74,6 +85,7 @@ class SmacheTop : public sim::Module {
 
   std::uint64_t in_base() const noexcept;
   std::uint64_t out_base() const noexcept;
+  void build_cell_tables();
   void eval_warmup();
   void eval_run();
   void eval_swap();
@@ -105,6 +117,15 @@ class SmacheTop : public sim::Module {
   std::uint64_t warmup_end_ = 0;
   // Warm-up bank order (indices into statics_, write-through first).
   std::vector<std::size_t> warm_order_;
+  // cell -> case id / row / column, precomputed (behavioural lookups,
+  // nothing charged): the gather, pre-issue and write-through stages each
+  // resolve them every cycle, and div/mod is the costliest scalar op in
+  // the loop. Built lazily on the first eval — elaborate-only flows
+  // (Table I's 1024x1024 rows) construct the top without ever stepping it
+  // and must not pay O(cells).
+  std::vector<std::uint32_t> case_of_cell_;
+  std::vector<std::uint32_t> row_of_cell_;
+  std::vector<std::uint32_t> col_of_cell_;
 };
 
 }  // namespace smache::rtl

@@ -13,8 +13,11 @@ StreamBuffer::StreamBuffer(sim::Simulator& sim, const std::string& path,
   reg_ages_ = plan.reg_ages();
   std::sort(reg_ages_.begin(), reg_ages_.end());
   SMACHE_REQUIRE(!reg_ages_.empty() && reg_ages_.front() == 1);
-  for (std::size_t slot = 0; slot < reg_ages_.size(); ++slot)
-    reg_index_[reg_ages_[slot]] = slot;
+  age_to_slot_.assign(window_len_ + 1, kNoSlot);
+  for (std::size_t slot = 0; slot < reg_ages_.size(); ++slot) {
+    SMACHE_REQUIRE(reg_ages_[slot] <= window_len_);
+    age_to_slot_[reg_ages_[slot]] = slot;
+  }
 
   regs_ = std::make_unique<sim::RegArray<word_t>>(
       sim, path + "/stream/window_regs", reg_ages_.size(), word_t{0},
@@ -29,6 +32,8 @@ StreamBuffer::StreamBuffer(sim::Simulator& sim, const std::string& path,
     seg.in_stage_age = fs.in_stage_age;
     seg.out_stage_age = fs.out_stage_age;
     seg.bram_len = fs.bram_len;
+    SMACHE_REQUIRE(is_reg_age(fs.in_stage_age));
+    seg.in_slot = age_to_slot_[fs.in_stage_age];
     const std::string spath = path + "/stream/fifo" + std::to_string(s);
     seg.bram = std::make_unique<mem::BramBank>(
         sim, spath, fs.bram_len, kWordBits, mem::BramBank::Mode::Fifo);
@@ -57,51 +62,65 @@ StreamBuffer::StreamBuffer(sim::Simulator& sim, const std::string& path,
       }
     }
     if (fed) continue;
-    const auto prev = reg_index_.find(age - 1);
-    SMACHE_REQUIRE_MSG(prev != reg_index_.end(),
+    SMACHE_REQUIRE_MSG(is_reg_age(age - 1),
                        "window layout broken: register at age " +
                            std::to_string(age) +
                            " has no register or BRAM feeding it");
-    feeds_[slot] = {Feed::PrevReg, prev->second};
+    feeds_[slot] = {Feed::PrevReg, age_to_slot_[age - 1]};
+  }
+
+  pure_shift_chain_ = segments_.empty();
+  for (std::size_t slot = 1; pure_shift_chain_ && slot < feeds_.size();
+       ++slot) {
+    pure_shift_chain_ = feeds_[slot].kind == Feed::PrevReg &&
+                        feeds_[slot].arg == slot - 1;
   }
 }
 
 void StreamBuffer::shift(word_t in) {
-  // Schedule all register updates (non-blocking; reads see committed
-  // state, so ordering across slots is irrelevant).
+  if (pure_shift_chain_) {
+    // Identical write set to the generic walk below (slot 0 <- in,
+    // slot i <- q(i-1)), scheduled in one pass.
+    regs_->shift_in(in);
+    return;
+  }
+  // Schedule all register updates (non-blocking; the q() reads below see
+  // committed state, so ordering across slots is irrelevant). Every slot
+  // has a feed, so the whole next-state array is written in one pass and
+  // committed as one block copy.
+  word_t* next_state = regs_->next_all();
   for (std::size_t slot = 0; slot < feeds_.size(); ++slot) {
     switch (feeds_[slot].kind) {
       case Feed::Input:
-        regs_->d(slot, in);
+        next_state[slot] = in;
         break;
       case Feed::PrevReg:
-        regs_->d(slot, regs_->q(feeds_[slot].arg));
+        next_state[slot] = regs_->q(feeds_[slot].arg);
         break;
       case Feed::Bram:
-        regs_->d(slot,
-                 static_cast<word_t>(segments_[feeds_[slot].arg]
-                                         .bram->rdata()));
+        next_state[slot] = static_cast<word_t>(
+            segments_[feeds_[slot].arg].bram->rdata());
         break;
     }
   }
-  // Advance every BRAM segment.
+  // Advance every BRAM segment. The pointer wrap is a compare, not a
+  // modulo — an integer divide per segment per cycle is the single most
+  // expensive scalar op in the shift.
   for (auto& seg : segments_) {
     const std::uint32_t p = seg.ptr->q();
     const std::uint32_t next =
-        static_cast<std::uint32_t>((p + 1) % seg.bram_len);
-    const std::size_t in_slot = reg_index_.at(seg.in_stage_age);
-    seg.bram->write(p, regs_->q(in_slot));
+        p + 1 == seg.bram_len ? 0u : p + 1;
+    seg.bram->write(p, regs_->q(seg.in_slot));
     seg.bram->read(next);
     seg.ptr->d(next);
   }
 }
 
 word_t StreamBuffer::tap(std::size_t age) const {
-  const auto it = reg_index_.find(age);
-  SMACHE_REQUIRE_MSG(it != reg_index_.end(),
+  SMACHE_REQUIRE_MSG(is_reg_age(age),
                      "tap(" + std::to_string(age) +
                          ") is not a register-mapped window position");
-  return regs_->q(it->second);
+  return regs_->q(age_to_slot_[age]);
 }
 
 }  // namespace smache::rtl

@@ -24,7 +24,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -54,24 +53,33 @@ class StreamBuffer {
 
   /// True if `age` is register-mapped (readable via tap()).
   bool is_reg_age(std::size_t age) const {
-    return reg_index_.count(age) != 0;
+    return age < age_to_slot_.size() && age_to_slot_[age] != kNoSlot;
   }
 
  private:
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
   struct Segment {
     std::size_t in_stage_age;
     std::size_t out_stage_age;
     std::size_t bram_len;
+    std::size_t in_slot;  // register slot of in_stage_age (precomputed)
     std::unique_ptr<mem::BramBank> bram;
     std::unique_ptr<sim::Reg<std::uint32_t>> ptr;
   };
 
   std::size_t window_len_;
-  // Register-mapped ages, stored compactly: reg_index_[age] -> slot in regs_.
-  std::map<std::size_t, std::size_t> reg_index_;
+  // Register-mapped ages: age_to_slot_[age] -> slot in regs_, or kNoSlot.
+  // A flat table, not a map — tap() runs once per stencil element per
+  // cycle, squarely in the simulation hot loop.
+  std::vector<std::size_t> age_to_slot_;
   std::unique_ptr<sim::RegArray<word_t>> regs_;
   std::vector<std::size_t> reg_ages_;  // slot -> age (sorted ascending)
   std::vector<Segment> segments_;
+  // Case-R degenerate layout (no BRAM segments, slots form one contiguous
+  // delay chain): a shift is then a single RegArray::shift_in, committed as
+  // one block copy instead of a per-slot feed walk.
+  bool pure_shift_chain_ = false;
   // For each register slot: where its next value comes from during a shift.
   enum class Feed : std::uint8_t { Input, PrevReg, Bram };
   struct FeedSpec {

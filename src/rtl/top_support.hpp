@@ -1,0 +1,44 @@
+// Helpers shared by the three top-level designs (Smache, baseline,
+// cascade): the completion lower bound that drives batched polling, and
+// the behavioural cell -> case lookup table.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/zones.hpp"
+
+namespace smache::rtl {
+
+/// Sound lower bound on cycles until a top's done() can become true, used
+/// by Simulator::run_until_done. All three tops share the same argument:
+/// at most one write-back retires per cycle, Done is entered together with
+/// the final one, and `wb_count` resets per instance — so the outstanding
+/// write-back count across all remaining work-instances
+/// (`remaining_instances * cells - clamped(wb_count)`) can never be
+/// undershot. Warm-up or fence cycles only add to it.
+inline std::uint64_t outstanding_writeback_bound(
+    std::uint64_t instances_total, std::uint64_t instances_done,
+    std::uint64_t cells, std::uint64_t wb_count) noexcept {
+  const std::uint64_t remaining = (instances_total - instances_done) * cells;
+  const std::uint64_t written = wb_count < cells ? wb_count : cells;
+  return remaining - written;
+}
+
+/// Flatten a CaseMap into a cell-indexed table. case_of() resolves zones
+/// with a per-axis walk — far too slow to repeat for every cell touch of
+/// every cycle. Behavioural lookup only: charges nothing to the ledger.
+/// Tops build it lazily on their first eval so elaborate-only flows
+/// (Table I's 1024x1024 rows) never pay O(cells).
+inline std::vector<std::uint32_t> build_case_table(const grid::CaseMap& cases,
+                                                   std::size_t height,
+                                                   std::size_t width) {
+  std::vector<std::uint32_t> table;
+  table.reserve(height * width);
+  for (std::size_t r = 0; r < height; ++r)
+    for (std::size_t c = 0; c < width; ++c)
+      table.push_back(static_cast<std::uint32_t>(cases.case_of(r, c)));
+  return table;
+}
+
+}  // namespace smache::rtl

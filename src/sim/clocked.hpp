@@ -3,12 +3,22 @@
 // The substrate mimics an HDL simulator with exclusively non-blocking
 // assignment: during a cycle every Module::eval reads only *committed* state
 // and schedules next-state writes; after all modules evaluated, every Clocked
-// element commits atomically. Consequences:
+// element with a pending write commits atomically. Consequences:
 //   * module evaluation order never affects results (like well-formed RTL);
 //   * a value written at cycle t is visible at cycle t+1, exactly one
 //     flip-flop stage.
+//
+// Commit scheduling is activity-based: scheduling a write enqueues the
+// element on the owning Simulator's per-cycle dirty list (via mark_dirty()),
+// and the commit phase walks only that list. Most registered elements are
+// idle in any given cycle — a large design registers thousands of state
+// elements but touches dozens per cycle — so commits cost O(writes), not
+// O(elements). Because commits are non-blocking and each element only
+// mutates its own state, dirty-list order (write-scheduling order) cannot
+// affect results.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace smache::sim {
@@ -16,13 +26,85 @@ namespace smache::sim {
 class Simulator;
 
 /// A state element participating in the clock edge. Implementations must be
-/// registered with the Simulator (construction does this) and must only
-/// mutate observable state inside commit().
+/// registered with the Simulator (construction does this), must call
+/// mark_dirty() whenever a next-state write is scheduled, and must only
+/// mutate observable state inside commit(). commit() is invoked only on
+/// cycles where the element marked itself dirty.
 class Clocked {
  public:
+  // Non-copyable: an element is registered with one simulator, and the
+  // inline-commit records below point back into the element itself — a
+  // copy would alias the original's registration and dangle its records.
+  Clocked() = default;
+  Clocked(const Clocked&) = delete;
+  Clocked& operator=(const Clocked&) = delete;
   virtual ~Clocked() = default;
   /// Apply all next-state writes scheduled during the eval phase.
   virtual void commit() = 0;
+
+ protected:
+  /// Enqueue this element on the owning simulator's dirty list (idempotent
+  /// within a cycle). Defined in simulator.hpp, next to the queue it feeds.
+  void mark_dirty();
+
+  // -- Inline-commit fast paths ---------------------------------------
+  // The commit loop's virtual dispatch is megamorphic (many element types
+  // alternate every cycle), so each call risks an indirect-branch miss.
+  // The three commit shapes that dominate dirty lists — plain register
+  // copy, FIFO pointer update, BRAM port apply — are described by small
+  // POD records the loop can execute inline through a predictable switch.
+  // commit() must stay equivalent for users that invoke it directly.
+
+  /// Commit record of a FIFO: pop advances head, push publishes the value
+  /// already staged in its ring slot. All fields point into the element.
+  struct FifoCommitCtl {
+    std::size_t* head;
+    std::size_t* size;
+    std::size_t capacity;
+    bool* push_pending;
+    bool* pop_pending;
+  };
+
+  /// Commit record of a 1R1W synchronous RAM: latch read data (before the
+  /// write lands — read-before-write), then apply the write.
+  struct BramCommitCtl {
+    std::uint64_t* store;
+    std::size_t read_addr;
+    std::uint64_t rdata;
+    std::size_t write_addr;
+    std::uint64_t write_value;
+    bool read_pending;
+    bool write_pending;
+  };
+
+  /// A commit that is exactly "copy `bytes` from `src` to `dst`" (a plain
+  /// register's q_ <- next_).
+  void set_copy_commit(void* dst, const void* src,
+                       std::uint32_t bytes) noexcept {
+    fast_kind_ = FastCommit::Copy;
+    fast_a_ = dst;
+    fast_b_ = src;
+    fast_bytes_ = bytes;
+  }
+  void set_fifo_commit(FifoCommitCtl* ctl) noexcept {
+    fast_kind_ = FastCommit::Fifo;
+    fast_a_ = ctl;
+  }
+  void set_bram_commit(BramCommitCtl* ctl) noexcept {
+    fast_kind_ = FastCommit::Bram;
+    fast_a_ = ctl;
+  }
+
+ private:
+  friend class Simulator;
+  enum class FastCommit : std::uint8_t { None, Copy, Fifo, Bram };
+
+  Simulator* sim_ = nullptr;  // set by Simulator::register_clocked
+  bool queued_ = false;       // already on this cycle's dirty list
+  FastCommit fast_kind_ = FastCommit::None;
+  void* fast_a_ = nullptr;
+  const void* fast_b_ = nullptr;
+  std::uint32_t fast_bytes_ = 0;
 };
 
 /// A behavioural block evaluated once per cycle. eval() may read committed

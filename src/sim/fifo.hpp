@@ -8,6 +8,11 @@
 //     registered. This makes producer/consumer evaluation order irrelevant;
 //   * capacity must be >= 1.
 //
+// Storage is a fixed-capacity inline ring buffer (sim::RingBuffer): the
+// depth is known at construction, exactly like the synthesised FIFO, so
+// occupancy changes are pointer arithmetic on one flat allocation — no
+// per-push heap traffic in the cycle hot loop.
+//
 // Resource accounting: FIFOs charge `capacity * bits_each` register bits
 // plus head/tail pointers. Design-level FIFOs that should synthesise into
 // BRAM use mem::BramBank-based structures instead; this class models the
@@ -15,7 +20,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
 
 #include "common/assert.hpp"
@@ -23,6 +27,7 @@
 #include "sim/clocked.hpp"
 #include "sim/simulator.hpp"
 #include "sim/reg.hpp"
+#include "sim/ring_buffer.hpp"
 
 namespace smache::sim {
 
@@ -31,47 +36,65 @@ class Fifo : public Clocked {
  public:
   Fifo(Simulator& sim, std::string path, std::size_t capacity,
        std::uint32_t bits_each = default_bits<T>())
-      : capacity_(capacity) {
+      : items_(capacity),
+        commit_ctl_{items_.head_ptr(), items_.size_ptr(), capacity,
+                    &push_pending_, &pop_pending_} {
     SMACHE_REQUIRE(capacity >= 1);
     sim.register_clocked(this);
+    set_fifo_commit(&commit_ctl_);
     const std::uint64_t ptr_bits = 2ull * (addr_bits(capacity) + 1);
     sim.ledger().add(std::move(path), ResKind::RegisterBits,
                      static_cast<std::uint64_t>(capacity) * bits_each +
                          ptr_bits);
   }
 
-  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t capacity() const noexcept { return items_.capacity(); }
   /// Committed occupancy (start-of-cycle view).
   std::size_t size() const noexcept { return items_.size(); }
   bool empty() const noexcept { return items_.empty(); }
 
   /// True iff a push this cycle is accepted. Ignores this cycle's pop by
   /// design (registered-full semantics).
-  bool can_push() const noexcept {
-    return !push_pending_ && items_.size() < capacity_;
-  }
+  bool can_push() const noexcept { return !push_pending_ && !items_.full(); }
 
   /// Schedule a push; the value is visible to the consumer next cycle.
-  void push(const T& v) {
+  /// The value is staged directly in its final ring slot (readers only see
+  /// committed occupancy, and the slot index survives a same-cycle pop), so
+  /// commit() publishes it without a second copy.
+  void push(const T& v) { push_slot() = v; }
+
+  /// Zero-copy variant of push() for wide messages: schedules the push and
+  /// returns the staging slot for the producer to fill in place before the
+  /// end of its eval. The slot holds stale bytes from an earlier occupant —
+  /// the producer owns writing every field the consumer will read.
+  T& push_slot() {
     SMACHE_REQUIRE_MSG(can_push(), "fifo overflow or double push in a cycle");
-    pending_value_ = v;
     push_pending_ = true;
+    mark_dirty();
+    return items_.staging_back();
   }
 
   /// True iff a pop this cycle would return data.
   bool can_pop() const noexcept { return !pop_pending_ && !items_.empty(); }
 
   /// Committed front element; valid only when can_pop().
-  const T& front() const {
-    SMACHE_REQUIRE(!items_.empty());
-    return items_.front();
-  }
+  const T& front() const { return items_.front(); }
 
   /// Schedule a pop of the front element and return it.
   T pop() {
     SMACHE_REQUIRE_MSG(can_pop(), "fifo underflow or double pop in a cycle");
     pop_pending_ = true;
+    mark_dirty();
     return items_.front();
+  }
+
+  /// Zero-copy variant of pop() for wide messages: schedules the pop
+  /// without returning the element. Pair with front(), whose reference
+  /// stays valid until the commit phase.
+  void drop() {
+    SMACHE_REQUIRE_MSG(can_pop(), "fifo underflow or double pop in a cycle");
+    pop_pending_ = true;
+    mark_dirty();
   }
 
   void commit() override {
@@ -80,17 +103,16 @@ class Fifo : public Clocked {
       pop_pending_ = false;
     }
     if (push_pending_) {
-      items_.push_back(pending_value_);
+      items_.commit_back();
       push_pending_ = false;
     }
   }
 
  private:
-  std::size_t capacity_;
-  std::deque<T> items_;
-  T pending_value_{};
+  RingBuffer<T> items_;
   bool push_pending_ = false;
   bool pop_pending_ = false;
+  FifoCommitCtl commit_ctl_;
 };
 
 }  // namespace smache::sim

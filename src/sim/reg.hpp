@@ -3,6 +3,7 @@
 // ResourceLedger so elaborated designs produce synthesis-style reports.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <type_traits>
@@ -23,7 +24,8 @@ constexpr std::uint32_t default_bits() noexcept {
 }
 
 /// A single clocked register. q() reads the committed value; d() schedules
-/// the next value. If d() is not called in a cycle the register holds.
+/// the next value. If d() is not called in a cycle the register holds (and
+/// the register never appears on that cycle's dirty list).
 template <typename T>
 class Reg : public Clocked {
  public:
@@ -33,26 +35,22 @@ class Reg : public Clocked {
       std::uint32_t bits = default_bits<T>())
       : q_(init), next_(init) {
     sim.register_clocked(this);
+    if constexpr (std::is_trivially_copyable_v<T>)
+      set_copy_commit(&q_, &next_, sizeof(T));
     sim.ledger().add(std::move(path), ResKind::RegisterBits, bits);
   }
 
   const T& q() const noexcept { return q_; }
   void d(const T& v) {
     next_ = v;
-    pending_ = true;
+    mark_dirty();
   }
 
-  void commit() override {
-    if (pending_) {
-      q_ = next_;
-      pending_ = false;
-    }
-  }
+  void commit() override { q_ = next_; }
 
  private:
   T q_;
   T next_;
-  bool pending_ = false;
 };
 
 /// A block of N registers committed together (e.g. a shift window). One
@@ -79,22 +77,40 @@ class RegArray : public Clocked {
     SMACHE_REQUIRE(i < next_.size());
     next_[i] = v;
     dirty_.push_back(i);
+    mark_dirty();
   }
 
   /// Schedule a one-position shift toward higher indices with `in` entering
   /// at index 0 (the canonical stream-buffer move). Equivalent to
-  /// d(i+1, q(i)) for all i plus d(0, in), but in one pass.
+  /// d(i+1, q(i)) for all i plus d(0, in), but in one pass — and committed
+  /// as one whole-array copy instead of a per-index walk.
   void shift_in(const T& in) {
-    for (std::size_t i = next_.size(); i-- > 1;) {
-      next_[i] = q_[i - 1];
-      dirty_.push_back(i);
-    }
+    for (std::size_t i = next_.size(); i-- > 1;) next_[i] = q_[i - 1];
     next_[0] = in;
-    dirty_.push_back(0);
+    all_dirty_ = true;
+    mark_dirty();
+  }
+
+  /// Whole-array write access for producers that update every element each
+  /// cycle (e.g. a hybrid window shift): returns the next-state array to
+  /// fill in place — every element the reader will observe must be written
+  /// (unwritten slots republish their previous next-state, which after any
+  /// earlier commit equals the held value). Committed as one block copy.
+  T* next_all() {
+    all_dirty_ = true;
+    mark_dirty();
+    return next_.data();
   }
 
   void commit() override {
-    for (std::size_t i : dirty_) q_[i] = next_[i];
+    if (all_dirty_) {
+      // Whole array scheduled (shift_in, possibly plus d() writes — those
+      // also landed in next_, so the block copy subsumes them).
+      std::copy(next_.begin(), next_.end(), q_.begin());
+      all_dirty_ = false;
+    } else {
+      for (std::size_t i : dirty_) q_[i] = next_[i];
+    }
     dirty_.clear();
   }
 
@@ -102,6 +118,7 @@ class RegArray : public Clocked {
   std::vector<T> q_;
   std::vector<T> next_;
   std::vector<std::size_t> dirty_;
+  bool all_dirty_ = false;
 };
 
 }  // namespace smache::sim

@@ -2,8 +2,10 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -27,16 +29,27 @@ class Simulator {
 
   /// Register a behavioural module; evaluated every cycle in registration
   /// order (order is irrelevant for correctness, fixed for determinism).
+  /// Modules live in one flat array walked directly each cycle — for the
+  /// common case of a handful of tops this is a short, branch-predictable
+  /// loop with no per-cycle allocation.
   void add_module(Module* m) {
     SMACHE_REQUIRE(m != nullptr);
     modules_.push_back(m);
   }
 
-  /// Register a state element; committed every cycle after all evals.
+  /// Register a state element. Only elements that schedule a write in a
+  /// cycle (they enqueue themselves via Clocked::mark_dirty) are committed.
   void register_clocked(Clocked* c) {
     SMACHE_REQUIRE(c != nullptr);
+    SMACHE_REQUIRE_MSG(c->sim_ == nullptr || c->sim_ == this,
+                       "state element already registered with another "
+                       "simulator");
+    c->sim_ = this;
     clocked_.push_back(c);
   }
+
+  /// Number of registered state elements (reporting/tests).
+  std::size_t clocked_count() const noexcept { return clocked_.size(); }
 
   /// Resource accounting shared by every primitive built on this simulator.
   ResourceLedger& ledger() noexcept { return ledger_; }
@@ -47,10 +60,13 @@ class Simulator {
   Tracer& tracer() noexcept { return tracer_; }
   const Tracer& tracer() const noexcept { return tracer_; }
 
-  /// Advance exactly one cycle: eval phase then commit phase.
+  /// Advance exactly one cycle: eval phase then commit phase. The commit
+  /// phase visits only elements that scheduled a write this cycle.
   void step() {
-    for (Module* m : modules_) m->eval();
-    for (Clocked* c : clocked_) c->commit();
+    Module* const* mods = modules_.data();
+    const std::size_t n = modules_.size();
+    for (std::size_t i = 0; i < n; ++i) mods[i]->eval();
+    commit_dirty();
     ++cycle_;
   }
 
@@ -60,9 +76,40 @@ class Simulator {
   /// simulated design is a bug, never silent.
   std::uint64_t run_until(const std::function<bool()>& done,
                           std::uint64_t max_cycles) {
+    return run_until_done(done, [] { return std::uint64_t{1}; }, max_cycles);
+  }
+
+  /// Batched completion polling: step in bursts, checking `done()` only
+  /// when completion is possible. `min_cycles_to_done()` must return a
+  /// LOWER BOUND on the number of further cycles before `done()` can first
+  /// become true (0 and 1 both mean "check after the next cycle") — e.g.
+  /// outstanding write-backs, DRAM words in flight, or pipeline fill, each
+  /// of which retires at most one per cycle. Every cycle is still
+  /// evaluated/committed normally (tracing, stats and waveforms see all of
+  /// them); only the predicate checks are skipped, so with a sound bound
+  /// the results — including the returned cycle count — are bit-identical
+  /// to checking after every cycle, while the done/bound callables run
+  /// O(completions) instead of O(cycles) times.
+  ///
+  /// Exactness argument: suppose done() first becomes true after cycle t*.
+  /// A sound bound computed at any check cycle c < t* never schedules the
+  /// next check beyond t* (that would certify done() false at t*), so the
+  /// first check at-or-after t* lands exactly on t* and no cycle beyond t*
+  /// is ever stepped. Soundness is the caller's contract; the equivalence
+  /// suite (tests/test_sim_equivalence.cpp) pins the engine's bounds to
+  /// golden per-cycle-checked counts.
+  template <typename Done, typename Bound>
+  std::uint64_t run_until_done(Done&& done, Bound&& min_cycles_to_done,
+                               std::uint64_t max_cycles) {
     const std::uint64_t start = cycle_;
-    while (cycle_ - start < max_cycles) {
-      step();
+    for (;;) {
+      const std::uint64_t elapsed = cycle_ - start;
+      if (elapsed >= max_cycles) break;
+      std::uint64_t burst = min_cycles_to_done();
+      if (burst < 1) burst = 1;
+      const std::uint64_t budget = max_cycles - elapsed;
+      if (burst > budget) burst = budget;
+      step_burst(burst);
       if (done()) return cycle_ - start;
     }
     throw contract_error("simulation exceeded max_cycles=" +
@@ -71,11 +118,78 @@ class Simulator {
   }
 
  private:
+  /// Advance `n` cycles with the loop-invariant loads (module array base
+  /// and length) hoisted out of the per-cycle work.
+  void step_burst(std::uint64_t n) {
+    Module* const* mods = modules_.data();
+    const std::size_t m = modules_.size();
+    for (std::uint64_t k = 0; k < n; ++k) {
+      for (std::size_t i = 0; i < m; ++i) mods[i]->eval();
+      commit_dirty();
+      ++cycle_;
+    }
+  }
+
+  void commit_dirty() {
+    // commit() must not schedule new writes, so dirty_ cannot grow here.
+    // The switch executes the three dominant commit shapes inline (see
+    // clocked.hpp) — only irregular elements pay a virtual dispatch.
+    for (Clocked* c : dirty_) {
+      c->queued_ = false;
+      switch (c->fast_kind_) {
+        case Clocked::FastCommit::Copy:
+          std::memcpy(c->fast_a_, c->fast_b_, c->fast_bytes_);
+          break;
+        case Clocked::FastCommit::Fifo: {
+          auto* f = static_cast<Clocked::FifoCommitCtl*>(c->fast_a_);
+          if (*f->pop_pending) {
+            *f->head = *f->head + 1 == f->capacity ? 0 : *f->head + 1;
+            --*f->size;
+            *f->pop_pending = false;
+          }
+          if (*f->push_pending) {
+            ++*f->size;
+            *f->push_pending = false;
+          }
+          break;
+        }
+        case Clocked::FastCommit::Bram: {
+          auto* b = static_cast<Clocked::BramCommitCtl*>(c->fast_a_);
+          if (b->read_pending) {
+            b->rdata = b->store[b->read_addr];
+            b->read_pending = false;
+          }
+          if (b->write_pending) {
+            b->store[b->write_addr] = b->write_value;
+            b->write_pending = false;
+          }
+          break;
+        }
+        case Clocked::FastCommit::None:
+          c->commit();
+          break;
+      }
+    }
+    dirty_.clear();
+  }
+
+  friend class Clocked;  // mark_dirty() appends to dirty_
+
   std::uint64_t cycle_ = 0;
   std::vector<Module*> modules_;
   std::vector<Clocked*> clocked_;
+  std::vector<Clocked*> dirty_;
   ResourceLedger ledger_;
   Tracer tracer_;
 };
+
+inline void Clocked::mark_dirty() {
+  if (queued_) return;
+  SMACHE_ASSERT_MSG(sim_ != nullptr,
+                    "state element wrote before registering with a "
+                    "Simulator");
+  queued_ = true;
+  sim_->dirty_.push_back(this);
+}
 
 }  // namespace smache::sim

@@ -1,0 +1,183 @@
+// Semantic-equivalence wall for the simulator hot-path overhaul (dirty-list
+// commits, ring-buffer FIFOs, batched completion polling): every value here
+// was captured from the PRE-overhaul per-cycle-checked simulator (the PR-1
+// seed semantics) and must stay bit-identical forever. A drift in any cycle
+// count, DRAM counter, output hash or rendered summary means the refactored
+// substrate changed observable behaviour, not just speed.
+//
+// Configurations cover the three tops (smache, baseline, cascade), both
+// stream implementations, the ddr-like row model, and DRAM stall injection
+// — i.e. every scheduling path the overhaul touched.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+#include "support/test_grids.hpp"
+
+namespace smache {
+namespace {
+
+std::uint64_t fnv1a(const grid::Grid<word_t>& g) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    h ^= static_cast<std::uint64_t>(g[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct Golden {
+  std::uint64_t cycles;
+  std::uint64_t warmup;
+  std::uint64_t read_requests;
+  std::uint64_t words_read;
+  std::uint64_t words_written;
+  std::uint64_t row_hits;
+  std::uint64_t row_misses;
+  std::uint64_t read_busy_cycles;
+  std::uint64_t output_hash;
+  const char* summary;
+};
+
+void expect_matches(const RunResult& r, const Golden& g) {
+  EXPECT_EQ(r.cycles, g.cycles);
+  EXPECT_EQ(r.warmup_cycles, g.warmup);
+  EXPECT_EQ(r.dram.read_requests, g.read_requests);
+  EXPECT_EQ(r.dram.words_read, g.words_read);
+  EXPECT_EQ(r.dram.words_written, g.words_written);
+  EXPECT_EQ(r.dram.row_hits, g.row_hits);
+  EXPECT_EQ(r.dram.row_misses, g.row_misses);
+  EXPECT_EQ(r.dram.read_busy_cycles, g.read_busy_cycles);
+  EXPECT_EQ(fnv1a(r.output), g.output_hash);
+  EXPECT_EQ(r.summary(), g.summary);
+}
+
+// Grid used by the seed capture: full-width random words, same as
+// test_support::random_grid's default bound.
+grid::Grid<word_t> seed_grid(std::size_t h, std::size_t w,
+                             std::uint64_t seed) {
+  return test_support::random_grid(h, w, seed);
+}
+
+TEST(SimEquivalence, SmacheHybridPaperExample) {
+  ProblemSpec p = ProblemSpec::paper_example();
+  p.steps = 7;
+  const auto r =
+      Engine(EngineOptions::smache()).run(p, seed_grid(11, 11, 90));
+  expect_matches(r, Golden{1045, 30, 9, 869, 847, 0, 0, 869,
+                           5932556407641113847ull,
+                           "smache: cycles=1045 fmax=238.279MHz "
+                           "dram_read=3476B dram_write=3388B "
+                           "time=4.38561us mops=772.527"});
+}
+
+TEST(SimEquivalence, SmacheRegisterOnlyPaperExample) {
+  ProblemSpec p = ProblemSpec::paper_example();
+  p.steps = 7;
+  const auto r = Engine(EngineOptions::smache(model::StreamImpl::RegisterOnly))
+                     .run(p, seed_grid(11, 11, 90));
+  // Same cycles/traffic/output as the hybrid plan; only the timing model
+  // (and thus the derived us/mops fields) differs.
+  expect_matches(r, Golden{1045, 30, 9, 869, 847, 0, 0, 869,
+                           5932556407641113847ull,
+                           "smache: cycles=1045 fmax=233.018MHz "
+                           "dram_read=3476B dram_write=3388B "
+                           "time=4.48463us mops=755.47"});
+}
+
+TEST(SimEquivalence, BaselinePaperExample) {
+  ProblemSpec p = ProblemSpec::paper_example();
+  p.steps = 4;
+  const auto r =
+      Engine(EngineOptions::baseline()).run(p, seed_grid(11, 11, 91));
+  expect_matches(r, Golden{2439, 0, 1936, 1936, 484, 0, 0, 1936,
+                           4518992472128534969ull,
+                           "baseline: cycles=2439 fmax=381.679MHz "
+                           "dram_read=7744B dram_write=1936B "
+                           "time=6.39018us mops=302.965"});
+}
+
+TEST(SimEquivalence, CascadeOpenBoundaries) {
+  ProblemSpec p;
+  p.height = 10;
+  p.width = 10;
+  p.shape = grid::StencilShape::von_neumann4();
+  p.bc = grid::BoundarySpec::all_open();
+  p.steps = 6;
+  const auto r = Engine(EngineOptions::smache())
+                     .run_cascade(p, seed_grid(10, 10, 92), 3);
+  expect_matches(r, Golden{317, 0, 2, 200, 200, 0, 0, 200,
+                           17733085793374785782ull,
+                           "smache: cycles=317 fmax=238.279MHz "
+                           "dram_read=800B dram_write=800B "
+                           "time=1.33037us mops=1804.01"});
+}
+
+// 32x32 sweep configuration (the scaling bench's shape), bounded values.
+grid::Grid<word_t> scaling_grid32() {
+  Rng rng(32);
+  grid::Grid<word_t> init(32, 32);
+  for (std::size_t i = 0; i < init.size(); ++i)
+    init[i] = static_cast<word_t>(rng.next_below(1000));
+  return init;
+}
+
+TEST(SimEquivalence, SmacheScaling32) {
+  ProblemSpec p = ProblemSpec::paper_example();
+  p.height = 32;
+  p.width = 32;
+  p.steps = 5;
+  const auto r = Engine(EngineOptions::smache()).run(p, scaling_grid32());
+  expect_matches(r, Golden{5417, 72, 7, 5184, 5120, 0, 0, 5184,
+                           2350172435106772504ull,
+                           "smache: cycles=5417 fmax=238.279MHz "
+                           "dram_read=20736B dram_write=20480B "
+                           "time=22.7338us mops=900.861"});
+}
+
+TEST(SimEquivalence, BaselineScaling32) {
+  ProblemSpec p = ProblemSpec::paper_example();
+  p.height = 32;
+  p.width = 32;
+  p.steps = 5;
+  const auto r = Engine(EngineOptions::baseline()).run(p, scaling_grid32());
+  expect_matches(r, Golden{25624, 0, 20480, 20480, 5120, 0, 0, 20480,
+                           2350172435106772504ull,
+                           "baseline: cycles=25624 fmax=381.679MHz "
+                           "dram_read=81920B dram_write=20480B "
+                           "time=67.1349us mops=305.058"});
+}
+
+TEST(SimEquivalence, SmacheDdrLikeRowModel) {
+  ProblemSpec p = ProblemSpec::paper_example();
+  p.height = 32;
+  p.width = 32;
+  p.steps = 5;
+  EngineOptions o = EngineOptions::smache();
+  o.dram = mem::DramConfig::ddr_like();
+  const auto r = Engine(o).run(p, scaling_grid32());
+  expect_matches(r, Golden{5510, 93, 7, 5184, 5120, 2, 5, 5184,
+                           2350172435106772504ull,
+                           "smache: cycles=5510 fmax=238.279MHz "
+                           "dram_read=20736B dram_write=20480B "
+                           "time=23.1241us mops=885.655"});
+}
+
+TEST(SimEquivalence, SmacheWithInjectedStalls) {
+  ProblemSpec p = ProblemSpec::paper_example();
+  p.steps = 3;
+  EngineOptions o = EngineOptions::smache();
+  o.dram.stall_every = 17;
+  o.dram.stall_cycles = 5;
+  const auto r = Engine(o).run(p, seed_grid(11, 11, 94));
+  expect_matches(r, Golden{575, 35, 5, 385, 363, 0, 0, 385,
+                           4831052284388615388ull,
+                           "smache: cycles=575 fmax=238.279MHz "
+                           "dram_read=1540B dram_write=1452B "
+                           "time=2.41313us mops=601.707"});
+}
+
+}  // namespace
+}  // namespace smache

@@ -7,6 +7,7 @@
 #include "sim/fsm.hpp"
 #include "sim/reg.hpp"
 #include "sim/resources.hpp"
+#include "sim/ring_buffer.hpp"
 #include "sim/simulator.hpp"
 
 namespace smache::sim {
@@ -218,6 +219,123 @@ TEST(Simulator, RunUntilStopsOnPredicate) {
 TEST(Simulator, RunUntilThrowsOnBudgetExhaustion) {
   Simulator sim;
   EXPECT_THROW(sim.run_until([] { return false; }, 5), contract_error);
+}
+
+TEST(RingBuffer, WrapsAroundManyTimes) {
+  RingBuffer<int> rb(3);
+  int next_in = 0, next_out = 0;
+  for (int round = 0; round < 50; ++round) {
+    while (!rb.full()) rb.push_back(next_in++);
+    EXPECT_EQ(rb.size(), 3u);
+    EXPECT_EQ(rb.at(0), next_out);
+    EXPECT_EQ(rb.at(2), next_out + 2);
+    rb.pop_front();
+    ++next_out;
+    EXPECT_EQ(rb.front(), next_out);
+  }
+  EXPECT_THROW(rb.at(3), smache::contract_error);
+}
+
+TEST(RingBuffer, StagingBackSurvivesSameCyclePop) {
+  // The slot index handed out by staging_back() must stay the published
+  // back slot when a pop commits first — the FIFO's commit order.
+  RingBuffer<int> rb(2);
+  rb.push_back(10);
+  rb.push_back(11);
+  rb.pop_front();          // room opens...
+  rb.staging_back() = 12;  // ...and the staged slot lands right behind 11
+  rb.commit_back();
+  EXPECT_EQ(rb.front(), 11);
+  rb.pop_front();
+  EXPECT_EQ(rb.front(), 12);
+}
+
+TEST(Fifo, PushSlotAndDropMatchPushAndPop) {
+  // The zero-copy producer/consumer calls must be cycle-for-cycle
+  // equivalent to push()/pop().
+  Simulator sim;
+  Fifo<int> copy(sim, "copy", 2);
+  Fifo<int> zero(sim, "zero", 2);
+  int popped_copy = -1, popped_zero = -1;
+  for (int cycle = 0; cycle < 40; ++cycle) {
+    EXPECT_EQ(copy.can_pop(), zero.can_pop());
+    EXPECT_EQ(copy.can_push(), zero.can_push());
+    if (copy.can_pop() && cycle % 3 != 0) {
+      popped_copy = copy.pop();
+      popped_zero = zero.front();
+      zero.drop();
+      EXPECT_EQ(popped_copy, popped_zero);
+    }
+    if (copy.can_push() && cycle % 2 == 0) {
+      copy.push(cycle);
+      zero.push_slot() = cycle;
+    }
+    sim.step();
+    EXPECT_EQ(copy.size(), zero.size());
+  }
+}
+
+TEST(RegArray, NextAllMatchesPerIndexWrites) {
+  // A whole-array producer (next_all) must commit exactly like the same
+  // writes issued through d().
+  Simulator sim;
+  RegArray<int> a(sim, "a", 5, 0);
+  RegArray<int> b(sim, "b", 5, 0);
+  for (int cycle = 1; cycle <= 8; ++cycle) {
+    int* next = a.next_all();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      next[i] = cycle * 10 + static_cast<int>(i);
+      b.d(i, cycle * 10 + static_cast<int>(i));
+    }
+    sim.step();
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.q(i), b.q(i));
+  }
+}
+
+TEST(Simulator, RunUntilDoneMatchesPerCycleChecking) {
+  // With a sound lower bound the burst-stepping driver must return the
+  // exact cycle count of the per-cycle-checked loop.
+  struct Counter : Module {
+    Reg<int>& r;
+    explicit Counter(Reg<int>& reg) : r(reg) {}
+    void eval() override { r.d(r.q() + 1); }
+  };
+  const int target = 37;
+  Simulator per_cycle;
+  Reg<int> r1(per_cycle, "r", 0);
+  Counter c1(r1);
+  per_cycle.add_module(&c1);
+  const auto cycles_a =
+      per_cycle.run_until([&] { return r1.q() == target; }, 1000);
+
+  Simulator batched;
+  Reg<int> r2(batched, "r", 0);
+  Counter c2(r2);
+  batched.add_module(&c2);
+  const auto cycles_b = batched.run_until_done(
+      [&] { return r2.q() == target; },
+      [&] { return static_cast<std::uint64_t>(target - r2.q()); }, 1000);
+  EXPECT_EQ(cycles_a, cycles_b);
+  EXPECT_EQ(per_cycle.now(), batched.now());
+  EXPECT_EQ(r1.q(), r2.q());
+}
+
+TEST(Simulator, RunUntilDoneThrowsOnBudgetExhaustion) {
+  // The bound must never let a run sail past max_cycles: a bound larger
+  // than the remaining budget is clamped, and the throw happens exactly
+  // at the budget like the per-cycle loop.
+  Simulator sim;
+  Reg<int> r(sim, "r", 0);
+  struct Counter : Module {
+    Reg<int>& r;
+    explicit Counter(Reg<int>& reg) : r(reg) {}
+    void eval() override { r.d(r.q() + 1); }
+  } counter(r);
+  sim.add_module(&counter);
+  EXPECT_THROW(sim.run_until_done([] { return false; },
+                                  [] { return std::uint64_t{1000000}; }, 5),
+               contract_error);
+  EXPECT_EQ(sim.now(), 5u) << "budget overrun: stepped past max_cycles";
 }
 
 TEST(Simulator, ModuleOrderIrrelevantForRegComms) {

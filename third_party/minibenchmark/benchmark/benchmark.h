@@ -3,6 +3,15 @@
 // iterations, SetItemsProcessed, SetLabel), and benchmark::DoNotOptimize.
 // The library supplies main() (see benchmark_main.cpp), matching how the
 // bench sources rely on benchmark::benchmark_main.
+//
+// Command-line flags (Google Benchmark compatible subset):
+//   --benchmark_format=console|json        stdout reporter (default console)
+//   --benchmark_out=<file>                 also write a report to <file>
+//   --benchmark_out_format=console|json    format for --benchmark_out
+//                                          (default json)
+// The JSON report mirrors Google Benchmark's shape: a "context" object and
+// a "benchmarks" array with name/iterations/real_time/items_per_second, so
+// CI can track paper-figure throughput over time.
 #ifndef MINIBENCHMARK_BENCHMARK_BENCHMARK_H_
 #define MINIBENCHMARK_BENCHMARK_BENCHMARK_H_
 
@@ -134,6 +143,16 @@ inline void ClobberMemory() {
 
 void Initialize(int* argc, char** argv);
 void RunSpecifiedBenchmarks();
+
+namespace internal {
+/// Reporting options parsed by Initialize (exposed for the shim's tests).
+struct ReportConfig {
+  bool console_json = false;       // --benchmark_format=json
+  std::string out_path;            // --benchmark_out=<file>
+  bool out_json = true;            // --benchmark_out_format (default json)
+};
+ReportConfig& Config();
+}  // namespace internal
 
 }  // namespace benchmark
 

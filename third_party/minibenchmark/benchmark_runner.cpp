@@ -1,15 +1,29 @@
-// minibenchmark runner: registry storage, adaptive timing loop, and a
-// console reporter close enough to Google Benchmark's for eyeballing.
+// minibenchmark runner: registry storage, adaptive timing loop, and two
+// reporters — a console table close enough to Google Benchmark's for
+// eyeballing, and a Google-Benchmark-shaped JSON report for machines
+// (scripts/bench.sh, CI artifacts).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace benchmark {
 namespace internal {
+
+namespace {
+// Owns every registered benchmark for the life of the process, so the
+// registry is leak-free under LeakSanitizer (the CI sanitizer leg runs the
+// shim's own tests).
+std::vector<std::unique_ptr<Benchmark>>& Storage() {
+  static std::vector<std::unique_ptr<Benchmark>> storage;
+  return storage;
+}
+}  // namespace
 
 std::vector<Benchmark*>& Registry() {
   static std::vector<Benchmark*> registry;
@@ -17,9 +31,14 @@ std::vector<Benchmark*>& Registry() {
 }
 
 Benchmark* RegisterBenchmark(const char* name, Function fn) {
-  auto* b = new Benchmark(name, fn);  // Lives for the process; freed by exit.
-  Registry().push_back(b);
-  return b;
+  Storage().push_back(std::make_unique<Benchmark>(name, fn));
+  Registry().push_back(Storage().back().get());
+  return Registry().back();
+}
+
+ReportConfig& Config() {
+  static ReportConfig config;
+  return config;
 }
 
 namespace {
@@ -31,10 +50,17 @@ double MinTimeSeconds() {
 }
 
 struct RunResult {
-  std::int64_t iterations;
-  double seconds;
-  std::int64_t items_processed;
+  std::string name;
+  std::int64_t iterations = 0;
+  double seconds = 0.0;
+  std::int64_t items_processed = 0;
   std::string label;
+
+  double ns_per_iter() const {
+    return iterations > 0
+               ? seconds * 1e9 / static_cast<double>(iterations)
+               : 0.0;
+  }
 };
 
 RunResult RunOnce(Function fn, std::int64_t iterations,
@@ -43,17 +69,17 @@ RunResult RunOnce(Function fn, std::int64_t iterations,
   const auto start = std::chrono::steady_clock::now();
   fn(state);
   const auto stop = std::chrono::steady_clock::now();
-  return {state.iterations(),
-          std::chrono::duration<double>(stop - start).count(),
-          state.items_processed(), state.label()};
+  RunResult r;
+  r.iterations = state.iterations();
+  r.seconds = std::chrono::duration<double>(stop - start).count();
+  r.items_processed = state.items_processed();
+  r.label = state.label();
+  return r;
 }
 
-void Report(const std::string& name, const RunResult& r) {
-  const double ns_per_iter =
-      r.iterations > 0 ? r.seconds * 1e9 / static_cast<double>(r.iterations)
-                       : 0.0;
-  std::printf("%-48s %14.1f ns %12lld iters", name.c_str(), ns_per_iter,
-              static_cast<long long>(r.iterations));
+void ReportConsole(const RunResult& r) {
+  std::printf("%-48s %14.1f ns %12lld iters", r.name.c_str(),
+              r.ns_per_iter(), static_cast<long long>(r.iterations));
   if (r.items_processed > 0 && r.seconds > 0.0)
     std::printf(" %12.3g items/s",
                 static_cast<double>(r.items_processed) / r.seconds);
@@ -62,13 +88,63 @@ void Report(const std::string& name, const RunResult& r) {
   std::fflush(stdout);
 }
 
-void RunBenchmark(const Benchmark& b, const std::vector<std::int64_t>& args) {
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      // Control characters are invalid raw inside JSON strings.
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void WriteJson(std::FILE* f, const std::vector<RunResult>& results,
+               const char* executable) {
+  std::fprintf(f, "{\n  \"context\": {\n");
+  std::fprintf(f, "    \"library\": \"minibenchmark\",\n");
+  std::fprintf(f, "    \"executable\": \"%s\",\n",
+               JsonEscape(executable).c_str());
+  std::fprintf(f, "    \"min_time_s\": %g\n  },\n", MinTimeSeconds());
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"name\": \"%s\",\n",
+                 JsonEscape(r.name).c_str());
+    std::fprintf(f, "      \"run_type\": \"iteration\",\n");
+    std::fprintf(f, "      \"iterations\": %lld,\n",
+                 static_cast<long long>(r.iterations));
+    std::fprintf(f, "      \"real_time\": %.4f,\n", r.ns_per_iter());
+    std::fprintf(f, "      \"time_unit\": \"ns\"");
+    if (r.items_processed > 0 && r.seconds > 0.0)
+      std::fprintf(f, ",\n      \"items_per_second\": %.6g",
+                   static_cast<double>(r.items_processed) / r.seconds);
+    if (!r.label.empty())
+      std::fprintf(f, ",\n      \"label\": \"%s\"",
+                   JsonEscape(r.label).c_str());
+    std::fprintf(f, "\n    }%s\n", i + 1 == results.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+}
+
+RunResult RunBenchmark(const Benchmark& b,
+                       const std::vector<std::int64_t>& args) {
   std::string name = b.name();
   for (const auto a : args) name += "/" + std::to_string(a);
 
   if (b.fixed_iterations() > 0) {
-    Report(name, RunOnce(b.fn(), b.fixed_iterations(), args));
-    return;
+    RunResult r = RunOnce(b.fn(), b.fixed_iterations(), args);
+    r.name = std::move(name);
+    return r;
   }
   // Adaptive sizing: grow the iteration count until the wall time is
   // meaningful, then report the final (largest) run.
@@ -83,22 +159,75 @@ void RunBenchmark(const Benchmark& b, const std::vector<std::int64_t>& args) {
     iters = next > iters ? next : iters * 2;
     result = RunOnce(b.fn(), iters, args);
   }
-  Report(name, result);
+  result.name = std::move(name);
+  return result;
 }
+
+const char* g_executable = "minibenchmark";
 
 }  // namespace
 }  // namespace internal
 
-void Initialize(int*, char**) {}
+void Initialize(int* argc, char** argv) {
+  if (argc == nullptr || argv == nullptr) return;
+  if (*argc > 0) internal::g_executable = argv[0];
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    const auto value_of = [arg](const char* flag) -> const char* {
+      const std::size_t n = std::strlen(flag);
+      return std::strncmp(arg, flag, n) == 0 ? arg + n : nullptr;
+    };
+    if (const char* v = value_of("--benchmark_format=")) {
+      internal::Config().console_json = std::strcmp(v, "json") == 0;
+    } else if (const char* v2 = value_of("--benchmark_out_format=")) {
+      internal::Config().out_json = std::strcmp(v2, "json") == 0;
+    } else if (const char* v3 = value_of("--benchmark_out=")) {
+      internal::Config().out_path = v3;
+    } else {
+      argv[kept++] = argv[i];  // leave unknown flags for the program
+    }
+  }
+  argv[kept] = nullptr;  // preserve the argv[argc] == NULL contract
+  *argc = kept;
+}
 
 void RunSpecifiedBenchmarks() {
-  std::printf("%-48s %17s %18s\n", "Benchmark", "Time", "Iterations");
-  std::printf("%s\n", std::string(84, '-').c_str());
+  const internal::ReportConfig& config = internal::Config();
+  std::vector<internal::RunResult> results;
+  if (!config.console_json) {
+    std::printf("%-48s %17s %18s\n", "Benchmark", "Time", "Iterations");
+    std::printf("%s\n", std::string(84, '-').c_str());
+  }
   for (const auto* b : internal::Registry()) {
-    if (b->arg_sets().empty()) {
-      internal::RunBenchmark(*b, {});
+    std::vector<std::vector<std::int64_t>> arg_sets = b->arg_sets();
+    if (arg_sets.empty()) arg_sets.push_back({});
+    for (const auto& args : arg_sets) {
+      internal::RunResult r = internal::RunBenchmark(*b, args);
+      if (!config.console_json) internal::ReportConsole(r);
+      results.push_back(std::move(r));
+    }
+  }
+  if (config.console_json)
+    internal::WriteJson(stdout, results, internal::g_executable);
+  if (!config.out_path.empty()) {
+    std::FILE* f = std::fopen(config.out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "minibenchmark: cannot open --benchmark_out=%s\n",
+                   config.out_path.c_str());
     } else {
-      for (const auto& args : b->arg_sets()) internal::RunBenchmark(*b, args);
+      if (config.out_json) {
+        internal::WriteJson(f, results, internal::g_executable);
+      } else {
+        // Console format to file: re-render the table.
+        std::fprintf(f, "%-48s %17s %18s\n", "Benchmark", "Time",
+                     "Iterations");
+        for (const auto& r : results)
+          std::fprintf(f, "%-48s %14.1f ns %12lld iters\n", r.name.c_str(),
+                       r.ns_per_iter(),
+                       static_cast<long long>(r.iterations));
+      }
+      std::fclose(f);
     }
   }
 }
