@@ -17,6 +17,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "common/log.hpp"
 #include "common/rng.hpp"
 #include "core/engine.hpp"
 #include "core/report.hpp"
@@ -35,7 +36,10 @@ smache::grid::Grid<smache::word_t> make_grid(std::size_t h, std::size_t w,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const smache::CliArgs args(argc, argv);
+  // `verbose` is a declared boolean flag (it never binds the next token).
+  const smache::CliArgs args(argc, argv, {"verbose"});
+  if (args.get_bool("verbose", false))
+    smache::Log::set_level(smache::LogLevel::Info);
   smache::ProblemSpec problem = smache::ProblemSpec::paper_example();
   problem.height = static_cast<std::size_t>(args.get_int("height", 11));
   problem.width = static_cast<std::size_t>(args.get_int("width", 11));

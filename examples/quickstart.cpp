@@ -10,14 +10,20 @@
 //
 // Build: cmake -B build -G Ninja && cmake --build build
 // Run:   ./build/examples/quickstart [--height H --width W --steps S]
+//                                    [--verbose]
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "common/log.hpp"
 #include "core/engine.hpp"
 #include "core/report.hpp"
 
 int main(int argc, char** argv) {
-  const smache::CliArgs args(argc, argv);
+  // `verbose` is declared boolean so it never swallows a token that
+  // happens to follow it on the command line.
+  const smache::CliArgs args(argc, argv, {"verbose"});
+  if (args.get_bool("verbose", false))
+    smache::Log::set_level(smache::LogLevel::Info);
 
   smache::ProblemSpec problem = smache::ProblemSpec::paper_example();
   problem.height = static_cast<std::size_t>(args.get_int("height", 11));

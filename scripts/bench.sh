@@ -13,6 +13,10 @@
 #              $BUILD_DIR/bench_results)
 #   REPS       wall-clock repetitions for standalone benches (default: 3;
 #              the fastest repetition is reported to damp scheduler noise)
+#   MINIBENCH_REPS      per-benchmark repetitions inside the minibenchmark
+#                       targets (default: 3, best repetition reported)
+#   MINIBENCH_MIN_TIME  minimum seconds per benchmark repetition
+#                       (default: 0.1)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

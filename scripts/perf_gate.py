@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Perf regression gate over the bench JSON emitted by scripts/bench.sh.
+
+Compares freshly produced BENCH_*.json files against a committed baseline
+snapshot and fails (exit 1) when a gated throughput metric drops below
+``--min-ratio`` (default 0.8) of its baseline value.
+
+Gated metrics:
+  * minibenchmark reports — every benchmark whose name matches
+    ``--metrics`` (a regex, default ``^BM_EngineCyclesPerSecond$``) is
+    compared on ``items_per_second`` (higher is better). The default gates
+    only the whole-engine simulation rate: the primitive microbenches
+    (fifo/bram/stream-shift) measure testbench-driven single elements and
+    are too noisy on shared runners to gate hard — they are still printed
+    for trajectory.
+  * wall-clock reports (``run_type == "wall_clock"``) — compared on
+    ``wall_time_best_us`` (lower is better) when ``--wall`` is passed;
+    off by default for the same noise reason.
+
+Usage:
+  scripts/perf_gate.py --fresh build/bench_results [--baseline bench/results/after]
+                       [--min-ratio 0.8] [--metrics REGEX] [--wall]
+
+Only files present in BOTH directories are compared; a baseline without a
+fresh counterpart (or vice versa) is reported and skipped — the gate guards
+regressions, not bench-set drift (CI runs a subset of targets).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+
+def load_json(path: pathlib.Path):
+    with path.open() as f:
+        return json.load(f)
+
+
+def minibench_metrics(doc) -> dict[str, float]:
+    """name -> items_per_second for every benchmark that reports one."""
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        ips = bench.get("items_per_second")
+        if ips is not None:
+            out[bench["name"]] = float(ips)
+    return out
+
+
+def compare(args) -> int:
+    fresh_dir = pathlib.Path(args.fresh)
+    base_dir = pathlib.Path(args.baseline)
+    if not fresh_dir.is_dir():
+        print(f"perf_gate: fresh dir {fresh_dir} does not exist", file=sys.stderr)
+        return 2
+    if not base_dir.is_dir():
+        print(f"perf_gate: baseline dir {base_dir} does not exist", file=sys.stderr)
+        return 2
+
+    metric_re = re.compile(args.metrics)
+    failures = []
+    compared = 0
+
+    for fresh_path in sorted(fresh_dir.glob("BENCH_*.json")):
+        base_path = base_dir / fresh_path.name
+        if not base_path.exists():
+            print(f"  [skip] {fresh_path.name}: no baseline counterpart")
+            continue
+        fresh = load_json(fresh_path)
+        base = load_json(base_path)
+
+        if fresh.get("run_type") == "wall_clock":
+            ratio = base["wall_time_best_us"] / fresh["wall_time_best_us"]
+            gated = args.wall
+            verdict = "GATED" if gated else "info"
+            print(
+                f"  [{verdict}] {fresh['name']}: wall "
+                f"{base['wall_time_best_us']}us -> {fresh['wall_time_best_us']}us "
+                f"(speed ratio {ratio:.3f}x)"
+            )
+            if gated:
+                compared += 1
+                if ratio < args.min_ratio:
+                    failures.append((fresh["name"], ratio))
+            continue
+
+        base_metrics = minibench_metrics(base)
+        for name, fresh_ips in sorted(minibench_metrics(fresh).items()):
+            base_ips = base_metrics.get(name)
+            if base_ips is None or base_ips <= 0:
+                continue
+            ratio = fresh_ips / base_ips
+            gated = bool(metric_re.search(name))
+            verdict = "GATED" if gated else "info"
+            print(
+                f"  [{verdict}] {name}: {base_ips:.3e} -> {fresh_ips:.3e} "
+                f"items/s (ratio {ratio:.3f}x)"
+            )
+            if gated:
+                compared += 1
+                if ratio < args.min_ratio:
+                    failures.append((name, ratio))
+
+    if compared == 0:
+        print("perf_gate: no gated metric had both fresh and baseline values",
+              file=sys.stderr)
+        return 2
+    if failures:
+        for name, ratio in failures:
+            print(
+                f"perf_gate: FAIL {name} at {ratio:.3f}x of baseline "
+                f"(threshold {args.min_ratio}x)",
+                file=sys.stderr,
+            )
+        return 1
+    print(f"perf_gate: OK ({compared} gated metric(s) >= "
+          f"{args.min_ratio}x baseline)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fresh", default="build/bench_results",
+                        help="directory with freshly produced BENCH_*.json")
+    parser.add_argument("--baseline", default="bench/results/after",
+                        help="committed snapshot directory to compare against")
+    parser.add_argument("--min-ratio", type=float, default=0.8,
+                        help="minimum fresh/baseline throughput ratio")
+    parser.add_argument("--metrics", default=r"^BM_EngineCyclesPerSecond$",
+                        help="regex of minibenchmark names to gate")
+    parser.add_argument("--wall", action="store_true",
+                        help="also gate wall-clock bench reports")
+    return compare(parser.parse_args())
+
+
+if __name__ == "__main__":
+    sys.exit(main())

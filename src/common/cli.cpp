@@ -1,10 +1,15 @@
 #include "common/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
+
+#include "common/log.hpp"
 
 namespace smache {
 
-CliArgs::CliArgs(int argc, const char* const* argv) {
+CliArgs::CliArgs(int argc, const char* const* argv,
+                 std::initializer_list<std::string_view> bool_flags) {
+  const std::set<std::string_view> booleans(bool_flags);
   if (argc > 0) program_ = argv[0];
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -18,8 +23,11 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
       flags_[body.substr(0, eq)] = body.substr(eq + 1);
       continue;
     }
-    // `--name value` form: consume the next token iff it is not a flag.
-    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+    // `--name value` form: consume the next token iff it is not a flag and
+    // `name` is not a declared boolean — declared booleans must never
+    // swallow the positional that happens to follow them.
+    if (booleans.count(body) == 0 && i + 1 < argc &&
+        std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
       flags_[body] = argv[++i];
     } else {
       flags_[body] = "";  // boolean presence flag
@@ -41,13 +49,33 @@ std::int64_t CliArgs::get_int(const std::string& name,
                               std::int64_t fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end() || it->second.empty()) return fallback;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  const char* text = it->second.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    Log::warn("--" + name + "=" + it->second +
+              " is not a valid integer; using default " +
+              std::to_string(fallback));
+    return fallback;
+  }
+  return value;
 }
 
 double CliArgs::get_double(const std::string& name, double fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end() || it->second.empty()) return fallback;
-  return std::strtod(it->second.c_str(), nullptr);
+  const char* text = it->second.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    Log::warn("--" + name + "=" + it->second +
+              " is not a valid number; using default " +
+              std::to_string(fallback));
+    return fallback;
+  }
+  return value;
 }
 
 bool CliArgs::get_bool(const std::string& name, bool fallback) const {

@@ -2,25 +2,46 @@
 // Supports `--name value`, `--name=value` and boolean `--name` flags; every
 // binary must also run with no arguments (the bench harness invokes them
 // bare), so all flags have defaults.
+//
+// Parsing rules:
+//   * `--name=value` always binds `value`, even for boolean flags.
+//   * `--name value` binds the next token UNLESS `name` was declared in the
+//     constructor's boolean-flag set — declared booleans never consume the
+//     token after them, so `--verbose out.json` keeps `out.json` positional.
+//   * Numeric getters parse strictly (whole token, overflow checked): a
+//     malformed or out-of-range value logs a warning through smache::Log
+//     and returns the fallback instead of silently truncating — the
+//     binaries' contract is "run with defaults rather than crash", but
+//     never "invent a number the user did not write".
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
+#include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace smache {
 
 class CliArgs {
  public:
-  CliArgs(int argc, const char* const* argv);
+  /// `bool_flags` declares presence-only flags: they never bind the token
+  /// that follows them (see header comment).
+  CliArgs(int argc, const char* const* argv,
+          std::initializer_list<std::string_view> bool_flags = {});
 
   /// True if the flag was present at all (with or without a value).
   bool has(const std::string& name) const;
 
   std::string get_string(const std::string& name,
                          const std::string& fallback) const;
+  /// Strict integer parse; warns and returns `fallback` on malformed input
+  /// or overflow. A valueless presence flag also yields the fallback.
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  /// Strict floating parse; warns and returns `fallback` on malformed
+  /// input or overflow. A valueless presence flag also yields the fallback.
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback) const;
 

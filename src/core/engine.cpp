@@ -85,6 +85,7 @@ RunResult Engine::execute(const ProblemSpec& problem,
   const std::size_t cells = problem.cells();
 
   sim::Simulator sim;
+  sim.set_force_eval_all(options_.force_eval_all);
   mem::DramConfig dcfg = options_.dram;
   if (options_.auto_bus)
     dcfg.shared_bus = options_.arch == Architecture::Baseline;
@@ -154,6 +155,7 @@ RunResult Engine::run_cascade(const ProblemSpec& problem,
   const std::size_t passes = problem.steps / depth;
 
   sim::Simulator sim;
+  sim.set_force_eval_all(options_.force_eval_all);
   mem::DramConfig dcfg = options_.dram;
   if (options_.auto_bus) dcfg.shared_bus = false;
   mem::DramModel dram(sim, "dram", 2 * cells, dcfg);

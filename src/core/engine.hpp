@@ -37,6 +37,11 @@ struct EngineOptions {
   std::size_t bram_segment_threshold = 4;
   /// Simulation watchdog (cycles); generous default.
   std::uint64_t max_cycles = 200'000'000;
+  /// Disable activity-gated eval scheduling: every module is evaluated on
+  /// every cycle. Results are bit-identical either way (the equivalence
+  /// property suite enforces it); force mode exists for that cross-check
+  /// and for debugging a suspect quiescence declaration.
+  bool force_eval_all = false;
 
   static EngineOptions smache(model::StreamImpl impl =
                                   model::StreamImpl::Hybrid) {

@@ -13,6 +13,12 @@ DramModel::DramModel(sim::Simulator& sim, const std::string& path,
   SMACHE_REQUIRE(size_words >= 1);
   SMACHE_REQUIRE_MSG(config.read_latency >= 1,
                      "read_latency must be >= 1 (transit stage count)");
+  // Activity gating: while inert the model sleeps; a committed push on
+  // either request channel is new work, and a committed pop on read_data
+  // is what releases a full-channel back-pressure freeze.
+  read_req_.set_consumer(this);
+  write_req_.set_consumer(this);
+  read_data_.set_producer(this);
   sim.add_module(this);
 }
 
@@ -29,13 +35,19 @@ void DramModel::charge_row(std::uint64_t addr) {
 }
 
 void DramModel::eval() {
-  // Inert fast path: nothing queued, nothing in flight, no stall burst
-  // draining. A full eval would only rotate empty transit slots, which is
-  // unobservable — delivery latency is set by the transit line LENGTH, not
-  // its fill level (a word entering with s slots ahead waits
-  // (latency - s - 1) growth cycles plus s + 1 drains = latency cycles
-  // regardless of s), so freezing the line while inert is exact.
-  if (stall_left_ == 0 && idle()) return;
+  // Inert: nothing queued, nothing in flight, no stall burst draining. A
+  // full eval would only rotate empty transit slots, which is unobservable
+  // — delivery latency is set by the transit line LENGTH, not its fill
+  // level (a word entering with s slots ahead waits (latency - s - 1)
+  // growth cycles plus s + 1 drains = latency cycles regardless of s), so
+  // freezing the line while inert is exact — and so is sleeping until a
+  // request channel commits a push. (An injected stall burst keeps the
+  // model awake: it counts injected_stall_cycles per cycle, which is
+  // observable through stats().)
+  if (stall_left_ == 0 && idle()) {
+    sleep();
+    return;
+  }
 
   // ---- write engine (posted, one per cycle) ----
   bool wrote = false;
@@ -57,13 +69,18 @@ void DramModel::eval() {
 
   // ---- delivery stage: head of the transit line -> read_data ----
   const bool line_full = transit_.size() >= config_.read_latency;
-  if (line_full && !transit_.empty() && transit_.front().has_value() &&
-      !read_data_.can_push()) {
-    // Back-pressure from the design: the whole read pipe holds.
-    return;
-  }
   if (line_full && !transit_.empty()) {
-    if (transit_.front().has_value()) {
+    const bool head_valid = transit_.front().has_value();
+    if (head_valid && !read_data_.can_push()) {
+      // Back-pressure from the design: the whole read pipe holds. With no
+      // posted writes left to drain this state is fully frozen — every
+      // future cycle is a no-op until the design commits a read_data pop
+      // (space) or a write_req push (new drain work), both of which wake
+      // us.
+      if (write_req_.empty()) sleep();
+      return;
+    }
+    if (head_valid) {
       read_data_.push(*transit_.front());
       ++stats_.words_read;
       ++stats_.read_busy_cycles;

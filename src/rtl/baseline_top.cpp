@@ -20,23 +20,24 @@ BaselineTop::BaselineTop(sim::Simulator& sim, const std::string& path,
       kernel_spec_(kernel_spec),
       dram_(dram),
       top_(sim, path + "/ctrl/top_fsm", Top::Run, 3),
-      instance_(sim, path + "/ctrl/instance", 0u,
-                smache::count_bits(steps)),
-      req_cell_(sim, path + "/ctrl/req_cell", 0,
-                smache::count_bits(cells_)),
-      req_elem_(sim, path + "/ctrl/req_elem", 0u,
-                smache::count_bits(shape.size())),
-      col_cell_(sim, path + "/ctrl/col_cell", 0,
-                smache::count_bits(cells_)),
-      col_elem_(sim, path + "/ctrl/col_elem", 0u,
-                smache::count_bits(shape.size())),
+      ctrl_(sim, Ctrl{},
+            {{path + "/ctrl/instance", smache::count_bits(steps)},
+             {path + "/ctrl/req_cell", smache::count_bits(cells_)},
+             {path + "/ctrl/req_elem", smache::count_bits(shape.size())},
+             {path + "/ctrl/col_cell", smache::count_bits(cells_)},
+             {path + "/ctrl/col_elem", smache::count_bits(shape.size())},
+             {path + "/ctrl/wb_count", smache::count_bits(cells_)}}),
       tuple_regs_(sim, path + "/datapath/tuple_regs", shape.size(), 0,
-                  kWordBits),
-      wb_count_(sim, path + "/ctrl/wb_count", 0,
-                smache::count_bits(cells_)) {
+                  kWordBits) {
   SMACHE_REQUIRE(steps >= 1);
   SMACHE_REQUIRE(dram.size_words() >= 2 * cells_);
   scratch_.resize(shape.size());
+  // Activity gating: the requester stalls only on request-channel space,
+  // the collector only on data arrival / write-channel space — all channel
+  // commits we can subscribe to.
+  dram.read_req().set_producer(this);
+  dram.read_data().set_consumer(this);
+  dram.write_req().set_producer(this);
 
   // Build the per-case source table (the baseline's address/mask logic).
   const std::size_t n_cases = cases_.case_count();
@@ -80,10 +81,10 @@ BaselineTop::BaselineTop(sim::Simulator& sim, const std::string& path,
 bool BaselineTop::done() const noexcept { return top_.is(Top::Done); }
 
 std::uint64_t BaselineTop::in_base() const noexcept {
-  return (instance_.q() % 2 == 0) ? 0 : cells_;
+  return (ctrl_.q().instance % 2 == 0) ? 0 : cells_;
 }
 std::uint64_t BaselineTop::out_base() const noexcept {
-  return (instance_.q() % 2 == 0) ? cells_ : 0;
+  return (ctrl_.q().instance % 2 == 0) ? cells_ : 0;
 }
 std::uint64_t BaselineTop::output_base() const noexcept {
   return (steps_ % 2 == 0) ? 0 : cells_;
@@ -103,32 +104,35 @@ std::uint64_t BaselineTop::element_addr(std::uint64_t cell,
 
 void BaselineTop::eval_run() {
   const std::size_t tuple = shape_.size();
+  const Ctrl& c = ctrl_.q();
+  bool did_work = false;
 
   // -- requester: one single-word read request per cycle --
-  if (req_cell_.q() < cells_ && dram_.read_req().can_push()) {
-    const std::size_t case_id = case_of_cell_[req_cell_.q()];
-    const Source& s = sources_[case_id][req_elem_.q()];
-    dram_.read_req().push(
-        mem::DramReadReq{element_addr(req_cell_.q(), s), 1});
-    if (req_elem_.q() + 1 == tuple) {
-      req_elem_.d(0);
-      req_cell_.d(req_cell_.q() + 1);
+  if (c.req_cell < cells_ && dram_.read_req().can_push()) {
+    const std::size_t case_id = case_of_cell_[c.req_cell];
+    const Source& s = sources_[case_id][c.req_elem];
+    dram_.read_req().push(mem::DramReadReq{element_addr(c.req_cell, s), 1});
+    if (c.req_elem + 1 == tuple) {
+      ctrl_.d().req_elem = 0;
+      ctrl_.d().req_cell = c.req_cell + 1;
     } else {
-      req_elem_.d(req_elem_.q() + 1);
+      ctrl_.d().req_elem = c.req_elem + 1;
     }
+    did_work = true;
   }
 
   // -- collector: one data word per cycle; kernel + write on the last --
-  if (col_cell_.q() < cells_ && dram_.read_data().can_pop()) {
-    const bool last = col_elem_.q() + 1 == tuple;
+  if (c.col_cell < cells_ && dram_.read_data().can_pop()) {
+    const bool last = c.col_elem + 1 == tuple;
     // On the final element the write must be postable in the same cycle.
     if (!last || dram_.write_req().can_push()) {
       const word_t v = dram_.read_data().pop();
+      did_work = true;
       if (!last) {
-        tuple_regs_.d(col_elem_.q(), v);
-        col_elem_.d(col_elem_.q() + 1);
+        tuple_regs_.d(c.col_elem, v);
+        ctrl_.d().col_elem = c.col_elem + 1;
       } else {
-        const std::uint64_t cell = col_cell_.q();
+        const std::uint64_t cell = c.col_cell;
         const std::size_t case_id = case_of_cell_[cell];
         for (std::size_t j = 0; j < tuple; ++j) {
           const Source& s = sources_[case_id][j];
@@ -141,15 +145,19 @@ void BaselineTop::eval_run() {
         }
         const word_t out = apply_kernel(kernel_spec_, scratch_);
         dram_.write_req().push(mem::DramWriteReq{out_base() + cell, out});
-        col_elem_.d(0);
-        col_cell_.d(cell + 1);
-        wb_count_.d(wb_count_.q() + 1);
-        if (wb_count_.q() + 1 == cells_) {
-          top_.go(instance_.q() + 1 == steps_ ? Top::Done : Top::Gap);
+        ctrl_.d().col_elem = 0;
+        ctrl_.d().col_cell = cell + 1;
+        ctrl_.d().wb_count = c.wb_count + 1;
+        if (c.wb_count + 1 == cells_) {
+          top_.go(c.instance + 1 == steps_ ? Top::Done : Top::Gap);
         }
       }
     }
   }
+
+  // Starved: both FSMs are blocked on channel conditions subscribed to in
+  // the constructor (request/write space frees, data arrives).
+  if (!did_work) sleep();
 }
 
 void BaselineTop::eval() {
@@ -163,16 +171,24 @@ void BaselineTop::eval() {
       // Memory fence between instances: the next instance reads the
       // region the writes are still draining into.
       if (dram_.write_req().empty() && dram_.idle()) {
-        instance_.d(instance_.q() + 1);
-        req_cell_.d(0);
-        req_elem_.d(0);
-        col_cell_.d(0);
-        col_elem_.d(0);
-        wb_count_.d(0);
+        const Ctrl& c = ctrl_.q();
+        Ctrl& d = ctrl_.d();
+        d.instance = c.instance + 1;
+        d.req_cell = 0;
+        d.req_elem = 0;
+        d.col_cell = 0;
+        d.col_elem = 0;
+        d.wb_count = 0;
         top_.go(Top::Run);
+      } else {
+        // Sound lower bound on the first cycle the fence can pass; write
+        // drains also wake us early via the write_req subscription.
+        sleep_for(dram_.min_cycles_to_idle());
       }
       break;
     case Top::Done:
+      // Terminal: nothing can ever change again.
+      sleep();
       break;
   }
 }

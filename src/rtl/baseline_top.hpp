@@ -51,8 +51,8 @@ class BaselineTop : public sim::Module {
   /// element).
   std::uint64_t min_cycles_to_done() const noexcept {
     if (top_.is(Top::Done)) return 0;
-    return outstanding_writeback_bound(steps_, instance_.q(), cells_,
-                                       wb_count_.q());
+    return outstanding_writeback_bound(steps_, ctrl_.q().instance, cells_,
+                                       ctrl_.q().wb_count);
   }
 
   void eval() override;
@@ -77,6 +77,17 @@ class BaselineTop : public sim::Module {
     std::int64_t lin_shift = 0;
   };
 
+  /// All controller registers as one state element (single commit per
+  /// cycle); ledger charges stay per field (see sim::RegGroup).
+  struct Ctrl {
+    std::uint64_t req_cell = 0;
+    std::uint64_t col_cell = 0;
+    std::uint64_t wb_count = 0;
+    std::uint32_t instance = 0;
+    std::uint32_t req_elem = 0;
+    std::uint32_t col_elem = 0;
+  };
+
   std::uint64_t in_base() const noexcept;
   std::uint64_t out_base() const noexcept;
   std::uint64_t element_addr(std::uint64_t cell, const Source& s) const;
@@ -97,13 +108,8 @@ class BaselineTop : public sim::Module {
   std::vector<std::uint32_t> case_of_cell_;
 
   sim::FsmState<Top> top_;
-  sim::Reg<std::uint32_t> instance_;
-  sim::Reg<std::uint64_t> req_cell_;
-  sim::Reg<std::uint32_t> req_elem_;
-  sim::Reg<std::uint64_t> col_cell_;
-  sim::Reg<std::uint32_t> col_elem_;
+  sim::RegGroup<Ctrl> ctrl_;
   sim::RegArray<word_t> tuple_regs_;
-  sim::Reg<std::uint64_t> wb_count_;
 
   std::vector<grid::TupleElem> scratch_;
 };

@@ -15,10 +15,10 @@ CascadeTop::CascadeTop(sim::Simulator& sim, const std::string& path,
       passes_(passes),
       sim_(sim),
       top_(sim, path + "/ctrl/top_fsm", Top::Run, 3),
-      pass_(sim, path + "/ctrl/pass", 0u, smache::count_bits(passes)),
-      req_issued_(sim, path + "/ctrl/req_issued", false, 1),
-      wb_count_(sim, path + "/ctrl/wb_count", 0,
-                smache::count_bits(cells_)) {
+      ctrl_(sim, Ctrl{},
+            {{path + "/ctrl/pass", smache::count_bits(passes)},
+             {path + "/ctrl/req_issued", 1},
+             {path + "/ctrl/wb_count", smache::count_bits(cells_)}}) {
   SMACHE_REQUIRE(depth >= 1 && passes >= 1);
   SMACHE_REQUIRE_MSG(plan.static_buffers().empty(),
                      "cascading requires boundaries whose tuples resolve "
@@ -36,69 +36,84 @@ CascadeTop::CascadeTop(sim::Simulator& sim, const std::string& path,
     st.kernel = std::make_unique<KernelPipeline>(
         sim, "kernel/" + stage_id, kernel_spec, plan.shape().size(),
         cells_);
-    st.shifts = std::make_unique<sim::Reg<std::uint64_t>>(
-        sim, path + "/ctrl/" + stage_id + "/shifts", 0,
-        smache::count_bits(cells_ + plan.window_len()));
-    st.emit_next = std::make_unique<sim::Reg<std::uint64_t>>(
-        sim, path + "/ctrl/" + stage_id + "/emit_next", 0,
-        smache::count_bits(cells_));
+    st.ctrl = std::make_unique<sim::RegGroup<StageCtrl>>(
+        sim, StageCtrl{},
+        std::initializer_list<sim::RegGroup<StageCtrl>::FieldCharge>{
+            {path + "/ctrl/" + stage_id + "/shifts",
+             smache::count_bits(cells_ + plan.window_len())},
+            {path + "/ctrl/" + stage_id + "/emit_next",
+             smache::count_bits(cells_)}});
     st.input = k == 0 ? nullptr
                       : std::make_unique<sim::Fifo<word_t>>(
                             sim, path + "/ctrl/" + stage_id + "/input", 4,
                             kWordBits);
+    // Activity gating: every stage's channel events can unblock the single
+    // controller module, so all stage channels wake it.
+    st.kernel->in().set_producer(this);
+    st.kernel->out().set_consumer(this);
+    if (st.input) {
+      st.input->set_consumer(this);
+      st.input->set_producer(this);
+    }
     stages_.push_back(std::move(st));
   }
+  dram_.read_req().set_producer(this);
+  dram_.read_data().set_consumer(this);
+  dram_.write_req().set_producer(this);
   sim.add_module(this);
 }
 
 bool CascadeTop::done() const noexcept { return top_.is(Top::Done); }
 
 std::uint64_t CascadeTop::in_base() const noexcept {
-  return (pass_.q() % 2 == 0) ? 0 : cells_;
+  return (ctrl_.q().pass % 2 == 0) ? 0 : cells_;
 }
 std::uint64_t CascadeTop::out_base() const noexcept {
-  return (pass_.q() % 2 == 0) ? cells_ : 0;
+  return (ctrl_.q().pass % 2 == 0) ? cells_ : 0;
 }
 std::uint64_t CascadeTop::output_base() const noexcept {
   return (passes_ % 2 == 0) ? 0 : cells_;
 }
 
-void CascadeTop::eval_stage(std::size_t k) {
+bool CascadeTop::eval_stage(std::size_t k) {
   Stage& st = stages_[k];
-  const std::uint64_t n = st.shifts->q();
-  const std::uint64_t emit_i = st.emit_next->q();
+  const StageCtrl& sc = st.ctrl->q();
+  const std::uint64_t n = sc.shifts;
+  const std::uint64_t emit_i = sc.emit_next;
   const std::size_t center = plan_.center_age();
+  bool did_work = false;
 
   // -- tuple emission into this stage's kernel --
   bool emitting = false;
   if (emit_i < cells_ && n >= emit_i + center &&
       st.kernel->in().can_push()) {
-    const std::size_t case_id = case_of_cell_[emit_i];
-    const auto& sources = plan_.gather(case_id);
+    const auto& ops = case_plans_[case_of_cell_[emit_i]].ops;
     // Staged in place; every elems[0..count) field is written below.
     TupleMsg& msg = st.kernel->in().push_slot();
     msg.index = emit_i;
-    msg.count = static_cast<std::uint32_t>(sources.size());
-    for (std::size_t j = 0; j < sources.size(); ++j) {
-      const model::GatherSource& g = sources[j];
-      switch (g.kind) {
-        case model::SourceKind::Window:
-          msg.elems[j] = grid::TupleElem{st.window->tap(g.window_age), true};
+    msg.count = static_cast<std::uint32_t>(ops.size());
+    for (std::size_t j = 0; j < ops.size(); ++j) {
+      const EmitOp& op = ops[j];
+      switch (op.kind) {
+        case EmitOp::Kind::Window:
+          msg.elems[j] =
+              grid::TupleElem{st.window->tap_slot(op.slot), true};
           break;
-        case model::SourceKind::Constant:
-          msg.elems[j] = grid::TupleElem{g.constant, true};
+        case EmitOp::Kind::Constant:
+          msg.elems[j] = grid::TupleElem{op.constant, true};
           break;
-        case model::SourceKind::Skip:
+        case EmitOp::Kind::Skip:
           msg.elems[j] = grid::TupleElem{0, false};
           break;
-        case model::SourceKind::Static:
+        case EmitOp::Kind::Static:
           SMACHE_ASSERT_MSG(false, "cascade plans never contain static "
                                    "sources");
           break;
       }
     }
-    st.emit_next->d(emit_i + 1);
+    st.ctrl->d().emit_next = emit_i + 1;
     emitting = true;
+    did_work = true;
   }
 
   // -- window shift from this stage's input channel --
@@ -114,7 +129,8 @@ void CascadeTop::eval_stage(std::size_t k) {
     if (n < cells_)
       in = k == 0 ? dram_.read_data().pop() : st.input->pop();
     st.window->shift(in);
-    st.shifts->d(n + 1);
+    st.ctrl->d().shifts = n + 1;
+    did_work = true;
   }
 
   // -- drain this stage's kernel into the next stage / DRAM --
@@ -124,46 +140,71 @@ void CascadeTop::eval_stage(std::size_t k) {
       const ResultMsg res = st.kernel->out().pop();
       dram_.write_req().push(
           mem::DramWriteReq{out_base() + res.index, res.value});
-      wb_count_.d(wb_count_.q() + 1);
-      if (wb_count_.q() + 1 == cells_) {
-        top_.go(pass_.q() + 1 == passes_ ? Top::Done : Top::Gap);
+      const Ctrl& c = ctrl_.q();
+      ctrl_.d().wb_count = c.wb_count + 1;
+      did_work = true;
+      if (c.wb_count + 1 == cells_) {
+        top_.go(c.pass + 1 == passes_ ? Top::Done : Top::Gap);
       }
     }
   } else {
     sim::Fifo<word_t>& next_in = *stages_[k + 1].input;
     if (st.kernel->out().can_pop() && next_in.can_push()) {
       next_in.push(st.kernel->out().pop().value);
+      did_work = true;
     }
   }
+  return did_work;
 }
 
 void CascadeTop::eval() {
-  if (case_of_cell_.empty())
+  if (case_of_cell_.empty()) {
     case_of_cell_ =
         build_case_table(plan_.cases(), plan_.height(), plan_.width());
+    // Pre-resolve every case's gather sources (window ages to register
+    // slots); the stage windows share one layout, so one table serves all.
+    // No statics by construction (enforced in the constructor and again in
+    // build_case_plans).
+    case_plans_ = build_case_plans(plan_, *stages_.front().window, nullptr);
+  }
   switch (top_.state()) {
     case Top::Run: {
-      if (!req_issued_.q() && dram_.read_req().can_push()) {
+      bool did_work = false;
+      const Ctrl& c = ctrl_.q();
+      if (!c.req_issued && dram_.read_req().can_push()) {
         dram_.read_req().push(
             mem::DramReadReq{in_base(), static_cast<std::uint32_t>(cells_)});
-        req_issued_.d(true);
+        ctrl_.d().req_issued = true;
+        did_work = true;
       }
-      for (std::size_t k = 0; k < stages_.size(); ++k) eval_stage(k);
+      for (std::size_t k = 0; k < stages_.size(); ++k)
+        did_work |= eval_stage(k);
+      // Starved: every stage is blocked on a channel condition subscribed
+      // to in the constructor.
+      if (!did_work) sleep();
       break;
     }
     case Top::Gap:
       if (dram_.write_req().empty() && dram_.idle()) {
-        pass_.d(pass_.q() + 1);
-        req_issued_.d(false);
-        wb_count_.d(0);
+        const Ctrl& c = ctrl_.q();
+        Ctrl& d = ctrl_.d();
+        d.pass = c.pass + 1;
+        d.req_issued = false;
+        d.wb_count = 0;
         for (auto& st : stages_) {
-          st.shifts->d(0);
-          st.emit_next->d(0);
+          st.ctrl->d().shifts = 0;
+          st.ctrl->d().emit_next = 0;
         }
         top_.go(Top::Run);
+      } else {
+        // Sound lower bound on the first cycle the fence can pass; write
+        // drains also wake us early via the write_req subscription.
+        sleep_for(dram_.min_cycles_to_idle());
       }
       break;
     case Top::Done:
+      // Terminal: nothing can ever change again.
+      sleep();
       break;
   }
 }

@@ -59,8 +59,8 @@ class CascadeTop : public sim::Module {
   /// stage posts at most one DRAM write per cycle).
   std::uint64_t min_cycles_to_done() const noexcept {
     if (top_.is(Top::Done)) return 0;
-    return outstanding_writeback_bound(passes_, pass_.q(), cells_,
-                                       wb_count_.q());
+    return outstanding_writeback_bound(passes_, ctrl_.q().pass, cells_,
+                                       ctrl_.q().wb_count);
   }
 
   void eval() override;
@@ -68,21 +68,35 @@ class CascadeTop : public sim::Module {
  private:
   enum class Top : std::uint8_t { Run, Gap, Done };
 
+  /// Per-stage gather progress counters, one state element per stage (a
+  /// single commit instead of one per counter; see sim::RegGroup).
+  struct StageCtrl {
+    std::uint64_t shifts = 0;
+    std::uint64_t emit_next = 0;
+  };
+
   /// One fused time step: a window fed from the previous stage plus its
   /// kernel and gather progress counters.
   struct Stage {
     std::unique_ptr<StreamBuffer> window;
     std::unique_ptr<KernelPipeline> kernel;
-    std::unique_ptr<sim::Reg<std::uint64_t>> shifts;
-    std::unique_ptr<sim::Reg<std::uint64_t>> emit_next;
+    std::unique_ptr<sim::RegGroup<StageCtrl>> ctrl;
     // Between-stage channel carrying the previous kernel's output words in
     // cell order (stage 0 reads DRAM directly).
     std::unique_ptr<sim::Fifo<word_t>> input;
   };
 
+  /// Pass-level controller registers, one state element (see sim::RegGroup).
+  struct Ctrl {
+    std::uint64_t wb_count = 0;
+    std::uint32_t pass = 0;
+    bool req_issued = false;
+  };
+
   std::uint64_t in_base() const noexcept;
   std::uint64_t out_base() const noexcept;
-  void eval_stage(std::size_t k);
+  /// Returns true if the stage made observable progress this cycle.
+  bool eval_stage(std::size_t k);
 
   const model::BufferPlan plan_;
   mem::DramModel& dram_;
@@ -94,10 +108,11 @@ class CascadeTop : public sim::Module {
   // cell -> case id, precomputed (behavioural lookup, nothing charged):
   // every stage resolves the emitted cell's case every cycle.
   std::vector<std::uint32_t> case_of_cell_;
+  // case id -> pre-resolved gather ops (rtl::EmitOp), shared by all
+  // stages (identical window layouts — same plan; never any statics).
+  std::vector<CasePlan> case_plans_;
   sim::FsmState<Top> top_;
-  sim::Reg<std::uint32_t> pass_;
-  sim::Reg<bool> req_issued_;
-  sim::Reg<std::uint64_t> wb_count_;
+  sim::RegGroup<Ctrl> ctrl_;
 };
 
 }  // namespace smache::rtl

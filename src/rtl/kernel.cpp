@@ -38,11 +38,30 @@ word_t apply_typed(const KernelSpec& spec, TupleView tuple) {
         else iacc += from_word<std::int32_t>(e.value);
       }
       if (n == 0) return 0;
-      if constexpr (std::is_same_v<T, float>)
+      if constexpr (std::is_same_v<T, float>) {
         return to_word(static_cast<float>(facc / n));
-      else
-        return to_word(static_cast<std::int32_t>(iacc /
-                                                 static_cast<std::int64_t>(n)));
+      } else {
+        // The divisor is the valid-element count: a handful of values for
+        // any realistic stencil. Dispatching the common ones lets the
+        // compiler emit multiply-shift sequences instead of a hardware
+        // divide — this runs once per emitted cell, squarely in the
+        // simulation hot loop. Results are exactly the truncating
+        // division either way.
+        std::int64_t q;
+        switch (n) {
+          case 1: q = iacc; break;
+          case 2: q = iacc / 2; break;
+          case 3: q = iacc / 3; break;
+          case 4: q = iacc / 4; break;
+          case 5: q = iacc / 5; break;
+          case 6: q = iacc / 6; break;
+          case 7: q = iacc / 7; break;
+          case 8: q = iacc / 8; break;
+          case 9: q = iacc / 9; break;
+          default: q = iacc / static_cast<std::int64_t>(n); break;
+        }
+        return to_word(static_cast<std::int32_t>(q));
+      }
     }
     case KernelKind::Sum: {
       if constexpr (std::is_same_v<T, float>) {

@@ -14,52 +14,66 @@ KernelPipeline::KernelPipeline(sim::Simulator& sim, const std::string& path,
           static_cast<std::uint32_t>(tuple_size * 33 +
                                      smache::count_bits(grid_cells))),
       out_(sim, path + "/out", 2,
-           32 + smache::count_bits(grid_cells)) {
+           32 + smache::count_bits(grid_cells)),
+      pipe_(sim, latency) {
   SMACHE_REQUIRE(latency >= 1);
   SMACHE_REQUIRE(tuple_size >= 1 && tuple_size <= kMaxTuple);
   const std::uint32_t idx_bits = smache::count_bits(grid_cells);
   for (std::uint32_t s = 0; s < latency; ++s) {
     // Stage 0 still holds the tuple-wide partial state; later stages carry
-    // a narrowing payload down to one word.
+    // a narrowing payload down to one word. Charged per stage exactly like
+    // the discrete stage registers the StagePipe replaces.
     const std::uint32_t payload_bits =
         s == 0 ? static_cast<std::uint32_t>(tuple_size * 33)
                : (s == 1 ? 64u : 32u);
-    stage_storage_.push_back(std::make_unique<sim::Reg<Stage>>(
-        sim, path + "/stage" + std::to_string(s), Stage{},
-        payload_bits + idx_bits + 1));
-    stages_.push_back(stage_storage_.back().get());
+    sim.ledger().add(path + "/stage" + std::to_string(s),
+                     sim::ResKind::RegisterBits, payload_bits + idx_bits + 1);
   }
+  // Activity gating: a push committing on `in` is the only event that can
+  // end emptiness; a pop committing on `out` is the only event that can end
+  // a full-output freeze.
+  in_.set_consumer(this);
+  out_.set_producer(this);
   sim.add_module(this);
 }
 
 bool KernelPipeline::empty() const noexcept {
   if (!in_.empty() || !out_.empty()) return false;
-  for (const auto* s : stages_)
-    if (s->q().valid) return false;
+  for (std::uint32_t s = 0; s < latency_; ++s)
+    if (pipe_.q(s).valid) return false;
   return true;
 }
 
 void KernelPipeline::eval() {
-  // Idle fast path: no valid tuple in any stage and nothing to accept.
-  // Advancing would only shift bubbles into bubbles — the committed state
-  // after such a cycle is bit-identical to not scheduling the writes at
-  // all, so skip them (and their dirty-list commits).
-  if (occupancy_ == 0 && in_.empty()) return;
+  // Quiescent: no valid tuple in any stage and nothing to accept. Advancing
+  // would only shift bubbles into bubbles — the committed state after such
+  // a cycle is bit-identical to not scheduling the writes at all, so sleep
+  // until the input channel commits a push.
+  if (occupancy_ == 0 && in_.empty()) {
+    sleep();
+    return;
+  }
 
   // All-or-nothing advance: the pipeline only moves when its tail can
-  // retire into the output FIFO (or the tail is a bubble).
-  const Stage& tail = stages_.back()->q();
+  // retire into the output FIFO (or the tail is a bubble). A freeze is
+  // quiescent too — nothing changes until the output channel commits a pop.
+  const Stage& tail = pipe_.q(latency_ - 1);
   const bool can_retire = !tail.valid || out_.can_push();
-  if (!can_retire) return;
+  if (!can_retire) {
+    sleep();
+    return;
+  }
 
   if (tail.valid) {
-    out_.push(ResultMsg{tail.index, tail.value});
+    ResultMsg& res = out_.push_slot();  // staged in place, no copy
+    res.index = tail.index;
+    res.value = tail.value;
     --occupancy_;
   }
 
-  // Shift interior stages.
-  for (std::size_t s = stages_.size(); s-- > 1;)
-    stages_[s]->d(stages_[s - 1]->q());
+  // Whole-pipe shift, scheduled as one write and committed as one copy.
+  Stage* next = pipe_.next_all();
+  for (std::size_t s = latency_; s-- > 1;) next[s] = pipe_.q(s - 1);
 
   // Head stage: accept a new tuple if available; the arithmetic result is
   // computed here and carried through the remaining stages (the stage regs
@@ -71,11 +85,11 @@ void KernelPipeline::eval() {
     head.valid = true;
     head.index = msg.index;
     head.value = apply_kernel(spec_, TupleView{msg.elems.data(), msg.count});
-    stages_[0]->d(head);
+    next[0] = head;
     in_.drop();
     ++occupancy_;
   } else {
-    stages_[0]->d(Stage{});
+    next[0] = Stage{};
   }
 }
 

@@ -13,6 +13,7 @@ SmacheTop::SmacheTop(sim::Simulator& sim, const std::string& path,
       dram_(dram),
       steps_(steps),
       cells_(plan.height() * plan.width()),
+      center_(plan.center_age()),
       sim_(sim),
       window_(sim, path, plan),
       statics_(sim, path, plan),
@@ -21,27 +22,31 @@ SmacheTop::SmacheTop(sim::Simulator& sim, const std::string& path,
       kernel_(sim, "kernel", kernel_spec, plan.shape().size(), cells_),
       top_(sim, path + "/ctrl/top_fsm",
            plan.needs_warmup() ? Top::Warmup : Top::Run, 4),
-      instance_(sim, path + "/ctrl/instance", 0u,
-                smache::count_bits(steps)),
-      shifts_(sim, path + "/ctrl/shifts", 0,
-              smache::count_bits(cells_ + plan.window_len())),
-      emit_next_(sim, path + "/ctrl/emit_next", 0,
-                 smache::count_bits(cells_)),
-      rdata_center_(sim, path + "/ctrl/rdata_center", -1,
-                    smache::count_bits(cells_) + 1),
-      req_issued_(sim, path + "/ctrl/req_issued", false, 1),
-      wb_count_(sim, path + "/ctrl/wb_count", 0,
-                smache::count_bits(cells_)),
-      warm_bank_(sim, path + "/ctrl/warm_bank", 0u,
-                 smache::count_bits(plan.static_buffers().size() + 1)),
-      warm_idx_(sim, path + "/ctrl/warm_idx", 0u,
-                smache::count_bits(plan.width())),
-      warm_req_(sim, path + "/ctrl/warm_req", false, 1) {
+      ctrl_(sim, Ctrl{},
+            {{path + "/ctrl/instance", smache::count_bits(steps)},
+             {path + "/ctrl/shifts",
+              smache::count_bits(cells_ + plan.window_len())},
+             {path + "/ctrl/emit_next", smache::count_bits(cells_)},
+             {path + "/ctrl/rdata_center", smache::count_bits(cells_) + 1},
+             {path + "/ctrl/req_issued", 1},
+             {path + "/ctrl/wb_count", smache::count_bits(cells_)},
+             {path + "/ctrl/warm_bank",
+              smache::count_bits(plan.static_buffers().size() + 1)},
+             {path + "/ctrl/warm_idx", smache::count_bits(plan.width())},
+             {path + "/ctrl/warm_req", 1}}) {
   SMACHE_REQUIRE(steps >= 1);
   SMACHE_REQUIRE_MSG(dram.size_words() >= 2 * cells_,
                      "DRAM must hold two grid regions (ping-pong)");
   for (std::size_t b = 0; b < plan_.static_buffers().size(); ++b)
     warm_order_.push_back(b);
+  // Activity gating: these channel commits are the only external events
+  // that can unblock a starved Run/Warmup state (data arriving, space
+  // freeing), so a quiescent controller sleeps on them.
+  dram_.read_req().set_producer(this);
+  dram_.read_data().set_consumer(this);
+  dram_.write_req().set_producer(this);
+  kernel_.in().set_producer(this);
+  kernel_.out().set_consumer(this);
   sim.add_module(this);
 }
 
@@ -56,16 +61,26 @@ void SmacheTop::build_cell_tables() {
       col_of_cell_.push_back(static_cast<std::uint32_t>(c));
     }
   }
+  // Pre-resolve every case's gather sources: window ages to register
+  // slots, static indices to bank pointers. The per-cycle emit loop then
+  // touches no plan/map structures at all, and interior cases skip the
+  // static pre-issue loop outright.
+  case_plans_ = build_case_plans(plan_, window_, &statics_);
+  capture_row_.assign(plan_.height(), 0);
+  for (std::size_t b = 0; b < plan_.static_buffers().size(); ++b) {
+    const auto& spec = plan_.static_buffers()[b];
+    if (spec.write_through) capture_row_[spec.grid_row] = 1;
+  }
 }
 
 bool SmacheTop::done() const noexcept { return top_.is(Top::Done); }
 
 std::uint64_t SmacheTop::in_base() const noexcept {
-  return (instance_.q() % 2 == 0) ? 0 : cells_;
+  return (ctrl_.q().instance % 2 == 0) ? 0 : cells_;
 }
 
 std::uint64_t SmacheTop::out_base() const noexcept {
-  return (instance_.q() % 2 == 0) ? cells_ : 0;
+  return (ctrl_.q().instance % 2 == 0) ? cells_ : 0;
 }
 
 std::uint64_t SmacheTop::output_base() const noexcept {
@@ -74,16 +89,22 @@ std::uint64_t SmacheTop::output_base() const noexcept {
 
 void SmacheTop::eval() {
   if (case_of_cell_.empty()) build_cell_tables();
-  sim_.tracer().sample(sim_.now(), "smache.top_state",
-                       static_cast<std::uint64_t>(top_.state()));
-  sim_.tracer().sample(sim_.now(), "smache.shifts", shifts_.q());
-  sim_.tracer().sample(sim_.now(), "smache.emit_next", emit_next_.q());
-  sim_.tracer().sample(sim_.now(), "smache.wb_count", wb_count_.q());
+  if (sim_.tracer().enabled()) {
+    sim_.tracer().sample(sim_.now(), "smache.top_state",
+                         static_cast<std::uint64_t>(top_.state()));
+    sim_.tracer().sample(sim_.now(), "smache.shifts", ctrl_.q().shifts);
+    sim_.tracer().sample(sim_.now(), "smache.emit_next",
+                         ctrl_.q().emit_next);
+    sim_.tracer().sample(sim_.now(), "smache.wb_count", ctrl_.q().wb_count);
+  }
   switch (top_.state()) {
     case Top::Warmup: eval_warmup(); break;
     case Top::Run: eval_run(); break;
     case Top::Swap: eval_swap(); break;
-    case Top::Done: break;
+    case Top::Done:
+      // Terminal: nothing can ever change again.
+      sleep();
+      break;
   }
 }
 
@@ -91,32 +112,37 @@ void SmacheTop::eval() {
 // FSM-1: warm-up prefetch of static buffers.
 // ---------------------------------------------------------------------------
 void SmacheTop::eval_warmup() {
-  if (warm_bank_.q() >= warm_order_.size()) {
+  const Ctrl& c = ctrl_.q();
+  if (c.warm_bank >= warm_order_.size()) {
     warmup_end_ = sim_.now();
     top_.go(Top::Run);
     return;
   }
-  StaticBufferBank& bank = statics_.bank(warm_order_[warm_bank_.q()]);
+  StaticBufferBank& bank = statics_.bank(warm_order_[c.warm_bank]);
   const std::size_t w = plan_.width();
-  if (!warm_req_.q()) {
+  if (!c.warm_req) {
     if (dram_.read_req().can_push()) {
       dram_.read_req().push(mem::DramReadReq{
           in_base() + bank.spec().grid_row * w,
           static_cast<std::uint32_t>(w)});
-      warm_req_.d(true);
+      ctrl_.d().warm_req = true;
+    } else {
+      sleep();  // wake: read_req pop commit frees a request slot
     }
     return;
   }
   if (dram_.read_data().can_pop()) {
     const word_t v = dram_.read_data().pop();
-    bank.active_write(warm_idx_.q(), v);
-    if (warm_idx_.q() + 1 == w) {
-      warm_idx_.d(0);
-      warm_req_.d(false);
-      warm_bank_.d(warm_bank_.q() + 1);
+    bank.active_write(c.warm_idx, v);
+    if (c.warm_idx + 1 == w) {
+      ctrl_.d().warm_idx = 0;
+      ctrl_.d().warm_req = false;
+      ctrl_.d().warm_bank = c.warm_bank + 1;
     } else {
-      warm_idx_.d(warm_idx_.q() + 1);
+      ctrl_.d().warm_idx = c.warm_idx + 1;
     }
+  } else {
+    sleep();  // wake: read_data push commit delivers the next burst word
   }
 }
 
@@ -124,41 +150,38 @@ void SmacheTop::eval_warmup() {
 // FSM-2 (gather) + FSM-3 (write-back), concurrent within Run.
 // ---------------------------------------------------------------------------
 void SmacheTop::issue_static_reads(std::uint64_t cell) {
+  const CasePlan& cp = case_plans_[case_of_cell_[cell]];
+  if (cp.statics.empty()) return;  // interior case: nothing to pre-issue
   const std::size_t w = plan_.width();
   const std::size_t c = col_of_cell_[cell];
-  const std::size_t case_id = case_of_cell_[cell];
-  for (const auto& g : plan_.gather(case_id)) {
-    if (g.kind != model::SourceKind::Static) continue;
-    const auto idx = static_cast<std::int64_t>(c) + g.col_shift;
+  for (const StaticIssue& s : cp.statics) {
+    const auto idx = static_cast<std::int64_t>(c) + s.col_shift;
     SMACHE_ASSERT(idx >= 0 && idx < static_cast<std::int64_t>(w));
-    statics_.bank(g.static_index)
-        .read(g.replica, static_cast<std::size_t>(idx));
+    s.bank->read(s.replica, static_cast<std::size_t>(idx));
   }
 }
 
 void SmacheTop::emit_tuple(std::uint64_t cell) {
-  const std::size_t case_id = case_of_cell_[cell];
-  const auto& sources = plan_.gather(case_id);
+  const CasePlan& cp = case_plans_[case_of_cell_[cell]];
 
   // Assemble the (wide) tuple directly in the channel's staging slot; the
   // consumer reads exactly elems[0..count), which this loop fully writes.
   TupleMsg& msg = kernel_.in().push_slot();
   msg.index = cell;
-  msg.count = static_cast<std::uint32_t>(sources.size());
-  for (std::size_t j = 0; j < sources.size(); ++j) {
-    const model::GatherSource& g = sources[j];
-    switch (g.kind) {
-      case model::SourceKind::Window:
-        msg.elems[j] = grid::TupleElem{window_.tap(g.window_age), true};
+  msg.count = static_cast<std::uint32_t>(cp.ops.size());
+  for (std::size_t j = 0; j < cp.ops.size(); ++j) {
+    const EmitOp& op = cp.ops[j];
+    switch (op.kind) {
+      case EmitOp::Kind::Window:
+        msg.elems[j] = grid::TupleElem{window_.tap_slot(op.slot), true};
         break;
-      case model::SourceKind::Static:
-        msg.elems[j] = grid::TupleElem{
-            statics_.bank(g.static_index).rdata(g.replica), true};
+      case EmitOp::Kind::Static:
+        msg.elems[j] = grid::TupleElem{op.bank->rdata(op.replica), true};
         break;
-      case model::SourceKind::Constant:
-        msg.elems[j] = grid::TupleElem{g.constant, true};
+      case EmitOp::Kind::Constant:
+        msg.elems[j] = grid::TupleElem{op.constant, true};
         break;
-      case model::SourceKind::Skip:
+      case EmitOp::Kind::Skip:
         msg.elems[j] = grid::TupleElem{0, false};
         break;
     }
@@ -166,32 +189,41 @@ void SmacheTop::emit_tuple(std::uint64_t cell) {
 }
 
 void SmacheTop::eval_run() {
-  const std::uint64_t n = shifts_.q();
-  const std::uint64_t emit_i = emit_next_.q();
-  const std::size_t center = plan_.center_age();
+  const Ctrl& c = ctrl_.q();
+  const std::uint64_t n = c.shifts;
+  const std::uint64_t emit_i = c.emit_next;
+  const std::size_t center = center_;
+  bool did_work = false;
 
   // -- FSM-2a: whole-grid burst request, once per instance --
-  if (!req_issued_.q() && dram_.read_req().can_push()) {
+  if (!c.req_issued && dram_.read_req().can_push()) {
     dram_.read_req().push(
         mem::DramReadReq{in_base(), static_cast<std::uint32_t>(cells_)});
-    req_issued_.d(true);
+    ctrl_.d().req_issued = true;
+    did_work = true;
   }
 
   // -- FSM-2b: tuple emission --
   bool emitting = false;
   if (emit_i < cells_ && n >= emit_i + center &&
-      rdata_center_.q() == static_cast<std::int64_t>(emit_i) &&
+      c.rdata_center == static_cast<std::int64_t>(emit_i) &&
       kernel_.in().can_push()) {
     emit_tuple(emit_i);
-    emit_next_.d(emit_i + 1);
+    ctrl_.d().emit_next = emit_i + 1;
     emitting = true;
+    did_work = true;
   }
 
-  // -- FSM-2c: pre-issue static reads for the next centre --
+  // -- FSM-2c: pre-issue static reads for the next centre. Re-issues for
+  // a centre the token already points at are skipped: BRAM read data holds
+  // between issues and the statics' active copies are not written during
+  // Run, so re-latching would republish identical values --
   const std::uint64_t next_center = emitting ? emit_i + 1 : emit_i;
-  if (next_center < cells_) {
+  if (next_center < cells_ &&
+      c.rdata_center != static_cast<std::int64_t>(next_center)) {
     issue_static_reads(next_center);
-    rdata_center_.d(static_cast<std::int64_t>(next_center));
+    ctrl_.d().rdata_center = static_cast<std::int64_t>(next_center);
+    did_work = true;
   }
 
   // -- FSM-2d: window shift --
@@ -202,7 +234,8 @@ void SmacheTop::eval_run() {
   if (more_shifts && window_room && data_ok) {
     const word_t in = n < cells_ ? dram_.read_data().pop() : word_t{0};
     window_.shift(in);
-    shifts_.d(n + 1);
+    ctrl_.d().shifts = n + 1;
+    did_work = true;
   }
 
   // -- FSM-3: write-back + shadow capture --
@@ -210,13 +243,20 @@ void SmacheTop::eval_run() {
     const ResultMsg res = kernel_.out().pop();
     dram_.write_req().push(
         mem::DramWriteReq{out_base() + res.index, res.value});
-    statics_.capture_output(row_of_cell_[res.index], col_of_cell_[res.index],
-                            res.value);
-    wb_count_.d(wb_count_.q() + 1);
-    if (wb_count_.q() + 1 == cells_) {
-      top_.go(instance_.q() + 1 == steps_ ? Top::Done : Top::Swap);
+    const std::uint32_t row = row_of_cell_[res.index];
+    if (capture_row_[row])
+      statics_.capture_output(row, col_of_cell_[res.index], res.value);
+    ctrl_.d().wb_count = c.wb_count + 1;
+    did_work = true;
+    if (c.wb_count + 1 == cells_) {
+      top_.go(c.instance + 1 == steps_ ? Top::Done : Top::Swap);
     }
   }
+
+  // Starved: every blocker above is an external channel condition (data
+  // not yet delivered, space not yet freed), and each is subscribed to in
+  // the constructor, so the controller can sleep until one commits.
+  if (!did_work) sleep();
 }
 
 // ---------------------------------------------------------------------------
@@ -224,14 +264,24 @@ void SmacheTop::eval_run() {
 // ---------------------------------------------------------------------------
 void SmacheTop::eval_swap() {
   // Memory fence: the next instance reads the region we just wrote.
-  if (!dram_.write_req().empty() || !dram_.idle()) return;
+  if (!dram_.write_req().empty() || !dram_.idle()) {
+    // Exact re-check scheduling: min_cycles_to_idle is a sound lower bound
+    // on the first cycle the fence can pass (same argument as
+    // run_until_done), so sleeping until then never overshoots. Write
+    // drains additionally wake us early through the write_req producer
+    // subscription; the re-check simply goes back to sleep.
+    sleep_for(dram_.min_cycles_to_idle());
+    return;
+  }
+  const Ctrl& c = ctrl_.q();
   statics_.swap_all();
-  instance_.d(instance_.q() + 1);
-  shifts_.d(0);
-  emit_next_.d(0);
-  rdata_center_.d(-1);
-  req_issued_.d(false);
-  wb_count_.d(0);
+  Ctrl& d = ctrl_.d();
+  d.instance = c.instance + 1;
+  d.shifts = 0;
+  d.emit_next = 0;
+  d.rdata_center = -1;
+  d.req_issued = false;
+  d.wb_count = 0;
   top_.go(Top::Run);
 }
 

@@ -65,8 +65,8 @@ class SmacheTop : public sim::Module {
   /// adds cycles on top of the bound).
   std::uint64_t min_cycles_to_done() const noexcept {
     if (top_.is(Top::Done)) return 0;
-    return outstanding_writeback_bound(steps_, instance_.q(), cells_,
-                                       wb_count_.q());
+    return outstanding_writeback_bound(steps_, ctrl_.q().instance, cells_,
+                                       ctrl_.q().wb_count);
   }
 
   /// Cycle at which the warm-up pass completed (for amortisation reports).
@@ -83,6 +83,22 @@ class SmacheTop : public sim::Module {
  private:
   enum class Top : std::uint8_t { Warmup, Run, Swap, Done };
 
+  /// All controller registers as one state element (single commit per
+  /// cycle). Field paths/widths are charged to the ledger exactly like the
+  /// discrete Regs they replace; hold semantics are identical (see
+  /// sim::RegGroup).
+  struct Ctrl {
+    std::uint64_t shifts = 0;
+    std::uint64_t emit_next = 0;
+    std::int64_t rdata_center = -1;
+    std::uint64_t wb_count = 0;
+    std::uint32_t instance = 0;
+    std::uint32_t warm_bank = 0;
+    std::uint32_t warm_idx = 0;
+    bool req_issued = false;
+    bool warm_req = false;
+  };
+
   std::uint64_t in_base() const noexcept;
   std::uint64_t out_base() const noexcept;
   void build_cell_tables();
@@ -95,24 +111,17 @@ class SmacheTop : public sim::Module {
   const model::BufferPlan plan_;
   mem::DramModel& dram_;
   std::size_t steps_;
-  std::size_t cells_;  // grid height * width
+  std::size_t cells_;   // grid height * width
+  std::size_t center_;  // plan_.center_age(), hoisted for the cycle loop
   sim::Simulator& sim_;
 
   StreamBuffer window_;
   StaticBufferSet statics_;
   KernelPipeline kernel_;
 
-  // Controller registers (all charged under <path>/ctrl).
+  // Controller state (all charged under <path>/ctrl).
   sim::FsmState<Top> top_;
-  sim::Reg<std::uint32_t> instance_;
-  sim::Reg<std::uint64_t> shifts_;
-  sim::Reg<std::uint64_t> emit_next_;
-  sim::Reg<std::int64_t> rdata_center_;
-  sim::Reg<bool> req_issued_;
-  sim::Reg<std::uint64_t> wb_count_;
-  sim::Reg<std::uint32_t> warm_bank_;
-  sim::Reg<std::uint32_t> warm_idx_;
-  sim::Reg<bool> warm_req_;
+  sim::RegGroup<Ctrl> ctrl_;
 
   std::uint64_t warmup_end_ = 0;
   // Warm-up bank order (indices into statics_, write-through first).
@@ -126,6 +135,11 @@ class SmacheTop : public sim::Module {
   std::vector<std::uint32_t> case_of_cell_;
   std::vector<std::uint32_t> row_of_cell_;
   std::vector<std::uint32_t> col_of_cell_;
+  // case id -> pre-resolved gather/pre-issue plan (see rtl::EmitOp).
+  std::vector<CasePlan> case_plans_;
+  // row -> 1 iff some write-through static buffer captures it (FSM-3 skips
+  // the capture call for every other row).
+  std::vector<std::uint8_t> capture_row_;
 };
 
 }  // namespace smache::rtl

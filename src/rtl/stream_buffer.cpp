@@ -1,6 +1,7 @@
 #include "rtl/stream_buffer.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/assert.hpp"
 #include "common/bits.hpp"
@@ -69,39 +70,39 @@ StreamBuffer::StreamBuffer(sim::Simulator& sim, const std::string& path,
     feeds_[slot] = {Feed::PrevReg, age_to_slot_[age - 1]};
   }
 
-  pure_shift_chain_ = segments_.empty();
-  for (std::size_t slot = 1; pure_shift_chain_ && slot < feeds_.size();
-       ++slot) {
-    pure_shift_chain_ = feeds_[slot].kind == Feed::PrevReg &&
-                        feeds_[slot].arg == slot - 1;
+  // Run-compress the feeds into chains (see header). Sorted distinct ages
+  // make every PrevReg feed source slot - 1, verified here.
+  for (std::size_t slot = 0; slot < feeds_.size(); ++slot) {
+    if (feeds_[slot].kind == Feed::PrevReg) {
+      SMACHE_ASSERT(feeds_[slot].arg == slot - 1);
+      ++chains_.back().len;
+      continue;
+    }
+    Chain ch;
+    ch.start = slot;
+    ch.len = 1;
+    ch.from_input = feeds_[slot].kind == Feed::Input;
+    ch.segment = ch.from_input ? 0 : feeds_[slot].arg;
+    chains_.push_back(ch);
   }
 }
 
 void StreamBuffer::shift(word_t in) {
-  if (pure_shift_chain_) {
-    // Identical write set to the generic walk below (slot 0 <- in,
-    // slot i <- q(i-1)), scheduled in one pass.
-    regs_->shift_in(in);
-    return;
-  }
-  // Schedule all register updates (non-blocking; the q() reads below see
-  // committed state, so ordering across slots is irrelevant). Every slot
-  // has a feed, so the whole next-state array is written in one pass and
-  // committed as one block copy.
+  // Schedule all register updates (non-blocking; the committed-state reads
+  // below see start-of-cycle values, so ordering across chains is
+  // irrelevant). Every slot has a feed, so the whole next-state array is
+  // written and committed as one block copy. Chains turn the per-slot feed
+  // switch into one head write plus one bulk copy each.
   word_t* next_state = regs_->next_all();
-  for (std::size_t slot = 0; slot < feeds_.size(); ++slot) {
-    switch (feeds_[slot].kind) {
-      case Feed::Input:
-        next_state[slot] = in;
-        break;
-      case Feed::PrevReg:
-        next_state[slot] = regs_->q(feeds_[slot].arg);
-        break;
-      case Feed::Bram:
-        next_state[slot] = static_cast<word_t>(
-            segments_[feeds_[slot].arg].bram->rdata());
-        break;
-    }
+  const word_t* q = regs_->q_data();
+  for (const Chain& ch : chains_) {
+    next_state[ch.start] =
+        ch.from_input
+            ? in
+            : static_cast<word_t>(segments_[ch.segment].bram->rdata());
+    if (ch.len > 1)
+      std::memcpy(next_state + ch.start + 1, q + ch.start,
+                  (ch.len - 1) * sizeof(word_t));
   }
   // Advance every BRAM segment. The pointer wrap is a compare, not a
   // modulo — an integer divide per segment per cycle is the single most

@@ -51,6 +51,18 @@ class StreamBuffer {
   /// inside BRAM segments are not readable — the planner never taps them.
   word_t tap(std::size_t age) const;
 
+  /// Register slot backing a register-mapped age. Gather units that emit
+  /// the same stencil cases millions of times resolve ages to slots ONCE
+  /// (per case, at table-build time) and then read via tap_slot().
+  std::size_t slot_of_age(std::size_t age) const {
+    SMACHE_REQUIRE_MSG(is_reg_age(age),
+                       "slot_of_age on a non-register window position");
+    return age_to_slot_[age];
+  }
+
+  /// Combinational read by precomputed slot (see slot_of_age).
+  word_t tap_slot(std::size_t slot) const { return regs_->q(slot); }
+
   /// True if `age` is register-mapped (readable via tap()).
   bool is_reg_age(std::size_t age) const {
     return age < age_to_slot_.size() && age_to_slot_[age] != kNoSlot;
@@ -76,10 +88,6 @@ class StreamBuffer {
   std::unique_ptr<sim::RegArray<word_t>> regs_;
   std::vector<std::size_t> reg_ages_;  // slot -> age (sorted ascending)
   std::vector<Segment> segments_;
-  // Case-R degenerate layout (no BRAM segments, slots form one contiguous
-  // delay chain): a shift is then a single RegArray::shift_in, committed as
-  // one block copy instead of a per-slot feed walk.
-  bool pure_shift_chain_ = false;
   // For each register slot: where its next value comes from during a shift.
   enum class Feed : std::uint8_t { Input, PrevReg, Bram };
   struct FeedSpec {
@@ -87,6 +95,19 @@ class StreamBuffer {
     std::size_t arg = 0;  // PrevReg: source slot; Bram: segment index
   };
   std::vector<FeedSpec> feeds_;
+  // Run-compressed view of feeds_: because reg slots are sorted by age and
+  // distinct, every PrevReg feed is exactly next[slot] = q[slot - 1], so
+  // the slots partition into maximal chains, each headed by the shift
+  // input or a BRAM segment output and followed by `len - 1` consecutive
+  // previous-register copies. A shift is then one head write plus one
+  // memcpy per chain (1 + #segments chains) instead of a per-slot switch.
+  struct Chain {
+    std::size_t start = 0;    // first slot of the chain
+    std::size_t len = 0;      // slots in the chain
+    std::size_t segment = 0;  // feeding segment (head != Input)
+    bool from_input = false;  // head is the shift input
+  };
+  std::vector<Chain> chains_;
 };
 
 }  // namespace smache::rtl

@@ -1,12 +1,17 @@
 // Helpers shared by the three top-level designs (Smache, baseline,
-// cascade): the completion lower bound that drives batched polling, and
-// the behavioural cell -> case lookup table.
+// cascade): the completion lower bound that drives batched polling, the
+// behavioural cell -> case lookup table, and the pre-resolved per-case
+// gather plans the stream-fed tops emit from.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "grid/zones.hpp"
+#include "model/planner.hpp"
+#include "rtl/static_buffer.hpp"
+#include "rtl/stream_buffer.hpp"
 
 namespace smache::rtl {
 
@@ -39,6 +44,73 @@ inline std::vector<std::uint32_t> build_case_table(const grid::CaseMap& cases,
     for (std::size_t c = 0; c < width; ++c)
       table.push_back(static_cast<std::uint32_t>(cases.case_of(r, c)));
   return table;
+}
+
+/// One tuple element of one stencil case, pre-resolved at table-build time
+/// (window age -> register slot, static index -> bank pointer) so the
+/// per-cycle gather is a tight switch with no map lookups.
+struct EmitOp {
+  enum class Kind : std::uint8_t { Window, Static, Constant, Skip };
+  Kind kind = Kind::Skip;
+  std::uint32_t slot = 0;     // Window: stream-buffer register slot
+  std::uint32_t replica = 0;  // Static: read-port replica
+  StaticBufferBank* bank = nullptr;
+  word_t constant = 0;
+};
+
+/// One static-buffer pre-issue of one case (SmacheTop FSM-2c). Cases
+/// without static sources (the grid interior) have an empty list and skip
+/// the pre-issue loop entirely.
+struct StaticIssue {
+  StaticBufferBank* bank = nullptr;
+  std::uint32_t replica = 0;
+  std::int64_t col_shift = 0;
+};
+
+struct CasePlan {
+  std::vector<EmitOp> ops;
+  std::vector<StaticIssue> statics;
+};
+
+/// Pre-resolve every case's gather sources against a stream buffer's
+/// register layout. `statics` is null for designs whose plans cannot
+/// contain static sources (the cascade — enforced here); all stage windows
+/// of a cascade share one layout, so one table serves all.
+inline std::vector<CasePlan> build_case_plans(const model::BufferPlan& plan,
+                                              const StreamBuffer& window,
+                                              StaticBufferSet* statics) {
+  std::vector<CasePlan> plans(plan.cases().case_count());
+  for (std::size_t id = 0; id < plans.size(); ++id) {
+    CasePlan& cp = plans[id];
+    for (const model::GatherSource& g : plan.gather(id)) {
+      EmitOp op;
+      switch (g.kind) {
+        case model::SourceKind::Window:
+          op.kind = EmitOp::Kind::Window;
+          op.slot =
+              static_cast<std::uint32_t>(window.slot_of_age(g.window_age));
+          break;
+        case model::SourceKind::Static:
+          SMACHE_ASSERT_MSG(statics != nullptr,
+                            "this design's plans never contain static "
+                            "sources");
+          op.kind = EmitOp::Kind::Static;
+          op.bank = &statics->bank(g.static_index);
+          op.replica = static_cast<std::uint32_t>(g.replica);
+          cp.statics.push_back({op.bank, op.replica, g.col_shift});
+          break;
+        case model::SourceKind::Constant:
+          op.kind = EmitOp::Kind::Constant;
+          op.constant = g.constant;
+          break;
+        case model::SourceKind::Skip:
+          op.kind = EmitOp::Kind::Skip;
+          break;
+      }
+      cp.ops.push_back(op);
+    }
+  }
+  return plans;
 }
 
 }  // namespace smache::rtl

@@ -9,13 +9,22 @@
 //     flip-flop stage.
 //
 // Commit scheduling is activity-based: scheduling a write enqueues the
-// element on the owning Simulator's per-cycle dirty list (via mark_dirty()),
-// and the commit phase walks only that list. Most registered elements are
+// element on the owning Simulator's RETAINED commit set (via mark_dirty()),
+// and the commit phase walks only that set. Most registered elements are
 // idle in any given cycle — a large design registers thousands of state
 // elements but touches dozens per cycle — so commits cost O(writes), not
-// O(elements). Because commits are non-blocking and each element only
-// mutates its own state, dirty-list order (write-scheduling order) cannot
-// affect results.
+// O(elements). The set is retained across cycles: an element that keeps
+// writing stays enqueued (the steady-state hot path is one flag store per
+// write, no queue churn), and an element that goes quiet is dropped during
+// the first commit sweep that finds it unwritten. Because commits are
+// non-blocking and each element only mutates its own state, commit order
+// cannot affect results — and committing is skipped entirely for retained
+// elements that scheduled nothing this cycle.
+//
+// Eval scheduling is activity-gated the same way (see Module below): a
+// module that declares quiescence is removed from the Simulator's active
+// list and its eval() is not called again until a wake event — a FIFO
+// commit it subscribed to, a wake-at-cycle timer, or an explicit wake().
 #pragma once
 
 #include <cstddef>
@@ -24,12 +33,15 @@
 namespace smache::sim {
 
 class Simulator;
+class Module;
 
 /// A state element participating in the clock edge. Implementations must be
 /// registered with the Simulator (construction does this), must call
 /// mark_dirty() whenever a next-state write is scheduled, and must only
 /// mutate observable state inside commit(). commit() is invoked only on
-/// cycles where the element marked itself dirty.
+/// cycles where the element marked itself dirty (the retained commit set
+/// may hold an element one sweep past its last write, but its commit is
+/// not re-run).
 class Clocked {
  public:
   // Non-copyable: an element is registered with one simulator, and the
@@ -57,12 +69,18 @@ class Clocked {
 
   /// Commit record of a FIFO: pop advances head, push publishes the value
   /// already staged in its ring slot. All fields point into the element.
+  /// `consumer`/`producer` are the commit-time wake targets of the channel
+  /// (see Fifo::set_consumer/set_producer): a committed push wakes the
+  /// consumer exactly when the data becomes poppable, a committed pop wakes
+  /// the producer exactly when the space becomes pushable.
   struct FifoCommitCtl {
     std::size_t* head;
     std::size_t* size;
     std::size_t capacity;
     bool* push_pending;
     bool* pop_pending;
+    Module* consumer = nullptr;
+    Module* producer = nullptr;
   };
 
   /// Commit record of a 1R1W synchronous RAM: latch read data (before the
@@ -100,20 +118,65 @@ class Clocked {
   enum class FastCommit : std::uint8_t { None, Copy, Fifo, Bram };
 
   Simulator* sim_ = nullptr;  // set by Simulator::register_clocked
-  bool queued_ = false;       // already on this cycle's dirty list
+  bool queued_ = false;       // on the simulator's retained commit set
+  bool wrote_ = false;        // scheduled a write THIS cycle
   FastCommit fast_kind_ = FastCommit::None;
   void* fast_a_ = nullptr;
   const void* fast_b_ = nullptr;
   std::uint32_t fast_bytes_ = 0;
 };
 
-/// A behavioural block evaluated once per cycle. eval() may read committed
-/// state anywhere and schedule writes on Regs/Fifos/Brams; it must not
-/// observe its own same-cycle writes.
+/// A behavioural block evaluated once per cycle while AWAKE. eval() may read
+/// committed state anywhere and schedule writes on Regs/Fifos/Brams; it must
+/// not observe its own same-cycle writes.
+///
+/// Activity gating: a module that can prove it is quiescent — its eval()
+/// would change NO observable state (registers, FIFOs, BRAMs, DRAM stats,
+/// trace rows) until some event — may call sleep() / sleep_for() from inside
+/// its eval(). The simulator then skips the module entirely until a wake:
+///   * a FIFO the module registered on (Fifo::set_consumer/set_producer)
+///     commits a push/pop — fired at COMMIT time, i.e. exactly the cycle
+///     boundary where the data/space becomes visible to the module;
+///   * the wake-at-cycle timer from sleep_for(n) expires (the module evals
+///     again exactly n cycles after the eval that called sleep_for);
+///   * any code calls wake() explicitly.
+/// Sleeping is always a pure optimisation, never a semantic: the quiescence
+/// claim is the module's contract, and Simulator::set_force_eval_all(true)
+/// (or an enabled tracer, whose per-cycle sample rows are observable)
+/// disables gating so property tests can cross-check the two modes
+/// bit-for-bit.
 class Module {
  public:
   virtual ~Module() = default;
   virtual void eval() = 0;
+
+  /// True while the scheduler is skipping this module.
+  bool asleep() const noexcept { return asleep_; }
+
+  /// Cancel a sleep (idempotent, cheap when awake). Takes effect for the
+  /// next eval sweep: a module woken during cycle t's eval or commit phase
+  /// is evaluated from cycle t+1 on. Defined in simulator.hpp.
+  void wake() noexcept;
+
+ protected:
+  /// Declare quiescence until a registered wake event (defined in
+  /// simulator.hpp). No-op unless the owning simulator allows gating.
+  void sleep() noexcept;
+
+  /// Declare quiescence for AT MOST `n` cycles (n >= 1): the module is
+  /// re-evaluated at now()+n even if no event fires earlier. Use with a
+  /// sound lower bound on the cycles until the module can next act to get
+  /// exact re-check scheduling (same argument as run_until_done).
+  void sleep_for(std::uint64_t n) noexcept;
+
+ private:
+  friend class Simulator;
+  static constexpr std::uint64_t kNoWake = ~std::uint64_t{0};
+
+  Simulator* sched_ = nullptr;     // set by Simulator::add_module
+  std::uint64_t wake_at_ = kNoWake;
+  bool asleep_ = false;
+  bool timed_queued_ = false;  // on the simulator's timed-sleeper list
 };
 
 }  // namespace smache::sim

@@ -38,7 +38,7 @@ class Fifo : public Clocked {
        std::uint32_t bits_each = default_bits<T>())
       : items_(capacity),
         commit_ctl_{items_.head_ptr(), items_.size_ptr(), capacity,
-                    &push_pending_, &pop_pending_} {
+                    &push_pending_, &pop_pending_, nullptr, nullptr} {
     SMACHE_REQUIRE(capacity >= 1);
     sim.register_clocked(this);
     set_fifo_commit(&commit_ctl_);
@@ -47,6 +47,17 @@ class Fifo : public Clocked {
                      static_cast<std::uint64_t>(capacity) * bits_each +
                          ptr_bits);
   }
+
+  /// Register the module that consumes this channel: a committed push
+  /// wakes it on exactly the cycle boundary where the data becomes
+  /// poppable. Commit-time (not schedule-time) firing is what makes the
+  /// sleep protocol race-free: a consumer that checks can_pop(), sees
+  /// nothing, and sleeps in the same cycle a producer pushes is still
+  /// woken — by the commit that publishes the value.
+  void set_consumer(Module* m) noexcept { commit_ctl_.consumer = m; }
+  /// Register the module that produces into this channel: a committed pop
+  /// wakes it when the freed slot becomes pushable (back-pressure relief).
+  void set_producer(Module* m) noexcept { commit_ctl_.producer = m; }
 
   std::size_t capacity() const noexcept { return items_.capacity(); }
   /// Committed occupancy (start-of-cycle view).
@@ -98,13 +109,17 @@ class Fifo : public Clocked {
   }
 
   void commit() override {
+    // Kept equivalent to the Simulator's inline FIFO fast path, including
+    // the commit-time wake notifications.
     if (pop_pending_) {
       items_.pop_front();
       pop_pending_ = false;
+      if (commit_ctl_.producer != nullptr) commit_ctl_.producer->wake();
     }
     if (push_pending_) {
       items_.commit_back();
       push_pending_ = false;
+      if (commit_ctl_.consumer != nullptr) commit_ctl_.consumer->wake();
     }
   }
 

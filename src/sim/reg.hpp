@@ -53,6 +53,53 @@ class Reg : public Clocked {
   T next_;
 };
 
+/// A GROUP of logically separate registers committed as one state element:
+/// S is a trivially copyable struct whose fields are the grouped registers
+/// (e.g. a top-level controller's counters). One mark_dirty/one block-copy
+/// commit per cycle replaces a dirty-list entry and a commit per field,
+/// which is what makes the tops' per-cycle bookkeeping cheap.
+///
+/// Semantics match one Reg per field exactly: fields assigned through d()
+/// take the scheduled value at the clock edge, untouched fields hold (the
+/// next-state struct always carries the committed value for them, so the
+/// block copy republishes it unchanged). Ledger charges are passed per
+/// field — paths and widths identical to the discrete Regs they replace —
+/// so synthesis-style reports cannot tell the difference.
+template <typename S>
+class RegGroup : public Clocked {
+ public:
+  struct FieldCharge {
+    std::string path;
+    std::uint32_t bits;
+  };
+
+  RegGroup(Simulator& sim, const S& init,
+           std::initializer_list<FieldCharge> fields)
+      : q_(init), next_(init) {
+    static_assert(std::is_trivially_copyable_v<S>,
+                  "RegGroup needs a trivially copyable state struct");
+    sim.register_clocked(this);
+    set_copy_commit(&q_, &next_, sizeof(S));
+    for (const FieldCharge& f : fields)
+      sim.ledger().add(f.path, ResKind::RegisterBits, f.bits);
+  }
+
+  /// Committed state (start-of-cycle view).
+  const S& q() const noexcept { return q_; }
+
+  /// Next-state struct for field writes; everything not assigned holds.
+  S& d() {
+    mark_dirty();
+    return next_;
+  }
+
+  void commit() override { q_ = next_; }
+
+ private:
+  S q_;
+  S next_;
+};
+
 /// A block of N registers committed together (e.g. a shift window). One
 /// Clocked registration regardless of N keeps large windows fast to commit.
 template <typename T>
@@ -62,6 +109,14 @@ class RegArray : public Clocked {
            std::uint32_t bits_each = default_bits<T>())
       : q_(count, init), next_(count, init) {
     sim.register_clocked(this);
+    // The commit is always a whole-array block copy: every commit
+    // re-establishes q_ == next_, so unwritten slots republish their held
+    // value — a per-index write set would commit the identical bytes. For
+    // trivially copyable T that is the simulator's inline memcpy fast
+    // path; no virtual dispatch, no per-index bookkeeping.
+    if constexpr (std::is_trivially_copyable_v<T>)
+      set_copy_commit(q_.data(), next_.data(),
+                      static_cast<std::uint32_t>(count * sizeof(T)));
     sim.ledger().add(std::move(path), ResKind::RegisterBits,
                      static_cast<std::uint64_t>(count) * bits_each);
   }
@@ -73,10 +128,12 @@ class RegArray : public Clocked {
     return q_[i];
   }
 
+  /// Whole committed array (bulk readers that shift runs of registers).
+  const T* q_data() const noexcept { return q_.data(); }
+
   void d(std::size_t i, const T& v) {
     SMACHE_REQUIRE(i < next_.size());
     next_[i] = v;
-    dirty_.push_back(i);
     mark_dirty();
   }
 
@@ -87,7 +144,6 @@ class RegArray : public Clocked {
   void shift_in(const T& in) {
     for (std::size_t i = next_.size(); i-- > 1;) next_[i] = q_[i - 1];
     next_[0] = in;
-    all_dirty_ = true;
     mark_dirty();
   }
 
@@ -97,28 +153,15 @@ class RegArray : public Clocked {
   /// (unwritten slots republish their previous next-state, which after any
   /// earlier commit equals the held value). Committed as one block copy.
   T* next_all() {
-    all_dirty_ = true;
     mark_dirty();
     return next_.data();
   }
 
-  void commit() override {
-    if (all_dirty_) {
-      // Whole array scheduled (shift_in, possibly plus d() writes — those
-      // also landed in next_, so the block copy subsumes them).
-      std::copy(next_.begin(), next_.end(), q_.begin());
-      all_dirty_ = false;
-    } else {
-      for (std::size_t i : dirty_) q_[i] = next_[i];
-    }
-    dirty_.clear();
-  }
+  void commit() override { q_ = next_; }
 
  private:
   std::vector<T> q_;
   std::vector<T> next_;
-  std::vector<std::size_t> dirty_;
-  bool all_dirty_ = false;
 };
 
 }  // namespace smache::sim

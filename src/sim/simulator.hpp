@@ -1,6 +1,22 @@
 // The cycle scheduler. See clocked.hpp for the two-phase semantics.
+//
+// Both phases are activity-gated:
+//   * eval — modules that declared quiescence (Module::sleep/sleep_for) are
+//     dropped from the active list and not called at all; they return on a
+//     wake event (FIFO commit, timer expiry, explicit wake()). When NOTHING
+//     is active and nothing is pending commit, whole idle stretches are
+//     fast-forwarded in O(1) (cycle numbering is unchanged — the skipped
+//     cycles provably had no state change).
+//   * commit — state elements that scheduled a write sit on a retained
+//     commit set; elements that keep writing pay one flag store per cycle
+//     (no queue churn), elements that go quiet are dropped by the next
+//     sweep.
+// Gating is an optimisation bound by a correctness contract (a sleeping
+// module's eval must be observable-state-neutral); set_force_eval_all(true)
+// runs every module every cycle so tests can cross-check the two modes.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <functional>
@@ -27,14 +43,16 @@ class Simulator {
   /// Current cycle number (count of completed steps).
   std::uint64_t now() const noexcept { return cycle_; }
 
-  /// Register a behavioural module; evaluated every cycle in registration
-  /// order (order is irrelevant for correctness, fixed for determinism).
-  /// Modules live in one flat array walked directly each cycle — for the
-  /// common case of a handful of tops this is a short, branch-predictable
-  /// loop with no per-cycle allocation.
+  /// Register a behavioural module; evaluated in registration order on
+  /// every cycle it is awake (order is irrelevant for correctness, fixed
+  /// for determinism — the active list preserves registration order).
   void add_module(Module* m) {
     SMACHE_REQUIRE(m != nullptr);
+    SMACHE_REQUIRE_MSG(m->sched_ == nullptr || m->sched_ == this,
+                       "module already registered with another simulator");
+    m->sched_ = this;
     modules_.push_back(m);
+    active_stale_ = true;
   }
 
   /// Register a state element. Only elements that schedule a write in a
@@ -46,10 +64,39 @@ class Simulator {
                        "simulator");
     c->sim_ = this;
     clocked_.push_back(c);
+    // The commit set can never exceed the registered population; sizing it
+    // up front keeps mark_dirty a pure append in the hot loop.
+    commit_set_.reserve(clocked_.capacity());
   }
 
   /// Number of registered state elements (reporting/tests).
   std::size_t clocked_count() const noexcept { return clocked_.size(); }
+
+  /// Number of registered modules currently awake (reporting/tests).
+  std::size_t awake_module_count() const noexcept {
+    std::size_t n = 0;
+    for (const Module* m : modules_) n += m->asleep_ ? 0 : 1;
+    return n;
+  }
+
+  /// Disable activity gating: every module is evaluated every cycle and
+  /// sleep()/sleep_for() become no-ops. The equivalence property suite runs
+  /// every configuration in both modes and demands bit-identical results.
+  void set_force_eval_all(bool on) noexcept {
+    force_eval_all_ = on;
+    if (on) {
+      for (Module* m : modules_) m->wake();
+    }
+  }
+  bool force_eval_all() const noexcept { return force_eval_all_; }
+
+  /// Whether modules are currently allowed to sleep. Trace rows are
+  /// observable state sampled inside eval(), so an enabled tracer disables
+  /// gating too (enable tracing before the first step for complete traces —
+  /// modules already asleep stay asleep until their next wake).
+  bool gating_allowed() const noexcept {
+    return !force_eval_all_ && !tracer_.enabled();
+  }
 
   /// Resource accounting shared by every primitive built on this simulator.
   ResourceLedger& ledger() noexcept { return ledger_; }
@@ -60,13 +107,17 @@ class Simulator {
   Tracer& tracer() noexcept { return tracer_; }
   const Tracer& tracer() const noexcept { return tracer_; }
 
-  /// Advance exactly one cycle: eval phase then commit phase. The commit
-  /// phase visits only elements that scheduled a write this cycle.
+  /// Advance exactly one cycle: eval phase (awake modules only) then commit
+  /// phase (elements with writes scheduled this cycle only). A dedicated
+  /// body (no burst bookkeeping, no idle fast-forward — a single idle cycle
+  /// IS the fast-forward) keeps the testbench-driven single-step loops of
+  /// the primitive benches lean.
   void step() {
-    Module* const* mods = modules_.data();
-    const std::size_t n = modules_.size();
-    for (std::size_t i = 0; i < n; ++i) mods[i]->eval();
-    commit_dirty();
+    if (next_timer_wake_ <= cycle_ || active_stale_) refresh_schedule();
+    Module* const* mods = active_.data();
+    const std::size_t m = active_.size();
+    for (std::size_t i = 0; i < m; ++i) mods[i]->eval();
+    commit_retained();
     ++cycle_;
   }
 
@@ -118,27 +169,69 @@ class Simulator {
   }
 
  private:
-  /// Advance `n` cycles with the loop-invariant loads (module array base
-  /// and length) hoisted out of the per-cycle work.
+  /// Advance `n` cycles. Per cycle: fire due timer wakes, refresh the
+  /// active list if membership changed, eval the awake modules, commit the
+  /// written state elements. When no module is awake and nothing is pending
+  /// commit, the remaining idle cycles up to the next timer wake (or burst
+  /// end) are skipped in one jump — provably nothing can change during
+  /// them, so this is pure wall-clock savings with identical cycle numbers.
   void step_burst(std::uint64_t n) {
-    Module* const* mods = modules_.data();
-    const std::size_t m = modules_.size();
     for (std::uint64_t k = 0; k < n; ++k) {
+      if (next_timer_wake_ <= cycle_ || active_stale_) refresh_schedule();
+      if (active_.empty() && commit_set_.empty()) {
+        std::uint64_t idle = n - k;
+        if (next_timer_wake_ != Module::kNoWake)
+          idle = std::min(idle, next_timer_wake_ - cycle_);
+        cycle_ += idle;
+        k += idle - 1;
+        continue;
+      }
+      Module* const* mods = active_.data();
+      const std::size_t m = active_.size();
       for (std::size_t i = 0; i < m; ++i) mods[i]->eval();
-      commit_dirty();
+      commit_retained();
       ++cycle_;
     }
   }
 
-  void commit_dirty() {
-    // commit() must not schedule new writes, so dirty_ cannot grow here.
+  void commit_retained() {
+    // commit() must not schedule new writes, so the set cannot grow here
+    // (waking modules during a FIFO commit only flips scheduling flags).
     // The switch executes the three dominant commit shapes inline (see
     // clocked.hpp) — only irregular elements pay a virtual dispatch.
-    for (Clocked* c : dirty_) {
-      c->queued_ = false;
+    // Elements that stopped writing are compacted out in the same sweep.
+    Clocked** set = commit_set_.data();
+    const std::size_t n = commit_set_.size();
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      Clocked* c = set[i];
+      if (!c->wrote_) {  // went quiet since last sweep: drop, commit nothing
+        c->queued_ = false;
+        continue;
+      }
+      c->wrote_ = false;
+      if (keep != i) set[keep] = c;
+      ++keep;
       switch (c->fast_kind_) {
         case Clocked::FastCommit::Copy:
-          std::memcpy(c->fast_a_, c->fast_b_, c->fast_bytes_);
+          // Single-word registers (the common Reg<T> widths) commit with
+          // one inline move; only block elements (RegArray/RegGroup/stage
+          // pipes) go through memcpy.
+          switch (c->fast_bytes_) {
+            case 1:
+              *static_cast<std::uint8_t*>(c->fast_a_) =
+                  *static_cast<const std::uint8_t*>(c->fast_b_);
+              break;
+            case 4:
+              std::memcpy(c->fast_a_, c->fast_b_, 4);
+              break;
+            case 8:
+              std::memcpy(c->fast_a_, c->fast_b_, 8);
+              break;
+            default:
+              std::memcpy(c->fast_a_, c->fast_b_, c->fast_bytes_);
+              break;
+          }
           break;
         case Clocked::FastCommit::Fifo: {
           auto* f = static_cast<Clocked::FifoCommitCtl*>(c->fast_a_);
@@ -146,10 +239,12 @@ class Simulator {
             *f->head = *f->head + 1 == f->capacity ? 0 : *f->head + 1;
             --*f->size;
             *f->pop_pending = false;
+            if (f->producer != nullptr) f->producer->wake();
           }
           if (*f->push_pending) {
             ++*f->size;
             *f->push_pending = false;
+            if (f->consumer != nullptr) f->consumer->wake();
           }
           break;
         }
@@ -170,26 +265,103 @@ class Simulator {
           break;
       }
     }
-    dirty_.clear();
+    if (keep != n) commit_set_.resize(keep);
   }
 
-  friend class Clocked;  // mark_dirty() appends to dirty_
+  /// Cold path of the per-cycle prologue: fire due timer wakes, then
+  /// refresh the active list if membership changed.
+  void refresh_schedule() {
+    if (next_timer_wake_ <= cycle_) fire_timer_wakes();
+    if (active_stale_) rebuild_active();
+  }
+
+  void rebuild_active() {
+    active_.clear();
+    for (Module* m : modules_)
+      if (!m->asleep_) active_.push_back(m);
+    active_stale_ = false;
+  }
+
+  /// Wake every timed sleeper whose deadline arrived; stale entries
+  /// (event-woken earlier) are compacted out; the next deadline is the min
+  /// of what remains.
+  void fire_timer_wakes() {
+    std::uint64_t next = Module::kNoWake;
+    std::size_t keep = 0;
+    for (Module* m : timed_) {
+      if (!m->asleep_ || m->wake_at_ == Module::kNoWake) {
+        m->timed_queued_ = false;  // already woken by an event
+        continue;
+      }
+      if (m->wake_at_ <= cycle_) {
+        m->timed_queued_ = false;
+        m->wake_at_ = Module::kNoWake;
+        m->asleep_ = false;
+        active_stale_ = true;
+      } else {
+        timed_[keep++] = m;
+        next = std::min(next, m->wake_at_);
+      }
+    }
+    timed_.resize(keep);
+    next_timer_wake_ = next;
+  }
+
+  void note_timed_sleep(Module* m) {
+    if (!m->timed_queued_) {
+      m->timed_queued_ = true;
+      timed_.push_back(m);
+    }
+    next_timer_wake_ = std::min(next_timer_wake_, m->wake_at_);
+  }
+
+  friend class Clocked;  // mark_dirty() appends to commit_set_
+  friend class Module;   // sleep/sleep_for/wake flip scheduling state
 
   std::uint64_t cycle_ = 0;
-  std::vector<Module*> modules_;
+  std::vector<Module*> modules_;   // all registered, registration order
+  std::vector<Module*> active_;    // awake subset, registration order
+  std::vector<Module*> timed_;     // sleepers with a wake-at deadline
+  std::uint64_t next_timer_wake_ = Module::kNoWake;
+  bool active_stale_ = true;
+  bool force_eval_all_ = false;
   std::vector<Clocked*> clocked_;
-  std::vector<Clocked*> dirty_;
+  std::vector<Clocked*> commit_set_;  // retained across cycles
   ResourceLedger ledger_;
   Tracer tracer_;
 };
 
 inline void Clocked::mark_dirty() {
+  wrote_ = true;
   if (queued_) return;
   SMACHE_ASSERT_MSG(sim_ != nullptr,
                     "state element wrote before registering with a "
                     "Simulator");
   queued_ = true;
-  sim_->dirty_.push_back(this);
+  sim_->commit_set_.push_back(this);
+}
+
+inline void Module::wake() noexcept {
+  if (!asleep_) return;
+  asleep_ = false;
+  wake_at_ = kNoWake;
+  sched_->active_stale_ = true;
+}
+
+inline void Module::sleep() noexcept {
+  if (sched_ == nullptr || !sched_->gating_allowed()) return;
+  asleep_ = true;
+  wake_at_ = kNoWake;
+  sched_->active_stale_ = true;
+}
+
+inline void Module::sleep_for(std::uint64_t n) noexcept {
+  if (sched_ == nullptr || !sched_->gating_allowed()) return;
+  if (n == 0) n = 1;
+  asleep_ = true;
+  wake_at_ = sched_->now() + n;
+  sched_->active_stale_ = true;
+  sched_->note_timed_sleep(this);
 }
 
 }  // namespace smache::sim

@@ -1,0 +1,172 @@
+// CliArgs regression wall for the PR-3 parser bugfixes:
+//   * strict numeric parsing — `--width=abc` / `--width=12abc` / overflow
+//     used to silently yield 0 / 12 / a saturated value; they now warn and
+//     fall back to the caller's default;
+//   * declared boolean flags — `--verbose out.json` used to swallow
+//     `out.json` as the value of `--verbose`; declared booleans never bind
+//     the following token.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/log.hpp"
+
+namespace smache {
+namespace {
+
+/// Captures warnings emitted through the global log for the test's scope.
+class WarnCapture {
+ public:
+  WarnCapture() {
+    previous_level_ = Log::level();
+    Log::set_level(LogLevel::Warn);
+    Log::set_sink([this](LogLevel level, const std::string& m) {
+      if (level == LogLevel::Warn) warnings_.push_back(m);
+    });
+  }
+  ~WarnCapture() {
+    Log::set_sink(nullptr);
+    Log::set_level(previous_level_);
+  }
+  const std::vector<std::string>& warnings() const { return warnings_; }
+
+ private:
+  std::vector<std::string> warnings_;
+  LogLevel previous_level_;
+};
+
+TEST(CliInt, GarbageValueFallsBackWithWarning) {
+  WarnCapture capture;
+  const char* argv[] = {"prog", "--width=abc"};
+  CliArgs args(2, argv);
+  EXPECT_EQ(args.get_int("width", 17), 17);
+  ASSERT_EQ(capture.warnings().size(), 1u);
+  EXPECT_NE(capture.warnings()[0].find("--width=abc"), std::string::npos);
+}
+
+TEST(CliInt, PartialNumberFallsBack) {
+  // strtoll would stop at "12" and silently return 12; strict parsing
+  // demands the whole token.
+  WarnCapture capture;
+  const char* argv[] = {"prog", "--width=12abc"};
+  CliArgs args(2, argv);
+  EXPECT_EQ(args.get_int("width", 17), 17);
+  EXPECT_EQ(capture.warnings().size(), 1u);
+}
+
+TEST(CliInt, OverflowFallsBack) {
+  WarnCapture capture;
+  const char* argv[] = {"prog", "--width=99999999999999999999999"};
+  CliArgs args(2, argv);
+  EXPECT_EQ(args.get_int("width", 17), 17);
+  EXPECT_EQ(capture.warnings().size(), 1u);
+}
+
+TEST(CliInt, ValidValuesParseBothForms) {
+  const char* argv[] = {"prog", "--a=123", "--b", "456"};
+  CliArgs args(4, argv);
+  EXPECT_EQ(args.get_int("a", 0), 123);
+  EXPECT_EQ(args.get_int("b", 0), 456);
+}
+
+TEST(CliInt, NegativeAndExtremeValuesParse) {
+  const auto min64 = std::numeric_limits<std::int64_t>::min();
+  const auto max64 = std::numeric_limits<std::int64_t>::max();
+  const std::string min_s = "--min=" + std::to_string(min64);
+  const std::string max_s = "--max=" + std::to_string(max64);
+  const char* argv[] = {"prog", "--neg=-42", min_s.c_str(), max_s.c_str()};
+  CliArgs args(4, argv);
+  EXPECT_EQ(args.get_int("neg", 0), -42);
+  EXPECT_EQ(args.get_int("min", 0), min64);
+  EXPECT_EQ(args.get_int("max", 0), max64);
+}
+
+TEST(CliInt, PresenceFlagYieldsFallbackSilently) {
+  WarnCapture capture;
+  const char* argv[] = {"prog", "--width"};
+  CliArgs args(2, argv);
+  EXPECT_EQ(args.get_int("width", 17), 17);
+  EXPECT_TRUE(capture.warnings().empty());
+}
+
+TEST(CliDouble, GarbageValueFallsBackWithWarning) {
+  WarnCapture capture;
+  const char* argv[] = {"prog", "--alpha=fast"};
+  CliArgs args(2, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.5), 0.5);
+  EXPECT_EQ(capture.warnings().size(), 1u);
+}
+
+TEST(CliDouble, PartialNumberFallsBack) {
+  WarnCapture capture;
+  const char* argv[] = {"prog", "--alpha=1.5x"};
+  CliArgs args(2, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.5), 0.5);
+  EXPECT_EQ(capture.warnings().size(), 1u);
+}
+
+TEST(CliDouble, OverflowFallsBack) {
+  WarnCapture capture;
+  const char* argv[] = {"prog", "--alpha=1e999"};
+  CliArgs args(2, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.5), 0.5);
+  EXPECT_EQ(capture.warnings().size(), 1u);
+}
+
+TEST(CliDouble, ValidFormsParse) {
+  const char* argv[] = {"prog", "--a=2.25", "--b", "-1e3", "--c=4"};
+  CliArgs args(5, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("a", 0.0), 2.25);
+  EXPECT_DOUBLE_EQ(args.get_double("b", 0.0), -1000.0);
+  EXPECT_DOUBLE_EQ(args.get_double("c", 0.0), 4.0);
+}
+
+TEST(CliBool, DeclaredBooleanDoesNotSwallowPositional) {
+  const char* argv[] = {"prog", "--verbose", "out.json"};
+  CliArgs args(3, argv, {"verbose"});
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "out.json");
+}
+
+TEST(CliBool, UndeclaredFlagStillBindsNextToken) {
+  // Without a declaration the greedy `--name value` form is unchanged —
+  // existing invocations like `--steps 5` keep working.
+  const char* argv[] = {"prog", "--verbose", "out.json"};
+  CliArgs args(3, argv);
+  EXPECT_EQ(args.get_string("verbose", ""), "out.json");
+  EXPECT_TRUE(args.positional().empty());
+}
+
+TEST(CliBool, DeclaredBooleanAcceptsEqualsForm) {
+  const char* argv[] = {"prog", "--verbose=false", "--debug=1"};
+  CliArgs args(3, argv, {"verbose", "debug"});
+  EXPECT_FALSE(args.get_bool("verbose", true));
+  EXPECT_TRUE(args.get_bool("debug", false));
+}
+
+TEST(CliBool, BooleanThenFlagThenPositionalOrdering) {
+  const char* argv[] = {"prog", "--verbose", "--steps", "5", "run.json"};
+  CliArgs args(5, argv, {"verbose"});
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_EQ(args.get_int("steps", 0), 5);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "run.json");
+}
+
+TEST(CliBool, DeclaredBooleanBeforeNegativeNumberFlag) {
+  // A declared boolean must not eat a following token even when that token
+  // is not itself a flag; mixing with negative-valued flags stays intact.
+  const char* argv[] = {"prog", "--verbose", "-7"};
+  CliArgs args(3, argv, {"verbose"});
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "-7");
+}
+
+}  // namespace
+}  // namespace smache

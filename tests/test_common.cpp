@@ -158,8 +158,9 @@ TEST(Rng, RoughUniformity) {
 }
 
 TEST(Cli, ParsesAllForms) {
-  // Note: a bare `--flag` followed by a non-flag token would consume it as
-  // a value (`--name value` form), so boolean flags go last or use `=`.
+  // Note: an UNDECLARED bare `--flag` followed by a non-flag token still
+  // consumes it as a value (`--name value` form); declared boolean flags
+  // never do — tests/test_cli.cpp covers both behaviours.
   const char* argv[] = {"prog", "pos1", "--a", "1",
                         "--b=two", "--c", "3.5", "--flag"};
   CliArgs args(8, argv);
