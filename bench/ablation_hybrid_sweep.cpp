@@ -5,49 +5,63 @@
 // Case-R through Case-H at several BRAM-segment thresholds, reporting both
 // the ESTIMATED and the ELABORATED footprint plus predicted Fmax — the
 // design-space a constrained design would actually explore.
+//
+// Driven by the sweep subsystem: one elaborate-only SweepSpec per grid
+// width expands to the five configurations (expansion collapses the
+// Case-R x threshold aliases automatically) and runs on the SweepExecutor.
+// SMACHE_SWEEP_THREADS overrides the worker count (default: all hardware
+// threads; the table is identical for any value).
 #include <cstdio>
 
+#include "common/parallel.hpp"
 #include "common/table.hpp"
-#include "core/engine.hpp"
+#include "sweep/executor.hpp"
+
+namespace {
+
+std::string config_name(const smache::sweep::Scenario& s) {
+  if (s.engine.stream_impl == smache::model::StreamImpl::RegisterOnly)
+    return "Case-R";
+  return "Case-H t=" + std::to_string(s.engine.bram_segment_threshold);
+}
+
+}  // namespace
 
 int main() {
   std::printf("=== Ablation: stream-buffer hybridisation sweep ===\n");
   std::printf("4-point stencil, circular/open boundaries (elaboration "
               "only)\n\n");
 
+  smache::sweep::ExecutorOptions opts;
+  opts.threads = smache::threads_from_env("SMACHE_SWEEP_THREADS", 0);
+  const smache::sweep::SweepExecutor executor(opts);
+
   for (const std::size_t dim : {11u, 64u, 256u, 1024u}) {
+    smache::sweep::SweepSpec spec;
+    spec.mode = smache::sweep::Mode::ElaborateOnly;
+    spec.impls = {smache::model::StreamImpl::RegisterOnly,
+                  smache::model::StreamImpl::Hybrid};
+    spec.thresholds = {3, 4, 16, 64};
+    spec.grids = {{dim, dim}};
+
     smache::TextTable t({"config", "est Rsm", "est Bsm", "act Rsm",
                          "act Bsm", "act Rtotal", "act Btotal",
                          "Fmax MHz"});
-    struct Cfg {
-      const char* name;
-      smache::model::StreamImpl impl;
-      std::size_t threshold;
-    };
-    const Cfg cfgs[] = {
-        {"Case-R", smache::model::StreamImpl::RegisterOnly, 4},
-        {"Case-H t=3", smache::model::StreamImpl::Hybrid, 3},
-        {"Case-H t=4", smache::model::StreamImpl::Hybrid, 4},
-        {"Case-H t=16", smache::model::StreamImpl::Hybrid, 16},
-        {"Case-H t=64", smache::model::StreamImpl::Hybrid, 64},
-    };
-    for (const auto& cfg : cfgs) {
-      smache::ProblemSpec p = smache::ProblemSpec::paper_example();
-      p.height = dim;
-      p.width = dim;
-      p.steps = 1;
-      smache::EngineOptions opts = smache::EngineOptions::smache(cfg.impl);
-      opts.bram_segment_threshold = cfg.threshold;
-      const auto res = smache::Engine(opts).elaborate_only(p);
+    for (const auto& r : executor.run(spec)) {
+      if (!r.ok) {
+        std::fprintf(stderr, "FAIL %s: %s\n", r.scenario.label.c_str(),
+                     r.error.c_str());
+        return 1;
+      }
       t.begin_row();
-      t.add_cell(std::string(cfg.name));
-      t.add_cell(res.estimate->r_stream);
-      t.add_cell(res.estimate->b_stream);
-      t.add_cell(res.resources.r_stream);
-      t.add_cell(res.resources.b_stream);
-      t.add_cell(res.resources.r_total);
-      t.add_cell(res.resources.b_total);
-      t.add_cell(res.timing.fmax_mhz, 1);
+      t.add_cell(config_name(r.scenario));
+      t.add_cell(r.run.estimate->r_stream);
+      t.add_cell(r.run.estimate->b_stream);
+      t.add_cell(r.run.resources.r_stream);
+      t.add_cell(r.run.resources.b_stream);
+      t.add_cell(r.run.resources.r_total);
+      t.add_cell(r.run.resources.b_total);
+      t.add_cell(r.run.timing.fmax_mhz, 1);
     }
     std::printf("--- %zux%zu ---\n%s\n", dim, dim, t.to_ascii().c_str());
   }

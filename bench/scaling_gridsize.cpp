@@ -6,46 +6,70 @@
 // simulated speed-up. The per-point cost of Smache must stay flat (~1
 // cycle/point plus fill), the baseline's at ~tuple+1, and the ratios must
 // match the 11x11 headline at every size.
+//
+// Driven by the sweep subsystem: ONE SweepSpec over architecture x grid
+// size expands to all twelve runs, the SweepExecutor executes them on a
+// worker pool (SMACHE_SWEEP_THREADS overrides; default all hardware
+// threads), and the rows pair the index-collated results — identical
+// numbers for any thread count.
 #include <cstdio>
 
-#include "common/rng.hpp"
+#include "common/parallel.hpp"
 #include "common/table.hpp"
-#include "core/engine.hpp"
+#include "sweep/executor.hpp"
 
 int main() {
   std::printf("=== Scaling: grid size sweep (Smache vs baseline) ===\n");
   std::printf("4-point stencil, circular/open boundaries, 5 instances\n\n");
 
+  smache::sweep::SweepSpec spec;
+  spec.archs = {smache::Architecture::Baseline,
+                smache::Architecture::Smache};
+  spec.grids = {{8, 8}, {11, 11}, {16, 16}, {32, 32}, {64, 64}, {128, 128}};
+  spec.steps = {5};
+
+  smache::sweep::ExecutorOptions opts;
+  opts.threads = smache::threads_from_env("SMACHE_SWEEP_THREADS", 0);
+  const auto results = smache::sweep::SweepExecutor(opts).run(spec);
+
+  // Cartesian order: architecture is the outermost dimension, so the first
+  // |grids| results are the baseline runs and the next |grids| Smache.
+  // Scenario seeds are workload-identity-scoped, so each pair runs the
+  // IDENTICAL input grid — which also lets this bench double as a
+  // cross-architecture correctness check on the output hashes.
+  const std::size_t dims = spec.grids.size();
   smache::TextTable t({"grid", "base cyc/pt", "smache cyc/pt",
                        "cycle ratio", "traffic ratio", "speed-up x"});
-  for (const std::size_t dim : {8u, 11u, 16u, 32u, 64u, 128u}) {
-    smache::ProblemSpec p = smache::ProblemSpec::paper_example();
-    p.height = dim;
-    p.width = dim;
-    p.steps = 5;
-    smache::Rng rng(dim);
-    smache::grid::Grid<smache::word_t> init(dim, dim);
-    for (std::size_t i = 0; i < init.size(); ++i)
-      init[i] = static_cast<smache::word_t>(rng.next_below(1000));
-
-    const auto b =
-        smache::Engine(smache::EngineOptions::baseline()).run(p, init);
-    const auto s =
-        smache::Engine(smache::EngineOptions::smache()).run(p, init);
+  for (std::size_t g = 0; g < dims; ++g) {
+    const auto& b = results[g];
+    const auto& s = results[dims + g];
+    if (!b.ok || !s.ok) {
+      std::fprintf(stderr, "FAIL %s: %s\n",
+                   (b.ok ? s : b).scenario.label.c_str(),
+                   (b.ok ? s : b).error.c_str());
+      return 1;
+    }
+    if (b.output_hash != s.output_hash) {
+      std::fprintf(stderr, "OUTPUT MISMATCH %s vs %s\n",
+                   b.scenario.label.c_str(), s.scenario.label.c_str());
+      return 1;
+    }
     const double points =
-        static_cast<double>(p.cells()) * static_cast<double>(p.steps);
+        static_cast<double>(b.scenario.problem.cells()) *
+        static_cast<double>(b.scenario.problem.steps);
 
     t.begin_row();
-    t.add_cell(std::to_string(dim) + "x" + std::to_string(dim));
-    t.add_cell(static_cast<double>(b.cycles) / points, 2);
-    t.add_cell(static_cast<double>(s.cycles) / points, 2);
-    t.add_cell(static_cast<double>(s.cycles) /
-                   static_cast<double>(b.cycles),
+    t.add_cell(std::to_string(spec.grids[g].height) + "x" +
+               std::to_string(spec.grids[g].width));
+    t.add_cell(static_cast<double>(b.run.cycles) / points, 2);
+    t.add_cell(static_cast<double>(s.run.cycles) / points, 2);
+    t.add_cell(static_cast<double>(s.run.cycles) /
+                   static_cast<double>(b.run.cycles),
                3);
-    t.add_cell(static_cast<double>(s.dram.total_bytes()) /
-                   static_cast<double>(b.dram.total_bytes()),
+    t.add_cell(static_cast<double>(s.run.dram.total_bytes()) /
+                   static_cast<double>(b.run.dram.total_bytes()),
                3);
-    t.add_cell(b.exec_time_us / s.exec_time_us, 2);
+    t.add_cell(b.run.exec_time_us / s.run.exec_time_us, 2);
   }
   std::printf("%s\n", t.to_ascii().c_str());
   std::printf("expected shape: smache cycles/point -> 1 as the window fill "

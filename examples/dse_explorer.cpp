@@ -6,7 +6,9 @@
 // sizes, prints estimated footprints, predicted Fmax and device fit, and
 // marks the register/BRAM Pareto frontier.
 //
-// Run: ./build/examples/dse_explorer [--sizes 11,64,256,1024]
+// Run: ./build/examples/dse_explorer [--sizes 11,64,256,1024] [--threads N]
+// (--threads 0 = one worker per hardware thread; the point table is
+// identical for any thread count)
 #include <cstdio>
 #include <sstream>
 #include <vector>
@@ -23,6 +25,8 @@ int main(int argc, char** argv) {
     for (std::string tok; std::getline(ss, tok, ',');)
       sizes.push_back(static_cast<std::size_t>(std::stoull(tok)));
   }
+  const auto threads =
+      static_cast<std::size_t>(args.get_int("threads", 1));
 
   std::printf("Smache design-space exploration (cost model only — no "
               "simulation)\n");
@@ -33,6 +37,7 @@ int main(int argc, char** argv) {
     smache::cost::DseRequest req;
     req.height = n;
     req.width = n;
+    req.threads = threads;
     const auto points = smache::cost::explore(req);
 
     smache::TextTable t({"config", "Rtotal(bits)", "Btotal(bits)",

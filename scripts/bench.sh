@@ -24,6 +24,11 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT_DIR="${OUT_DIR:-${BUILD_DIR}/bench_results}"
 REPS="${REPS:-3}"
+# The executor-driven benches (scaling_gridsize, ablation_hybrid_sweep)
+# parallelise across scenarios; wall-clock snapshots must stay comparable
+# to the committed serial baselines, so pin them to one worker unless the
+# caller explicitly overrides.
+export SMACHE_SWEEP_THREADS="${SMACHE_SWEEP_THREADS:-1}"
 
 GBENCH_TARGETS=(algorithm1_bench micro_sim_primitives)
 STANDALONE_TARGETS=(ablation_bus_topology ablation_cascade

@@ -14,4 +14,7 @@ JOBS="${JOBS:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)}"
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE="${BUILD_TYPE}" "$@"
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 # (cd form rather than --test-dir keeps the CMake 3.16 floor honest)
-(cd "${BUILD_DIR}" && ctest --output-on-failure -j "${JOBS}")
+# CTEST_ARGS narrows the run (e.g. CTEST_ARGS="-R test_sweep" for the
+# ThreadSanitizer leg, where the full wall would be needlessly slow).
+# shellcheck disable=SC2086  # CTEST_ARGS is intentionally word-split
+(cd "${BUILD_DIR}" && ctest --output-on-failure -j "${JOBS}" ${CTEST_ARGS:-})

@@ -1,0 +1,84 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <charconv>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace smache {
+
+std::size_t hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+std::size_t threads_from_env(const char* var, std::size_t fallback) {
+  const char* value = std::getenv(var);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  const std::string_view token(value);
+  std::size_t parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), parsed);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    Log::warn(std::string(var) + "=" + value +
+              " is not a thread count; using the default");
+    return fallback;
+  }
+  return parsed == 0 ? hardware_threads() : parsed;
+}
+
+void parallel_for_index(std::size_t n, std::size_t threads,
+                        const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads == 0) threads = hardware_threads();
+  if (threads > n) threads = n;
+
+  if (threads <= 1) {
+    // Same exception contract as the threaded path: every index runs,
+    // failures are captured, and the lowest-index failure is rethrown —
+    // fn's side effects cannot depend on the thread count.
+    std::exception_ptr first;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+    return;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  std::vector<std::exception_ptr> errors(n);
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (std::size_t t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread is worker 0
+  for (auto& t : pool) t.join();
+
+  // Rethrow the lowest-index failure: the error the serial loop would have
+  // hit first, whatever order the workers actually ran in.
+  for (std::size_t i = 0; i < n; ++i)
+    if (errors[i]) std::rethrow_exception(errors[i]);
+}
+
+}  // namespace smache

@@ -1,0 +1,34 @@
+// Deterministic index-space parallelism for batch drivers (the sweep
+// executor, the DSE explorer): run fn(0..n) on a small worker pool and give
+// the CALLER full control of where each result lands — workers write into
+// index-addressed slots, so collation order is independent of completion
+// order and a run with N threads is bit-identical to the serial run.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace smache {
+
+/// Number of hardware threads (>= 1 even when the runtime reports 0).
+std::size_t hardware_threads() noexcept;
+
+/// Worker count from an environment variable (e.g. SMACHE_SWEEP_THREADS):
+/// unset/empty -> `fallback`, "0" -> hardware_threads(), a positive
+/// integer -> itself. A malformed value warns through smache::Log and
+/// returns `fallback` — never a silently-guessed count.
+std::size_t threads_from_env(const char* var, std::size_t fallback);
+
+/// Invoke `fn(i)` for every i in [0, n), distributed over `threads` workers
+/// (0 = hardware_threads(); the calling thread always participates, so
+/// `threads == 1` is a plain serial loop with no thread spawned). Work is
+/// handed out through an atomic cursor — any worker may run any index, so
+/// `fn` must only touch index-owned state (e.g. results[i]).
+///
+/// Exceptions thrown by `fn` are captured per index and rethrown after all
+/// workers drain, lowest index first — deterministic regardless of thread
+/// count or scheduling.
+void parallel_for_index(std::size_t n, std::size_t threads,
+                        const std::function<void(std::size_t)>& fn);
+
+}  // namespace smache

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/parallel.hpp"
+
 namespace smache::cost {
 
 std::string DsePoint::label() const {
@@ -10,28 +12,35 @@ std::string DsePoint::label() const {
 }
 
 std::vector<DsePoint> explore(const DseRequest& request) {
-  std::vector<DsePoint> points;
+  // Enumerate the configurations first, then evaluate them concurrently —
+  // every point is an independent planner + cost-model run, and each worker
+  // writes only its own index, so the point vector is identical for any
+  // thread count.
+  struct Config {
+    model::StreamImpl impl;
+    std::size_t threshold;
+  };
+  std::vector<Config> configs;
+  configs.push_back({model::StreamImpl::RegisterOnly, 4});
+  for (std::size_t t : request.thresholds)
+    configs.push_back({model::StreamImpl::Hybrid, t});
 
-  auto add_point = [&](model::StreamImpl impl, std::size_t threshold) {
+  std::vector<DsePoint> points(configs.size());
+  parallel_for_index(configs.size(), request.threads, [&](std::size_t i) {
     model::PlannerOptions opts;
-    opts.stream_impl = impl;
-    opts.bram_segment_threshold = threshold;
+    opts.stream_impl = configs[i].impl;
+    opts.bram_segment_threshold = configs[i].threshold;
     const model::Planner planner(opts);
     const model::BufferPlan plan =
         planner.plan(request.height, request.width, request.shape,
                      request.bc);
-    DsePoint p;
-    p.impl = impl;
-    p.bram_segment_threshold = threshold;
+    DsePoint& p = points[i];
+    p.impl = configs[i].impl;
+    p.bram_segment_threshold = configs[i].threshold;
     p.memory = estimate_memory(plan);
     p.timing = estimate_smache_timing(plan);
     p.fit = check_fit(request.device, p.memory.r_total(), p.memory.b_total());
-    points.push_back(std::move(p));
-  };
-
-  add_point(model::StreamImpl::RegisterOnly, 4);
-  for (std::size_t t : request.thresholds)
-    add_point(model::StreamImpl::Hybrid, t);
+  });
 
   // Pareto marking on (register bits, BRAM bits): a point is dominated if
   // another point is <= on both axes and < on at least one.

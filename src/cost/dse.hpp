@@ -35,10 +35,15 @@ struct DseRequest {
   DeviceModel device = DeviceModel::stratix_v();
   /// Thresholds to sweep for the hybrid split (>= 3 each).
   std::vector<std::size_t> thresholds = {3, 4, 8, 16, 32};
+  /// Worker threads for the point evaluations (0 = hardware threads).
+  /// Results are index-collated: any thread count returns the identical
+  /// point vector the serial sweep produces.
+  std::size_t threads = 1;
 };
 
 /// Sweep Case-R plus Case-H at each threshold; marks the register/BRAM
-/// Pareto frontier.
+/// Pareto frontier. Points are planned/costed concurrently on
+/// `request.threads` workers (each point is an independent planner run).
 std::vector<DsePoint> explore(const DseRequest& request);
 
 }  // namespace smache::cost

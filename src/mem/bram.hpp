@@ -22,7 +22,7 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -39,7 +39,7 @@ class BramBank : public sim::Clocked {
  public:
   enum class Mode { Ram, Fifo };
 
-  BramBank(sim::Simulator& sim, std::string path, std::size_t depth,
+  BramBank(sim::Simulator& sim, std::string_view path, std::size_t depth,
            std::uint32_t width_bits, Mode mode)
       : depth_(depth), width_bits_(width_bits), mode_(mode),
         store_(depth, 0),

@@ -5,7 +5,7 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -16,13 +16,13 @@ namespace smache::mem {
 
 class RegFile : public sim::Clocked {
  public:
-  RegFile(sim::Simulator& sim, std::string path, std::size_t depth,
+  RegFile(sim::Simulator& sim, std::string_view path, std::size_t depth,
           std::uint32_t width_bits)
       : depth_(depth), width_bits_(width_bits), store_(depth, 0) {
     SMACHE_REQUIRE(depth >= 1);
     SMACHE_REQUIRE(width_bits >= 1 && width_bits <= 64);
     sim.register_clocked(this);
-    sim.ledger().add(std::move(path), sim::ResKind::RegisterBits,
+    sim.ledger().add(path, sim::ResKind::RegisterBits,
                      static_cast<std::uint64_t>(depth) * width_bits);
   }
 

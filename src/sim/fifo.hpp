@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "common/assert.hpp"
 #include "common/bits.hpp"
@@ -34,7 +35,7 @@ namespace smache::sim {
 template <typename T>
 class Fifo : public Clocked {
  public:
-  Fifo(Simulator& sim, std::string path, std::size_t capacity,
+  Fifo(Simulator& sim, std::string_view path, std::size_t capacity,
        std::uint32_t bits_each = default_bits<T>())
       : items_(capacity),
         commit_ctl_{items_.head_ptr(), items_.size_ptr(), capacity,
@@ -43,7 +44,7 @@ class Fifo : public Clocked {
     sim.register_clocked(this);
     set_fifo_commit(&commit_ctl_);
     const std::uint64_t ptr_bits = 2ull * (addr_bits(capacity) + 1);
-    sim.ledger().add(std::move(path), ResKind::RegisterBits,
+    sim.ledger().add(path, ResKind::RegisterBits,
                      static_cast<std::uint64_t>(capacity) * bits_each +
                          ptr_bits);
   }

@@ -5,7 +5,7 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/bits.hpp"
@@ -20,11 +20,10 @@ class FsmState {
   /// `state_count` sizes the synthesis width (one-hot would be state_count
   /// bits; we charge the denser binary encoding, matching how Quartus maps
   /// small FSMs under register pressure).
-  FsmState(Simulator& sim, std::string path, Enum initial,
+  FsmState(Simulator& sim, std::string_view path, Enum initial,
            std::uint32_t state_count)
       : sim_(sim),
-        state_(sim, std::move(path), initial,
-               smache::addr_bits(state_count)) {}
+        state_(sim, path, initial, smache::addr_bits(state_count)) {}
 
   Enum state() const noexcept { return state_.q(); }
   bool is(Enum s) const noexcept { return state_.q() == s; }

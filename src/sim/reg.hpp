@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <type_traits>
 #include <vector>
 
@@ -31,13 +32,13 @@ class Reg : public Clocked {
  public:
   /// `bits` is the synthesis width charged to the ledger (e.g. a 7-bit
   /// counter stored in an int should pass 7).
-  Reg(Simulator& sim, std::string path, T init,
+  Reg(Simulator& sim, std::string_view path, T init,
       std::uint32_t bits = default_bits<T>())
       : q_(init), next_(init) {
     sim.register_clocked(this);
     if constexpr (std::is_trivially_copyable_v<T>)
       set_copy_commit(&q_, &next_, sizeof(T));
-    sim.ledger().add(std::move(path), ResKind::RegisterBits, bits);
+    sim.ledger().add(path, ResKind::RegisterBits, bits);
   }
 
   const T& q() const noexcept { return q_; }
@@ -105,7 +106,7 @@ class RegGroup : public Clocked {
 template <typename T>
 class RegArray : public Clocked {
  public:
-  RegArray(Simulator& sim, std::string path, std::size_t count, T init,
+  RegArray(Simulator& sim, std::string_view path, std::size_t count, T init,
            std::uint32_t bits_each = default_bits<T>())
       : q_(count, init), next_(count, init) {
     sim.register_clocked(this);
@@ -117,7 +118,7 @@ class RegArray : public Clocked {
     if constexpr (std::is_trivially_copyable_v<T>)
       set_copy_commit(q_.data(), next_.data(),
                       static_cast<std::uint32_t>(count * sizeof(T)));
-    sim.ledger().add(std::move(path), ResKind::RegisterBits,
+    sim.ledger().add(path, ResKind::RegisterBits,
                      static_cast<std::uint64_t>(count) * bits_each);
   }
 

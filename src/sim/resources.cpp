@@ -1,13 +1,59 @@
 #include "sim/resources.hpp"
 
+#include <deque>
 #include <map>
+#include <mutex>
+#include <shared_mutex>
 #include <sstream>
 
 namespace smache::sim {
 
-void ResourceLedger::add(std::string path, ResKind kind,
+namespace {
+
+/// Process-wide path pool. A deque gives stable element addresses, so the
+/// map's string_view keys (and every pointer handed out) stay valid as the
+/// pool grows. Entries are never freed: the population is the set of
+/// distinct hierarchy paths the process ever elaborates, which is fixed by
+/// the design structures, not by how many runs execute.
+struct PathPool {
+  std::shared_mutex mu;
+  std::deque<std::string> storage;
+  std::unordered_map<std::string_view, const std::string*> map;
+};
+
+PathPool& pool() {
+  static PathPool p;
+  return p;
+}
+
+}  // namespace
+
+const std::string* intern_path(std::string_view path) {
+  PathPool& p = pool();
+  {
+    // After the first elaboration of a design shape, every lookup hits —
+    // concurrent sweep workers share the pool read-side, so interning is
+    // not a serialization point for parallel elaborations.
+    std::shared_lock<std::shared_mutex> read(p.mu);
+    const auto it = p.map.find(path);
+    if (it != p.map.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> write(p.mu);
+  const auto it = p.map.find(path);  // re-check: raced inserts are benign
+  if (it != p.map.end()) return it->second;
+  p.storage.emplace_back(path);
+  const std::string* interned = &p.storage.back();
+  p.map.emplace(std::string_view(*interned), interned);
+  return interned;
+}
+
+void ResourceLedger::add(std::string_view path, ResKind kind,
                          std::uint64_t amount) {
-  entries_.push_back(ResEntry{std::move(path), kind, amount});
+  const std::string* interned = intern_path(path);
+  auto [it, inserted] = index_.try_emplace(
+      interned, static_cast<std::uint32_t>(slots_.size()));
+  if (inserted) slots_.push_back(Slot{interned, {}});
+  slots_[it->second].amount[static_cast<std::size_t>(kind)] += amount;
 }
 
 bool ResourceLedger::prefix_matches(std::string_view path,
@@ -22,16 +68,23 @@ bool ResourceLedger::prefix_matches(std::string_view path,
 
 std::uint64_t ResourceLedger::total(ResKind kind,
                                     std::string_view prefix) const {
+  const std::size_t k = static_cast<std::size_t>(kind);
   std::uint64_t sum = 0;
-  for (const auto& e : entries_)
-    if (e.kind == kind && prefix_matches(e.path, prefix)) sum += e.amount;
+  for (const auto& s : slots_)
+    if (s.amount[k] != 0 && prefix_matches(*s.path, prefix))
+      sum += s.amount[k];
   return sum;
 }
 
 std::vector<ResEntry> ResourceLedger::entries(std::string_view prefix) const {
   std::vector<ResEntry> out;
-  for (const auto& e : entries_)
-    if (prefix_matches(e.path, prefix)) out.push_back(e);
+  for (const auto& s : slots_) {
+    if (!prefix_matches(*s.path, prefix)) continue;
+    for (std::size_t k = 0; k < kResKindCount; ++k)
+      if (s.amount[k] != 0)
+        out.push_back(
+            ResEntry{*s.path, static_cast<ResKind>(k), s.amount[k]});
+  }
   return out;
 }
 
@@ -40,17 +93,19 @@ std::string ResourceLedger::report() const {
   struct Sums {
     std::uint64_t reg = 0, bram = 0, blocks = 0;
   };
-  std::map<std::string, Sums> groups;
-  for (const auto& e : entries_) {
-    const auto slash = e.path.find('/');
-    const std::string head =
-        slash == std::string::npos ? e.path : e.path.substr(0, slash);
-    auto& s = groups[head];
-    switch (e.kind) {
-      case ResKind::RegisterBits: s.reg += e.amount; break;
-      case ResKind::BramBits: s.bram += e.amount; break;
-      case ResKind::BramBlocks: s.blocks += e.amount; break;
-    }
+  std::map<std::string, Sums, std::less<>> groups;
+  for (const auto& slot : slots_) {
+    const std::string_view path = *slot.path;
+    const auto slash = path.find('/');
+    const std::string_view head =
+        slash == std::string_view::npos ? path : path.substr(0, slash);
+    auto it = groups.find(head);
+    if (it == groups.end())
+      it = groups.emplace(std::string(head), Sums{}).first;
+    auto& s = it->second;
+    s.reg += slot.amount[static_cast<std::size_t>(ResKind::RegisterBits)];
+    s.bram += slot.amount[static_cast<std::size_t>(ResKind::BramBits)];
+    s.blocks += slot.amount[static_cast<std::size_t>(ResKind::BramBlocks)];
   }
   std::ostringstream out;
   out << "resource report (bits):\n";
@@ -62,6 +117,9 @@ std::string ResourceLedger::report() const {
   return out.str();
 }
 
-void ResourceLedger::clear() { entries_.clear(); }
+void ResourceLedger::clear() {
+  slots_.clear();
+  index_.clear();
+}
 
 }  // namespace smache::sim

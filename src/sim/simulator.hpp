@@ -113,7 +113,23 @@ class Simulator {
   /// IS the fast-forward) keeps the testbench-driven single-step loops of
   /// the primitive benches lean.
   void step() {
+    if (modules_.empty()) {
+      // Testbench-driven fast path: with no modules registered there can be
+      // no timers to fire and no active list to maintain — the cycle is
+      // exactly the commit of whatever the testbench scheduled directly on
+      // FIFOs/BRAMs/registers. The primitive microbenches live here.
+      if (!commit_set_.empty()) commit_retained();
+      ++cycle_;
+      return;
+    }
     if (next_timer_wake_ <= cycle_ || active_stale_) refresh_schedule();
+    if (active_.empty()) {
+      // Every module is asleep (and no timer is due): evals are provably
+      // state-neutral, so only the scheduled commits can do work.
+      if (!commit_set_.empty()) commit_retained();
+      ++cycle_;
+      return;
+    }
     Module* const* mods = active_.data();
     const std::size_t m = active_.size();
     for (std::size_t i = 0; i < m; ++i) mods[i]->eval();

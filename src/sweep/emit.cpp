@@ -1,0 +1,150 @@
+#include "sweep/emit.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace smache::sweep {
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest-round-trip-ish fixed formatting: enough digits to identify the
+/// double, identical for identical bit patterns.
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+std::string fmt_hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%016" PRIx64, v);
+  return buf;
+}
+
+std::string csv_quote(std::string_view s) {
+  const bool needs =
+      s.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs) return std::string(s);
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string emit_json(const std::vector<ScenarioResult>& results,
+                      const EmitOptions& options) {
+  std::ostringstream out;
+  out << "{\n  \"name\": \"" << json_escape(options.name) << "\",\n"
+      << "  \"run_type\": \"sweep\",\n"
+      << "  \"scenario_count\": " << results.size() << ",\n"
+      << "  \"digest\": \"" << fmt_hex64(SweepExecutor::digest(results))
+      << "\",\n  \"results\": [";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    const Scenario& s = r.scenario;
+    out << (i == 0 ? "\n" : ",\n") << "    {\"label\": \""
+        << json_escape(s.label) << "\", \"mode\": \"" << to_string(s.mode)
+        << "\", \"arch\": \"" << to_string(s.engine.arch)
+        << "\", \"height\": " << s.problem.height
+        << ", \"width\": " << s.problem.width
+        << ", \"steps\": " << s.problem.steps << ", \"stencil\": \""
+        << json_escape(s.stencil) << "\", \"boundary\": \""
+        << json_escape(s.boundary) << "\", \"kernel\": \""
+        << json_escape(s.kernel) << "\", \"input\": \""
+        << json_escape(s.input) << "\", \"dram\": \"" << json_escape(s.dram)
+        << "\", \"seed\": \"" << fmt_hex64(s.seed) << "\", \"ok\": "
+        << (r.ok ? "true" : "false");
+    if (!r.ok) out << ", \"error\": \"" << json_escape(r.error) << "\"";
+    if (r.ok) {
+      out << ", \"cycles\": " << r.run.cycles
+          << ", \"warmup_cycles\": " << r.run.warmup_cycles
+          << ", \"read_requests\": " << r.run.dram.read_requests
+          << ", \"dram_read_bytes\": " << r.run.dram.bytes_read()
+          << ", \"dram_write_bytes\": " << r.run.dram.bytes_written()
+          << ", \"row_hits\": " << r.run.dram.row_hits
+          << ", \"row_misses\": " << r.run.dram.row_misses
+          << ", \"output_hash\": \"" << fmt_hex64(r.output_hash)
+          << "\", \"r_total\": " << r.run.resources.r_total
+          << ", \"b_total\": " << r.run.resources.b_total
+          << ", \"m20k\": " << r.run.resources.m20k_blocks
+          << ", \"fmax_mhz\": " << fmt_double(r.run.timing.fmax_mhz)
+          << ", \"ops\": " << r.run.ops
+          << ", \"exec_time_us\": " << fmt_double(r.run.exec_time_us)
+          << ", \"mops\": " << fmt_double(r.run.mops);
+      if (r.reference_checked)
+        out << ", \"reference_match\": "
+            << (r.reference_match ? "true" : "false");
+    }
+    if (options.include_wall)
+      out << ", \"wall_ms\": " << fmt_double(r.wall_ms);
+    out << "}";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+std::string emit_csv(const std::vector<ScenarioResult>& results,
+                     const EmitOptions& options) {
+  std::ostringstream out;
+  out << "label,mode,arch,height,width,steps,stencil,boundary,kernel,input,"
+         "dram,seed,ok,error,cycles,warmup_cycles,read_requests,"
+         "dram_read_bytes,dram_write_bytes,row_hits,row_misses,output_hash,"
+         "r_total,b_total,m20k,fmax_mhz,ops,exec_time_us,mops,"
+         "reference_match";
+  if (options.include_wall) out << ",wall_ms";
+  out << '\n';
+  for (const ScenarioResult& r : results) {
+    const Scenario& s = r.scenario;
+    out << csv_quote(s.label) << ',' << to_string(s.mode) << ','
+        << to_string(s.engine.arch) << ',' << s.problem.height << ','
+        << s.problem.width << ',' << s.problem.steps << ',' << s.stencil
+        << ',' << s.boundary << ',' << s.kernel << ',' << s.input << ','
+        << s.dram << ',' << fmt_hex64(s.seed) << ','
+        << (r.ok ? "true" : "false") << ',' << csv_quote(r.error) << ','
+        << r.run.cycles << ',' << r.run.warmup_cycles << ','
+        << r.run.dram.read_requests << ',' << r.run.dram.bytes_read() << ','
+        << r.run.dram.bytes_written() << ',' << r.run.dram.row_hits << ','
+        << r.run.dram.row_misses << ',' << fmt_hex64(r.output_hash) << ','
+        << r.run.resources.r_total << ',' << r.run.resources.b_total << ','
+        << r.run.resources.m20k_blocks << ','
+        << fmt_double(r.run.timing.fmax_mhz) << ',' << r.run.ops << ','
+        << fmt_double(r.run.exec_time_us) << ','
+        << fmt_double(r.run.mops) << ','
+        << (r.reference_checked ? (r.reference_match ? "true" : "false")
+                                : "");
+    if (options.include_wall) out << ',' << fmt_double(r.wall_ms);
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace smache::sweep

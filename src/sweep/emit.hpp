@@ -1,0 +1,33 @@
+// Machine-readable sweep reports: JSON (same artifact family as the
+// BENCH_<target>.json files under bench/results/) and CSV for downstream
+// plotting. Emission is deterministic — field order is fixed and every
+// number formats identically across runs — so "N-thread report equals
+// serial report" is a byte-level comparison. Wall-clock timings are the
+// one nondeterministic field; they are emitted only when
+// EmitOptions::include_wall is set and are never part of digests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sweep/executor.hpp"
+
+namespace smache::sweep {
+
+struct EmitOptions {
+  /// Include per-scenario wall_ms (and the report-level wall summary).
+  /// Leave off for byte-identical cross-thread-count comparisons.
+  bool include_wall = false;
+  /// Report name stamped into the JSON header.
+  std::string name = "smache-sweep";
+};
+
+/// Full JSON report: header + one object per scenario result.
+std::string emit_json(const std::vector<ScenarioResult>& results,
+                      const EmitOptions& options = {});
+
+/// CSV with one row per scenario result (RFC-4180-style quoting).
+std::string emit_csv(const std::vector<ScenarioResult>& results,
+                     const EmitOptions& options = {});
+
+}  // namespace smache::sweep

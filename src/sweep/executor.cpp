@@ -1,0 +1,131 @@
+#include "sweep/executor.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <exception>
+
+#include "common/parallel.hpp"
+#include "sweep/workloads.hpp"
+
+namespace smache::sweep {
+
+namespace {
+
+/// Fold one value's bytes into an FNV-1a accumulator.
+template <typename T>
+void mix(std::uint64_t& h, const T& value) noexcept {
+  static_assert(std::is_trivially_copyable_v<T>);
+  unsigned char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  for (const unsigned char b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+}
+
+void mix_str(std::uint64_t& h, std::string_view s) noexcept {
+  mix(h, s.size());
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+}
+
+void run_one(const Scenario& scenario, const ExecutorOptions& options,
+             ScenarioResult& out) {
+  out.scenario = scenario;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    const Engine engine(scenario.engine);
+    if (scenario.mode == Mode::ElaborateOnly) {
+      out.run = engine.elaborate_only(scenario.problem);
+    } else {
+      const grid::Grid<word_t> init =
+          make_input(scenario.input, scenario.problem.height,
+                     scenario.problem.width, scenario.seed);
+      out.run = engine.run(scenario.problem, init);
+      out.output_hash = hash_grid(out.run.output);
+      if (options.verify_reference) {
+        const grid::Grid<word_t> golden =
+            reference_run(scenario.problem, init);
+        out.reference_checked = true;
+        out.reference_match = golden == out.run.output;
+      }
+    }
+    if (!options.keep_outputs) {
+      out.run.output = grid::Grid<word_t>(1, 1);
+      out.run.plan.reset();
+    }
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.error = e.what();
+  }
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+}
+
+}  // namespace
+
+std::uint64_t hash_grid(const grid::Grid<word_t>& g) noexcept {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    h ^= static_cast<std::uint64_t>(g[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::vector<ScenarioResult> SweepExecutor::run(const SweepSpec& spec) const {
+  spec.validate();
+  return run(spec.expand());
+}
+
+std::vector<ScenarioResult> SweepExecutor::run(
+    std::vector<Scenario> scenarios) const {
+  std::vector<ScenarioResult> results(scenarios.size());
+  parallel_for_index(scenarios.size(), options_.threads,
+                     [&](std::size_t i) {
+                       run_one(scenarios[i], options_, results[i]);
+                     });
+  return results;
+}
+
+std::uint64_t SweepExecutor::digest(
+    const std::vector<ScenarioResult>& results) {
+  std::uint64_t h = 1469598103934665603ull;
+  mix(h, results.size());
+  for (const auto& r : results) {
+    mix_str(h, r.scenario.label);
+    mix(h, r.scenario.seed);
+    mix(h, r.ok);
+    mix_str(h, r.error);
+    mix(h, r.run.cycles);
+    mix(h, r.run.warmup_cycles);
+    mix(h, r.run.dram.read_requests);
+    mix(h, r.run.dram.words_read);
+    mix(h, r.run.dram.words_written);
+    mix(h, r.run.dram.row_hits);
+    mix(h, r.run.dram.row_misses);
+    mix(h, r.run.dram.injected_stall_cycles);
+    mix(h, r.run.dram.read_busy_cycles);
+    mix(h, r.output_hash);
+    mix(h, r.reference_checked);
+    mix(h, r.reference_match);
+    mix(h, r.run.resources.r_total);
+    mix(h, r.run.resources.b_total);
+    mix(h, r.run.resources.r_static);
+    mix(h, r.run.resources.b_static);
+    mix(h, r.run.resources.r_stream);
+    mix(h, r.run.resources.b_stream);
+    mix(h, r.run.resources.m20k_blocks);
+    mix(h, r.run.timing.fmax_mhz);
+    mix(h, r.run.ops);
+    mix(h, r.run.exec_time_us);
+    mix(h, r.run.mops);
+  }
+  return h;
+}
+
+}  // namespace smache::sweep

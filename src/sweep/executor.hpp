@@ -1,0 +1,76 @@
+// SweepExecutor — runs the scenarios of a SweepSpec on a worker pool, one
+// independent Engine instance per scenario (the Engine shares no mutable
+// state between instances, so scenarios parallelise perfectly). Results
+// land in index-addressed slots: collation order is the spec's cartesian
+// order regardless of which worker finished first, and a run with N
+// threads is bit-identical to the serial run — digest() makes that claim
+// checkable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sweep/spec.hpp"
+
+namespace smache::sweep {
+
+struct ExecutorOptions {
+  /// Worker count; 0 = hardware_threads(), 1 = serial on the caller.
+  std::size_t threads = 1;
+  /// Also run the golden software reference for every simulated scenario
+  /// and record whether the hardware output matched bit-for-bit.
+  bool verify_reference = false;
+  /// Keep each scenario's full output grid and buffer plan in its
+  /// RunResult. Off by default: a sweep holds EVERY result until
+  /// collation, so retaining grids costs O(scenarios x cells) memory
+  /// while reporting only needs output_hash and the scalar stats.
+  bool keep_outputs = false;
+};
+
+/// One scenario's outcome. A scenario that throws (contract violation,
+/// watchdog exhaustion) is captured as ok=false with the error text — the
+/// sweep always completes and stays deterministic.
+struct ScenarioResult {
+  Scenario scenario;
+  bool ok = false;
+  std::string error;
+  /// Valid when ok. The output grid and buffer plan are cleared after
+  /// hashing unless ExecutorOptions::keep_outputs is set.
+  RunResult run;
+  std::uint64_t output_hash = 0;    // FNV-1a of the output grid (sim only)
+  bool reference_checked = false;   // verify_reference was on and ok
+  bool reference_match = false;     // hardware output == golden reference
+  double wall_ms = 0.0;             // wall-clock measurement; NEVER part of
+                                    // digests or deterministic reports
+};
+
+class SweepExecutor {
+ public:
+  explicit SweepExecutor(ExecutorOptions options = {})
+      : options_(options) {}
+
+  const ExecutorOptions& options() const noexcept { return options_; }
+
+  /// Validate + expand `spec`, run every distinct scenario, return results
+  /// in cartesian order.
+  std::vector<ScenarioResult> run(const SweepSpec& spec) const;
+
+  /// Run an explicit scenario list (already expanded/deduped by the
+  /// caller); results are collated in the list's order.
+  std::vector<ScenarioResult> run(std::vector<Scenario> scenarios) const;
+
+  /// Order-sensitive digest over every deterministic field of the result
+  /// vector (labels, seeds, cycle counts, DRAM counters, output hashes,
+  /// resources, timing-model outputs, errors — everything except wall_ms).
+  /// Equal digests across thread counts is the executor's core contract.
+  static std::uint64_t digest(const std::vector<ScenarioResult>& results);
+
+ private:
+  ExecutorOptions options_;
+};
+
+/// FNV-1a of a grid's words (shared with the equivalence tests' hashing).
+std::uint64_t hash_grid(const grid::Grid<word_t>& g) noexcept;
+
+}  // namespace smache::sweep

@@ -1,0 +1,231 @@
+#include "sweep/spec.hpp"
+
+#include <charconv>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+#include "sweep/workloads.hpp"
+
+namespace smache::sweep {
+
+const char* to_string(Mode mode) noexcept {
+  return mode == Mode::Simulate ? "sim" : "elab";
+}
+
+std::uint64_t fnv1a(std::string_view bytes) noexcept {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+namespace {
+
+/// splitmix64 finalizer: diffuses the (base_seed, label-hash) fold so
+/// near-identical labels still land on unrelated seeds.
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t label_hash) {
+  std::uint64_t z = base ^ label_hash;
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+const char* impl_tag(model::StreamImpl impl) noexcept {
+  return impl == model::StreamImpl::RegisterOnly ? "reg" : "hyb";
+}
+
+}  // namespace
+
+std::size_t SweepSpec::scenario_count() const {
+  return archs.size() * impls.size() * thresholds.size() * grids.size() *
+         drams.size() * steps.size() * stencils.size() * boundaries.size() *
+         kernels.size() * inputs.size();
+}
+
+Scenario SweepSpec::scenario_at(std::size_t index) const {
+  SMACHE_REQUIRE_MSG(
+      !archs.empty() && !impls.empty() && !thresholds.empty() &&
+          !grids.empty() && !drams.empty() && !steps.empty() &&
+          !stencils.empty() && !boundaries.empty() && !kernels.empty() &&
+          !inputs.empty(),
+      "every sweep dimension needs at least one entry");
+  SMACHE_REQUIRE_MSG(index < scenario_count(),
+                     "scenario index out of range");
+
+  // Mixed-radix decode, innermost (fastest-varying) dimension first. The
+  // nesting order is part of the spec's contract: arch is outermost, input
+  // innermost.
+  std::size_t rest = index;
+  const auto take = [&rest](std::size_t radix) {
+    const std::size_t digit = rest % radix;
+    rest /= radix;
+    return digit;
+  };
+  const std::string& input_name = inputs[take(inputs.size())];
+  const std::string& kernel_name = kernels[take(kernels.size())];
+  const std::string& boundary_name = boundaries[take(boundaries.size())];
+  const std::string& stencil_name = stencils[take(stencils.size())];
+  const std::size_t step_count = steps[take(steps.size())];
+  const std::string& dram_name = drams[take(drams.size())];
+  const GridDim grid = grids[take(grids.size())];
+  const std::size_t threshold = thresholds[take(thresholds.size())];
+  const model::StreamImpl impl = impls[take(impls.size())];
+  const Architecture arch = archs[take(archs.size())];
+
+  SMACHE_REQUIRE_MSG(threshold >= 3,
+                     "bram segment thresholds below 3 are unplannable");
+  SMACHE_REQUIRE_MSG(step_count >= 1, "steps must be >= 1");
+
+  const KernelFamily& kernel = find_kernel(kernel_name);
+  if (kernel.needs_moore9)
+    SMACHE_REQUIRE_MSG(stencil_name == "moore9",
+                       "kernel '" + kernel_name +
+                           "' assumes the Moore-9 tuple layout; pair it "
+                           "with stencil 'moore9'");
+
+  Scenario s;
+  s.index = index;
+  s.mode = mode;
+  s.stencil = stencil_name;
+  s.boundary = boundary_name;
+  s.kernel = kernel_name;
+  s.input = input_name;
+  s.dram = dram_name;
+
+  // Canonical label. Dimensions a configuration IGNORES are omitted, which
+  // is exactly what lets expand() drop aliased points: the baseline has no
+  // stream buffer (no impl/threshold), Case-R has no BRAM segments (no
+  // threshold), and elaboration runs no cycles (no DRAM model, no input).
+  s.label = to_string(mode);
+  s.label += '/';
+  s.label += to_string(arch);
+  if (arch == Architecture::Smache) {
+    s.label += '/';
+    s.label += impl_tag(impl);
+    if (impl == model::StreamImpl::Hybrid)
+      s.label += "-t" + std::to_string(threshold);
+  }
+  s.label += '/' + std::to_string(grid.height) + 'x' +
+             std::to_string(grid.width);
+  if (mode == Mode::Simulate) s.label += '/' + dram_name;
+  s.label += "/s" + std::to_string(step_count);
+  s.label += '/' + stencil_name;
+  s.label += '/' + boundary_name;
+  s.label += '/' + kernel_name;
+  if (mode == Mode::Simulate) s.label += '/' + input_name;
+
+  // The seed is derived from the WORKLOAD identity only (grid, steps,
+  // stencil, boundary, kernel, input family): scenarios that differ just
+  // in architecture, stream impl, threshold, DRAM model or mode share it,
+  // so comparisons across those dimensions run the identical data — and a
+  // seeded stencil family materialises from its own name alone, so e.g. a
+  // threshold ablation over random8 sweeps ONE shape, not eight.
+  const std::string workload_key =
+      std::to_string(grid.height) + 'x' + std::to_string(grid.width) +
+      "/s" + std::to_string(step_count) + '/' + stencil_name + '/' +
+      boundary_name + '/' + kernel_name + '/' + input_name;
+  s.seed = mix_seed(base_seed, fnv1a(workload_key));
+
+  s.problem.height = grid.height;
+  s.problem.width = grid.width;
+  s.problem.shape =
+      make_stencil(stencil_name,
+                   mix_seed(base_seed, fnv1a("stencil/" + stencil_name)));
+  s.problem.bc = make_boundary(boundary_name);
+  s.problem.kernel = kernel.spec;
+  s.problem.steps = step_count;
+  s.problem.validate();
+
+  s.engine.arch = arch;
+  s.engine.stream_impl = impl;
+  s.engine.bram_segment_threshold = threshold;
+  s.engine.dram = make_dram(dram_name);
+  s.engine.max_cycles = max_cycles;
+  return s;
+}
+
+std::vector<Scenario> SweepSpec::expand() const {
+  const std::size_t n = scenario_count();
+  std::vector<Scenario> out;
+  out.reserve(n);
+  std::unordered_set<std::string> seen;
+  for (std::size_t i = 0; i < n; ++i) {
+    Scenario s = scenario_at(i);
+    if (!seen.insert(s.label).second) continue;  // alias of an earlier point
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void SweepSpec::validate() const {
+  const std::size_t n = scenario_count();
+  SMACHE_REQUIRE_MSG(n >= 1,
+                     "every sweep dimension needs at least one entry");
+  for (std::size_t i = 0; i < n; ++i) (void)scenario_at(i);
+}
+
+std::vector<std::string> split_list(std::string_view csv) {
+  std::vector<std::string> out;
+  if (csv.empty()) return out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string_view item =
+        csv.substr(start, comma == std::string_view::npos ? csv.npos
+                                                          : comma - start);
+    SMACHE_REQUIRE_MSG(!item.empty(),
+                       "empty item in list '" + std::string(csv) + "'");
+    out.emplace_back(item);
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+Architecture parse_arch(std::string_view token) {
+  if (token == "smache") return Architecture::Smache;
+  if (token == "baseline") return Architecture::Baseline;
+  throw contract_error("unknown architecture '" + std::string(token) +
+                       "' (smache | baseline)");
+}
+
+model::StreamImpl parse_impl(std::string_view token) {
+  if (token == "hybrid") return model::StreamImpl::Hybrid;
+  if (token == "reg" || token == "register-only")
+    return model::StreamImpl::RegisterOnly;
+  throw contract_error("unknown stream impl '" + std::string(token) +
+                       "' (hybrid | reg)");
+}
+
+Mode parse_mode(std::string_view token) {
+  if (token == "sim") return Mode::Simulate;
+  if (token == "elab") return Mode::ElaborateOnly;
+  throw contract_error("unknown sweep mode '" + std::string(token) +
+                       "' (sim | elab)");
+}
+
+std::size_t parse_count(std::string_view token, const char* what) {
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size() || value == 0)
+    throw contract_error("malformed " + std::string(what) + " '" +
+                         std::string(token) +
+                         "' (want a positive integer)");
+  return value;
+}
+
+GridDim parse_grid(std::string_view token) {
+  const std::size_t x = token.find('x');
+  if (x == std::string_view::npos) {
+    const std::size_t n = parse_count(token, "grid size");
+    return GridDim{n, n};
+  }
+  return GridDim{parse_count(token.substr(0, x), "grid height"),
+                 parse_count(token.substr(x + 1), "grid width")};
+}
+
+}  // namespace smache::sweep

@@ -1,0 +1,108 @@
+// SweepSpec — a declarative description of a cartesian scenario space:
+// architecture x stream implementation x hybrid threshold x grid size x
+// DRAM model x step count x stencil family x boundary family x kernel x
+// input generator. The spec expands into flat, self-contained Scenario
+// records (cursor logic: any index in [0, scenario_count()) decodes to its
+// scenario without materialising the rest), which is what the executor,
+// the CLI and the bench drivers consume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/problem.hpp"
+
+namespace smache::sweep {
+
+/// What each scenario runs: a full simulation, or elaboration/cost-model
+/// only (the Table-I-style resource studies — no cycles, no input data).
+enum class Mode { Simulate, ElaborateOnly };
+
+const char* to_string(Mode mode) noexcept;
+
+struct GridDim {
+  std::size_t height = 0;
+  std::size_t width = 0;
+  friend bool operator==(const GridDim&, const GridDim&) = default;
+};
+
+/// One fully-resolved point of the scenario space, ready to run.
+struct Scenario {
+  std::size_t index = 0;   // position in the cartesian order
+  std::string label;       // canonical human/machine identifier
+  Mode mode = Mode::Simulate;
+  /// Deterministic seed derived from the workload identity (grid, steps,
+  /// stencil, boundary, kernel, input family) and the spec's base_seed:
+  /// scenarios differing only in architecture / stream impl / threshold /
+  /// DRAM model / mode share the seed, so comparisons across those
+  /// dimensions run the identical input data.
+  std::uint64_t seed = 0;
+  EngineOptions engine;
+  ProblemSpec problem;     // shape/bc/kernel resolved from the registry
+  std::string stencil;     // registry names, kept for reporting
+  std::string boundary;
+  std::string kernel;
+  std::string input;       // input-family name (ignored by ElaborateOnly)
+  std::string dram;
+};
+
+struct SweepSpec {
+  Mode mode = Mode::Simulate;
+  std::vector<Architecture> archs = {Architecture::Smache};
+  std::vector<model::StreamImpl> impls = {model::StreamImpl::Hybrid};
+  std::vector<std::size_t> thresholds = {4};
+  std::vector<GridDim> grids = {{11, 11}};
+  std::vector<std::string> drams = {"functional"};
+  std::vector<std::size_t> steps = {1};
+  std::vector<std::string> stencils = {"vn4"};
+  std::vector<std::string> boundaries = {"paper"};
+  std::vector<std::string> kernels = {"average"};
+  std::vector<std::string> inputs = {"random"};
+  /// Folded with each scenario's workload identity into its per-job seed:
+  /// distinct workloads get distinct, reproducible seeds that do not
+  /// depend on expansion order, thread count, or the other dimensions'
+  /// contents (see Scenario::seed).
+  std::uint64_t base_seed = 1;
+  /// Simulation watchdog forwarded to EngineOptions.
+  std::uint64_t max_cycles = 200'000'000;
+
+  /// Cartesian size (including aliased points that expand() collapses).
+  std::size_t scenario_count() const;
+
+  /// Decode one cartesian index (cursor logic — O(dims), no expansion).
+  /// Throws contract_error if the spec is malformed or index out of range.
+  Scenario scenario_at(std::size_t index) const;
+
+  /// All DISTINCT scenarios in cartesian order: points whose label aliases
+  /// an earlier one are dropped (the baseline ignores stream impl and
+  /// threshold; Case-R ignores threshold; elaboration ignores the DRAM
+  /// model and input family), so sweeping those dimensions never runs the
+  /// same configuration twice.
+  std::vector<Scenario> expand() const;
+
+  /// Throws contract_error with a descriptive message if any dimension is
+  /// empty, a registry name is unknown, a kernel/stencil pairing is
+  /// invalid, or any scenario's problem fails ProblemSpec::validate().
+  void validate() const;
+};
+
+/// FNV-1a over a byte string (label hashing for per-scenario seeds).
+std::uint64_t fnv1a(std::string_view bytes) noexcept;
+
+// ---- strict spec parsing (the smache-sweep CLI and its tests) ----
+// All parsers throw contract_error with a descriptive message on malformed
+// input; none of them silently guess.
+
+/// Split a comma-separated list; empty items (",," or a trailing comma)
+/// are malformed. An empty string yields an empty vector.
+std::vector<std::string> split_list(std::string_view csv);
+
+Architecture parse_arch(std::string_view token);       // smache | baseline
+model::StreamImpl parse_impl(std::string_view token);  // hybrid | reg
+Mode parse_mode(std::string_view token);               // sim | elab
+GridDim parse_grid(std::string_view token);            // "16" or "16x32"
+std::size_t parse_count(std::string_view token, const char* what);
+
+}  // namespace smache::sweep

@@ -1,0 +1,284 @@
+#include "sweep/workloads.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace smache::sweep {
+
+namespace {
+
+// ---- stencil factories --------------------------------------------------
+
+grid::StencilShape make_vn4(std::uint64_t) {
+  return grid::StencilShape::von_neumann4();
+}
+grid::StencilShape make_plus5(std::uint64_t) {
+  return grid::StencilShape::plus5();
+}
+grid::StencilShape make_moore9(std::uint64_t) {
+  return grid::StencilShape::moore9();
+}
+grid::StencilShape make_cross3(std::uint64_t) {
+  return grid::StencilShape::cross(3);
+}
+grid::StencilShape make_upwind3(std::uint64_t) {
+  return grid::StencilShape::upwind3();
+}
+
+/// 13-point diamond (|dr|+|dc| <= 2) in row-major order — the radius-2
+/// von Neumann neighbourhood common in lattice-Boltzmann-style updates.
+grid::StencilShape make_diamond13(std::uint64_t) {
+  std::vector<grid::Offset2> offs;
+  for (std::int64_t dr = -2; dr <= 2; ++dr)
+    for (std::int64_t dc = -2; dc <= 2; ++dc)
+      if (std::abs(dr) + std::abs(dc) <= 2) offs.push_back({dr, dc});
+  return grid::StencilShape::custom("diamond13", std::move(offs));
+}
+
+/// Asymmetric far-reach shape: no symmetry axis at all, column reach of 5 —
+/// exercises the planner's arbitrary-tuple sizing far from the paper's
+/// cross example.
+grid::StencilShape make_asym5(std::uint64_t) {
+  return grid::StencilShape::custom(
+      "asym5", {{-2, -1}, {0, -3}, {0, 0}, {0, 2}, {1, 1}});
+}
+
+/// Seeded random-K shape: centre plus k-1 distinct offsets drawn from the
+/// radius-2 box via a seeded partial Fisher-Yates — bit-identical for a
+/// given (k, seed) everywhere, different across seeds.
+grid::StencilShape make_random_k(std::size_t k, std::uint64_t seed) {
+  std::vector<grid::Offset2> candidates;
+  for (std::int64_t dr = -2; dr <= 2; ++dr)
+    for (std::int64_t dc = -2; dc <= 2; ++dc)
+      if (dr != 0 || dc != 0) candidates.push_back({dr, dc});
+  Rng rng(0xD1CEULL ^ seed);
+  std::vector<grid::Offset2> offs{{0, 0}};
+  for (std::size_t i = 0; i + 1 < k; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.next_below(candidates.size() - i));
+    std::swap(candidates[i], candidates[j]);
+    offs.push_back(candidates[i]);
+  }
+  return grid::StencilShape::custom("random" + std::to_string(k),
+                                    std::move(offs));
+}
+
+grid::StencilShape make_random5(std::uint64_t seed) {
+  return make_random_k(5, seed);
+}
+grid::StencilShape make_random8(std::uint64_t seed) {
+  return make_random_k(8, seed);
+}
+
+// ---- input-grid generators ----------------------------------------------
+
+grid::Grid<word_t> input_random(std::size_t h, std::size_t w,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  grid::Grid<word_t> g(h, w);
+  for (std::size_t i = 0; i < g.size(); ++i)
+    g[i] = static_cast<word_t>(rng.next_below(1000));
+  return g;
+}
+
+grid::Grid<word_t> input_random_wide(std::size_t h, std::size_t w,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  grid::Grid<word_t> g(h, w);
+  for (std::size_t i = 0; i < g.size(); ++i)
+    g[i] = static_cast<word_t>(rng.next_u64());
+  return g;
+}
+
+grid::Grid<word_t> input_impulse(std::size_t h, std::size_t w,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  grid::Grid<word_t> g(h, w, 0);
+  const std::size_t at = static_cast<std::size_t>(rng.next_below(h * w));
+  g[at] = 4096;
+  return g;
+}
+
+grid::Grid<word_t> input_gradient(std::size_t h, std::size_t w,
+                                  std::uint64_t seed) {
+  grid::Grid<word_t> g(h, w);
+  for (std::size_t i = 0; i < g.size(); ++i)
+    g[i] = static_cast<word_t>((i + seed) % 997);
+  return g;
+}
+
+grid::Grid<word_t> input_checker(std::size_t h, std::size_t w,
+                                 std::uint64_t seed) {
+  const word_t a = static_cast<word_t>(seed % 500);
+  const word_t b = static_cast<word_t>(500 + (seed / 500) % 500);
+  grid::Grid<word_t> g(h, w);
+  for (std::size_t r = 0; r < h; ++r)
+    for (std::size_t c = 0; c < w; ++c)
+      g.at(r, c) = ((r + c) % 2 == 0) ? a : b;
+  return g;
+}
+
+// ---- catalogue construction ---------------------------------------------
+
+std::vector<StencilFamily> build_stencils() {
+  return {
+      {"vn4", "4-point von Neumann cross, no centre (the paper's example)",
+       false, &make_vn4},
+      {"plus5", "5-point plus: centre + von Neumann", false, &make_plus5},
+      {"moore9", "9-point Moore neighbourhood incl. centre, row-major",
+       false, &make_moore9},
+      {"diamond13", "13-point radius-2 diamond (|dr|+|dc| <= 2)", false,
+       &make_diamond13},
+      {"cross3", "far-reach cross {(-3,0),(0,-3),(0,0),(0,3),(3,0)}", false,
+       &make_cross3},
+      {"asym5", "asymmetric far-reach 5-point shape, no symmetry axis",
+       false, &make_asym5},
+      {"upwind3", "asymmetric upwind {(0,0),(0,-1),(-1,0)} (advection)",
+       false, &make_upwind3},
+      {"random5", "seeded random 5-point shape from the radius-2 box", true,
+       &make_random5},
+      {"random8", "seeded random 8-point shape from the radius-2 box", true,
+       &make_random8},
+  };
+}
+
+std::vector<BoundaryFamily> build_boundaries() {
+  using grid::AxisBoundary;
+  using grid::BoundarySpec;
+  return {
+      {"paper", "circular top/bottom + open left/right (the paper's map)",
+       BoundarySpec::paper_example()},
+      {"open", "open on every edge (truncated plane)",
+       BoundarySpec::all_open()},
+      {"circular", "periodic on both axes (torus)",
+       BoundarySpec::all_periodic()},
+      {"mirror", "mirror on both axes (fully reflecting box)",
+       BoundarySpec::all_mirror()},
+      {"island", "constant-0 halo on both axes (domain in a zero sea)",
+       BoundarySpec{AxisBoundary::constant_halo(0),
+                    AxisBoundary::constant_halo(0)}},
+      {"striped", "periodic rows + mirror cols (wrap one axis, reflect the "
+       "other)",
+       BoundarySpec{AxisBoundary::periodic(), AxisBoundary::mirror()}},
+      {"quadrant", "mirror rows + open cols (symmetric half-domain, "
+       "truncated sideways)",
+       BoundarySpec{AxisBoundary::mirror(), AxisBoundary::open()}},
+  };
+}
+
+std::vector<InputFamily> build_inputs() {
+  return {
+      {"random", "uniform words in [0, 1000) (the scaling bench's range)",
+       &input_random},
+      {"random-wide", "full-width 32-bit random words", &input_random_wide},
+      {"impulse", "all zero except one seeded 4096 spike", &input_impulse},
+      {"gradient", "linear ramp modulo 997, seed-offset", &input_gradient},
+      {"checker", "two seed-derived values in a checkerboard",
+       &input_checker},
+  };
+}
+
+std::vector<KernelFamily> build_kernels() {
+  return {
+      {"average", "mean of valid tuple elements (the paper's filter)", false,
+       rtl::KernelSpec::average_int()},
+      {"sum", "sum of valid tuple elements", false,
+       {rtl::KernelKind::Sum, rtl::ValueType::Int32, 0.0f, 0.0f}},
+      {"max", "max of valid tuple elements (morphological dilate)", false,
+       {rtl::KernelKind::Max, rtl::ValueType::Int32, 0.0f, 0.0f}},
+      {"identity", "pass the first tuple element through (plumbing)", false,
+       {rtl::KernelKind::Identity, rtl::ValueType::Int32, 0.0f, 0.0f}},
+      {"gaussian3x3", "fixed-point 3x3 Gaussian blur (Moore-9 tuple only)",
+       true, rtl::KernelSpec::gaussian3x3()},
+      {"laplacian3x3", "3x3 Laplacian edge detect (Moore-9 tuple only)",
+       true, rtl::KernelSpec::laplacian3x3()},
+  };
+}
+
+std::vector<DramFamily> build_drams() {
+  mem::DramConfig stall = mem::DramConfig::functional();
+  stall.stall_every = 17;
+  stall.stall_cycles = 5;
+  return {
+      {"functional", "1 word/cycle, fixed latency, no row-buffer model",
+       mem::DramConfig::functional()},
+      {"ddr", "row-buffer model: open-row streaming, activation penalties",
+       mem::DramConfig::ddr_like()},
+      {"stall", "functional + injected stalls (5 idle cycles every 17 "
+       "words)",
+       stall},
+  };
+}
+
+template <typename Family>
+const Family& find_in(const std::vector<Family>& catalogue,
+                      std::string_view name, const char* what) {
+  for (const auto& f : catalogue)
+    if (f.name == name) return f;
+  std::string known;
+  for (const auto& f : catalogue)
+    known += (known.empty() ? "" : ", ") + f.name;
+  throw contract_error("unknown " + std::string(what) + " '" +
+                       std::string(name) + "' (registered: " + known + ")");
+}
+
+}  // namespace
+
+const std::vector<StencilFamily>& stencil_catalogue() {
+  static const std::vector<StencilFamily> c = build_stencils();
+  return c;
+}
+const std::vector<BoundaryFamily>& boundary_catalogue() {
+  static const std::vector<BoundaryFamily> c = build_boundaries();
+  return c;
+}
+const std::vector<InputFamily>& input_catalogue() {
+  static const std::vector<InputFamily> c = build_inputs();
+  return c;
+}
+const std::vector<KernelFamily>& kernel_catalogue() {
+  static const std::vector<KernelFamily> c = build_kernels();
+  return c;
+}
+const std::vector<DramFamily>& dram_catalogue() {
+  static const std::vector<DramFamily> c = build_drams();
+  return c;
+}
+
+const StencilFamily& find_stencil(std::string_view name) {
+  return find_in(stencil_catalogue(), name, "stencil family");
+}
+const BoundaryFamily& find_boundary(std::string_view name) {
+  return find_in(boundary_catalogue(), name, "boundary family");
+}
+const InputFamily& find_input(std::string_view name) {
+  return find_in(input_catalogue(), name, "input family");
+}
+const KernelFamily& find_kernel(std::string_view name) {
+  return find_in(kernel_catalogue(), name, "kernel family");
+}
+const DramFamily& find_dram(std::string_view name) {
+  return find_in(dram_catalogue(), name, "dram family");
+}
+
+grid::StencilShape make_stencil(std::string_view name, std::uint64_t seed) {
+  return find_stencil(name).make(seed);
+}
+grid::BoundarySpec make_boundary(std::string_view name) {
+  return find_boundary(name).spec;
+}
+grid::Grid<word_t> make_input(std::string_view name, std::size_t height,
+                              std::size_t width, std::uint64_t seed) {
+  return find_input(name).make(height, width, seed);
+}
+rtl::KernelSpec make_kernel(std::string_view name) {
+  return find_kernel(name).spec;
+}
+mem::DramConfig make_dram(std::string_view name) {
+  return find_dram(name).config;
+}
+
+}  // namespace smache::sweep

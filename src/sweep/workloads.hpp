@@ -1,0 +1,93 @@
+// Named workload registry: the catalogue of stencil shapes, boundary
+// families, input-grid generators, kernels and DRAM models a sweep can draw
+// from BY NAME. The paper's contribution is handling *arbitrary* boundaries
+// and stencils; this registry is where "arbitrary" becomes concrete — a new
+// scenario family is one entry here (name + factory + one-line summary),
+// not a new hand-written driver binary.
+//
+// Everything is deterministic: seeded families (random stencils, random
+// input grids) use the repo's fixed-algorithm Rng, so a (name, seed) pair
+// produces bit-identical workloads on every platform and thread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/word.hpp"
+#include "grid/boundary.hpp"
+#include "grid/grid.hpp"
+#include "grid/stencil.hpp"
+#include "mem/dram_config.hpp"
+#include "rtl/kernel.hpp"
+
+namespace smache::sweep {
+
+/// One registered stencil family. `make(seed)` builds the shape; only the
+/// seeded (random-K) families read the seed.
+struct StencilFamily {
+  std::string name;
+  std::string summary;
+  bool seeded = false;  // shape depends on the scenario seed
+  grid::StencilShape (*make)(std::uint64_t seed);
+};
+
+/// One registered boundary family — a named per-axis combination with
+/// documented semantics (rows = top/bottom edges, cols = left/right).
+struct BoundaryFamily {
+  std::string name;
+  std::string summary;
+  grid::BoundarySpec spec;
+};
+
+/// One registered input-grid generator. All generators are seeded; pattern
+/// families fold the seed into offsets/values so every scenario gets a
+/// distinct but reproducible grid.
+struct InputFamily {
+  std::string name;
+  std::string summary;
+  grid::Grid<word_t> (*make)(std::size_t height, std::size_t width,
+                             std::uint64_t seed);
+};
+
+/// One registered computation kernel. `needs_moore9` marks kernels whose
+/// weight layout assumes the Moore-ordered 9-tuple (the image filters);
+/// SweepSpec validation rejects pairing them with any other shape.
+struct KernelFamily {
+  std::string name;
+  std::string summary;
+  bool needs_moore9 = false;
+  rtl::KernelSpec spec;
+};
+
+/// One registered DRAM timing model.
+struct DramFamily {
+  std::string name;
+  std::string summary;
+  mem::DramConfig config;
+};
+
+// ---- catalogues (stable registration order, used by docs and --list) ----
+const std::vector<StencilFamily>& stencil_catalogue();
+const std::vector<BoundaryFamily>& boundary_catalogue();
+const std::vector<InputFamily>& input_catalogue();
+const std::vector<KernelFamily>& kernel_catalogue();
+const std::vector<DramFamily>& dram_catalogue();
+
+// ---- name -> instance resolution; throws contract_error on unknown ----
+const StencilFamily& find_stencil(std::string_view name);
+const BoundaryFamily& find_boundary(std::string_view name);
+const InputFamily& find_input(std::string_view name);
+const KernelFamily& find_kernel(std::string_view name);
+const DramFamily& find_dram(std::string_view name);
+
+grid::StencilShape make_stencil(std::string_view name,
+                                std::uint64_t seed = 0);
+grid::BoundarySpec make_boundary(std::string_view name);
+grid::Grid<word_t> make_input(std::string_view name, std::size_t height,
+                              std::size_t width, std::uint64_t seed);
+rtl::KernelSpec make_kernel(std::string_view name);
+mem::DramConfig make_dram(std::string_view name);
+
+}  // namespace smache::sweep

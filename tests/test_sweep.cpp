@@ -1,0 +1,418 @@
+// The sweep subsystem's contract wall:
+//   * registry round-trips — every catalogued family resolves by name,
+//     seeded families are bit-reproducible, unknown names throw;
+//   * cursor/expansion logic — cartesian counts, alias collapsing
+//     (baseline ignores impl/threshold, Case-R ignores threshold,
+//     elaboration ignores DRAM/input);
+//   * malformed-spec rejection — every parser and validator refuses bad
+//     input with contract_error instead of guessing;
+//   * concurrency determinism — an N-thread sweep over mixed workloads is
+//     BYTE-identical (digest, JSON, CSV) to the same sweep at threads=1,
+//     including when scenarios fail; this is the executor's core claim.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <set>
+
+#include "common/log.hpp"
+#include "common/parallel.hpp"
+#include "cost/dse.hpp"
+#include "sweep/emit.hpp"
+#include "sweep/executor.hpp"
+#include "sweep/spec.hpp"
+#include "sweep/workloads.hpp"
+
+namespace smache::sweep {
+namespace {
+
+// ---- workload registry ---------------------------------------------------
+
+TEST(WorkloadRegistry, CataloguesAreNonEmptyAndResolvable) {
+  EXPECT_GE(stencil_catalogue().size(), 4u);
+  EXPECT_GE(boundary_catalogue().size(), 3u);
+  EXPECT_GE(input_catalogue().size(), 2u);
+  EXPECT_GE(kernel_catalogue().size(), 3u);
+  EXPECT_GE(dram_catalogue().size(), 2u);
+  for (const auto& f : stencil_catalogue())
+    EXPECT_EQ(find_stencil(f.name).name, f.name);
+  for (const auto& f : boundary_catalogue())
+    EXPECT_EQ(find_boundary(f.name).spec, f.spec);
+  for (const auto& f : input_catalogue())
+    EXPECT_EQ(find_input(f.name).name, f.name);
+  for (const auto& f : kernel_catalogue())
+    EXPECT_EQ(find_kernel(f.name).spec.kind, f.spec.kind);
+  for (const auto& f : dram_catalogue())
+    EXPECT_EQ(find_dram(f.name).name, f.name);
+}
+
+TEST(WorkloadRegistry, UnknownNamesThrow) {
+  EXPECT_THROW(make_stencil("nope"), contract_error);
+  EXPECT_THROW(make_boundary("nope"), contract_error);
+  EXPECT_THROW(make_input("nope", 4, 4, 1), contract_error);
+  EXPECT_THROW(make_kernel("nope"), contract_error);
+  EXPECT_THROW(make_dram("nope"), contract_error);
+}
+
+TEST(WorkloadRegistry, StencilFamiliesProduceValidShapes) {
+  for (const auto& f : stencil_catalogue()) {
+    const grid::StencilShape shape = make_stencil(f.name, 123);
+    EXPECT_GE(shape.size(), 3u) << f.name;
+    std::set<std::pair<std::int64_t, std::int64_t>> seen;
+    for (const auto& o : shape.offsets()) seen.insert({o.dr, o.dc});
+    EXPECT_EQ(seen.size(), shape.size()) << f.name << " has duplicate "
+                                            "offsets";
+    // Every family fits an 11x11 problem (radius <= 3 by construction).
+    ProblemSpec p;
+    p.height = 11;
+    p.width = 11;
+    p.shape = shape;
+    p.steps = 1;
+    EXPECT_NO_THROW(p.validate()) << f.name;
+  }
+}
+
+TEST(WorkloadRegistry, SeededFamiliesAreReproducible) {
+  const auto a = make_stencil("random8", 7);
+  const auto b = make_stencil("random8", 7);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.size(), 8u);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a.offsets()[i], b.offsets()[i]);
+  EXPECT_TRUE(a.contains({0, 0}));
+
+  const auto g1 = make_input("random", 6, 6, 42);
+  const auto g2 = make_input("random", 6, 6, 42);
+  EXPECT_EQ(g1, g2);
+  const auto g3 = make_input("random", 6, 6, 43);
+  EXPECT_NE(g1, g3);
+}
+
+// ---- cursor / expansion --------------------------------------------------
+
+TEST(SweepSpec, CursorDecodesEveryIndexDistinctly) {
+  SweepSpec spec;
+  spec.archs = {Architecture::Baseline, Architecture::Smache};
+  spec.grids = {{8, 8}, {11, 9}};
+  spec.stencils = {"vn4", "moore9"};
+  spec.boundaries = {"paper", "island"};
+  spec.steps = {1, 2};
+  EXPECT_EQ(spec.scenario_count(), 32u);
+  std::set<std::string> labels;
+  for (std::size_t i = 0; i < spec.scenario_count(); ++i) {
+    const Scenario s = spec.scenario_at(i);
+    EXPECT_EQ(s.index, i);
+    labels.insert(s.label);
+  }
+  EXPECT_EQ(labels.size(), 32u);  // no aliases in this spec
+  EXPECT_EQ(spec.expand().size(), 32u);
+  EXPECT_THROW(spec.scenario_at(32), contract_error);
+}
+
+TEST(SweepSpec, ExpansionCollapsesAliases) {
+  // Baseline ignores impl AND threshold; Case-R ignores threshold: the
+  // 2 x 2 x 3 = 12-point cartesian space holds 1 + 1 + 3 distinct runs.
+  SweepSpec spec;
+  spec.archs = {Architecture::Baseline, Architecture::Smache};
+  spec.impls = {model::StreamImpl::RegisterOnly, model::StreamImpl::Hybrid};
+  spec.thresholds = {3, 4, 16};
+  EXPECT_EQ(spec.scenario_count(), 12u);
+  const auto scenarios = spec.expand();
+  EXPECT_EQ(scenarios.size(), 5u);
+  std::set<std::string> labels;
+  for (const auto& s : scenarios) labels.insert(s.label);
+  EXPECT_EQ(labels.size(), scenarios.size());
+}
+
+TEST(SweepSpec, ElaborationIgnoresDramAndInput) {
+  SweepSpec spec;
+  spec.mode = Mode::ElaborateOnly;
+  spec.drams = {"functional", "ddr"};
+  spec.inputs = {"random", "impulse"};
+  EXPECT_EQ(spec.scenario_count(), 4u);
+  EXPECT_EQ(spec.expand().size(), 1u);
+}
+
+TEST(SweepSpec, SeedsAreLabelStableAndDistinct) {
+  SweepSpec spec;
+  spec.stencils = {"vn4", "moore9"};
+  const auto a = spec.expand();
+  // Adding an unrelated dimension entry must not change existing seeds.
+  SweepSpec wider = spec;
+  wider.stencils = {"vn4", "moore9", "diamond13"};
+  const auto b = wider.expand();
+  ASSERT_GE(b.size(), a.size());
+  for (const auto& s : a) {
+    const auto match =
+        std::find_if(b.begin(), b.end(), [&](const Scenario& w) {
+          return w.label == s.label;
+        });
+    ASSERT_NE(match, b.end()) << s.label;
+    EXPECT_EQ(match->seed, s.seed) << s.label;
+  }
+  EXPECT_NE(b[0].seed, b[1].seed);
+  // A different base seed moves every scenario seed.
+  SweepSpec reseeded = spec;
+  reseeded.base_seed = 999;
+  EXPECT_NE(reseeded.expand()[0].seed, a[0].seed);
+}
+
+TEST(SweepSpec, SeedsAreWorkloadIdentityScoped) {
+  // Scenarios that differ only in architecture / impl / threshold / DRAM
+  // model run the IDENTICAL workload: same seed (so the same input grid)
+  // and, for seeded stencil families, the same materialised shape.
+  SweepSpec spec;
+  spec.archs = {Architecture::Baseline, Architecture::Smache};
+  spec.thresholds = {3, 16};
+  spec.drams = {"functional", "ddr"};
+  spec.stencils = {"random8"};
+  const auto scenarios = spec.expand();
+  ASSERT_GE(scenarios.size(), 3u);  // baseline, hyb-t3, hyb-t16 x drams
+  for (const auto& s : scenarios) {
+    EXPECT_EQ(s.seed, scenarios[0].seed) << s.label;
+    ASSERT_EQ(s.problem.shape.size(), scenarios[0].problem.shape.size());
+    for (std::size_t i = 0; i < s.problem.shape.size(); ++i)
+      EXPECT_EQ(s.problem.shape.offsets()[i],
+                scenarios[0].problem.shape.offsets()[i])
+          << s.label;
+  }
+}
+
+// ---- malformed specs -----------------------------------------------------
+
+TEST(SweepSpec, RejectsMalformedSpecs) {
+  {
+    SweepSpec s;
+    s.stencils = {"does-not-exist"};
+    EXPECT_THROW(s.validate(), contract_error);
+  }
+  {
+    SweepSpec s;
+    s.boundaries.clear();
+    EXPECT_THROW(s.validate(), contract_error);
+  }
+  {
+    SweepSpec s;
+    s.thresholds = {2};  // unplannable
+    EXPECT_THROW(s.validate(), contract_error);
+  }
+  {
+    SweepSpec s;
+    s.steps = {0};
+    EXPECT_THROW(s.validate(), contract_error);
+  }
+  {
+    SweepSpec s;  // Moore-layout kernel with a non-Moore shape
+    s.kernels = {"gaussian3x3"};
+    s.stencils = {"vn4"};
+    EXPECT_THROW(s.validate(), contract_error);
+  }
+  {
+    SweepSpec s;  // grid smaller than the stencil's span
+    s.stencils = {"cross3"};
+    s.grids = {{6, 6}};
+    EXPECT_THROW(s.validate(), contract_error);
+  }
+  {
+    SweepSpec s;  // Moore kernel paired correctly is fine
+    s.kernels = {"gaussian3x3"};
+    s.stencils = {"moore9"};
+    EXPECT_NO_THROW(s.validate());
+  }
+}
+
+TEST(SweepSpec, ParsersRejectMalformedTokens) {
+  EXPECT_THROW(split_list("a,,b"), contract_error);
+  EXPECT_THROW(split_list("a,"), contract_error);
+  EXPECT_EQ(split_list("").size(), 0u);
+  EXPECT_EQ(split_list("a,b,c").size(), 3u);
+  EXPECT_THROW(parse_arch("fpga"), contract_error);
+  EXPECT_THROW(parse_impl("bram"), contract_error);
+  EXPECT_THROW(parse_mode("fast"), contract_error);
+  EXPECT_THROW(parse_count("0", "count"), contract_error);
+  EXPECT_THROW(parse_count("-3", "count"), contract_error);
+  EXPECT_THROW(parse_count("12abc", "count"), contract_error);
+  EXPECT_THROW(parse_grid("4x"), contract_error);
+  EXPECT_THROW(parse_grid("x4"), contract_error);
+  EXPECT_THROW(parse_grid("abc"), contract_error);
+  EXPECT_EQ(parse_grid("16").height, 16u);
+  EXPECT_EQ(parse_grid("16x24").width, 24u);
+}
+
+// ---- executor determinism ------------------------------------------------
+
+SweepSpec mixed_spec() {
+  SweepSpec spec;
+  spec.grids = {{8, 8}, {11, 9}};
+  spec.steps = {2};
+  spec.stencils = {"vn4", "moore9", "random5"};
+  spec.boundaries = {"paper", "striped", "quadrant", "island"};
+  return spec;  // 2 x 3 x 4 = 24 scenario points
+}
+
+TEST(SweepExecutor, ThreadedSweepIsBitIdenticalToSerial) {
+  const SweepSpec spec = mixed_spec();
+  const auto serial = SweepExecutor({.threads = 1}).run(spec);
+  const auto threaded = SweepExecutor({.threads = 4}).run(spec);
+  ASSERT_EQ(serial.size(), 24u);
+  ASSERT_EQ(threaded.size(), 24u);
+  EXPECT_EQ(SweepExecutor::digest(serial), SweepExecutor::digest(threaded));
+  // Byte-level: the emitted reports (wall times excluded) must be equal.
+  EXPECT_EQ(emit_json(serial), emit_json(threaded));
+  EXPECT_EQ(emit_csv(serial), emit_csv(threaded));
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(serial[i].ok) << serial[i].error;
+    EXPECT_EQ(serial[i].scenario.label, threaded[i].scenario.label);
+    EXPECT_EQ(serial[i].run.cycles, threaded[i].run.cycles);
+    EXPECT_EQ(serial[i].output_hash, threaded[i].output_hash);
+  }
+}
+
+TEST(SweepExecutor, MatchesADirectEngineRun) {
+  SweepSpec spec;
+  spec.grids = {{11, 11}};
+  spec.steps = {3};
+  const auto results = SweepExecutor().run(spec);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].ok) << results[0].error;
+  const Scenario& s = results[0].scenario;
+  const auto init =
+      make_input(s.input, s.problem.height, s.problem.width, s.seed);
+  const RunResult direct = Engine(s.engine).run(s.problem, init);
+  EXPECT_EQ(results[0].run.cycles, direct.cycles);
+  EXPECT_EQ(results[0].run.dram.words_read, direct.dram.words_read);
+  EXPECT_EQ(results[0].output_hash, hash_grid(direct.output));
+  // Bulky per-scenario state is dropped by default and kept on request.
+  EXPECT_EQ(results[0].run.output.size(), 1u);
+  EXPECT_FALSE(results[0].run.plan.has_value());
+  ExecutorOptions keep;
+  keep.keep_outputs = true;
+  const auto kept = SweepExecutor(keep).run(spec);
+  EXPECT_EQ(kept[0].run.output, direct.output);
+}
+
+TEST(SweepExecutor, VerifiesAgainstTheGoldenReference) {
+  SweepSpec spec = mixed_spec();
+  spec.grids = {{8, 8}};  // trim: 12 scenarios are plenty here
+  ExecutorOptions opts;
+  opts.threads = 2;
+  opts.verify_reference = true;
+  for (const auto& r : SweepExecutor(opts).run(spec)) {
+    ASSERT_TRUE(r.ok) << r.scenario.label << ": " << r.error;
+    EXPECT_TRUE(r.reference_checked);
+    EXPECT_TRUE(r.reference_match) << r.scenario.label;
+  }
+}
+
+TEST(SweepExecutor, CapturesFailuresDeterministically) {
+  SweepSpec spec = mixed_spec();
+  spec.max_cycles = 10;  // watchdog trips every scenario
+  const auto serial = SweepExecutor({.threads = 1}).run(spec);
+  const auto threaded = SweepExecutor({.threads = 4}).run(spec);
+  for (const auto& r : serial) {
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("max_cycles"), std::string::npos) << r.error;
+  }
+  EXPECT_EQ(SweepExecutor::digest(serial), SweepExecutor::digest(threaded));
+  EXPECT_EQ(emit_json(serial), emit_json(threaded));
+}
+
+TEST(SweepExecutor, ElaborationSweepRunsThreaded) {
+  SweepSpec spec;
+  spec.mode = Mode::ElaborateOnly;
+  spec.impls = {model::StreamImpl::RegisterOnly, model::StreamImpl::Hybrid};
+  spec.thresholds = {3, 4, 16};
+  spec.grids = {{11, 11}, {64, 64}};
+  const auto serial = SweepExecutor({.threads = 1}).run(spec);
+  const auto threaded = SweepExecutor({.threads = 3}).run(spec);
+  ASSERT_EQ(serial.size(), 8u);  // (reg + 3 hybrid) x 2 grids
+  EXPECT_EQ(SweepExecutor::digest(serial), SweepExecutor::digest(threaded));
+  for (const auto& r : serial) {
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.run.cycles, 0u);
+    EXPECT_GT(r.run.resources.r_total, 0u);
+  }
+}
+
+TEST(SweepEmit, ReportsCarryTheCatalogueFields) {
+  SweepSpec spec;
+  spec.grids = {{8, 8}};
+  const auto results = SweepExecutor().run(spec);
+  const std::string json = emit_json(results);
+  EXPECT_NE(json.find("\"run_type\": \"sweep\""), std::string::npos);
+  EXPECT_NE(json.find("\"stencil\": \"vn4\""), std::string::npos);
+  EXPECT_NE(json.find("\"output_hash\": \"0x"), std::string::npos);
+  EXPECT_EQ(json.find("wall_ms"), std::string::npos);
+  EmitOptions wall;
+  wall.include_wall = true;
+  EXPECT_NE(emit_json(results, wall).find("wall_ms"), std::string::npos);
+  const std::string csv = emit_csv(results);
+  EXPECT_EQ(csv.find("wall_ms"), std::string::npos);
+  EXPECT_NE(csv.find("label,mode,arch"), std::string::npos);
+}
+
+// ---- the shared parallel substrate --------------------------------------
+
+TEST(ParallelForIndex, CoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {0u, 1u, 3u, 16u}) {
+    std::vector<std::atomic<int>> hits(37);
+    parallel_for_index(hits.size(), threads,
+                       [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+  parallel_for_index(0, 4, [](std::size_t) { FAIL(); });
+}
+
+TEST(ParallelForIndex, RethrowsTheLowestIndexFailure) {
+  // The exception contract holds at EVERY thread count, including serial:
+  // all indices run, the lowest-index failure is rethrown afterwards.
+  for (const std::size_t threads : {1u, 4u}) {
+    std::vector<std::atomic<int>> hits(16);
+    try {
+      parallel_for_index(hits.size(), threads, [&](std::size_t i) {
+        ++hits[i];
+        if (i == 3 || i == 11)
+          throw contract_error("boom at " + std::to_string(i));
+      });
+      FAIL() << "expected contract_error";
+    } catch (const contract_error& e) {
+      EXPECT_NE(std::string(e.what()).find("boom at 3"), std::string::npos);
+    }
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForIndex, ThreadsFromEnvParsesStrictly) {
+  ::setenv("SMACHE_TEST_THREADS", "3", 1);
+  EXPECT_EQ(threads_from_env("SMACHE_TEST_THREADS", 1), 3u);
+  ::setenv("SMACHE_TEST_THREADS", "0", 1);
+  EXPECT_EQ(threads_from_env("SMACHE_TEST_THREADS", 1),
+            hardware_threads());
+  const LogLevel level = Log::level();
+  Log::set_level(LogLevel::Off);  // the malformed case warns by contract
+  ::setenv("SMACHE_TEST_THREADS", "4cores", 1);
+  EXPECT_EQ(threads_from_env("SMACHE_TEST_THREADS", 7), 7u);
+  Log::set_level(level);
+  ::unsetenv("SMACHE_TEST_THREADS");
+  EXPECT_EQ(threads_from_env("SMACHE_TEST_THREADS", 5), 5u);
+}
+
+TEST(DseExplore, ThreadedExplorationMatchesSerial) {
+  cost::DseRequest req;
+  req.height = 64;
+  req.width = 64;
+  const auto serial = cost::explore(req);
+  req.threads = 4;
+  const auto threaded = cost::explore(req);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].label(), threaded[i].label());
+    EXPECT_EQ(serial[i].memory.r_total(), threaded[i].memory.r_total());
+    EXPECT_EQ(serial[i].memory.b_total(), threaded[i].memory.b_total());
+    EXPECT_EQ(serial[i].pareto, threaded[i].pareto);
+  }
+}
+
+}  // namespace
+}  // namespace smache::sweep

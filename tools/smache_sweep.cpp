@@ -1,0 +1,251 @@
+// smache-sweep — batch scenario execution over the named workload registry.
+//
+// Expands a cartesian SweepSpec (architecture x stream impl x grid x DRAM
+// model x steps x stencil x boundary x kernel x input), runs every distinct
+// scenario on a worker pool (one independent Engine per scenario), and
+// writes deterministic JSON/CSV reports whose content is bit-identical for
+// any thread count.
+//
+// Default sweep: 4 stencil shapes x 3 boundary families x 2 grids, 3
+// work-instances each — 24 scenario points.
+//
+// Examples:
+//   smache-sweep                            # default sweep, auto threads
+//   smache-sweep --threads 4 --verify-serial --out sweep.json
+//   smache-sweep --stencils random8,moore9 --boundaries island,striped
+//                --grids 11,16x24 --steps 2,5 --verify-reference
+//   smache-sweep --mode elab --impls reg,hybrid --thresholds 3,4,16
+//   smache-sweep --list                     # print the workload catalogue
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "common/cli.hpp"
+#include "common/parallel.hpp"
+#include "common/table.hpp"
+#include "sweep/emit.hpp"
+#include "sweep/executor.hpp"
+#include "sweep/spec.hpp"
+#include "sweep/workloads.hpp"
+
+using namespace smache;
+
+namespace {
+
+void print_catalogue() {
+  std::printf("registered workload families (one sweep dimension each):\n");
+  TextTable stencils({"stencil", "summary"});
+  for (const auto& f : sweep::stencil_catalogue()) {
+    stencils.begin_row();
+    stencils.add_cell(f.name + (f.seeded ? " (seeded)" : ""));
+    stencils.add_cell(f.summary);
+  }
+  std::printf("%s\n", stencils.to_ascii().c_str());
+  TextTable bounds({"boundary", "summary"});
+  for (const auto& f : sweep::boundary_catalogue()) {
+    bounds.begin_row();
+    bounds.add_cell(f.name);
+    bounds.add_cell(f.summary);
+  }
+  std::printf("%s\n", bounds.to_ascii().c_str());
+  TextTable kernels({"kernel", "summary"});
+  for (const auto& f : sweep::kernel_catalogue()) {
+    kernels.begin_row();
+    kernels.add_cell(f.name);
+    kernels.add_cell(f.summary);
+  }
+  std::printf("%s\n", kernels.to_ascii().c_str());
+  TextTable inputs({"input", "summary"});
+  for (const auto& f : sweep::input_catalogue()) {
+    inputs.begin_row();
+    inputs.add_cell(f.name);
+    inputs.add_cell(f.summary);
+  }
+  std::printf("%s\n", inputs.to_ascii().c_str());
+  TextTable drams({"dram", "summary"});
+  for (const auto& f : sweep::dram_catalogue()) {
+    drams.begin_row();
+    drams.add_cell(f.name);
+    drams.add_cell(f.summary);
+  }
+  std::printf("%s\n", drams.to_ascii().c_str());
+}
+
+template <typename Parse>
+auto parse_dim(const CliArgs& args, const std::string& flag,
+               const std::string& fallback, Parse parse) {
+  const auto items = sweep::split_list(args.get_string(flag, fallback));
+  std::vector<decltype(parse(items.front()))> out;
+  out.reserve(items.size());
+  for (const auto& item : items) out.push_back(parse(item));
+  return out;
+}
+
+sweep::SweepSpec spec_from_args(const CliArgs& args) {
+  sweep::SweepSpec spec;
+  spec.mode = sweep::parse_mode(args.get_string("mode", "sim"));
+  spec.archs = parse_dim(args, "archs", "smache",
+                         [](const std::string& s) {
+                           return sweep::parse_arch(s);
+                         });
+  spec.impls = parse_dim(args, "impls", "hybrid",
+                         [](const std::string& s) {
+                           return sweep::parse_impl(s);
+                         });
+  spec.thresholds = parse_dim(args, "thresholds", "4",
+                              [](const std::string& s) {
+                                return sweep::parse_count(s, "threshold");
+                              });
+  // The acceptance sweep: 4 stencil shapes x 3 boundary families x 2 grids.
+  spec.grids = parse_dim(args, "grids", "11,16",
+                         [](const std::string& s) {
+                           return sweep::parse_grid(s);
+                         });
+  spec.drams = sweep::split_list(args.get_string("dram", "functional"));
+  spec.steps = parse_dim(args, "steps", "3", [](const std::string& s) {
+    return sweep::parse_count(s, "step count");
+  });
+  spec.stencils = sweep::split_list(
+      args.get_string("stencils", "vn4,moore9,diamond13,cross3"));
+  spec.boundaries = sweep::split_list(
+      args.get_string("boundaries", "paper,circular,island"));
+  spec.kernels = sweep::split_list(args.get_string("kernels", "average"));
+  spec.inputs = sweep::split_list(args.get_string("inputs", "random"));
+  spec.base_seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 1));
+  spec.max_cycles = static_cast<std::uint64_t>(
+      args.get_int("max-cycles", 200'000'000));
+  spec.validate();
+  return spec;
+}
+
+double run_wall_ms(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "smache-sweep: cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+  out << content;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv,
+                     {"list", "verify-serial", "verify-reference",
+                      "no-wall", "quiet"});
+  if (args.has("help")) {
+    std::printf(
+        "usage: smache-sweep [--threads N] [--mode sim|elab]\n"
+        "  [--archs smache,baseline] [--impls hybrid,reg]\n"
+        "  [--thresholds 4,...] [--grids 11,16x24,...]\n"
+        "  [--dram functional,ddr,stall] [--steps 3,...]\n"
+        "  [--stencils ...] [--boundaries ...] [--kernels ...]\n"
+        "  [--inputs ...] [--seed N] [--max-cycles N]\n"
+        "  [--out report.json] [--csv report.csv] [--no-wall]\n"
+        "  [--verify-serial] [--verify-reference] [--list] [--quiet]\n");
+    return 0;
+  }
+  if (args.get_bool("list", false)) {
+    print_catalogue();
+    return 0;
+  }
+
+  sweep::SweepSpec spec;
+  try {
+    spec = spec_from_args(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "smache-sweep: malformed sweep spec: %s\n",
+                 e.what());
+    return 2;
+  }
+
+  sweep::ExecutorOptions opts;
+  opts.threads =
+      static_cast<std::size_t>(args.get_int("threads", 0));
+  if (opts.threads == 0) opts.threads = hardware_threads();
+  opts.verify_reference = args.get_bool("verify-reference", false);
+
+  const auto scenarios = spec.expand();
+  std::printf("smache-sweep: %zu scenario point(s) (%zu cartesian), "
+              "%zu thread(s)\n",
+              scenarios.size(), spec.scenario_count(), opts.threads);
+
+  std::vector<sweep::ScenarioResult> results;
+  const double wall_ms = run_wall_ms(
+      [&] { results = sweep::SweepExecutor(opts).run(scenarios); });
+
+  std::size_t failed = 0, mismatched = 0;
+  if (!args.get_bool("quiet", false)) {
+    TextTable t({"scenario", "ok", "cycles", "read KiB", "write KiB",
+                 "mops", "wall ms"});
+    for (const auto& r : results) {
+      t.begin_row();
+      t.add_cell(r.scenario.label);
+      t.add_cell(std::string(r.ok ? "yes" : "FAIL"));
+      t.add_cell(r.run.cycles);
+      t.add_cell(format_kib(r.run.dram.bytes_read()));
+      t.add_cell(format_kib(r.run.dram.bytes_written()));
+      t.add_cell(r.run.mops, 1);
+      t.add_cell(r.wall_ms, 2);
+    }
+    std::printf("%s", t.to_ascii().c_str());
+  }
+  for (const auto& r : results) {
+    if (!r.ok) {
+      ++failed;
+      std::fprintf(stderr, "FAIL %s: %s\n", r.scenario.label.c_str(),
+                   r.error.c_str());
+    } else if (r.reference_checked && !r.reference_match) {
+      ++mismatched;
+      std::fprintf(stderr, "REFERENCE MISMATCH %s\n",
+                   r.scenario.label.c_str());
+    }
+  }
+
+  const std::uint64_t digest = sweep::SweepExecutor::digest(results);
+  std::printf("digest %016llx  wall %.1f ms  failed %zu\n",
+              static_cast<unsigned long long>(digest), wall_ms, failed);
+
+  bool serial_diverged = false;
+  if (args.get_bool("verify-serial", false)) {
+    sweep::ExecutorOptions serial = opts;
+    serial.threads = 1;
+    std::vector<sweep::ScenarioResult> serial_results;
+    const double serial_ms = run_wall_ms([&] {
+      serial_results = sweep::SweepExecutor(serial).run(scenarios);
+    });
+    const sweep::EmitOptions strict;  // include_wall=false: byte comparison
+    serial_diverged =
+        sweep::SweepExecutor::digest(serial_results) != digest ||
+        emit_json(serial_results, strict) != emit_json(results, strict) ||
+        emit_csv(serial_results, strict) != emit_csv(results, strict);
+    std::printf("verify-serial: %s  (parallel %.1f ms, serial %.1f ms, "
+                "speedup %.2fx)\n",
+                serial_diverged ? "DIVERGED" : "bit-identical", wall_ms,
+                serial_ms, wall_ms > 0.0 ? serial_ms / wall_ms : 0.0);
+  }
+
+  sweep::EmitOptions emit;
+  emit.include_wall = !args.get_bool("no-wall", false);
+  const std::string json_path = args.get_string("out", "");
+  if (!json_path.empty()) {
+    write_file(json_path, emit_json(results, emit));
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  const std::string csv_path = args.get_string("csv", "");
+  if (!csv_path.empty()) {
+    write_file(csv_path, emit_csv(results, emit));
+    std::printf("wrote %s\n", csv_path.c_str());
+  }
+
+  return (failed != 0 || mismatched != 0 || serial_diverged) ? 1 : 0;
+}
