@@ -175,6 +175,7 @@ RunResult Engine::run_cascade(const ProblemSpec& problem,
   result.timing = cost::estimate_smache_timing(plan);
   run_to_completion(sim, top, dram, options_.max_cycles);
   result.cycles = sim.now();
+  result.warmup_cycles = top.warmup_end_cycle();
   result.output =
       read_output_grid(dram, top.output_base(), problem.height,
                        problem.width);

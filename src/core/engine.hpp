@@ -60,7 +60,11 @@ struct EngineOptions {
 struct RunResult {
   Architecture arch = Architecture::Smache;
   std::uint64_t cycles = 0;
-  std::uint64_t warmup_cycles = 0;  // Smache only (0 for baseline)
+  /// Smache static-prefetch phase for run() (0 for the baseline and for
+  /// plans with nothing to prefetch); the cascade's pipeline fill
+  /// (first-writeback cycle) for run_cascade(). Two different
+  /// quantities — do not compare across the two paths.
+  std::uint64_t warmup_cycles = 0;
   mem::DramStats dram;
   grid::Grid<word_t> output{1, 1};
 

@@ -138,6 +138,7 @@ bool CascadeTop::eval_stage(std::size_t k) {
   if (last) {
     if (st.kernel->out().can_pop() && dram_.write_req().can_push()) {
       const ResultMsg res = st.kernel->out().pop();
+      if (warmup_end_ == 0) warmup_end_ = sim_.now();
       dram_.write_req().push(
           mem::DramWriteReq{out_base() + res.index, res.value});
       const Ctrl& c = ctrl_.q();

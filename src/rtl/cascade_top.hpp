@@ -54,6 +54,13 @@ class CascadeTop : public sim::Module {
   std::uint64_t output_base() const noexcept;
   std::size_t depth() const noexcept { return stages_.size(); }
 
+  /// Cycle at which the cascade pipeline first produced a DRAM writeback
+  /// (0 until then): the fill latency of the K chained windows/kernels —
+  /// the cascade's analogue of SmacheTop's static-prefetch warm-up, and
+  /// what RunResult::warmup_cycles reports for cascade runs. Grows with
+  /// depth; recorded once, on the first pass.
+  std::uint64_t warmup_end_cycle() const noexcept { return warmup_end_; }
+
   /// Lower bound on cycles until done() can become true, for
   /// Simulator::run_until_done (see outstanding_writeback_bound; the last
   /// stage posts at most one DRAM write per cycle).
@@ -113,6 +120,9 @@ class CascadeTop : public sim::Module {
   std::vector<CasePlan> case_plans_;
   sim::FsmState<Top> top_;
   sim::RegGroup<Ctrl> ctrl_;
+  // Behavioural observability only (like SmacheTop::warmup_end_): not a
+  // hardware register, never charged to the ledger.
+  std::uint64_t warmup_end_ = 0;
 };
 
 }  // namespace smache::rtl

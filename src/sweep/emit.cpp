@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 namespace smache::sweep {
@@ -31,14 +32,6 @@ std::string json_escape(std::string_view s) {
   return out;
 }
 
-/// Shortest-round-trip-ish fixed formatting: enough digits to identify the
-/// double, identical for identical bit patterns.
-std::string fmt_double(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.9g", v);
-  return buf;
-}
-
 std::string fmt_hex64(std::uint64_t v) {
   char buf[24];
   std::snprintf(buf, sizeof buf, "0x%016" PRIx64, v);
@@ -60,6 +53,19 @@ std::string csv_quote(std::string_view s) {
 
 }  // namespace
 
+std::string fmt_double(double v) {
+  // Shortest representation that round-trips: 15 significant digits
+  // identify most doubles, 17 identify every finite one (DBL_DECIMAL_DIG),
+  // so the loop always terminates with strtod(out) == v. Identical bit
+  // patterns format identically, so emission stays deterministic.
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
 std::string emit_json(const std::vector<ScenarioResult>& results,
                       const EmitOptions& options) {
   std::ostringstream out;
@@ -76,7 +82,8 @@ std::string emit_json(const std::vector<ScenarioResult>& results,
         << "\", \"arch\": \"" << to_string(s.engine.arch)
         << "\", \"height\": " << s.problem.height
         << ", \"width\": " << s.problem.width
-        << ", \"steps\": " << s.problem.steps << ", \"stencil\": \""
+        << ", \"steps\": " << s.problem.steps
+        << ", \"depth\": " << s.depth << ", \"stencil\": \""
         << json_escape(s.stencil) << "\", \"boundary\": \""
         << json_escape(s.boundary) << "\", \"kernel\": \""
         << json_escape(s.kernel) << "\", \"input\": \""
@@ -115,8 +122,8 @@ std::string emit_json(const std::vector<ScenarioResult>& results,
 std::string emit_csv(const std::vector<ScenarioResult>& results,
                      const EmitOptions& options) {
   std::ostringstream out;
-  out << "label,mode,arch,height,width,steps,stencil,boundary,kernel,input,"
-         "dram,seed,ok,error,cycles,warmup_cycles,read_requests,"
+  out << "label,mode,arch,height,width,steps,depth,stencil,boundary,kernel,"
+         "input,dram,seed,ok,error,cycles,warmup_cycles,read_requests,"
          "dram_read_bytes,dram_write_bytes,row_hits,row_misses,output_hash,"
          "r_total,b_total,m20k,fmax_mhz,ops,exec_time_us,mops,"
          "reference_match";
@@ -124,11 +131,15 @@ std::string emit_csv(const std::vector<ScenarioResult>& results,
   out << '\n';
   for (const ScenarioResult& r : results) {
     const Scenario& s = r.scenario;
+    // Every string-valued column goes through csv_quote — registry names
+    // are plain identifiers today, but a future family containing a comma
+    // or quote must corrupt nothing.
     out << csv_quote(s.label) << ',' << to_string(s.mode) << ','
         << to_string(s.engine.arch) << ',' << s.problem.height << ','
-        << s.problem.width << ',' << s.problem.steps << ',' << s.stencil
-        << ',' << s.boundary << ',' << s.kernel << ',' << s.input << ','
-        << s.dram << ',' << fmt_hex64(s.seed) << ','
+        << s.problem.width << ',' << s.problem.steps << ',' << s.depth
+        << ',' << csv_quote(s.stencil) << ',' << csv_quote(s.boundary)
+        << ',' << csv_quote(s.kernel) << ',' << csv_quote(s.input) << ','
+        << csv_quote(s.dram) << ',' << fmt_hex64(s.seed) << ','
         << (r.ok ? "true" : "false") << ',' << csv_quote(r.error) << ','
         << r.run.cycles << ',' << r.run.warmup_cycles << ','
         << r.run.dram.read_requests << ',' << r.run.dram.bytes_read() << ','

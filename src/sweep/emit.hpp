@@ -30,4 +30,9 @@ std::string emit_json(const std::vector<ScenarioResult>& results,
 std::string emit_csv(const std::vector<ScenarioResult>& results,
                      const EmitOptions& options = {});
 
+/// Shortest decimal string that round-trips to exactly the same double
+/// (strtod(fmt_double(v)) == v for every finite v) — committed sweep
+/// reports lose no bits. Exposed so tests can property-check the claim.
+std::string fmt_double(double v);
+
 }  // namespace smache::sweep

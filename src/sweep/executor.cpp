@@ -43,7 +43,14 @@ void run_one(const Scenario& scenario, const ExecutorOptions& options,
       const grid::Grid<word_t> init =
           make_input(scenario.input, scenario.problem.height,
                      scenario.problem.width, scenario.seed);
-      out.run = engine.run(scenario.problem, init);
+      // Depth 1 is the per-instance SmacheTop/BaselineTop engine; depth > 1
+      // fuses that many time steps per DRAM pass through CascadeTop. The
+      // reference run below is depth-independent (same problem.steps), so
+      // verification holds across fused passes.
+      out.run = scenario.depth > 1
+                    ? engine.run_cascade(scenario.problem, init,
+                                         scenario.depth)
+                    : engine.run(scenario.problem, init);
       out.output_hash = hash_grid(out.run.output);
       if (options.verify_reference) {
         const grid::Grid<word_t> golden =
@@ -99,6 +106,7 @@ std::uint64_t SweepExecutor::digest(
   for (const auto& r : results) {
     mix_str(h, r.scenario.label);
     mix(h, r.scenario.seed);
+    mix(h, r.scenario.depth);
     mix(h, r.ok);
     mix_str(h, r.error);
     mix(h, r.run.cycles);

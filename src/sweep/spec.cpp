@@ -41,16 +41,16 @@ const char* impl_tag(model::StreamImpl impl) noexcept {
 
 std::size_t SweepSpec::scenario_count() const {
   return archs.size() * impls.size() * thresholds.size() * grids.size() *
-         drams.size() * steps.size() * stencils.size() * boundaries.size() *
-         kernels.size() * inputs.size();
+         drams.size() * steps.size() * depths.size() * stencils.size() *
+         boundaries.size() * kernels.size() * inputs.size();
 }
 
 Scenario SweepSpec::scenario_at(std::size_t index) const {
   SMACHE_REQUIRE_MSG(
       !archs.empty() && !impls.empty() && !thresholds.empty() &&
           !grids.empty() && !drams.empty() && !steps.empty() &&
-          !stencils.empty() && !boundaries.empty() && !kernels.empty() &&
-          !inputs.empty(),
+          !depths.empty() && !stencils.empty() && !boundaries.empty() &&
+          !kernels.empty() && !inputs.empty(),
       "every sweep dimension needs at least one entry");
   SMACHE_REQUIRE_MSG(index < scenario_count(),
                      "scenario index out of range");
@@ -68,6 +68,7 @@ Scenario SweepSpec::scenario_at(std::size_t index) const {
   const std::string& kernel_name = kernels[take(kernels.size())];
   const std::string& boundary_name = boundaries[take(boundaries.size())];
   const std::string& stencil_name = stencils[take(stencils.size())];
+  const std::size_t depth_raw = depths[take(depths.size())];
   const std::size_t step_count = steps[take(steps.size())];
   const std::string& dram_name = drams[take(drams.size())];
   const GridDim grid = grids[take(grids.size())];
@@ -78,6 +79,17 @@ Scenario SweepSpec::scenario_at(std::size_t index) const {
   SMACHE_REQUIRE_MSG(threshold >= 3,
                      "bram segment thresholds below 3 are unplannable");
   SMACHE_REQUIRE_MSG(step_count >= 1, "steps must be >= 1");
+  SMACHE_REQUIRE_MSG(depth_raw >= 1, "cascade depth must be >= 1");
+  // Checked on the RAW pairing, before aliasing: a spec that pairs an
+  // indivisible steps/depth combination is malformed even where the depth
+  // would be ignored — "reject loudly" beats "run something else".
+  SMACHE_REQUIRE_MSG(
+      step_count % depth_raw == 0,
+      "steps=" + std::to_string(step_count) +
+          " is not a multiple of cascade depth=" +
+          std::to_string(depth_raw) +
+          " (each pass fuses exactly `depth` time steps, so every steps x "
+          "depths pairing in the sweep must divide evenly)");
 
   const KernelFamily& kernel = find_kernel(kernel_name);
   if (kernel.needs_moore9)
@@ -85,6 +97,13 @@ Scenario SweepSpec::scenario_at(std::size_t index) const {
                        "kernel '" + kernel_name +
                            "' assumes the Moore-9 tuple layout; pair it "
                            "with stencil 'moore9'");
+
+  // Depth is a cascade-architecture knob: the baseline has no cascade and
+  // elaboration runs no passes, so both alias every depth to 1 (the label
+  // omits the segment and expand() collapses the duplicates).
+  const std::size_t depth =
+      (arch == Architecture::Smache && mode == Mode::Simulate) ? depth_raw
+                                                               : 1;
 
   Scenario s;
   s.index = index;
@@ -94,11 +113,14 @@ Scenario SweepSpec::scenario_at(std::size_t index) const {
   s.kernel = kernel_name;
   s.input = input_name;
   s.dram = dram_name;
+  s.depth = depth;
 
   // Canonical label. Dimensions a configuration IGNORES are omitted, which
   // is exactly what lets expand() drop aliased points: the baseline has no
-  // stream buffer (no impl/threshold), Case-R has no BRAM segments (no
-  // threshold), and elaboration runs no cycles (no DRAM model, no input).
+  // stream buffer (no impl/threshold) and no cascade (no depth), Case-R
+  // has no BRAM segments (no threshold), and elaboration runs no cycles
+  // (no DRAM model, no input, no depth). Depth 1 is the per-instance
+  // engine, labelled exactly as before the dimension existed.
   s.label = to_string(mode);
   s.label += '/';
   s.label += to_string(arch);
@@ -108,6 +130,7 @@ Scenario SweepSpec::scenario_at(std::size_t index) const {
     if (impl == model::StreamImpl::Hybrid)
       s.label += "-t" + std::to_string(threshold);
   }
+  if (depth > 1) s.label += "/d" + std::to_string(depth);
   s.label += '/' + std::to_string(grid.height) + 'x' +
              std::to_string(grid.width);
   if (mode == Mode::Simulate) s.label += '/' + dram_name;
@@ -119,7 +142,8 @@ Scenario SweepSpec::scenario_at(std::size_t index) const {
 
   // The seed is derived from the WORKLOAD identity only (grid, steps,
   // stencil, boundary, kernel, input family): scenarios that differ just
-  // in architecture, stream impl, threshold, DRAM model or mode share it,
+  // in architecture, stream impl, threshold, cascade depth, DRAM model or
+  // mode share it,
   // so comparisons across those dimensions run the identical data — and a
   // seeded stencil family materialises from its own name alone, so e.g. a
   // threshold ablation over random8 sweeps ONE shape, not eight.
@@ -215,6 +239,17 @@ std::size_t parse_count(std::string_view token, const char* what) {
     throw contract_error("malformed " + std::string(what) + " '" +
                          std::string(token) +
                          "' (want a positive integer)");
+  return value;
+}
+
+std::uint64_t parse_u64(std::string_view token, const char* what) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size())
+    throw contract_error("malformed " + std::string(what) + " '" +
+                         std::string(token) +
+                         "' (want an unsigned 64-bit integer)");
   return value;
 }
 

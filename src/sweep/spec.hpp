@@ -1,7 +1,8 @@
 // SweepSpec — a declarative description of a cartesian scenario space:
 // architecture x stream implementation x hybrid threshold x grid size x
-// DRAM model x step count x stencil family x boundary family x kernel x
-// input generator. The spec expands into flat, self-contained Scenario
+// DRAM model x step count x cascade depth x stencil family x boundary
+// family x kernel x input generator. The spec expands into flat,
+// self-contained Scenario
 // records (cursor logic: any index in [0, scenario_count()) decodes to its
 // scenario without materialising the rest), which is what the executor,
 // the CLI and the bench drivers consume.
@@ -46,6 +47,12 @@ struct Scenario {
   std::string kernel;
   std::string input;       // input-family name (ignored by ElaborateOnly)
   std::string dram;
+  /// Temporal-blocking (cascade) depth: time steps fused per DRAM pass.
+  /// 1 = the per-instance Smache/baseline engine (Engine::run); > 1 routes
+  /// through Engine::run_cascade. The decode aliases depth to 1 for the
+  /// baseline architecture and for elaborate-only mode (neither has a
+  /// cascade), so sweeping depths never duplicates those configurations.
+  std::size_t depth = 1;
 };
 
 struct SweepSpec {
@@ -56,6 +63,12 @@ struct SweepSpec {
   std::vector<GridDim> grids = {{11, 11}};
   std::vector<std::string> drams = {"functional"};
   std::vector<std::size_t> steps = {1};
+  /// Cascade depths (temporal blocking: fused time steps per DRAM pass).
+  /// Every steps x depths pairing must divide evenly — validate() rejects
+  /// the spec otherwise. Depth > 1 requires boundaries whose tuples
+  /// resolve in-stream (open/mirror/constant); a periodic boundary paired
+  /// with depth > 1 is captured as that scenario's runtime error.
+  std::vector<std::size_t> depths = {1};
   std::vector<std::string> stencils = {"vn4"};
   std::vector<std::string> boundaries = {"paper"};
   std::vector<std::string> kernels = {"average"};
@@ -76,10 +89,10 @@ struct SweepSpec {
   Scenario scenario_at(std::size_t index) const;
 
   /// All DISTINCT scenarios in cartesian order: points whose label aliases
-  /// an earlier one are dropped (the baseline ignores stream impl and
-  /// threshold; Case-R ignores threshold; elaboration ignores the DRAM
-  /// model and input family), so sweeping those dimensions never runs the
-  /// same configuration twice.
+  /// an earlier one are dropped (the baseline ignores stream impl,
+  /// threshold and cascade depth; Case-R ignores threshold; elaboration
+  /// ignores the DRAM model, input family and cascade depth), so sweeping
+  /// those dimensions never runs the same configuration twice.
   std::vector<Scenario> expand() const;
 
   /// Throws contract_error with a descriptive message if any dimension is
@@ -104,5 +117,9 @@ model::StreamImpl parse_impl(std::string_view token);  // hybrid | reg
 Mode parse_mode(std::string_view token);               // sim | elab
 GridDim parse_grid(std::string_view token);            // "16" or "16x32"
 std::size_t parse_count(std::string_view token, const char* what);
+
+/// Full-range unsigned 64-bit parse (0 allowed — seeds use the whole
+/// domain). Rejects signs, leading/trailing junk and overflow.
+std::uint64_t parse_u64(std::string_view token, const char* what);
 
 }  // namespace smache::sweep

@@ -1,0 +1,39 @@
+// Sweep-spec save/load: a SweepSpec serialises to a small, human-editable
+// JSON experiment file and parses back EXACTLY — emit(parse(emit(s))) is
+// byte-identical to emit(s), and the parsed spec expands to the same
+// labels, seeds and digests as the original. This is what turns
+// `smache-sweep` invocations into reproducible experiment artifacts: a
+// committed spec file plus a digest pins a whole sweep.
+//
+// The parser is strict in the spirit of the parse_* family in sweep/spec:
+// unknown keys, duplicate keys, malformed numbers, bad escapes and
+// trailing garbage all throw contract_error with a descriptive message —
+// nothing is silently guessed. Keys may be OMITTED (the field keeps its
+// SweepSpec default), so hand-written files can stay minimal; save_spec
+// always emits every key in a fixed order.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "sweep/spec.hpp"
+
+namespace smache::sweep {
+
+/// Canonical JSON form of `spec` (fixed key order, 2-space indent,
+/// trailing newline). Dimension tokens use the same spellings the
+/// parse_* family accepts ("smache", "hybrid", "16x24", ...).
+std::string emit_spec_json(const SweepSpec& spec);
+
+/// Strict inverse of emit_spec_json; also accepts hand-written files with
+/// keys omitted (defaults apply) or reordered. Throws contract_error on
+/// any malformed input. Does NOT run SweepSpec::validate() — callers
+/// decide when to pay the full cartesian check.
+SweepSpec parse_spec_json(std::string_view json);
+
+/// File front ends; throw contract_error when the file cannot be read or
+/// written (parse errors propagate with the path prepended).
+SweepSpec load_spec_file(const std::string& path);
+void save_spec_file(const SweepSpec& spec, const std::string& path);
+
+}  // namespace smache::sweep

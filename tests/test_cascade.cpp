@@ -68,6 +68,22 @@ TEST(Cascade, FloatDiffusionSupported) {
   EXPECT_EQ(res.output, reference_run(p, init));
 }
 
+TEST(Cascade, PopulatesWarmupCycles) {
+  // Cascade warmup = pipeline fill: the cycle the first result writes
+  // back. It must be populated (the seed left it at 0 — reports showed
+  // cascade rows with zero warmup) and grow with depth, since each fused
+  // stage adds its own window-fill latency.
+  const auto p = open_problem(12);
+  const auto init = random_grid(p.height, p.width, 99);
+  const Engine engine(EngineOptions::smache());
+  const auto shallow = engine.run_cascade(p, init, 1);
+  const auto deep = engine.run_cascade(p, init, 4);
+  EXPECT_GT(shallow.warmup_cycles, 0u);
+  EXPECT_LT(shallow.warmup_cycles, shallow.cycles);
+  EXPECT_GT(deep.warmup_cycles, shallow.warmup_cycles);
+  EXPECT_LT(deep.warmup_cycles, deep.cycles);
+}
+
 TEST(Cascade, TrafficDropsByDepth) {
   const auto p = open_problem(12);
   const auto init = random_grid(p.height, p.width, 80);

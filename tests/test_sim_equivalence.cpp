@@ -108,7 +108,12 @@ TEST(SimEquivalence, CascadeOpenBoundaries) {
   p.steps = 6;
   const auto r = Engine(EngineOptions::smache())
                      .run_cascade(p, seed_grid(10, 10, 92), 3);
-  expect_matches(r, Golden{317, 0, 2, 200, 200, 0, 0, 200,
+  // warmup=57 is the one intentional drift from the seed capture: the seed
+  // left RunResult::warmup_cycles at 0 for cascade runs (a reporting bug —
+  // the smache path populates it), so this pins the cascade's pipeline-fill
+  // warmup (CascadeTop::warmup_end_cycle) instead. Every other field is
+  // the seed value.
+  expect_matches(r, Golden{317, 57, 2, 200, 200, 0, 0, 200,
                            17733085793374785782ull,
                            "smache: cycles=317 fmax=238.279MHz "
                            "dram_read=800B dram_write=800B "

@@ -13,15 +13,20 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <set>
 
 #include "common/log.hpp"
 #include "common/parallel.hpp"
+#include "common/rng.hpp"
 #include "cost/dse.hpp"
 #include "sweep/emit.hpp"
 #include "sweep/executor.hpp"
 #include "sweep/spec.hpp"
+#include "sweep/specio.hpp"
 #include "sweep/workloads.hpp"
 
 namespace smache::sweep {
@@ -134,6 +139,71 @@ TEST(SweepSpec, ElaborationIgnoresDramAndInput) {
   EXPECT_EQ(spec.expand().size(), 1u);
 }
 
+TEST(SweepSpec, DepthAliasesToOneForBaselineAndElaboration) {
+  // The baseline has no cascade and elaboration runs no passes, so every
+  // depth collapses onto the depth-1 point there; only simulated Smache
+  // scenarios fan out, and their depth-1 label matches the pre-depth
+  // labelling exactly (no /d segment).
+  SweepSpec spec;
+  spec.archs = {Architecture::Baseline, Architecture::Smache};
+  spec.steps = {4};
+  spec.depths = {1, 2, 4};
+  EXPECT_EQ(spec.scenario_count(), 6u);
+  const auto scenarios = spec.expand();
+  ASSERT_EQ(scenarios.size(), 4u);  // baseline + smache d1/d2/d4
+  for (const auto& s : scenarios) {
+    if (s.engine.arch == Architecture::Baseline) {
+      EXPECT_EQ(s.depth, 1u);
+    }
+    if (s.depth > 1)
+      EXPECT_NE(s.label.find("/d" + std::to_string(s.depth)),
+                std::string::npos)
+          << s.label;
+    else
+      EXPECT_EQ(s.label.find("/d"), std::string::npos) << s.label;
+    // Depth is an architecture knob, not part of the workload identity:
+    // every depth processes the identical input data.
+    EXPECT_EQ(s.seed, scenarios[0].seed) << s.label;
+  }
+
+  SweepSpec elab = spec;
+  elab.mode = Mode::ElaborateOnly;
+  elab.archs = {Architecture::Smache};
+  EXPECT_EQ(elab.expand().size(), 1u);
+}
+
+TEST(SweepSpec, RejectsIndivisibleStepsDepthPairings) {
+  SweepSpec spec;
+  spec.steps = {3};
+  spec.depths = {2};
+  try {
+    spec.validate();
+    FAIL() << "expected contract_error";
+  } catch (const contract_error& e) {
+    EXPECT_NE(std::string(e.what()).find("not a multiple of cascade depth"),
+              std::string::npos)
+        << e.what();
+  }
+  // The check applies to the RAW pairing even where depth would alias
+  // away (baseline-only sweeps included): a malformed spec is rejected,
+  // never reinterpreted.
+  spec.archs = {Architecture::Baseline};
+  EXPECT_THROW(spec.validate(), contract_error);
+  {
+    SweepSpec zero;
+    zero.depths = {0};
+    EXPECT_THROW(zero.validate(), contract_error);
+  }
+  {
+    SweepSpec mixed;  // every steps x depths pairing must divide
+    mixed.steps = {4, 6};
+    mixed.depths = {1, 2, 4};
+    EXPECT_THROW(mixed.validate(), contract_error);  // 6 % 4 != 0
+    mixed.steps = {4, 8};
+    EXPECT_NO_THROW(mixed.validate());
+  }
+}
+
 TEST(SweepSpec, SeedsAreLabelStableAndDistinct) {
   SweepSpec spec;
   spec.stencils = {"vn4", "moore9"};
@@ -240,6 +310,121 @@ TEST(SweepSpec, ParsersRejectMalformedTokens) {
   EXPECT_EQ(parse_grid("16x24").width, 24u);
 }
 
+TEST(SweepSpec, ParseU64CoversTheFullDomain) {
+  // Seeds use all 64 bits (zero included) — the CLI must not funnel them
+  // through a signed or narrower type.
+  EXPECT_EQ(parse_u64("0", "seed"), 0u);
+  EXPECT_EQ(parse_u64("1", "seed"), 1u);
+  EXPECT_EQ(parse_u64("9223372036854775808", "seed"),
+            0x8000000000000000ull);  // 2^63: overflows int64
+  EXPECT_EQ(parse_u64("18446744073709551615", "seed"), ~0ull);
+  EXPECT_THROW(parse_u64("18446744073709551616", "seed"), contract_error);
+  EXPECT_THROW(parse_u64("", "seed"), contract_error);
+  EXPECT_THROW(parse_u64("-1", "seed"), contract_error);
+  EXPECT_THROW(parse_u64("+3", "seed"), contract_error);
+  EXPECT_THROW(parse_u64("12 ", "seed"), contract_error);
+  EXPECT_THROW(parse_u64("0x10", "seed"), contract_error);
+}
+
+// ---- spec save/load ------------------------------------------------------
+
+TEST(SpecIo, EmitParseRoundTripsExactly) {
+  SweepSpec spec;
+  spec.archs = {Architecture::Smache, Architecture::Baseline};
+  spec.impls = {model::StreamImpl::Hybrid, model::StreamImpl::RegisterOnly};
+  spec.thresholds = {3, 4};
+  spec.grids = {{11, 11}, {16, 24}};
+  spec.drams = {"functional", "stall"};
+  spec.steps = {4};
+  spec.depths = {1, 2, 4};
+  spec.stencils = {"vn4", "random5"};
+  spec.boundaries = {"open", "island"};
+  spec.kernels = {"average", "max"};
+  spec.inputs = {"impulse"};
+  spec.base_seed = 0xDEADBEEFCAFEF00Dull;   // needs the full u64 domain
+  spec.max_cycles = 3'000'000'000ull;       // above 2^31
+  const std::string json = emit_spec_json(spec);
+  const SweepSpec loaded = parse_spec_json(json);
+  // Byte-exact re-emission, and the same expansion: labels, seeds, depths.
+  EXPECT_EQ(emit_spec_json(loaded), json);
+  const auto a = spec.expand();
+  const auto b = loaded.expand();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].depth, b[i].depth);
+  }
+}
+
+TEST(SpecIo, ReloadedSpecReproducesTheDigest) {
+  SweepSpec spec;
+  spec.grids = {{8, 8}};
+  spec.steps = {2};
+  spec.depths = {1, 2};
+  spec.boundaries = {"open"};
+  const auto original = SweepExecutor().run(spec);
+  const auto reloaded =
+      SweepExecutor().run(parse_spec_json(emit_spec_json(spec)));
+  EXPECT_EQ(SweepExecutor::digest(original),
+            SweepExecutor::digest(reloaded));
+  EXPECT_EQ(emit_json(original), emit_json(reloaded));
+  EXPECT_EQ(emit_csv(original), emit_csv(reloaded));
+}
+
+TEST(SpecIo, OmittedKeysKeepDefaults) {
+  const SweepSpec defaults;
+  EXPECT_EQ(emit_spec_json(parse_spec_json("{}")),
+            emit_spec_json(defaults));
+  const SweepSpec partial =
+      parse_spec_json("{\"steps\": [6], \"depths\": [2, 3]}");
+  EXPECT_EQ(partial.steps, (std::vector<std::size_t>{6}));
+  EXPECT_EQ(partial.depths, (std::vector<std::size_t>{2, 3}));
+  EXPECT_EQ(partial.stencils, defaults.stencils);
+  EXPECT_EQ(partial.base_seed, defaults.base_seed);
+}
+
+TEST(SpecIo, RejectsMalformedSpecJson) {
+  EXPECT_THROW(parse_spec_json(""), contract_error);
+  EXPECT_THROW(parse_spec_json("[]"), contract_error);
+  EXPECT_THROW(parse_spec_json("{\"nope\": 1}"), contract_error);
+  EXPECT_THROW(parse_spec_json("{\"mode\": \"sim\", \"mode\": \"sim\"}"),
+               contract_error);  // duplicate key
+  EXPECT_THROW(parse_spec_json("{\"mode\": \"fast\"}"), contract_error);
+  EXPECT_THROW(parse_spec_json("{\"steps\": [0]}"), contract_error);
+  EXPECT_THROW(parse_spec_json("{\"steps\": [-1]}"), contract_error);
+  EXPECT_THROW(parse_spec_json("{\"steps\": [1,]}"), contract_error);
+  EXPECT_THROW(parse_spec_json("{\"steps\": 3}"), contract_error);
+  EXPECT_THROW(parse_spec_json("{\"grids\": [\"4x\"]}"), contract_error);
+  EXPECT_THROW(parse_spec_json("{\"base_seed\": 18446744073709551616}"),
+               contract_error);  // overflow
+  EXPECT_THROW(parse_spec_json("{\"max_cycles\": 0}"), contract_error);
+  EXPECT_THROW(parse_spec_json("{\"smache_sweep_spec\": 2}"),
+               contract_error);  // unsupported version
+  EXPECT_THROW(parse_spec_json("{} trailing"), contract_error);
+  EXPECT_THROW(parse_spec_json("{\"mode\": \"si"), contract_error);
+  EXPECT_THROW(parse_spec_json("{\"mode\": \"s\\im\"}"), contract_error);
+}
+
+TEST(SpecIo, FileRoundTripThroughDisk) {
+  SweepSpec spec;
+  spec.steps = {6};
+  spec.depths = {1, 3};
+  spec.boundaries = {"open"};
+  const std::string path = "specio_roundtrip_tmp.json";
+  save_spec_file(spec, path);
+  const SweepSpec loaded = load_spec_file(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(emit_spec_json(loaded), emit_spec_json(spec));
+  try {
+    (void)load_spec_file("does/not/exist.json");
+    FAIL() << "expected contract_error";
+  } catch (const contract_error& e) {
+    EXPECT_NE(std::string(e.what()).find("does/not/exist.json"),
+              std::string::npos);
+  }
+}
+
 // ---- executor determinism ------------------------------------------------
 
 SweepSpec mixed_spec() {
@@ -290,6 +475,98 @@ TEST(SweepExecutor, MatchesADirectEngineRun) {
   keep.keep_outputs = true;
   const auto kept = SweepExecutor(keep).run(spec);
   EXPECT_EQ(kept[0].run.output, direct.output);
+}
+
+TEST(SweepExecutor, DepthSweepIsBitIdenticalToSerial) {
+  // Threaded-vs-serial bit-identity with cascade depth in the grid: the
+  // executor's core contract must hold when scenarios route through
+  // Engine::run_cascade.
+  SweepSpec spec;
+  spec.grids = {{8, 8}, {10, 10}};
+  spec.steps = {4};
+  spec.depths = {1, 2, 4};
+  spec.stencils = {"vn4", "random5"};
+  spec.boundaries = {"open", "island", "quadrant"};
+  const auto serial = SweepExecutor({.threads = 1}).run(spec);
+  const auto threaded = SweepExecutor({.threads = 4}).run(spec);
+  ASSERT_EQ(serial.size(), 36u);  // 2 x 3 x 2 x 3, no aliases
+  EXPECT_EQ(SweepExecutor::digest(serial), SweepExecutor::digest(threaded));
+  EXPECT_EQ(emit_json(serial), emit_json(threaded));
+  EXPECT_EQ(emit_csv(serial), emit_csv(threaded));
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(serial[i].ok) << serial[i].error;
+    EXPECT_EQ(serial[i].run.cycles, threaded[i].run.cycles);
+    EXPECT_EQ(serial[i].output_hash, threaded[i].output_hash);
+  }
+}
+
+TEST(SweepExecutor, DepthScenarioMatchesDirectCascadeRun) {
+  SweepSpec spec;
+  spec.grids = {{10, 10}};
+  spec.steps = {4};
+  spec.depths = {2};
+  spec.boundaries = {"open"};
+  const auto results = SweepExecutor().run(spec);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].ok) << results[0].error;
+  const Scenario& s = results[0].scenario;
+  EXPECT_EQ(s.depth, 2u);
+  const auto init =
+      make_input(s.input, s.problem.height, s.problem.width, s.seed);
+  const RunResult direct = Engine(s.engine).run_cascade(s.problem, init, 2);
+  EXPECT_EQ(results[0].run.cycles, direct.cycles);
+  EXPECT_EQ(results[0].run.dram.words_read, direct.dram.words_read);
+  EXPECT_EQ(results[0].run.dram.words_written, direct.dram.words_written);
+  EXPECT_EQ(results[0].output_hash, hash_grid(direct.output));
+  // The cascade populates warmup (pipeline fill), and the sweep carries it.
+  EXPECT_GT(direct.warmup_cycles, 0u);
+  EXPECT_EQ(results[0].run.warmup_cycles, direct.warmup_cycles);
+  // The fused passes still compute the same answer as the K-step engine.
+  const RunResult flat = Engine(s.engine).run(s.problem, init);
+  EXPECT_EQ(hash_grid(flat.output), results[0].output_hash);
+}
+
+TEST(SweepExecutor, DepthVerifiesAgainstTheReferenceAcrossFusedPasses) {
+  SweepSpec spec;
+  spec.grids = {{8, 8}};
+  spec.steps = {6};
+  spec.depths = {2, 3};
+  spec.stencils = {"vn4", "moore9"};
+  spec.boundaries = {"open", "island"};
+  ExecutorOptions opts;
+  opts.threads = 2;
+  opts.verify_reference = true;
+  const auto results = SweepExecutor(opts).run(spec);
+  ASSERT_EQ(results.size(), 8u);
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok) << r.scenario.label << ": " << r.error;
+    EXPECT_TRUE(r.reference_checked);
+    EXPECT_TRUE(r.reference_match) << r.scenario.label;
+  }
+}
+
+TEST(SweepExecutor, PeriodicBoundaryWithDepthFailsDeterministically) {
+  // Periodic wraps cannot fuse within a pass (their data does not exist
+  // yet); such scenarios are captured as per-scenario errors — the sweep
+  // completes, stays deterministic, and the error text explains the why.
+  SweepSpec spec;
+  spec.grids = {{8, 8}};
+  spec.steps = {2};
+  spec.depths = {2};
+  spec.boundaries = {"paper", "circular", "open"};
+  const auto serial = SweepExecutor({.threads = 1}).run(spec);
+  const auto threaded = SweepExecutor({.threads = 3}).run(spec);
+  ASSERT_EQ(serial.size(), 3u);
+  for (const auto& r : serial) {
+    if (r.scenario.boundary == "open") {
+      EXPECT_TRUE(r.ok) << r.error;
+    } else {
+      EXPECT_FALSE(r.ok) << r.scenario.label;
+      EXPECT_NE(r.error.find("in-stream"), std::string::npos) << r.error;
+    }
+  }
+  EXPECT_EQ(SweepExecutor::digest(serial), SweepExecutor::digest(threaded));
+  EXPECT_EQ(emit_json(serial), emit_json(threaded));
 }
 
 TEST(SweepExecutor, VerifiesAgainstTheGoldenReference) {
@@ -350,6 +627,92 @@ TEST(SweepEmit, ReportsCarryTheCatalogueFields) {
   const std::string csv = emit_csv(results);
   EXPECT_EQ(csv.find("wall_ms"), std::string::npos);
   EXPECT_NE(csv.find("label,mode,arch"), std::string::npos);
+}
+
+TEST(SweepEmit, ReportsCarryTheDepthColumn) {
+  SweepSpec spec;
+  spec.grids = {{8, 8}};
+  spec.steps = {2};
+  spec.depths = {2};
+  spec.boundaries = {"open"};
+  const auto results = SweepExecutor().run(spec);
+  const std::string json = emit_json(results);
+  EXPECT_NE(json.find("\"depth\": 2"), std::string::npos);
+  EXPECT_NE(json.find("/d2/"), std::string::npos);  // label segment
+  const std::string csv = emit_csv(results);
+  EXPECT_NE(csv.find("label,mode,arch,height,width,steps,depth,stencil"),
+            std::string::npos);
+}
+
+TEST(SweepEmit, DoublesRoundTripExactly) {
+  // Committed sweep JSON must lose no bits: fmt_double emits the shortest
+  // decimal that parses back to the identical double.
+  const double cases[] = {0.0,
+                          1.0,
+                          0.1,
+                          1.0 / 3.0,
+                          0.1 + 0.2,  // 0.30000000000000004: needs 17 digits
+                          238.27862595419847,
+                          1e-300,
+                          1e300,
+                          5e-324,  // smallest denormal
+                          123456789.123456789};
+  for (const double v : cases) {
+    const std::string s = fmt_double(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
+  // Property sweep over random bit patterns (finite doubles only — the
+  // report never emits NaN/inf).
+  Rng rng(0xF17Aull);
+  std::size_t checked = 0;
+  while (checked < 2000) {
+    const double v = std::bit_cast<double>(rng.next_u64());
+    if (!std::isfinite(v)) continue;
+    ++checked;
+    const std::string s = fmt_double(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
+}
+
+TEST(SweepEmit, QuotesEveryStringValuedCsvColumn) {
+  // Registry names are plain identifiers today, but the CSV writer must
+  // not corrupt rows if a future family name carries a comma or quote.
+  std::vector<ScenarioResult> results(1);
+  ScenarioResult& r = results[0];
+  r.scenario.label = "li,ne";
+  r.scenario.stencil = "st,encil";
+  r.scenario.boundary = "bo\"und";
+  r.scenario.kernel = "ker,nel";
+  r.scenario.input = "in,put";
+  r.scenario.dram = "dr,am";
+  r.ok = false;
+  r.error = "an error, with commas";
+  const std::string csv = emit_csv(results);
+  EXPECT_NE(csv.find("\"li,ne\""), std::string::npos);
+  EXPECT_NE(csv.find("\"st,encil\""), std::string::npos);
+  EXPECT_NE(csv.find("\"bo\"\"und\""), std::string::npos);
+  EXPECT_NE(csv.find("\"ker,nel\""), std::string::npos);
+  EXPECT_NE(csv.find("\"in,put\""), std::string::npos);
+  EXPECT_NE(csv.find("\"dr,am\""), std::string::npos);
+  EXPECT_NE(csv.find("\"an error, with commas\""), std::string::npos);
+  // Column count survives: the data row holds exactly as many unquoted
+  // commas as the header row.
+  const auto commas_outside_quotes = [](std::string_view line) {
+    std::size_t n = 0;
+    bool in_quotes = false;
+    for (const char c : line) {
+      if (c == '"') in_quotes = !in_quotes;
+      else if (c == ',' && !in_quotes) ++n;
+    }
+    return n;
+  };
+  const std::size_t header_end = csv.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  const std::string_view all = csv;
+  const std::string_view header = all.substr(0, header_end);
+  const std::string_view row = all.substr(
+      header_end + 1, csv.find('\n', header_end + 1) - header_end - 1);
+  EXPECT_EQ(commas_outside_quotes(row), commas_outside_quotes(header));
 }
 
 // ---- the shared parallel substrate --------------------------------------

@@ -1,31 +1,41 @@
 // smache-sweep — batch scenario execution over the named workload registry.
 //
 // Expands a cartesian SweepSpec (architecture x stream impl x grid x DRAM
-// model x steps x stencil x boundary x kernel x input), runs every distinct
-// scenario on a worker pool (one independent Engine per scenario), and
-// writes deterministic JSON/CSV reports whose content is bit-identical for
-// any thread count.
+// model x steps x cascade depth x stencil x boundary x kernel x input),
+// runs every distinct scenario on a worker pool (one independent Engine
+// per scenario), and writes deterministic JSON/CSV reports whose content
+// is bit-identical for any thread count.
 //
 // Default sweep: 4 stencil shapes x 3 boundary families x 2 grids, 3
 // work-instances each — 24 scenario points.
+//
+// Sweeps are reproducible from spec files: --save-spec writes the resolved
+// spec as JSON, --spec re-runs exactly that experiment (same labels, same
+// seeds, same digest). --spec replaces the whole spec, so combining it
+// with any dimension flag is an error, not a silent merge.
 //
 // Examples:
 //   smache-sweep                            # default sweep, auto threads
 //   smache-sweep --threads 4 --verify-serial --out sweep.json
 //   smache-sweep --stencils random8,moore9 --boundaries island,striped
 //                --grids 11,16x24 --steps 2,5 --verify-reference
+//   smache-sweep --boundaries open,island --steps 12 --depths 1,2,3,4
 //   smache-sweep --mode elab --impls reg,hybrid --thresholds 3,4,16
+//   smache-sweep --steps 6 --depths 1,2 --save-spec experiment.json
+//   smache-sweep --spec experiment.json     # reproduce the digest above
 //   smache-sweep --list                     # print the workload catalogue
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 
+#include "common/assert.hpp"
 #include "common/cli.hpp"
 #include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "sweep/emit.hpp"
 #include "sweep/executor.hpp"
 #include "sweep/spec.hpp"
+#include "sweep/specio.hpp"
 #include "sweep/workloads.hpp"
 
 using namespace smache;
@@ -81,6 +91,15 @@ auto parse_dim(const CliArgs& args, const std::string& flag,
   return out;
 }
 
+/// Every flag that shapes the SweepSpec. --spec replaces the whole spec,
+/// so pairing it with any of these is rejected rather than silently
+/// merged.
+const char* const kSpecFlags[] = {
+    "mode",  "archs",  "impls",    "thresholds", "grids",
+    "drams", "dram",   "steps",    "depths",     "stencils",
+    "boundaries",      "kernels",  "inputs",     "seed",
+    "max-cycles"};
+
 sweep::SweepSpec spec_from_args(const CliArgs& args) {
   sweep::SweepSpec spec;
   spec.mode = sweep::parse_mode(args.get_string("mode", "sim"));
@@ -101,9 +120,20 @@ sweep::SweepSpec spec_from_args(const CliArgs& args) {
                          [](const std::string& s) {
                            return sweep::parse_grid(s);
                          });
-  spec.drams = sweep::split_list(args.get_string("dram", "functional"));
+  // --drams is the canonical spelling; the historical singular --dram is
+  // kept as an accepted alias. Passing both is rejected, not resolved by
+  // precedence — "reject loudly" beats "run something else".
+  if (args.has("drams") && args.has("dram"))
+    throw contract_error("--drams and its alias --dram are the same flag; "
+                         "pass only one");
+  spec.drams = sweep::split_list(
+      args.has("drams") ? args.get_string("drams", "functional")
+                        : args.get_string("dram", "functional"));
   spec.steps = parse_dim(args, "steps", "3", [](const std::string& s) {
     return sweep::parse_count(s, "step count");
+  });
+  spec.depths = parse_dim(args, "depths", "1", [](const std::string& s) {
+    return sweep::parse_count(s, "cascade depth");
   });
   spec.stencils = sweep::split_list(
       args.get_string("stencils", "vn4,moore9,diamond13,cross3"));
@@ -111,12 +141,30 @@ sweep::SweepSpec spec_from_args(const CliArgs& args) {
       args.get_string("boundaries", "paper,circular,island"));
   spec.kernels = sweep::split_list(args.get_string("kernels", "average"));
   spec.inputs = sweep::split_list(args.get_string("inputs", "random"));
-  spec.base_seed =
-      static_cast<std::uint64_t>(args.get_int("seed", 1));
-  spec.max_cycles = static_cast<std::uint64_t>(
-      args.get_int("max-cycles", 200'000'000));
-  spec.validate();
+  // Full 64-bit parses: get_int would funnel these through int64 and make
+  // seeds/watchdogs above 2^63 unrepresentable.
+  spec.base_seed = sweep::parse_u64(args.get_string("seed", "1"), "seed");
+  spec.max_cycles = sweep::parse_u64(
+      args.get_string("max-cycles", "200000000"), "max-cycles");
+  if (spec.max_cycles == 0)
+    throw contract_error("malformed max-cycles '0' (the simulation "
+                         "watchdog must be >= 1)");
   return spec;
+}
+
+sweep::SweepSpec resolve_spec(const CliArgs& args) {
+  const std::string spec_path = args.get_string("spec", "");
+  // A present-but-valueless --spec (filename omitted or swallowed by the
+  // next flag) must not silently fall back to the default sweep.
+  if (args.has("spec") && spec_path.empty())
+    throw contract_error("--spec needs a filename");
+  if (spec_path.empty()) return spec_from_args(args);
+  for (const char* flag : kSpecFlags)
+    if (args.has(flag))
+      throw contract_error("--spec replaces the whole sweep spec; drop "
+                           "--" + std::string(flag) +
+                           " (edit the spec file instead)");
+  return sweep::load_spec_file(spec_path);
 }
 
 double run_wall_ms(const std::function<void()>& fn) {
@@ -147,11 +195,17 @@ int main(int argc, char** argv) {
         "usage: smache-sweep [--threads N] [--mode sim|elab]\n"
         "  [--archs smache,baseline] [--impls hybrid,reg]\n"
         "  [--thresholds 4,...] [--grids 11,16x24,...]\n"
-        "  [--dram functional,ddr,stall] [--steps 3,...]\n"
-        "  [--stencils ...] [--boundaries ...] [--kernels ...]\n"
-        "  [--inputs ...] [--seed N] [--max-cycles N]\n"
+        "  [--drams functional,ddr,stall] [--steps 3,...]\n"
+        "  [--depths 1,2,...] [--stencils ...] [--boundaries ...]\n"
+        "  [--kernels ...] [--inputs ...] [--seed N] [--max-cycles N]\n"
+        "  [--spec experiment.json] [--save-spec experiment.json]\n"
         "  [--out report.json] [--csv report.csv] [--no-wall]\n"
-        "  [--verify-serial] [--verify-reference] [--list] [--quiet]\n");
+        "  [--verify-serial] [--verify-reference] [--list] [--quiet]\n"
+        "--depths sweeps the cascade (temporal-blocking) depth: each\n"
+        "scenario fuses that many time steps per DRAM pass (depth 1 = the\n"
+        "per-instance engine); every steps value must divide by every\n"
+        "depth. --save-spec writes the resolved spec as JSON; --spec\n"
+        "re-runs exactly that experiment (exclusive with dimension flags).\n");
     return 0;
   }
   if (args.get_bool("list", false)) {
@@ -161,11 +215,27 @@ int main(int argc, char** argv) {
 
   sweep::SweepSpec spec;
   try {
-    spec = spec_from_args(args);
+    spec = resolve_spec(args);
+    spec.validate();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "smache-sweep: malformed sweep spec: %s\n",
                  e.what());
     return 2;
+  }
+
+  const std::string save_spec_path = args.get_string("save-spec", "");
+  if (args.has("save-spec") && save_spec_path.empty()) {
+    std::fprintf(stderr, "smache-sweep: --save-spec needs a filename\n");
+    return 2;
+  }
+  if (!save_spec_path.empty()) {
+    try {
+      sweep::save_spec_file(spec, save_spec_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "smache-sweep: %s\n", e.what());
+      return 2;
+    }
+    std::printf("wrote %s\n", save_spec_path.c_str());
   }
 
   sweep::ExecutorOptions opts;
