@@ -74,8 +74,8 @@ int main(int argc, char** argv) {
 
   // Physics sanity: explicit diffusion on a torus conserves total heat up
   // to float rounding, and the peak must decay monotonically.
-  const float heat_after = total_heat(run.output);
-  const float peak = cell_temp(run.output, size / 2, size / 2);
+  const float heat_after = total_heat(*run.output);
+  const float peak = cell_temp(*run.output, size / 2, size / 2);
   std::printf("total heat: %.3f -> %.3f (conservation error %.4f%%)\n",
               static_cast<double>(heat_before),
               static_cast<double>(heat_after),
@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
   std::printf("\nprofile through the hot row:\n  ");
   for (std::size_t c = 0; c < size; c += (size >= 24 ? 2 : 1))
     std::printf("%6.1f", static_cast<double>(
-                             cell_temp(run.output, size / 2, c)));
+                             cell_temp(*run.output, size / 2, c)));
   std::printf("\n");
   return exact ? 0 : 1;
 }

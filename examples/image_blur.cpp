@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
                   baseline_run.output == expected;
   std::printf("verification: %s (blurred checksum %016llx)\n\n",
               ok ? "both designs BIT-EXACT" : "MISMATCH",
-              static_cast<unsigned long long>(checksum(smache_run.output)));
+              static_cast<unsigned long long>(checksum(*smache_run.output)));
 
   // A 9-point stencil is where buffering shines: the baseline re-reads
   // every pixel nine times.

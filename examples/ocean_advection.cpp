@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
   // At Courant 1, exact upwind advection translates the field by one row
   // per step; after `height` steps the blob is back where it started,
   // having crossed the circular boundary once.
-  const std::size_t final_row = blob_row(run.output);
+  const std::size_t final_row = blob_row(*run.output);
   std::printf("tracer blob: started at row %zu, after a full circuit sits "
               "at row %zu (%s)\n",
               start_row, final_row,

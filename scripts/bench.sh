@@ -7,7 +7,7 @@
 # BENCH_<target>.json per target lands in $OUT_DIR, so CI can archive them
 # and trajectory can be compared across commits (e.g. with `jq`).
 #
-# Usage: scripts/bench.sh [target...]        (default: all 10 targets)
+# Usage: scripts/bench.sh [target...]        (default: all 11 targets)
 #   BUILD_DIR  build tree holding bench/ binaries   (default: build)
 #   OUT_DIR    where BENCH_*.json files are written (default:
 #              $BUILD_DIR/bench_results)
@@ -30,7 +30,7 @@ REPS="${REPS:-3}"
 # caller explicitly overrides.
 export SMACHE_SWEEP_THREADS="${SMACHE_SWEEP_THREADS:-1}"
 
-GBENCH_TARGETS=(algorithm1_bench micro_sim_primitives)
+GBENCH_TARGETS=(algorithm1_bench micro_sim_primitives tiled_engine_bench)
 STANDALONE_TARGETS=(ablation_bus_topology ablation_cascade
   ablation_dram_models ablation_hybrid_sweep ablation_warmup
   fig2_smache_vs_baseline scaling_gridsize table1_resources)

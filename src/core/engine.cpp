@@ -4,7 +4,9 @@
 #include <sstream>
 
 #include "common/assert.hpp"
+#include "common/parallel.hpp"
 #include "grid/reference.hpp"
+#include "grid/tiling.hpp"
 #include "mem/dram.hpp"
 #include "rtl/baseline_top.hpp"
 #include "rtl/cascade_top.hpp"
@@ -190,6 +192,101 @@ RunResult Engine::run_cascade(const ProblemSpec& problem,
     result.mops = static_cast<double>(result.ops) / result.exec_time_us;
   }
   return result;
+}
+
+RunResult Engine::run_tiled(const ProblemSpec& problem,
+                            const grid::Grid<word_t>& initial,
+                            const TilingSpec& tiling) const {
+  problem.validate();
+  SMACHE_REQUIRE(initial.height() == problem.height &&
+                 initial.width() == problem.width);
+  SMACHE_REQUIRE_MSG(tiling.depth >= 1 && problem.steps % tiling.depth == 0,
+                     "steps must be a multiple of the tiling depth");
+  if (tiling.tiles_r == 1 && tiling.tiles_c == 1)
+    return tiling.depth > 1 ? run_cascade(problem, initial, tiling.depth)
+                            : run(problem, initial);
+
+  const grid::TilingLayout layout = grid::plan_tiling(
+      problem.height, problem.width, tiling.tiles_r, tiling.tiles_c,
+      problem.shape, problem.bc, tiling.depth);
+  const std::size_t passes = problem.steps / tiling.depth;
+  const std::size_t n = layout.tiles.size();
+
+  grid::Grid<word_t> state = initial;
+  RunResult agg;
+  agg.arch = options_.arch;
+  std::vector<RunResult> tile_runs(n);
+
+  for (std::size_t pass = 0; pass < passes; ++pass) {
+    grid::Grid<word_t> next(problem.height, problem.width);
+    // Workers only touch index-owned slots plus disjoint interiors of
+    // `next`; `state` is read-only until the pass drains.
+    parallel_for_index(n, tiling.threads, [&](std::size_t i) {
+      const grid::TileGeometry& t = layout.tiles[i];
+      ProblemSpec sub = problem;
+      sub.height = t.sub_height();
+      sub.width = t.sub_width();
+      sub.bc = t.sub_bc;
+      sub.steps = tiling.depth;
+      const grid::Grid<word_t> fed = grid::gather_tile(state, t, problem.bc);
+      RunResult r = tiling.depth > 1 ? run_cascade(sub, fed, tiling.depth)
+                                     : run(sub, fed);
+      grid::stitch_interior(next, t, *r.output);
+      r.output.reset();  // the stitch consumed it
+      tile_runs[i] = std::move(r);
+    });
+    state = std::move(next);
+
+    // Deterministic aggregation in tile order: a pass is as slow as its
+    // slowest tile, DRAM traffic sums over every tile-run (halo redundancy
+    // is charged honestly), and the replicated datapaths are accounted once
+    // from the first pass — resources sum, timing is the slowest tile's.
+    std::uint64_t pass_cycles = 0;
+    for (const RunResult& r : tile_runs) {
+      pass_cycles = std::max(pass_cycles, r.cycles);
+      agg.dram.read_requests += r.dram.read_requests;
+      agg.dram.words_read += r.dram.words_read;
+      agg.dram.words_written += r.dram.words_written;
+      agg.dram.row_hits += r.dram.row_hits;
+      agg.dram.row_misses += r.dram.row_misses;
+      agg.dram.injected_stall_cycles += r.dram.injected_stall_cycles;
+      agg.dram.read_busy_cycles += r.dram.read_busy_cycles;
+    }
+    agg.cycles += pass_cycles;
+    if (pass == 0) {
+      for (const RunResult& r : tile_runs) {
+        agg.warmup_cycles = std::max(agg.warmup_cycles, r.warmup_cycles);
+        agg.resources.r_static += r.resources.r_static;
+        agg.resources.b_static += r.resources.b_static;
+        agg.resources.r_stream += r.resources.r_stream;
+        agg.resources.b_stream += r.resources.b_stream;
+        agg.resources.r_total += r.resources.r_total;
+        agg.resources.b_total += r.resources.b_total;
+        agg.resources.m20k_blocks += r.resources.m20k_blocks;
+        if (r.estimate) {
+          if (!agg.estimate) agg.estimate.emplace();
+          agg.estimate->r_static += r.estimate->r_static;
+          agg.estimate->b_static += r.estimate->b_static;
+          agg.estimate->r_stream += r.estimate->r_stream;
+          agg.estimate->b_stream += r.estimate->b_stream;
+        }
+        if (agg.timing.fmax_mhz == 0.0 ||
+            r.timing.fmax_mhz < agg.timing.fmax_mhz)
+          agg.timing = r.timing;
+      }
+      agg.plan = tile_runs[0].plan;
+    }
+  }
+
+  agg.output = std::move(state);
+  // Logical work only — the redundant halo compute is a cost, not output.
+  agg.ops = static_cast<std::uint64_t>(problem.cells()) * problem.steps *
+            problem.kernel.ops_per_point(problem.shape.size());
+  if (agg.timing.fmax_mhz > 0.0 && agg.cycles > 0) {
+    agg.exec_time_us = static_cast<double>(agg.cycles) / agg.timing.fmax_mhz;
+    agg.mops = static_cast<double>(agg.ops) / agg.exec_time_us;
+  }
+  return agg;
 }
 
 grid::Grid<word_t> reference_run(const ProblemSpec& problem,

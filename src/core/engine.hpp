@@ -57,16 +57,35 @@ struct EngineOptions {
   }
 };
 
+/// Intra-scenario spatial decomposition: split the grid into tiles_r x
+/// tiles_c halo-padded tiles and simulate each tile as an independent
+/// engine instance, exchanging halos between passes. Output is
+/// bit-identical to the untiled run for every supported pairing (see
+/// grid/tiling.hpp for which pairings tile and why).
+struct TilingSpec {
+  std::size_t tiles_r = 1;
+  std::size_t tiles_c = 1;
+  /// Worker threads for the per-pass tile loop (0 = hardware_threads(),
+  /// 1 = serial). Results are bit-identical for any value.
+  std::size_t threads = 1;
+  /// Time steps fused on chip between halo exchanges (each tile sub-run is
+  /// a depth-deep cascade). problem.steps must be a multiple of depth.
+  std::size_t depth = 1;
+};
+
 struct RunResult {
   Architecture arch = Architecture::Smache;
   std::uint64_t cycles = 0;
   /// Smache static-prefetch phase for run() (0 for the baseline and for
   /// plans with nothing to prefetch); the cascade's pipeline fill
-  /// (first-writeback cycle) for run_cascade(). Two different
-  /// quantities — do not compare across the two paths.
+  /// (first-writeback cycle) for run_cascade(); the slowest pass-0 tile's
+  /// warmup for run_tiled(). Different quantities — do not compare across
+  /// paths.
   std::uint64_t warmup_cycles = 0;
   mem::DramStats dram;
-  grid::Grid<word_t> output{1, 1};
+  /// Final grid state; empty for elaborate_only() and when a batch driver
+  /// has deliberately dropped it (SweepExecutor with keep_outputs=false).
+  std::optional<grid::Grid<word_t>> output;
 
   /// Elaborated ("actual") resources from the ledger.
   cost::MemoryActual resources;
@@ -106,6 +125,20 @@ class Engine {
   RunResult run_cascade(const ProblemSpec& problem,
                         const grid::Grid<word_t>& initial,
                         std::size_t depth) const;
+
+  /// Spatially-tiled execution: each pass gathers every tile's halo-padded
+  /// subgrid from the current state, simulates the tiles concurrently
+  /// (tiling.threads workers) as independent engine instances advancing
+  /// tiling.depth steps, and stitches the interiors into the next state.
+  /// The output grid is bit-identical to run()/run_cascade() for any tile
+  /// and thread count; unsupported boundary/stencil/depth pairings throw a
+  /// descriptive contract_error (never silently diverge). Cycles are
+  /// max-per-pass over tiles (tiles run concurrently); DRAM traffic sums
+  /// every tile-run, charging halo redundancy honestly; resources/timing
+  /// sum/min over the replicated pass-0 datapaths.
+  RunResult run_tiled(const ProblemSpec& problem,
+                      const grid::Grid<word_t>& initial,
+                      const TilingSpec& tiling) const;
 
   /// Elaborate the design and report resources without running a single
   /// cycle (Table I's 1024x1024 rows).

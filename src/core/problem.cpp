@@ -1,5 +1,6 @@
 #include "core/problem.hpp"
 
+#include <limits>
 #include <sstream>
 
 #include "common/assert.hpp"
@@ -10,6 +11,11 @@ namespace smache {
 void ProblemSpec::validate() const {
   SMACHE_REQUIRE_MSG(height >= 1 && width >= 1,
                      "grid must be at least 1x1");
+  // cells() computes height * width without a guard; reject a product that
+  // would wrap std::size_t before anything downstream sizes a buffer by it.
+  SMACHE_REQUIRE_MSG(
+      width <= std::numeric_limits<std::size_t>::max() / height,
+      "grid dimensions overflow std::size_t");
   SMACHE_REQUIRE_MSG(steps >= 1, "at least one work-instance required");
   SMACHE_REQUIRE_MSG(shape.size() <= rtl::kMaxTuple,
                      "stencil arity exceeds kMaxTuple");

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -14,10 +15,22 @@ namespace smache::grid {
 template <typename T>
 class Grid {
  public:
-  Grid(std::size_t height, std::size_t width, T fill = T{})
-      : height_(height), width_(width), data_(height * width, fill) {
+  /// Validated cell count. Rejects degenerate axes and any height*width
+  /// that would wrap std::size_t — a wrapped product allocates a short
+  /// vector while at()'s per-axis checks still pass, indexing out of range.
+  /// Runs before the vector is sized, so no allocation happens on reject.
+  static std::size_t checked_cells(std::size_t height, std::size_t width) {
     SMACHE_REQUIRE(height >= 1 && width >= 1);
+    SMACHE_REQUIRE_MSG(
+        width <= std::numeric_limits<std::size_t>::max() / height,
+        "grid dimensions overflow std::size_t");
+    return height * width;
   }
+
+  Grid(std::size_t height, std::size_t width, T fill = T{})
+      : height_(height),
+        width_(width),
+        data_(checked_cells(height, width), fill) {}
 
   std::size_t height() const noexcept { return height_; }
   std::size_t width() const noexcept { return width_; }
@@ -66,7 +79,7 @@ class Grid {
 
   static Grid from_words(std::size_t height, std::size_t width,
                          const std::vector<word_t>& words) {
-    SMACHE_REQUIRE(words.size() == height * width);
+    SMACHE_REQUIRE(words.size() == checked_cells(height, width));
     Grid g(height, width);
     for (std::size_t i = 0; i < words.size(); ++i)
       g.data_[i] = from_word<T>(words[i]);

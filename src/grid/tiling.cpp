@@ -1,0 +1,210 @@
+#include "grid/tiling.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace smache::grid {
+
+namespace {
+
+/// One axis of the decomposition, planned independently: rows and cols obey
+/// the same cut/halo/boundary rules, just with different reaches.
+struct AxisCut {
+  std::size_t lo = 0;       // interior start on this axis
+  std::size_t extent = 0;   // interior length
+  std::size_t halo_lo = 0;  // halo toward index 0
+  std::size_t halo_hi = 0;  // halo toward index n-1
+  AxisBoundary sub;         // boundary the padded sub-problem sees
+};
+
+[[noreturn]] void reject(const std::string& msg) {
+  throw contract_error("plan_tiling: " + msg);
+}
+
+/// reach_lo/reach_hi are the per-step dependency reaches toward index 0 and
+/// index n-1 (asymmetric stencils have different reaches per direction);
+/// span = reach_lo + reach_hi is the stencil's extent on this axis.
+std::vector<AxisCut> plan_axis(const char* axis, std::size_t n,
+                               std::size_t k, std::size_t reach_lo,
+                               std::size_t reach_hi, const AxisBoundary& ab,
+                               std::size_t depth) {
+  SMACHE_REQUIRE_MSG(k >= 1, "tile counts must be >= 1");
+  if (k > n) {
+    std::ostringstream msg;
+    msg << axis << " axis: " << k << " tiles over " << n << " cells";
+    reject(msg.str());
+  }
+  if (k == 1) {
+    // No cuts: the tile keeps the global boundary and needs no halo. A
+    // periodic wrap on an uncut axis would have to be resolved by the tile
+    // datapath itself, which the cascade cannot do.
+    if (ab.kind == BoundaryKind::Periodic && depth > 1) {
+      std::ostringstream msg;
+      msg << "depth " << depth << " cannot fuse across an unsplit periodic "
+          << axis << " axis (the wrap needs the per-instance engine's "
+          << "double-buffered static buffers); split the axis into >= 2 "
+          << "tiles so the wrap becomes halo exchange, or use depth 1";
+      reject(msg.str());
+    }
+    return {AxisCut{0, n, 0, 0, ab}};
+  }
+
+  const std::size_t need_lo = depth * reach_lo;
+  const std::size_t need_hi = depth * reach_hi;
+  const std::size_t span = reach_lo + reach_hi;
+  const std::size_t base = n / k;
+  const std::size_t rem = n % k;
+
+  std::vector<AxisCut> cuts;
+  cuts.reserve(k);
+  std::size_t lo = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    AxisCut cut;
+    cut.lo = lo;
+    cut.extent = base + (i < rem ? 1 : 0);
+    lo += cut.extent;
+    if (ab.kind == BoundaryKind::Periodic) {
+      // Full halos on both sides, materialised by wrapping at gather time.
+      // The sub-problem sees an open axis: its (wrong) edge resolution
+      // only ever touches halo cells, which the stitch discards.
+      cut.halo_lo = need_lo;
+      cut.halo_hi = need_hi;
+      cut.sub = AxisBoundary::open();
+    } else {
+      // Clip at the true grid edge so a subgrid edge coincides with the
+      // global edge exactly where open/mirror/constant must resolve.
+      cut.halo_lo = std::min(need_lo, cut.lo);
+      cut.halo_hi = std::min(need_hi, n - (cut.lo + cut.extent));
+      cut.sub = ab;
+    }
+
+    const std::size_t sub_extent = cut.halo_lo + cut.extent + cut.halo_hi;
+    if (sub_extent <= span) {
+      std::ostringstream msg;
+      msg << axis << " tile " << i << ": padded extent " << sub_extent
+          << " does not exceed the stencil's span " << span
+          << "; use fewer tiles";
+      reject(msg.str());
+    }
+
+    if (ab.kind == BoundaryKind::Mirror) {
+      // A fold at a coinciding true edge reads up to `reach` cells back
+      // into the subgrid; the cut on the opposite side taints cells at a
+      // rate of the opposing reach per step. The reflected read must stay
+      // ahead of that error front for all `depth` steps:
+      //   sub_extent > reach_toward_edge + (depth-1) * reach_from_cut.
+      // (A tile whose subgrid touches both true edges has no cut on this
+      // axis and needs no condition; a tile touching neither edge never
+      // folds inside its kept dependency cone.)
+      const bool at_lo = cut.lo == cut.halo_lo;
+      const bool at_hi = cut.lo + cut.extent + cut.halo_hi == n;
+      const std::size_t min_lo = reach_lo + (depth - 1) * reach_hi;
+      const std::size_t min_hi = reach_hi + (depth - 1) * reach_lo;
+      if ((at_lo && !at_hi && sub_extent <= min_lo) ||
+          (at_hi && !at_lo && sub_extent <= min_hi)) {
+        std::ostringstream msg;
+        msg << axis << " tile " << i << ": mirror boundary needs a padded "
+            << "extent greater than " << (at_lo && !at_hi ? min_lo : min_hi)
+            << " (reflected reach at depth " << depth
+            << "), got " << sub_extent
+            << "; use fewer tiles or a smaller depth";
+        reject(msg.str());
+      }
+    }
+    cuts.push_back(cut);
+  }
+  return cuts;
+}
+
+std::size_t reach_neg(std::int64_t d_min) {
+  return d_min < 0 ? static_cast<std::size_t>(-d_min) : 0;
+}
+std::size_t reach_pos(std::int64_t d_max) {
+  return d_max > 0 ? static_cast<std::size_t>(d_max) : 0;
+}
+
+}  // namespace
+
+TilingLayout plan_tiling(std::size_t height, std::size_t width,
+                         std::size_t tiles_r, std::size_t tiles_c,
+                         const StencilShape& shape, const BoundarySpec& bc,
+                         std::size_t depth) {
+  SMACHE_REQUIRE_MSG(depth >= 1, "tiling depth must be >= 1");
+  grid::Grid<word_t>::checked_cells(height, width);
+
+  const auto row_cuts =
+      plan_axis("row", height, tiles_r, reach_neg(shape.dr_min()),
+                reach_pos(shape.dr_max()), bc.rows, depth);
+  const auto col_cuts =
+      plan_axis("column", width, tiles_c, reach_neg(shape.dc_min()),
+                reach_pos(shape.dc_max()), bc.cols, depth);
+
+  TilingLayout layout;
+  layout.height = height;
+  layout.width = width;
+  layout.tiles_r = tiles_r;
+  layout.tiles_c = tiles_c;
+  layout.depth = depth;
+  layout.tiles.reserve(tiles_r * tiles_c);
+  for (const AxisCut& rc : row_cuts) {
+    for (const AxisCut& cc : col_cuts) {
+      TileGeometry t;
+      t.r0 = rc.lo;
+      t.c0 = cc.lo;
+      t.rows = rc.extent;
+      t.cols = cc.extent;
+      t.halo_top = rc.halo_lo;
+      t.halo_bottom = rc.halo_hi;
+      t.halo_left = cc.halo_lo;
+      t.halo_right = cc.halo_hi;
+      t.sub_bc = BoundarySpec{rc.sub, cc.sub};
+      layout.tiles.push_back(t);
+    }
+  }
+  return layout;
+}
+
+Grid<word_t> gather_tile(const Grid<word_t>& global, const TileGeometry& tile,
+                         const BoundarySpec& bc) {
+  const auto h = static_cast<std::int64_t>(global.height());
+  const auto w = static_cast<std::int64_t>(global.width());
+  Grid<word_t> sub(tile.sub_height(), tile.sub_width());
+  for (std::size_t sr = 0; sr < sub.height(); ++sr) {
+    std::int64_t gr = tile.origin_r() + static_cast<std::int64_t>(sr);
+    if (gr < 0 || gr >= h) {
+      // plan_tiling clips halos at every non-periodic edge, so an
+      // out-of-range halo cell can only mean a wrapped periodic axis.
+      SMACHE_REQUIRE_MSG(bc.rows.kind == BoundaryKind::Periodic,
+                         "tile halo escapes a non-periodic row edge");
+      gr = floor_mod(gr, h);
+    }
+    for (std::size_t sc = 0; sc < sub.width(); ++sc) {
+      std::int64_t gc = tile.origin_c() + static_cast<std::int64_t>(sc);
+      if (gc < 0 || gc >= w) {
+        SMACHE_REQUIRE_MSG(bc.cols.kind == BoundaryKind::Periodic,
+                           "tile halo escapes a non-periodic column edge");
+        gc = floor_mod(gc, w);
+      }
+      sub.at(sr, sc) = global.at(static_cast<std::size_t>(gr),
+                                 static_cast<std::size_t>(gc));
+    }
+  }
+  return sub;
+}
+
+void stitch_interior(Grid<word_t>& global, const TileGeometry& tile,
+                     const Grid<word_t>& sub) {
+  SMACHE_REQUIRE(sub.height() == tile.sub_height() &&
+                 sub.width() == tile.sub_width());
+  SMACHE_REQUIRE(tile.r0 + tile.rows <= global.height() &&
+                 tile.c0 + tile.cols <= global.width());
+  for (std::size_t r = 0; r < tile.rows; ++r)
+    for (std::size_t c = 0; c < tile.cols; ++c)
+      global.at(tile.r0 + r, tile.c0 + c) =
+          sub.at(tile.halo_top + r, tile.halo_left + c);
+}
+
+}  // namespace smache::grid

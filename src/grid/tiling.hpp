@@ -1,0 +1,110 @@
+// Spatial tiling geometry for intra-scenario parallelism: split a grid into
+// a tiles_r x tiles_c mesh of interior rectangles, each padded with a halo
+// wide enough that `depth` fused time steps computed independently on the
+// padded subgrid leave the interior bit-identical to the untiled run (the
+// classic ghost-zone / redundant-computation scheme).
+//
+// Halo width per side = depth * per-direction stencil reach: the error
+// front introduced at a tile cut advances by at most the per-step reach
+// each step, so after `depth` steps it has consumed exactly the halo and
+// the interior is still exact. Boundary families interact with cuts
+// per-axis:
+//
+//   unsplit axis   — no cuts, no halo; the tile keeps the global boundary
+//                    (any family, including periodic).
+//   split periodic — full un-clipped halos on both sides of every tile,
+//                    materialised by wrapping at gather time; the tile
+//                    itself sees an *open* axis (whatever wrong values the
+//                    open sub-boundary produces land only in halo cells
+//                    that are discarded by the stitch). This is also what
+//                    lets depth>1 cascades run across a periodic axis:
+//                    the wrap is resolved by the exchange, not the
+//                    datapath.
+//   split open / mirror / constant — halos are clipped at the true grid
+//                    edge so a subgrid edge coincides with the global edge
+//                    exactly where the family must resolve; the tile keeps
+//                    the global family. Mirror additionally requires the
+//                    subgrid extent to exceed the reflected reach (see
+//                    plan_tiling) or the fold would read cells the halo
+//                    error front has already consumed — those pairings are
+//                    rejected with a descriptive error, never silently
+//                    diverged.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/word.hpp"
+#include "grid/boundary.hpp"
+#include "grid/grid.hpp"
+#include "grid/stencil.hpp"
+
+namespace smache::grid {
+
+/// One tile: an interior rectangle of the global grid (owned cells, written
+/// back by the stitch) plus per-side halo widths (read-only ghost cells).
+struct TileGeometry {
+  std::size_t r0 = 0, c0 = 0;      ///< interior origin, global coordinates
+  std::size_t rows = 0, cols = 0;  ///< interior extent
+  std::size_t halo_top = 0, halo_bottom = 0;
+  std::size_t halo_left = 0, halo_right = 0;
+  /// Boundary spec of the padded sub-problem (split periodic axes become
+  /// open; everything else keeps the global family).
+  BoundarySpec sub_bc;
+
+  std::size_t sub_height() const noexcept {
+    return halo_top + rows + halo_bottom;
+  }
+  std::size_t sub_width() const noexcept {
+    return halo_left + cols + halo_right;
+  }
+  /// Global coordinate of subgrid cell (0,0); negative when a periodic
+  /// halo wraps past the grid origin.
+  std::int64_t origin_r() const noexcept {
+    return static_cast<std::int64_t>(r0) - static_cast<std::int64_t>(halo_top);
+  }
+  std::int64_t origin_c() const noexcept {
+    return static_cast<std::int64_t>(c0) -
+           static_cast<std::int64_t>(halo_left);
+  }
+};
+
+/// A full decomposition: tiles in row-major tile order, interiors disjoint
+/// and covering the grid exactly.
+struct TilingLayout {
+  std::size_t height = 0, width = 0;
+  std::size_t tiles_r = 1, tiles_c = 1;
+  std::size_t depth = 1;
+  std::vector<TileGeometry> tiles;
+};
+
+/// Plan a tiles_r x tiles_c decomposition of a height x width grid for
+/// `depth` fused steps of `shape` under `bc`. Tile extents are balanced
+/// (earlier tiles take the remainder). Throws contract_error with a
+/// descriptive message for pairings that cannot tile exactly:
+///   - more tiles than cells on an axis;
+///   - a padded subgrid no larger than the stencil span;
+///   - a split mirror axis whose edge tiles are too small for the
+///     reflected reach at this depth;
+///   - depth > 1 with an *unsplit* periodic axis (the wrap would need the
+///     per-instance engine's double-buffered static buffers; splitting the
+///     axis turns the wrap into halo exchange and is supported).
+TilingLayout plan_tiling(std::size_t height, std::size_t width,
+                         std::size_t tiles_r, std::size_t tiles_c,
+                         const StencilShape& shape, const BoundarySpec& bc,
+                         std::size_t depth);
+
+/// Materialise a tile's padded subgrid from the current global state.
+/// Halo cells past a true grid edge occur only on split periodic axes (by
+/// construction of plan_tiling) and are filled by wrapping.
+Grid<word_t> gather_tile(const Grid<word_t>& global, const TileGeometry& tile,
+                         const BoundarySpec& bc);
+
+/// Copy a finished tile's interior back into the global grid. Interiors of
+/// distinct tiles are disjoint, so concurrent stitches of different tiles
+/// into the same grid never touch the same cell.
+void stitch_interior(Grid<word_t>& global, const TileGeometry& tile,
+                     const Grid<word_t>& sub);
+
+}  // namespace smache::grid

@@ -83,7 +83,8 @@ std::string emit_json(const std::vector<ScenarioResult>& results,
         << "\", \"height\": " << s.problem.height
         << ", \"width\": " << s.problem.width
         << ", \"steps\": " << s.problem.steps
-        << ", \"depth\": " << s.depth << ", \"stencil\": \""
+        << ", \"depth\": " << s.depth << ", \"tiles\": \"" << s.tiles.height
+        << 'x' << s.tiles.width << "\", \"stencil\": \""
         << json_escape(s.stencil) << "\", \"boundary\": \""
         << json_escape(s.boundary) << "\", \"kernel\": \""
         << json_escape(s.kernel) << "\", \"input\": \""
@@ -122,7 +123,8 @@ std::string emit_json(const std::vector<ScenarioResult>& results,
 std::string emit_csv(const std::vector<ScenarioResult>& results,
                      const EmitOptions& options) {
   std::ostringstream out;
-  out << "label,mode,arch,height,width,steps,depth,stencil,boundary,kernel,"
+  out << "label,mode,arch,height,width,steps,depth,tiles,stencil,boundary,"
+         "kernel,"
          "input,dram,seed,ok,error,cycles,warmup_cycles,read_requests,"
          "dram_read_bytes,dram_write_bytes,row_hits,row_misses,output_hash,"
          "r_total,b_total,m20k,fmax_mhz,ops,exec_time_us,mops,"
@@ -137,6 +139,9 @@ std::string emit_csv(const std::vector<ScenarioResult>& results,
     out << csv_quote(s.label) << ',' << to_string(s.mode) << ','
         << to_string(s.engine.arch) << ',' << s.problem.height << ','
         << s.problem.width << ',' << s.problem.steps << ',' << s.depth
+        << ','
+        << csv_quote(std::to_string(s.tiles.height) + 'x' +
+                     std::to_string(s.tiles.width))
         << ',' << csv_quote(s.stencil) << ',' << csv_quote(s.boundary)
         << ',' << csv_quote(s.kernel) << ',' << csv_quote(s.input) << ','
         << csv_quote(s.dram) << ',' << fmt_hex64(s.seed) << ','

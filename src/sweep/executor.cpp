@@ -44,23 +44,34 @@ void run_one(const Scenario& scenario, const ExecutorOptions& options,
           make_input(scenario.input, scenario.problem.height,
                      scenario.problem.width, scenario.seed);
       // Depth 1 is the per-instance SmacheTop/BaselineTop engine; depth > 1
-      // fuses that many time steps per DRAM pass through CascadeTop. The
-      // reference run below is depth-independent (same problem.steps), so
-      // verification holds across fused passes.
-      out.run = scenario.depth > 1
-                    ? engine.run_cascade(scenario.problem, init,
-                                         scenario.depth)
-                    : engine.run(scenario.problem, init);
-      out.output_hash = hash_grid(out.run.output);
+      // fuses that many time steps per DRAM pass through CascadeTop; a
+      // non-trivial tile mesh routes through run_tiled (which folds the
+      // depth into each tile's sub-cascade). The reference run below is
+      // depth- and tiling-independent (same problem.steps), so
+      // verification holds across fused passes and tile meshes.
+      if (scenario.tiles.height > 1 || scenario.tiles.width > 1) {
+        TilingSpec tiling;
+        tiling.tiles_r = scenario.tiles.height;
+        tiling.tiles_c = scenario.tiles.width;
+        tiling.threads = options.tile_threads;
+        tiling.depth = scenario.depth;
+        out.run = engine.run_tiled(scenario.problem, init, tiling);
+      } else {
+        out.run = scenario.depth > 1
+                      ? engine.run_cascade(scenario.problem, init,
+                                           scenario.depth)
+                      : engine.run(scenario.problem, init);
+      }
+      out.output_hash = hash_grid(*out.run.output);
       if (options.verify_reference) {
         const grid::Grid<word_t> golden =
             reference_run(scenario.problem, init);
         out.reference_checked = true;
-        out.reference_match = golden == out.run.output;
+        out.reference_match = golden == *out.run.output;
       }
     }
     if (!options.keep_outputs) {
-      out.run.output = grid::Grid<word_t>(1, 1);
+      out.run.output.reset();
       out.run.plan.reset();
     }
     out.ok = true;
@@ -77,10 +88,16 @@ void run_one(const Scenario& scenario, const ExecutorOptions& options,
 
 std::uint64_t hash_grid(const grid::Grid<word_t>& g) noexcept {
   std::uint64_t h = 1469598103934665603ull;
-  for (std::size_t i = 0; i < g.size(); ++i) {
-    h ^= static_cast<std::uint64_t>(g[i]);
+  const auto fold = [&h](std::uint64_t v) noexcept {
+    h ^= v;
     h *= 1099511628211ull;
-  }
+  };
+  // Shape first: a 2x8 and an 8x2 grid with the same word sequence must
+  // not collide (the word fold alone cannot tell them apart).
+  fold(g.height());
+  fold(g.width());
+  for (std::size_t i = 0; i < g.size(); ++i)
+    fold(static_cast<std::uint64_t>(g[i]));
   return h;
 }
 
@@ -107,6 +124,8 @@ std::uint64_t SweepExecutor::digest(
     mix_str(h, r.scenario.label);
     mix(h, r.scenario.seed);
     mix(h, r.scenario.depth);
+    mix(h, r.scenario.tiles.height);
+    mix(h, r.scenario.tiles.width);
     mix(h, r.ok);
     mix_str(h, r.error);
     mix(h, r.run.cycles);

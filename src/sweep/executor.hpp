@@ -18,6 +18,12 @@ namespace smache::sweep {
 struct ExecutorOptions {
   /// Worker count; 0 = hardware_threads(), 1 = serial on the caller.
   std::size_t threads = 1;
+  /// Worker count for the per-pass tile loop INSIDE a tiled scenario
+  /// (TilingSpec::threads; 0 = hardware_threads()). Orthogonal to
+  /// `threads`: parallel_for_index spawns fresh workers per call, so
+  /// nesting scenario x tile parallelism is safe; results are
+  /// bit-identical for any combination.
+  std::size_t tile_threads = 1;
   /// Also run the golden software reference for every simulated scenario
   /// and record whether the hardware output matched bit-for-bit.
   bool verify_reference = false;
@@ -36,7 +42,8 @@ struct ScenarioResult {
   bool ok = false;
   std::string error;
   /// Valid when ok. The output grid and buffer plan are cleared after
-  /// hashing unless ExecutorOptions::keep_outputs is set.
+  /// hashing unless ExecutorOptions::keep_outputs is set — a dropped
+  /// output is unambiguous (run.output is empty, never a placeholder).
   RunResult run;
   std::uint64_t output_hash = 0;    // FNV-1a of the output grid (sim only)
   bool reference_checked = false;   // verify_reference was on and ok
@@ -70,7 +77,9 @@ class SweepExecutor {
   ExecutorOptions options_;
 };
 
-/// FNV-1a of a grid's words (shared with the equivalence tests' hashing).
+/// FNV-1a over a grid's shape AND words: transposed grids with the same
+/// word sequence hash differently (this hash is the planned memoization
+/// key for the sweep-as-a-service cache, so shape must participate).
 std::uint64_t hash_grid(const grid::Grid<word_t>& g) noexcept;
 
 }  // namespace smache::sweep

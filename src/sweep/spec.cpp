@@ -41,16 +41,17 @@ const char* impl_tag(model::StreamImpl impl) noexcept {
 
 std::size_t SweepSpec::scenario_count() const {
   return archs.size() * impls.size() * thresholds.size() * grids.size() *
-         drams.size() * steps.size() * depths.size() * stencils.size() *
-         boundaries.size() * kernels.size() * inputs.size();
+         drams.size() * steps.size() * depths.size() * tiles.size() *
+         stencils.size() * boundaries.size() * kernels.size() *
+         inputs.size();
 }
 
 Scenario SweepSpec::scenario_at(std::size_t index) const {
   SMACHE_REQUIRE_MSG(
       !archs.empty() && !impls.empty() && !thresholds.empty() &&
           !grids.empty() && !drams.empty() && !steps.empty() &&
-          !depths.empty() && !stencils.empty() && !boundaries.empty() &&
-          !kernels.empty() && !inputs.empty(),
+          !depths.empty() && !tiles.empty() && !stencils.empty() &&
+          !boundaries.empty() && !kernels.empty() && !inputs.empty(),
       "every sweep dimension needs at least one entry");
   SMACHE_REQUIRE_MSG(index < scenario_count(),
                      "scenario index out of range");
@@ -68,6 +69,7 @@ Scenario SweepSpec::scenario_at(std::size_t index) const {
   const std::string& kernel_name = kernels[take(kernels.size())];
   const std::string& boundary_name = boundaries[take(boundaries.size())];
   const std::string& stencil_name = stencils[take(stencils.size())];
+  const GridDim tiles_raw = tiles[take(tiles.size())];
   const std::size_t depth_raw = depths[take(depths.size())];
   const std::size_t step_count = steps[take(steps.size())];
   const std::string& dram_name = drams[take(drams.size())];
@@ -80,6 +82,17 @@ Scenario SweepSpec::scenario_at(std::size_t index) const {
                      "bram segment thresholds below 3 are unplannable");
   SMACHE_REQUIRE_MSG(step_count >= 1, "steps must be >= 1");
   SMACHE_REQUIRE_MSG(depth_raw >= 1, "cascade depth must be >= 1");
+  SMACHE_REQUIRE_MSG(tiles_raw.height >= 1 && tiles_raw.width >= 1,
+                     "tile counts must be >= 1");
+  // Statically knowable from the spec's dimensions (like steps % depth),
+  // so reject the whole spec; geometry-dependent tiling failures (mirror
+  // reach, padded extent vs. stencil span) stay per-scenario runtime
+  // errors.
+  SMACHE_REQUIRE_MSG(
+      tiles_raw.height <= grid.height && tiles_raw.width <= grid.width,
+      "tiles=" + std::to_string(tiles_raw.height) + 'x' +
+          std::to_string(tiles_raw.width) + " exceeds the grid extent " +
+          std::to_string(grid.height) + 'x' + std::to_string(grid.width));
   // Checked on the RAW pairing, before aliasing: a spec that pairs an
   // indivisible steps/depth combination is malformed even where the depth
   // would be ignored — "reject loudly" beats "run something else".
@@ -104,6 +117,10 @@ Scenario SweepSpec::scenario_at(std::size_t index) const {
   const std::size_t depth =
       (arch == Architecture::Smache && mode == Mode::Simulate) ? depth_raw
                                                                : 1;
+  // Tiling is an execution knob: elaboration runs no cycles, so every mesh
+  // aliases to the untiled point there. Both architectures tile.
+  const GridDim tile_mesh =
+      mode == Mode::Simulate ? tiles_raw : GridDim{1, 1};
 
   Scenario s;
   s.index = index;
@@ -114,6 +131,7 @@ Scenario SweepSpec::scenario_at(std::size_t index) const {
   s.input = input_name;
   s.dram = dram_name;
   s.depth = depth;
+  s.tiles = tile_mesh;
 
   // Canonical label. Dimensions a configuration IGNORES are omitted, which
   // is exactly what lets expand() drop aliased points: the baseline has no
@@ -131,6 +149,11 @@ Scenario SweepSpec::scenario_at(std::size_t index) const {
       s.label += "-t" + std::to_string(threshold);
   }
   if (depth > 1) s.label += "/d" + std::to_string(depth);
+  // 1x1 is the untiled engine, labelled exactly as before the dimension
+  // existed (and collapsed by expand() wherever tiling is aliased away).
+  if (tile_mesh.height > 1 || tile_mesh.width > 1)
+    s.label += "/t" + std::to_string(tile_mesh.height) + 'x' +
+               std::to_string(tile_mesh.width);
   s.label += '/' + std::to_string(grid.height) + 'x' +
              std::to_string(grid.width);
   if (mode == Mode::Simulate) s.label += '/' + dram_name;

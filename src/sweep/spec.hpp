@@ -53,6 +53,11 @@ struct Scenario {
   /// baseline architecture and for elaborate-only mode (neither has a
   /// cascade), so sweeping depths never duplicates those configurations.
   std::size_t depth = 1;
+  /// Spatial tiling mesh (height = tile rows, width = tile cols). 1x1 is
+  /// the untiled engine; anything else routes through Engine::run_tiled.
+  /// Aliased to 1x1 for elaborate-only mode (no cycles to parallelise);
+  /// output grids are bit-identical across tilings by construction.
+  GridDim tiles{1, 1};
 };
 
 struct SweepSpec {
@@ -69,6 +74,12 @@ struct SweepSpec {
   /// resolve in-stream (open/mirror/constant); a periodic boundary paired
   /// with depth > 1 is captured as that scenario's runtime error.
   std::vector<std::size_t> depths = {1};
+  /// Spatial tiling meshes (halo-exchange tiles, grid/tiling.hpp). Tile
+  /// counts exceeding the grid extent are rejected by validate(); pairings
+  /// the tiler cannot make exact (e.g. mirror tiles smaller than the
+  /// reflected reach) surface as that scenario's deterministic runtime
+  /// error, exactly like periodic x depth>1.
+  std::vector<GridDim> tiles = {{1, 1}};
   std::vector<std::string> stencils = {"vn4"};
   std::vector<std::string> boundaries = {"paper"};
   std::vector<std::string> kernels = {"average"};
@@ -91,8 +102,9 @@ struct SweepSpec {
   /// All DISTINCT scenarios in cartesian order: points whose label aliases
   /// an earlier one are dropped (the baseline ignores stream impl,
   /// threshold and cascade depth; Case-R ignores threshold; elaboration
-  /// ignores the DRAM model, input family and cascade depth), so sweeping
-  /// those dimensions never runs the same configuration twice.
+  /// ignores the DRAM model, input family, cascade depth and tiling
+  /// mesh), so sweeping those dimensions never runs the same
+  /// configuration twice.
   std::vector<Scenario> expand() const;
 
   /// Throws contract_error with a descriptive message if any dimension is

@@ -196,6 +196,10 @@ class SpecParser {
       spec.steps = counts("step count");
     } else if (key == "depths") {
       spec.depths = counts("cascade depth");
+    } else if (key == "tiles") {
+      spec.tiles.clear();
+      for (const std::string& tok : strings())
+        spec.tiles.push_back(parse_grid(tok));
     } else if (key == "stencils") {
       spec.stencils = strings();
     } else if (key == "boundaries") {
@@ -214,7 +218,7 @@ class SpecParser {
       throw contract_error(
           err("unknown key '" + key +
               "' (known: smache_sweep_spec, mode, archs, impls, "
-              "thresholds, grids, drams, steps, depths, stencils, "
+              "thresholds, grids, drams, steps, depths, tiles, stencils, "
               "boundaries, kernels, inputs, base_seed, max_cycles)"));
     }
   }
@@ -252,6 +256,13 @@ std::string emit_spec_json(const SweepSpec& spec) {
       << ",\n";
   out << "  \"steps\": " << count_array(spec.steps) << ",\n";
   out << "  \"depths\": " << count_array(spec.depths) << ",\n";
+  out << "  \"tiles\": "
+      << string_array(spec.tiles,
+                      [](const GridDim& t) {
+                        return std::to_string(t.height) + 'x' +
+                               std::to_string(t.width);
+                      })
+      << ",\n";
   out << "  \"stencils\": "
       << string_array(spec.stencils, [](const std::string& s) { return s; })
       << ",\n";

@@ -3,6 +3,8 @@
 // evaluation problem (11x11, 4-point average, circular+open boundaries).
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/rng.hpp"
 #include "core/engine.hpp"
 #include "support/test_grids.hpp"
@@ -170,6 +172,21 @@ TEST(SmacheEngine, RejectsMismatchedInitialGrid) {
   grid::Grid<word_t> wrong(5, 5);
   EXPECT_THROW(Engine(EngineOptions::smache()).run(p, wrong),
                contract_error);
+}
+
+TEST(SmacheEngine, RejectsGridDimensionsThatOverflowSizeT) {
+  // height * width must stay representable; validate() refuses the pair
+  // before any allocation is attempted.
+  ProblemSpec p = ProblemSpec::paper_example();
+  p.height = std::numeric_limits<std::size_t>::max() / 2;
+  p.width = 3;
+  try {
+    p.validate();
+    FAIL() << "expected contract_error";
+  } catch (const contract_error& e) {
+    EXPECT_NE(std::string(e.what()).find("overflow"), std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace

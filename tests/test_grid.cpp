@@ -1,6 +1,9 @@
 // Unit tests for Grid<T>: indexing, conversions, equality.
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <vector>
+
 #include "common/assert.hpp"
 #include "grid/grid.hpp"
 
@@ -54,6 +57,20 @@ TEST(Grid, WordRoundTripFloat) {
 TEST(Grid, FromWordsRejectsWrongSize) {
   std::vector<word_t> w(5);
   EXPECT_THROW((Grid<word_t>::from_words(2, 3, w)), contract_error);
+}
+
+TEST(Grid, RejectsDimensionsThatOverflowSizeT) {
+  // height * width would wrap around std::size_t: the constructor and
+  // from_words must refuse the pair BEFORE sizing the cell vector (a
+  // wrapped product would silently allocate a tiny grid).
+  constexpr std::size_t big = std::numeric_limits<std::size_t>::max() / 2;
+  EXPECT_THROW((Grid<word_t>(big, 3)), contract_error);
+  EXPECT_THROW((Grid<word_t>(3, big)), contract_error);
+  std::vector<word_t> w(6);
+  EXPECT_THROW((Grid<word_t>::from_words(big, 3, w)), contract_error);
+  // The largest non-overflowing shapes are still accepted in principle:
+  // the check is exact, not a heuristic bound (1 x N always fits).
+  EXPECT_NO_THROW((Grid<word_t>(1, 6), Grid<word_t>(6, 1)));
 }
 
 TEST(Grid, EqualityIncludesShape) {

@@ -186,7 +186,7 @@ struct RunDigest {
 };
 
 RunDigest digest(const RunResult& r) {
-  return RunDigest{r.cycles, r.warmup_cycles, r.dram, r.output};
+  return RunDigest{r.cycles, r.warmup_cycles, r.dram, *r.output};
 }
 
 void expect_same(const RunDigest& gated, const RunDigest& forced,

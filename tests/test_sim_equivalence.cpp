@@ -50,7 +50,7 @@ void expect_matches(const RunResult& r, const Golden& g) {
   EXPECT_EQ(r.dram.row_hits, g.row_hits);
   EXPECT_EQ(r.dram.row_misses, g.row_misses);
   EXPECT_EQ(r.dram.read_busy_cycles, g.read_busy_cycles);
-  EXPECT_EQ(fnv1a(r.output), g.output_hash);
+  EXPECT_EQ(fnv1a(*r.output), g.output_hash);
   EXPECT_EQ(r.summary(), g.summary);
 }
 

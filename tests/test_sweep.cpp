@@ -172,6 +172,52 @@ TEST(SweepSpec, DepthAliasesToOneForBaselineAndElaboration) {
   EXPECT_EQ(elab.expand().size(), 1u);
 }
 
+TEST(SweepSpec, TilesFanOutForSimulationAndAliasForElaboration) {
+  // A tile mesh changes how a simulated scenario executes (both archs run
+  // per-tile engine instances), so it fans out there; elaboration runs no
+  // passes, so every mesh collapses onto the 1x1 point. The mesh is not
+  // part of the workload identity: every tiling sees the same input data.
+  SweepSpec spec;
+  spec.archs = {Architecture::Baseline, Architecture::Smache};
+  spec.steps = {4};
+  spec.tiles = {{1, 1}, {2, 2}, {1, 3}};
+  EXPECT_EQ(spec.scenario_count(), 6u);
+  const auto scenarios = spec.expand();
+  ASSERT_EQ(scenarios.size(), 6u);
+  for (const auto& s : scenarios) {
+    if (s.tiles.height > 1 || s.tiles.width > 1) {
+      const std::string seg = "/t" + std::to_string(s.tiles.height) + 'x' +
+                              std::to_string(s.tiles.width);
+      EXPECT_NE(s.label.find(seg), std::string::npos) << s.label;
+    } else {
+      EXPECT_EQ(s.label.find("/t"), std::string::npos) << s.label;
+    }
+    EXPECT_EQ(s.seed, scenarios[0].seed) << s.label;
+  }
+
+  SweepSpec elab = spec;
+  elab.mode = Mode::ElaborateOnly;
+  elab.archs = {Architecture::Smache};
+  EXPECT_EQ(elab.expand().size(), 1u);
+}
+
+TEST(SweepSpec, RejectsTilesExceedingTheGrid) {
+  // More tiles than cells along an axis can never plan, for any boundary
+  // or stencil — that is a spec-shape error, rejected up front (geometry
+  // failures that depend on the stencil stay per-scenario runtime errors).
+  SweepSpec spec;
+  spec.grids = {{8, 8}};
+  spec.tiles = {{9, 1}};
+  try {
+    spec.expand();
+    FAIL() << "expected contract_error";
+  } catch (const contract_error& e) {
+    EXPECT_NE(std::string(e.what()).find("exceeds the grid extent"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(SweepSpec, RejectsIndivisibleStepsDepthPairings) {
   SweepSpec spec;
   spec.steps = {3};
@@ -337,6 +383,7 @@ TEST(SpecIo, EmitParseRoundTripsExactly) {
   spec.drams = {"functional", "stall"};
   spec.steps = {4};
   spec.depths = {1, 2, 4};
+  spec.tiles = {{1, 1}, {2, 3}};
   spec.stencils = {"vn4", "random5"};
   spec.boundaries = {"open", "island"};
   spec.kernels = {"average", "max"};
@@ -354,6 +401,8 @@ TEST(SpecIo, EmitParseRoundTripsExactly) {
     EXPECT_EQ(a[i].label, b[i].label);
     EXPECT_EQ(a[i].seed, b[i].seed);
     EXPECT_EQ(a[i].depth, b[i].depth);
+    EXPECT_EQ(a[i].tiles.height, b[i].tiles.height);
+    EXPECT_EQ(a[i].tiles.width, b[i].tiles.width);
   }
 }
 
@@ -467,9 +516,11 @@ TEST(SweepExecutor, MatchesADirectEngineRun) {
   const RunResult direct = Engine(s.engine).run(s.problem, init);
   EXPECT_EQ(results[0].run.cycles, direct.cycles);
   EXPECT_EQ(results[0].run.dram.words_read, direct.dram.words_read);
-  EXPECT_EQ(results[0].output_hash, hash_grid(direct.output));
-  // Bulky per-scenario state is dropped by default and kept on request.
-  EXPECT_EQ(results[0].run.output.size(), 1u);
+  EXPECT_EQ(results[0].output_hash, hash_grid(*direct.output));
+  // Bulky per-scenario state is dropped by default and kept on request —
+  // the drop is unambiguous (an empty optional, not a placeholder grid a
+  // consumer could mistake for a real 1x1 result).
+  EXPECT_FALSE(results[0].run.output.has_value());
   EXPECT_FALSE(results[0].run.plan.has_value());
   ExecutorOptions keep;
   keep.keep_outputs = true;
@@ -517,13 +568,82 @@ TEST(SweepExecutor, DepthScenarioMatchesDirectCascadeRun) {
   EXPECT_EQ(results[0].run.cycles, direct.cycles);
   EXPECT_EQ(results[0].run.dram.words_read, direct.dram.words_read);
   EXPECT_EQ(results[0].run.dram.words_written, direct.dram.words_written);
-  EXPECT_EQ(results[0].output_hash, hash_grid(direct.output));
+  EXPECT_EQ(results[0].output_hash, hash_grid(*direct.output));
   // The cascade populates warmup (pipeline fill), and the sweep carries it.
   EXPECT_GT(direct.warmup_cycles, 0u);
   EXPECT_EQ(results[0].run.warmup_cycles, direct.warmup_cycles);
   // The fused passes still compute the same answer as the K-step engine.
   const RunResult flat = Engine(s.engine).run(s.problem, init);
-  EXPECT_EQ(hash_grid(flat.output), results[0].output_hash);
+  EXPECT_EQ(hash_grid(*flat.output), results[0].output_hash);
+}
+
+TEST(SweepExecutor, TiledScenarioMatchesDirectTiledRun) {
+  SweepSpec spec;
+  spec.grids = {{12, 12}};
+  spec.steps = {4};
+  spec.tiles = {{2, 2}};
+  spec.boundaries = {"open"};
+  const auto results = SweepExecutor().run(spec);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].ok) << results[0].error;
+  const Scenario& s = results[0].scenario;
+  EXPECT_EQ(s.tiles.height, 2u);
+  EXPECT_EQ(s.tiles.width, 2u);
+  const auto init =
+      make_input(s.input, s.problem.height, s.problem.width, s.seed);
+  TilingSpec tiling;
+  tiling.tiles_r = 2;
+  tiling.tiles_c = 2;
+  const RunResult direct = Engine(s.engine).run_tiled(s.problem, init, tiling);
+  EXPECT_EQ(results[0].run.cycles, direct.cycles);
+  EXPECT_EQ(results[0].run.dram.words_read, direct.dram.words_read);
+  EXPECT_EQ(results[0].output_hash, hash_grid(*direct.output));
+  // Tiling redundantly recomputes halos but never changes the answer: the
+  // tiled scenario hashes identically to the untiled one.
+  SweepSpec flat = spec;
+  flat.tiles = {{1, 1}};
+  const auto untiled = SweepExecutor().run(flat);
+  ASSERT_EQ(untiled.size(), 1u);
+  EXPECT_EQ(untiled[0].output_hash, results[0].output_hash);
+}
+
+TEST(SweepExecutor, TiledSweepIsBitIdenticalToSerial) {
+  // Threaded-vs-serial bit-identity with the tile mesh in the grid AND
+  // intra-scenario tile threads enabled: nesting the executor pool with
+  // per-scenario tile pools must stay deterministic.
+  SweepSpec spec;
+  spec.grids = {{11, 11}};
+  spec.steps = {4};
+  spec.depths = {1, 2};
+  spec.tiles = {{1, 1}, {2, 2}};
+  spec.stencils = {"vn4", "moore9"};
+  spec.boundaries = {"open", "circular"};
+  ExecutorOptions serial_opts;
+  serial_opts.threads = 1;
+  ExecutorOptions threaded_opts;
+  threaded_opts.threads = 4;
+  threaded_opts.tile_threads = 2;
+  const auto serial = SweepExecutor(serial_opts).run(spec);
+  const auto threaded = SweepExecutor(threaded_opts).run(spec);
+  ASSERT_EQ(serial.size(), 16u);  // 2 depths x 2 tiles x 2 x 2
+  EXPECT_EQ(SweepExecutor::digest(serial), SweepExecutor::digest(threaded));
+  EXPECT_EQ(emit_json(serial), emit_json(threaded));
+  EXPECT_EQ(emit_csv(serial), emit_csv(threaded));
+  // circular (periodic) at depth 2 is a validated rejection untiled and
+  // when the mesh leaves an axis unsplit; 2x2 tiling makes it RUN — the
+  // headline capability. Both legs must agree on every ok/error.
+  bool saw_tiled_periodic_depth = false;
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].ok, threaded[i].ok);
+    EXPECT_EQ(serial[i].error, threaded[i].error);
+    EXPECT_EQ(serial[i].output_hash, threaded[i].output_hash);
+    const Scenario& s = serial[i].scenario;
+    if (s.boundary == "circular" && s.depth == 2 && s.tiles.height == 2) {
+      EXPECT_TRUE(serial[i].ok) << serial[i].error;
+      saw_tiled_periodic_depth = true;
+    }
+  }
+  EXPECT_TRUE(saw_tiled_periodic_depth);
 }
 
 TEST(SweepExecutor, DepthVerifiesAgainstTheReferenceAcrossFusedPasses) {
@@ -640,8 +760,49 @@ TEST(SweepEmit, ReportsCarryTheDepthColumn) {
   EXPECT_NE(json.find("\"depth\": 2"), std::string::npos);
   EXPECT_NE(json.find("/d2/"), std::string::npos);  // label segment
   const std::string csv = emit_csv(results);
-  EXPECT_NE(csv.find("label,mode,arch,height,width,steps,depth,stencil"),
-            std::string::npos);
+  // Header pin updated when the tiles column landed between depth and
+  // stencil (PR 6).
+  EXPECT_NE(
+      csv.find("label,mode,arch,height,width,steps,depth,tiles,stencil"),
+      std::string::npos);
+}
+
+TEST(SweepEmit, ReportsCarryTheTilesColumn) {
+  SweepSpec spec;
+  spec.grids = {{8, 8}};
+  spec.steps = {2};
+  spec.tiles = {{2, 2}};
+  spec.boundaries = {"open"};
+  const auto results = SweepExecutor().run(spec);
+  const std::string json = emit_json(results);
+  EXPECT_NE(json.find("\"tiles\": \"2x2\""), std::string::npos);
+  EXPECT_NE(json.find("/t2x2"), std::string::npos);  // label segment
+  const std::string csv = emit_csv(results);
+  const auto header_end = csv.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  EXPECT_NE(csv.find(",2x2,", header_end), std::string::npos);
+}
+
+TEST(HashGrid, TransposedShapesHashDifferently) {
+  // hash_grid folds the shape as well as the words: a 2x8 and an 8x2 grid
+  // with the same word sequence are different grids and must not collide.
+  // Property-tested over random shapes since the bug class is systematic,
+  // not shape-specific.
+  Rng rng(0x7113u);
+  for (int trial = 0; trial < 32; ++trial) {
+    const std::size_t h = 1 + rng.next_below(9);
+    const std::size_t w = 1 + rng.next_below(9);
+    grid::Grid<word_t> a(h, w);
+    for (std::size_t r = 0; r < h; ++r)
+      for (std::size_t c = 0; c < w; ++c)
+        a.at(r, c) = static_cast<word_t>(rng.next_u64());
+    const auto b = grid::Grid<word_t>::from_words(w, h, a.to_words());
+    if (h != w) {
+      EXPECT_NE(hash_grid(a), hash_grid(b)) << h << 'x' << w;
+    } else {
+      EXPECT_EQ(hash_grid(a), hash_grid(b));
+    }
+  }
 }
 
 TEST(SweepEmit, DoublesRoundTripExactly) {

@@ -1,7 +1,8 @@
 // smache-sweep — batch scenario execution over the named workload registry.
 //
 // Expands a cartesian SweepSpec (architecture x stream impl x grid x DRAM
-// model x steps x cascade depth x stencil x boundary x kernel x input),
+// model x steps x cascade depth x tile mesh x stencil x boundary x kernel
+// x input),
 // runs every distinct scenario on a worker pool (one independent Engine
 // per scenario), and writes deterministic JSON/CSV reports whose content
 // is bit-identical for any thread count.
@@ -96,9 +97,9 @@ auto parse_dim(const CliArgs& args, const std::string& flag,
 /// merged.
 const char* const kSpecFlags[] = {
     "mode",  "archs",  "impls",    "thresholds", "grids",
-    "drams", "dram",   "steps",    "depths",     "stencils",
-    "boundaries",      "kernels",  "inputs",     "seed",
-    "max-cycles"};
+    "drams", "dram",   "steps",    "depths",     "tiles",
+    "stencils",        "boundaries",             "kernels",
+    "inputs",          "seed",     "max-cycles"};
 
 sweep::SweepSpec spec_from_args(const CliArgs& args) {
   sweep::SweepSpec spec;
@@ -134,6 +135,11 @@ sweep::SweepSpec spec_from_args(const CliArgs& args) {
   });
   spec.depths = parse_dim(args, "depths", "1", [](const std::string& s) {
     return sweep::parse_count(s, "cascade depth");
+  });
+  // "2x3" = 2 tile rows x 3 tile cols; a bare "2" is a 2x2 mesh (same
+  // shorthand as --grids). 1 (the default) is the untiled engine.
+  spec.tiles = parse_dim(args, "tiles", "1", [](const std::string& s) {
+    return sweep::parse_grid(s);
   });
   spec.stencils = sweep::split_list(
       args.get_string("stencils", "vn4,moore9,diamond13,cross3"));
@@ -196,7 +202,8 @@ int main(int argc, char** argv) {
         "  [--archs smache,baseline] [--impls hybrid,reg]\n"
         "  [--thresholds 4,...] [--grids 11,16x24,...]\n"
         "  [--drams functional,ddr,stall] [--steps 3,...]\n"
-        "  [--depths 1,2,...] [--stencils ...] [--boundaries ...]\n"
+        "  [--depths 1,2,...] [--tiles 1,2x2,...] [--tile-threads N]\n"
+        "  [--stencils ...] [--boundaries ...]\n"
         "  [--kernels ...] [--inputs ...] [--seed N] [--max-cycles N]\n"
         "  [--spec experiment.json] [--save-spec experiment.json]\n"
         "  [--out report.json] [--csv report.csv] [--no-wall]\n"
@@ -204,8 +211,13 @@ int main(int argc, char** argv) {
         "--depths sweeps the cascade (temporal-blocking) depth: each\n"
         "scenario fuses that many time steps per DRAM pass (depth 1 = the\n"
         "per-instance engine); every steps value must divide by every\n"
-        "depth. --save-spec writes the resolved spec as JSON; --spec\n"
-        "re-runs exactly that experiment (exclusive with dimension flags).\n");
+        "depth. --tiles sweeps the halo-exchange tile mesh (\"2x3\" = 2\n"
+        "tile rows x 3 tile cols, bare \"2\" = 2x2, 1 = untiled) and\n"
+        "--tile-threads sets the worker count INSIDE each tiled scenario\n"
+        "(0 = all cores); outputs are bit-identical across meshes and\n"
+        "thread counts. --save-spec writes the resolved spec as JSON;\n"
+        "--spec re-runs exactly that experiment (exclusive with dimension\n"
+        "flags).\n");
     return 0;
   }
   if (args.get_bool("list", false)) {
@@ -242,6 +254,12 @@ int main(int argc, char** argv) {
   opts.threads =
       static_cast<std::size_t>(args.get_int("threads", 0));
   if (opts.threads == 0) opts.threads = hardware_threads();
+  // Intra-scenario parallelism: workers for each tiled scenario's per-pass
+  // tile loop. Defaults to 1 (serial tiles) so scenario-level parallelism
+  // is not oversubscribed unless explicitly requested.
+  opts.tile_threads =
+      static_cast<std::size_t>(args.get_int("tile-threads", 1));
+  if (opts.tile_threads == 0) opts.tile_threads = hardware_threads();
   opts.verify_reference = args.get_bool("verify-reference", false);
 
   const auto scenarios = spec.expand();
@@ -289,6 +307,7 @@ int main(int argc, char** argv) {
   if (args.get_bool("verify-serial", false)) {
     sweep::ExecutorOptions serial = opts;
     serial.threads = 1;
+    serial.tile_threads = 1;  // fully serial: tile pools off too
     std::vector<sweep::ScenarioResult> serial_results;
     const double serial_ms = run_wall_ms([&] {
       serial_results = sweep::SweepExecutor(serial).run(scenarios);
