@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 
 #include "common/assert.hpp"
@@ -29,6 +30,29 @@ grid::Grid<word_t> read_output_grid(const mem::DramModel& dram,
       height, width, std::vector<word_t>(span, span + cells));
 }
 
+/// Internal signal for an expired wall deadline; converted to
+/// engine_timeout (with the partial result attached) by the callers.
+struct wall_expired {};
+
+/// Wall-clock watchdog deadline: disarmed when timeout_ms == 0. The check
+/// runs once per completion-polling batch (the done/bound callables run
+/// O(completions) times, so a runaway design — whose outstanding-work
+/// bounds stay small — is checked frequently without taxing the hot loop).
+class WallDeadline {
+ public:
+  explicit WallDeadline(std::uint32_t timeout_ms) {
+    if (timeout_ms != 0)
+      at_ = std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(timeout_ms);
+  }
+  void check() const {
+    if (at_ && std::chrono::steady_clock::now() >= *at_) throw wall_expired{};
+  }
+
+ private:
+  std::optional<std::chrono::steady_clock::time_point> at_;
+};
+
 /// Drive the simulation to completion with batched predicate polling: the
 /// burst bound combines the top's outstanding work with the DRAM drain
 /// (both retire at most one unit per cycle), which run_until_done turns
@@ -36,10 +60,12 @@ grid::Grid<word_t> read_output_grid(const mem::DramModel& dram,
 template <typename Top>
 void run_to_completion(sim::Simulator& sim, const Top& top,
                        const mem::DramModel& dram,
-                       std::uint64_t max_cycles) {
+                       std::uint64_t max_cycles,
+                       const WallDeadline& deadline) {
   sim.run_until_done(
       [&] { return top.done() && dram.idle(); },
       [&] {
+        deadline.check();
         return std::max(top.min_cycles_to_done(), dram.min_cycles_to_idle());
       },
       max_cycles);
@@ -102,6 +128,20 @@ RunResult Engine::execute(const ProblemSpec& problem,
   RunResult result;
   result.arch = options_.arch;
 
+  // Wall-clock watchdog: on expiry, surface the progress made (cycles and
+  // DRAM counters at abort) through the exception's partial result.
+  const WallDeadline deadline(options_.wall_timeout_ms);
+  const auto guarded_run = [&](const auto& top) {
+    try {
+      run_to_completion(sim, top, dram, options_.max_cycles, deadline);
+    } catch (const wall_expired&) {
+      result.cycles = sim.now();
+      result.dram = dram.stats();
+      result.timed_out = true;
+      throw engine_timeout(options_.wall_timeout_ms, std::move(result));
+    }
+  };
+
   if (options_.arch == Architecture::Smache) {
     model::BufferPlan plan = plan_only(problem);
     rtl::SmacheTop top(sim, "smache", plan, problem.kernel, dram,
@@ -109,7 +149,7 @@ RunResult Engine::execute(const ProblemSpec& problem,
     result.estimate = cost::estimate_memory(plan);
     result.timing = cost::estimate_smache_timing(plan);
     if (initial != nullptr) {
-      run_to_completion(sim, top, dram, options_.max_cycles);
+      guarded_run(top);
       result.cycles = sim.now();
       result.warmup_cycles = top.warmup_end_cycle();
       result.output = read_output_grid(dram, top.output_base(),
@@ -126,7 +166,7 @@ RunResult Engine::execute(const ProblemSpec& problem,
         grid::CaseMap(problem.height, problem.width, problem.shape)
             .case_count());
     if (initial != nullptr) {
-      run_to_completion(sim, top, dram, options_.max_cycles);
+      guarded_run(top);
       result.cycles = sim.now();
       result.output = read_output_grid(dram, top.output_base(),
                                        problem.height, problem.width);
@@ -175,7 +215,15 @@ RunResult Engine::run_cascade(const ProblemSpec& problem,
   result.estimate->r_stream *= depth;
   result.estimate->b_stream *= depth;
   result.timing = cost::estimate_smache_timing(plan);
-  run_to_completion(sim, top, dram, options_.max_cycles);
+  const WallDeadline deadline(options_.wall_timeout_ms);
+  try {
+    run_to_completion(sim, top, dram, options_.max_cycles, deadline);
+  } catch (const wall_expired&) {
+    result.cycles = sim.now();
+    result.dram = dram.stats();
+    result.timed_out = true;
+    throw engine_timeout(options_.wall_timeout_ms, std::move(result));
+  }
   result.cycles = sim.now();
   result.warmup_cycles = top.warmup_end_cycle();
   result.output =

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -35,8 +36,18 @@ struct EngineOptions {
   bool auto_bus = true;
   /// Hybrid split threshold forwarded to the planner.
   std::size_t bram_segment_threshold = 4;
-  /// Simulation watchdog (cycles); generous default.
+  /// Simulation watchdog (cycles); generous default. Exceeding it throws
+  /// contract_error — fully deterministic (the trip point is a cycle
+  /// count), so a sweep that captures it is bit-reproducible.
   std::uint64_t max_cycles = 200'000'000;
+  /// Opt-in wall-clock watchdog (0 = off): abandon a run whose REAL time
+  /// exceeds this many milliseconds, throwing engine_timeout with the
+  /// partial result. Unlike max_cycles the trip point is inherently
+  /// nondeterministic — batch drivers must treat a tripped run as
+  /// non-reusable (the sweep store never caches one). Each engine
+  /// invocation gets its own deadline, so a tiled scenario bounds every
+  /// tile-pass rather than the whole scenario.
+  std::uint32_t wall_timeout_ms = 0;
   /// Disable activity-gated eval scheduling: every module is evaluated on
   /// every cycle. Results are bit-identical either way (the equivalence
   /// property suite enforces it); force mode exists for that cross-check
@@ -99,7 +110,27 @@ struct RunResult {
   double exec_time_us = 0.0;      // cycles / fmax
   double mops = 0.0;              // ops / exec_time
 
+  /// True when the run was abandoned by the wall-clock watchdog: `cycles`
+  /// and `dram` hold the progress at abort (diagnostics only — they are as
+  /// nondeterministic as the trip itself), `output` is empty.
+  bool timed_out = false;
+
   std::string summary() const;
+};
+
+/// Thrown when EngineOptions::wall_timeout_ms expires mid-run. Carries the
+/// partial RunResult (timed_out=true, counters at abort, no output) so
+/// drivers can report how far the runaway got. Deliberately NOT a
+/// contract_error: a wall timeout is an environmental event, not a
+/// precondition violation, and batch drivers classify it differently
+/// (never cached, never retried as transient).
+class engine_timeout : public std::runtime_error {
+ public:
+  engine_timeout(std::uint32_t timeout_ms, RunResult partial_result)
+      : std::runtime_error("wall-clock watchdog: run exceeded " +
+                           std::to_string(timeout_ms) + " ms"),
+        partial(std::move(partial_result)) {}
+  RunResult partial;
 };
 
 class Engine {

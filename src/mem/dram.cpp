@@ -80,11 +80,31 @@ void DramModel::eval() {
       if (write_req_.empty()) sleep();
       return;
     }
+    // Delayed-completion fault: the head word was fetched on time but
+    // completes late. The decision is taken once per head word (however
+    // many cycles it then waits); while held, the whole in-order read pipe
+    // holds — exactly like design back-pressure, so correctness cannot
+    // depend on it. The model stays awake throughout: inflight_words_ > 0
+    // keeps idle() false, and the per-cycle injected_delay_cycles count is
+    // observable through stats().
+    if (head_valid && !head_delay_decided_ && config_.delay_every != 0) {
+      head_delay_decided_ = true;
+      if (++words_since_delay_ >= config_.delay_every) {
+        words_since_delay_ = 0;
+        delay_left_ = config_.delay_cycles;
+      }
+    }
+    if (head_valid && delay_left_ > 0) {
+      --delay_left_;
+      ++stats_.injected_delay_cycles;
+      return;
+    }
     if (head_valid) {
       read_data_.push(*transit_.front());
       ++stats_.words_read;
       ++stats_.read_busy_cycles;
       --inflight_words_;
+      head_delay_decided_ = false;
     }
     transit_.pop_front();
   }
@@ -120,6 +140,13 @@ void DramModel::eval() {
           ++words_since_stall_ >= config_.stall_every) {
         words_since_stall_ = 0;
         stall_left_ = config_.stall_cycles;
+      }
+      // Fault injection: stall storms compose ADDITIVELY with the periodic
+      // hook above — a storm landing on a stall cycle extends it.
+      if (config_.storm_every != 0 &&
+          ++words_since_storm_ >= config_.storm_every) {
+        words_since_storm_ = 0;
+        stall_left_ += config_.storm_cycles;
       }
     }
   }

@@ -127,6 +127,14 @@ class DramModel : public sim::Module {
   std::uint32_t wait_issue_ = 0;
   std::uint32_t stall_left_ = 0;
   std::uint64_t words_since_stall_ = 0;
+  std::uint64_t words_since_storm_ = 0;
+  // Delayed-completion fault state: cycles the current head word is still
+  // held, delivered words since the last injected delay, and whether the
+  // current head word already took its delay decision (so a held word is
+  // counted exactly once, however many cycles it waits).
+  std::uint32_t delay_left_ = 0;
+  std::uint64_t words_since_delay_ = 0;
+  bool head_delay_decided_ = false;
   std::int64_t open_row_ = -1;
   // TRANSIT line: one slot per latency stage, at most `read_latency` deep —
   // a fixed ring buffer, not a deque, since the depth never changes.

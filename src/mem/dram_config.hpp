@@ -36,6 +36,21 @@ struct DramConfig {
   /// on DRAM pacing; tests rely on this hook.
   std::uint32_t stall_every = 0;
   std::uint32_t stall_cycles = 0;
+  /// Fault injection, storm flavour: after every `storm_every` issued
+  /// words, freeze the read path for `storm_cycles` cycles (0 disables).
+  /// Composes additively with the periodic `stall_every` hook — a plan can
+  /// impose storms on top of a DRAM family's own pacing. Storms drain
+  /// through the same stall counter and are charged to
+  /// DramStats::injected_stall_cycles.
+  std::uint32_t storm_every = 0;
+  std::uint32_t storm_cycles = 0;
+  /// Fault injection, delayed-completion flavour: hold every
+  /// `delay_every`-th word at the head of the transit line for
+  /// `delay_cycles` extra cycles before delivering it (0 disables). Unlike
+  /// a stall, the delay models a slow *completion*: the word was fetched on
+  /// time but arrives late. Charged to DramStats::injected_delay_cycles.
+  std::uint32_t delay_every = 0;
+  std::uint32_t delay_cycles = 0;
 
   static DramConfig functional() {
     DramConfig c;
@@ -64,6 +79,7 @@ struct DramStats {
   std::uint64_t row_hits = 0;
   std::uint64_t row_misses = 0;
   std::uint64_t injected_stall_cycles = 0;
+  std::uint64_t injected_delay_cycles = 0;
   std::uint64_t read_busy_cycles = 0;
 
   std::uint64_t bytes_read() const noexcept { return words_read * 4; }

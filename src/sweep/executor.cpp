@@ -3,8 +3,13 @@
 #include <chrono>
 #include <cstring>
 #include <exception>
+#include <thread>
 
+#include "common/assert.hpp"
+#include "common/log.hpp"
 #include "common/parallel.hpp"
+#include "sweep/faults.hpp"
+#include "sweep/store.hpp"
 #include "sweep/workloads.hpp"
 
 namespace smache::sweep {
@@ -75,6 +80,17 @@ void run_one(const Scenario& scenario, const ExecutorOptions& options,
       out.run.plan.reset();
     }
     out.ok = true;
+  } catch (const engine_timeout& e) {
+    // Wall-clock watchdog trip: keep the partial counters (timed_out=true,
+    // cycles/DRAM at abort) for triage — the caller must treat them as
+    // nondeterministic and never persist this result.
+    out.ok = false;
+    out.error = e.what();
+    out.run = e.partial;
+    if (!options.keep_outputs) {
+      out.run.output.reset();
+      out.run.plan.reset();
+    }
   } catch (const std::exception& e) {
     out.ok = false;
     out.error = e.what();
@@ -82,6 +98,89 @@ void run_one(const Scenario& scenario, const ExecutorOptions& options,
   out.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - t0)
                     .count();
+}
+
+/// ScenarioResult -> store record: exactly the deterministic fields that
+/// participate in digest() and report emission.
+StoredResult to_stored(const ScenarioResult& r, std::uint64_t key) {
+  StoredResult s;
+  s.key = key;
+  s.label = r.scenario.label;
+  s.ok = r.ok;
+  s.error = r.error;
+  s.cycles = r.run.cycles;
+  s.warmup_cycles = r.run.warmup_cycles;
+  s.dram = r.run.dram;
+  s.output_hash = r.output_hash;
+  s.reference_checked = r.reference_checked;
+  s.reference_match = r.reference_match;
+  s.r_total = r.run.resources.r_total;
+  s.b_total = r.run.resources.b_total;
+  s.r_static = r.run.resources.r_static;
+  s.b_static = r.run.resources.b_static;
+  s.r_stream = r.run.resources.r_stream;
+  s.b_stream = r.run.resources.b_stream;
+  s.m20k_blocks = r.run.resources.m20k_blocks;
+  s.fmax_mhz = r.run.timing.fmax_mhz;
+  s.ops = r.run.ops;
+  s.exec_time_us = r.run.exec_time_us;
+  s.mops = r.run.mops;
+  return s;
+}
+
+/// Store record -> ScenarioResult, byte-identical to the executed original
+/// in every deterministic report field (wall_ms is 0 — it is never part of
+/// reports — and from_store marks the provenance).
+void from_stored(const Scenario& scenario, const StoredResult& s,
+                 ScenarioResult& out) {
+  out.scenario = scenario;
+  out.ok = s.ok;
+  out.error = s.error;
+  out.run.arch = scenario.engine.arch;
+  out.run.cycles = s.cycles;
+  out.run.warmup_cycles = s.warmup_cycles;
+  out.run.dram = s.dram;
+  out.output_hash = s.output_hash;
+  out.reference_checked = s.reference_checked;
+  out.reference_match = s.reference_match;
+  out.run.resources.r_total = s.r_total;
+  out.run.resources.b_total = s.b_total;
+  out.run.resources.r_static = s.r_static;
+  out.run.resources.b_static = s.b_static;
+  out.run.resources.r_stream = s.r_stream;
+  out.run.resources.b_stream = s.b_stream;
+  out.run.resources.m20k_blocks = s.m20k_blocks;
+  out.run.timing.fmax_mhz = s.fmax_mhz;
+  out.run.ops = s.ops;
+  out.run.exec_time_us = s.exec_time_us;
+  out.run.mops = s.mops;
+  out.from_store = true;
+  out.wall_ms = 0.0;
+}
+
+/// Persist one record with bounded exponential backoff. Exhaustion is
+/// logged and swallowed: the in-memory result is intact, so failing to
+/// persist must not fail the sweep.
+void put_with_retry(ResultStore& store, const StoredResult& record,
+                    std::size_t attempts, std::uint32_t backoff_ms) {
+  if (attempts == 0) attempts = 1;
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      store.put(record);
+      return;
+    } catch (const store_io_error& e) {
+      if (attempt + 1 >= attempts) {
+        Log::warn(std::string("result store: giving up on '") + record.label +
+                  "' after " + std::to_string(attempts) +
+                  " attempts: " + e.what() +
+                  " (result kept in memory; it will re-execute on resume)");
+        return;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<std::uint64_t>(backoff_ms)
+                                    << attempt));
+    }
+  }
 }
 
 }  // namespace
@@ -108,11 +207,68 @@ std::vector<ScenarioResult> SweepExecutor::run(const SweepSpec& spec) const {
 
 std::vector<ScenarioResult> SweepExecutor::run(
     std::vector<Scenario> scenarios) const {
+  SMACHE_REQUIRE_MSG(
+      options_.store == nullptr || !options_.keep_outputs,
+      "ExecutorOptions::store and keep_outputs are mutually exclusive: a "
+      "store hit cannot reconstruct an output grid");
+  SMACHE_REQUIRE_MSG(
+      options_.store == nullptr || options_.fault_plan == nullptr ||
+          options_.fault_plan->empty(),
+      "ExecutorOptions::store and fault_plan are mutually exclusive: the "
+      "scenario key does not encode injected DRAM faults, so a faulted "
+      "result must never be journaled under (or served from) the unfaulted "
+      "scenario's address");
   std::vector<ScenarioResult> results(scenarios.size());
-  parallel_for_index(scenarios.size(), options_.threads,
-                     [&](std::size_t i) {
-                       run_one(scenarios[i], options_, results[i]);
-                     });
+
+  // Store-hit prefill (serial: lookups are in-memory map reads; a serial
+  // pass keeps the hit/miss partition and all recovery logging ordered).
+  std::vector<std::size_t> pending;
+  if (options_.store != nullptr) {
+    pending.reserve(scenarios.size());
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      const std::uint64_t key = ResultStore::scenario_key(
+          scenarios[i], options_.verify_reference);
+      StoredResult hit;
+      if (options_.store->find(key, &hit))
+        from_stored(scenarios[i], hit, results[i]);
+      else
+        pending.push_back(i);
+    }
+  } else {
+    pending.resize(scenarios.size());
+    for (std::size_t i = 0; i < scenarios.size(); ++i) pending[i] = i;
+  }
+
+  parallel_for_index(pending.size(), options_.threads, [&](std::size_t j) {
+    const std::size_t i = pending[j];
+    ScenarioResult& out = results[i];
+    if (options_.stop != nullptr &&
+        options_.stop->load(std::memory_order_relaxed)) {
+      out.scenario = scenarios[i];
+      out.skipped = true;
+      out.ok = false;
+      out.error = "skipped: stop requested before execution";
+      return;
+    }
+    Scenario scenario = scenarios[i];
+    if (options_.fault_plan != nullptr)
+      options_.fault_plan->apply(scenario.label, &scenario.engine.dram);
+    if (options_.wall_timeout_ms != 0)
+      scenario.engine.wall_timeout_ms = options_.wall_timeout_ms;
+    run_one(scenario, options_, out);
+    // Journal the finished result — deterministic failures included (they
+    // are results too, and resume must reproduce them byte-for-byte).
+    // Wall-timeout abandons are the one exclusion: their counters depend
+    // on machine load, so caching one would poison every later report.
+    if (options_.store != nullptr && !out.run.timed_out) {
+      put_with_retry(*options_.store,
+                     to_stored(out, ResultStore::scenario_key(
+                                        scenarios[i],
+                                        options_.verify_reference)),
+                     options_.store_retry_attempts,
+                     options_.store_retry_backoff_ms);
+    }
+  });
   return results;
 }
 
@@ -136,7 +292,9 @@ std::uint64_t SweepExecutor::digest(
     mix(h, r.run.dram.row_hits);
     mix(h, r.run.dram.row_misses);
     mix(h, r.run.dram.injected_stall_cycles);
+    mix(h, r.run.dram.injected_delay_cycles);
     mix(h, r.run.dram.read_busy_cycles);
+    mix(h, r.run.timed_out);
     mix(h, r.output_hash);
     mix(h, r.reference_checked);
     mix(h, r.reference_match);

@@ -7,6 +7,7 @@
 // checkable.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -14,6 +15,9 @@
 #include "sweep/spec.hpp"
 
 namespace smache::sweep {
+
+class ResultStore;
+struct FaultPlan;
 
 struct ExecutorOptions {
   /// Worker count; 0 = hardware_threads(), 1 = serial on the caller.
@@ -31,7 +35,44 @@ struct ExecutorOptions {
   /// RunResult. Off by default: a sweep holds EVERY result until
   /// collation, so retaining grids costs O(scenarios x cells) memory
   /// while reporting only needs output_hash and the scalar stats.
+  /// Mutually exclusive with `store` (a store hit cannot reconstruct an
+  /// output grid, so the combination would silently under-deliver).
   bool keep_outputs = false;
+  /// Persistent result store (crash-safe resume + memoization). When set,
+  /// scenarios whose key is already present are reconstructed from the
+  /// store without executing (from_store=true, byte-identical in every
+  /// deterministic report field); every freshly-executed scenario —
+  /// including deterministic failures, which are results too — is
+  /// journaled as soon as it finishes, so a killed sweep resumes from its
+  /// last completed scenario. Wall-timeout abandons are NEVER stored
+  /// (their counters are nondeterministic).
+  ResultStore* store = nullptr;
+  /// Bounded retry for transient store IO failures (store_io_error):
+  /// total attempts per record, with exponential backoff starting at
+  /// `store_retry_backoff_ms`. Exhausting the retries never fails the
+  /// scenario — the result stays in memory and the sweep continues; the
+  /// only cost is a re-execution on resume.
+  std::size_t store_retry_attempts = 4;
+  std::uint32_t store_retry_backoff_ms = 1;
+  /// Cooperative cancellation (the CLI's SIGINT handler flips it): a
+  /// scenario observed after the flag turns true is marked skipped
+  /// (ok=false, skipped=true) instead of executed, so the sweep drains
+  /// quickly and completed results can still be flushed/persisted.
+  const std::atomic<bool>* stop = nullptr;
+  /// Per-scenario wall-clock watchdog, forwarded to
+  /// EngineOptions::wall_timeout_ms (0 = off). A tripped scenario is
+  /// captured as ok=false with timed_out=true and its partial counters —
+  /// inherently nondeterministic, so such results are never stored and
+  /// make the sweep digest non-reproducible (use for triage, not for
+  /// golden reports).
+  std::uint32_t wall_timeout_ms = 0;
+  /// Deterministic fault injection: DRAM faults from the plan are applied
+  /// to every matching scenario's DramConfig before execution (see
+  /// sweep/faults.hpp). Injected runs stay bit-reproducible. Mutually
+  /// exclusive with `store`: the scenario key does not encode injected
+  /// faults, so mixing them would cross-contaminate faulted and clean
+  /// results under one address.
+  const FaultPlan* fault_plan = nullptr;
 };
 
 /// One scenario's outcome. A scenario that throws (contract violation,
@@ -48,6 +89,10 @@ struct ScenarioResult {
   std::uint64_t output_hash = 0;    // FNV-1a of the output grid (sim only)
   bool reference_checked = false;   // verify_reference was on and ok
   bool reference_match = false;     // hardware output == golden reference
+  bool from_store = false;          // reconstructed from the result store
+                                    // (not executed); excluded from digest
+                                    // so warm == cold byte-for-byte
+  bool skipped = false;             // stop flag observed before execution
   double wall_ms = 0.0;             // wall-clock measurement; NEVER part of
                                     // digests or deterministic reports
 };

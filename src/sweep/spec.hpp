@@ -91,6 +91,11 @@ struct SweepSpec {
   std::uint64_t base_seed = 1;
   /// Simulation watchdog forwarded to EngineOptions.
   std::uint64_t max_cycles = 200'000'000;
+  /// Result-store directory (crash-safe resume + memoization; see
+  /// sweep/store.hpp). Empty = no store. Carried in the spec so a saved
+  /// spec names its own durability location and a resumed run cannot pair
+  /// the wrong store with the wrong sweep; the CLI's --store overrides it.
+  std::string store_dir;
 
   /// Cartesian size (including aliased points that expand() collapses).
   std::size_t scenario_count() const;

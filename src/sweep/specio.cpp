@@ -214,12 +214,18 @@ class SpecParser {
       spec.max_cycles = parse_u64(parse_number_token(), "max_cycles");
       SMACHE_REQUIRE_MSG(spec.max_cycles >= 1,
                          err("max_cycles must be >= 1"));
+    } else if (key == "store") {
+      spec.store_dir = parse_string();
+      SMACHE_REQUIRE_MSG(!spec.store_dir.empty(),
+                         err("'store' must name a directory (omit the key "
+                             "for no store)"));
     } else {
       throw contract_error(
           err("unknown key '" + key +
               "' (known: smache_sweep_spec, mode, archs, impls, "
               "thresholds, grids, drams, steps, depths, tiles, stencils, "
-              "boundaries, kernels, inputs, base_seed, max_cycles)"));
+              "boundaries, kernels, inputs, base_seed, max_cycles, "
+              "store)"));
     }
   }
 
@@ -277,8 +283,12 @@ std::string emit_spec_json(const SweepSpec& spec) {
       << string_array(spec.inputs, [](const std::string& s) { return s; })
       << ",\n";
   out << "  \"base_seed\": " << spec.base_seed << ",\n";
-  out << "  \"max_cycles\": " << spec.max_cycles << "\n";
-  out << "}\n";
+  out << "  \"max_cycles\": " << spec.max_cycles;
+  // Emitted only when set, so store-less specs round-trip byte-exactly
+  // with files saved before the key existed.
+  if (!spec.store_dir.empty())
+    out << ",\n  \"store\": " << quote(spec.store_dir);
+  out << "\n}\n";
   return out.str();
 }
 

@@ -17,6 +17,8 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <set>
 
 #include "common/log.hpp"
@@ -25,8 +27,10 @@
 #include "cost/dse.hpp"
 #include "sweep/emit.hpp"
 #include "sweep/executor.hpp"
+#include "sweep/faults.hpp"
 #include "sweep/spec.hpp"
 #include "sweep/specio.hpp"
+#include "sweep/store.hpp"
 #include "sweep/workloads.hpp"
 
 namespace smache::sweep {
@@ -474,6 +478,20 @@ TEST(SpecIo, FileRoundTripThroughDisk) {
   }
 }
 
+TEST(SpecIo, StoreKeyRoundTripsAndValidates) {
+  SweepSpec spec;
+  spec.store_dir = "results/store";
+  const std::string json = emit_spec_json(spec);
+  EXPECT_NE(json.find("\"store\": \"results/store\""), std::string::npos);
+  EXPECT_EQ(parse_spec_json(json).store_dir, "results/store");
+  // Store-less specs omit the key entirely (byte-compatible with files
+  // saved before it existed), and an empty value is rejected, not treated
+  // as "no store".
+  spec.store_dir.clear();
+  EXPECT_EQ(emit_spec_json(spec).find("\"store\""), std::string::npos);
+  EXPECT_THROW(parse_spec_json("{\"store\": \"\"}"), contract_error);
+}
+
 // ---- executor determinism ------------------------------------------------
 
 SweepSpec mixed_spec() {
@@ -874,6 +892,212 @@ TEST(SweepEmit, QuotesEveryStringValuedCsvColumn) {
   const std::string_view row = all.substr(
       header_end + 1, csv.find('\n', header_end + 1) - header_end - 1);
   EXPECT_EQ(commas_outside_quotes(row), commas_outside_quotes(header));
+}
+
+// ---- crash-safe store-backed sweeps --------------------------------------
+
+/// Fresh scratch store directory per test, removed on destruction.
+class SweepScratch {
+ public:
+  explicit SweepScratch(const std::string& name)
+      : path_("sweep_store_tmp_" + name) {
+    std::filesystem::remove_all(path_);
+  }
+  ~SweepScratch() { std::filesystem::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+SweepSpec small_store_spec() {
+  SweepSpec spec;
+  spec.grids = {{8, 8}};
+  spec.steps = {2};
+  spec.stencils = {"vn4"};
+  spec.boundaries = {"paper", "open", "island"};
+  return spec;  // 3 scenarios
+}
+
+TEST(SweepStore, WarmRunIsAllHitsAndByteIdentical) {
+  const SweepScratch dir("warm");
+  ResultStore store(dir.path());
+  ExecutorOptions opts;
+  opts.store = &store;
+  const auto cold = SweepExecutor(opts).run(small_store_spec());
+  ASSERT_EQ(cold.size(), 3u);
+  for (const auto& r : cold) {
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_FALSE(r.from_store);
+  }
+  EXPECT_EQ(store.size(), 3u);
+
+  // Same executor, same store: every scenario is reconstructed without
+  // running, and the reports are byte-identical — the memoization claim.
+  const auto warm = SweepExecutor(opts).run(small_store_spec());
+  for (const auto& r : warm) EXPECT_TRUE(r.from_store) << r.scenario.label;
+  EXPECT_EQ(SweepExecutor::digest(cold), SweepExecutor::digest(warm));
+  EXPECT_EQ(emit_json(cold), emit_json(warm));
+  EXPECT_EQ(emit_csv(cold), emit_csv(warm));
+
+  // A REOPENED store (fresh process, journal read back from disk) must be
+  // just as good — this is the resume path.
+  ResultStore reopened(dir.path());
+  ExecutorOptions resumed_opts;
+  resumed_opts.store = &reopened;
+  const auto resumed = SweepExecutor(resumed_opts).run(small_store_spec());
+  for (const auto& r : resumed) EXPECT_TRUE(r.from_store);
+  EXPECT_EQ(emit_json(cold), emit_json(resumed));
+}
+
+TEST(SweepStore, WidenedSpecExecutesOnlyTheDelta) {
+  const SweepScratch dir("widen");
+  ResultStore store(dir.path());
+  ExecutorOptions opts;
+  opts.store = &store;
+  SweepSpec narrow = small_store_spec();
+  narrow.boundaries = {"paper"};
+  (void)SweepExecutor(opts).run(narrow);
+  EXPECT_EQ(store.size(), 1u);
+
+  const auto widened = SweepExecutor(opts).run(small_store_spec());
+  std::size_t hits = 0, executed = 0;
+  for (const auto& r : widened) (r.from_store ? hits : executed)++;
+  EXPECT_EQ(hits, 1u);
+  EXPECT_EQ(executed, 2u);
+  EXPECT_EQ(store.size(), 3u);
+
+  // And the widened warm report equals a cold run of the widened spec.
+  const auto cold = SweepExecutor().run(small_store_spec());
+  EXPECT_EQ(emit_json(cold), emit_json(widened));
+  EXPECT_EQ(SweepExecutor::digest(cold), SweepExecutor::digest(widened));
+}
+
+TEST(SweepStore, CorruptedRecordReexecutesOnlyAffectedScenarios) {
+  const SweepScratch dir("corrupt");
+  std::string baseline_json;
+  {
+    ResultStore store(dir.path());
+    ExecutorOptions opts;
+    opts.store = &store;
+    opts.threads = 1;  // serial: journal order == scenario order
+    baseline_json = emit_json(SweepExecutor(opts).run(small_store_spec()));
+    EXPECT_EQ(store.size(), 3u);
+  }
+  // Flip one byte in the LAST journaled record's payload: recovery drops
+  // exactly that record (tail abandonment — nothing follows it).
+  std::string seg;
+  for (const auto& e : std::filesystem::directory_iterator(dir.path()))
+    if (e.path().extension() == ".smr") seg = e.path().string();
+  ASSERT_FALSE(seg.empty());
+  {
+    std::ifstream in(seg, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    bytes[bytes.size() - 20] ^= 0x04;  // inside the final payload/checksum
+    std::ofstream out(seg, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+
+  ResultStore recovered(dir.path());
+  EXPECT_EQ(recovered.size(), 2u);
+  EXPECT_EQ(recovered.dropped_records(), 1u);
+  ExecutorOptions opts;
+  opts.store = &recovered;
+  const auto rerun = SweepExecutor(opts).run(small_store_spec());
+  std::size_t executed = 0;
+  for (const auto& r : rerun) executed += r.from_store ? 0 : 1;
+  // Only the dropped scenario re-executes, and the final report is
+  // byte-identical to the pre-corruption run.
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(emit_json(rerun), baseline_json);
+  EXPECT_EQ(recovered.size(), 3u);  // re-journaled durably
+}
+
+TEST(SweepStore, DeterministicFailuresAreStoredAndReused) {
+  // A captured scenario error is a result too: resume must reproduce the
+  // failed row byte-for-byte without re-running it.
+  const SweepScratch dir("failres");
+  SweepSpec spec;
+  spec.grids = {{8, 8}};
+  spec.steps = {2};
+  spec.depths = {2};
+  spec.boundaries = {"circular", "open"};  // periodic x depth>1 -> error
+  ResultStore store(dir.path());
+  ExecutorOptions opts;
+  opts.store = &store;
+  const auto cold = SweepExecutor(opts).run(spec);
+  ASSERT_EQ(cold.size(), 2u);
+  EXPECT_EQ(store.size(), 2u);  // failure journaled alongside the success
+  const auto warm = SweepExecutor(opts).run(spec);
+  bool saw_failure = false;
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    EXPECT_TRUE(warm[i].from_store);
+    EXPECT_EQ(warm[i].ok, cold[i].ok);
+    EXPECT_EQ(warm[i].error, cold[i].error);
+    saw_failure |= !warm[i].ok;
+  }
+  EXPECT_TRUE(saw_failure);
+  EXPECT_EQ(emit_json(cold), emit_json(warm));
+}
+
+TEST(SweepStore, IncompatibleOptionCombinationsAreRejected) {
+  const SweepScratch dir("reject");
+  ResultStore store(dir.path());
+  ExecutorOptions opts;
+  opts.store = &store;
+  opts.keep_outputs = true;
+  EXPECT_THROW((void)SweepExecutor(opts).run(small_store_spec()),
+               contract_error);
+  const FaultPlan plan = FaultPlan::seeded(1, 2);
+  ExecutorOptions faulted;
+  faulted.store = &store;
+  faulted.fault_plan = &plan;
+  EXPECT_THROW((void)SweepExecutor(faulted).run(small_store_spec()),
+               contract_error);
+  EXPECT_EQ(store.size(), 0u);  // rejection happens before any execution
+}
+
+TEST(SweepStop, StopFlagSkipsScenariosAndStoresNothing) {
+  const SweepScratch dir("stop");
+  ResultStore store(dir.path());
+  std::atomic<bool> stop{true};  // pre-set: every scenario must skip
+  ExecutorOptions opts;
+  opts.store = &store;
+  opts.stop = &stop;
+  opts.threads = 2;
+  const auto results = SweepExecutor(opts).run(small_store_spec());
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.skipped);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("skipped"), std::string::npos);
+  }
+  EXPECT_EQ(store.size(), 0u);  // skipped scenarios are never journaled
+}
+
+TEST(SweepWatchdog, WallTimeoutIsCapturedAndNeverStored) {
+  const SweepScratch dir("watchdog");
+  SweepSpec spec;
+  spec.grids = {{128, 128}};
+  spec.steps = {10};
+  spec.stencils = {"moore9"};
+  spec.boundaries = {"open"};
+  ResultStore store(dir.path());
+  ExecutorOptions opts;
+  opts.store = &store;
+  opts.wall_timeout_ms = 1;  // a 128x128 10-step run takes far longer
+  const auto results = SweepExecutor(opts).run(spec);
+  ASSERT_EQ(results.size(), 1u);
+  const ScenarioResult& r = results[0];
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(r.run.timed_out);
+  EXPECT_NE(r.error.find("watchdog"), std::string::npos) << r.error;
+  // Partial progress is surfaced for triage...
+  EXPECT_GT(r.run.cycles, 0u);
+  // ...but a nondeterministic abandon must never be journaled: a resume
+  // re-executes it (possibly without the timeout) instead of trusting it.
+  EXPECT_EQ(store.size(), 0u);
 }
 
 // ---- the shared parallel substrate --------------------------------------

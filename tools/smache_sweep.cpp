@@ -25,9 +25,12 @@
 //   smache-sweep --steps 6 --depths 1,2 --save-spec experiment.json
 //   smache-sweep --spec experiment.json     # reproduce the digest above
 //   smache-sweep --list                     # print the workload catalogue
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 
 #include "common/assert.hpp"
 #include "common/cli.hpp"
@@ -37,11 +40,20 @@
 #include "sweep/executor.hpp"
 #include "sweep/spec.hpp"
 #include "sweep/specio.hpp"
+#include "sweep/store.hpp"
 #include "sweep/workloads.hpp"
 
 using namespace smache;
 
 namespace {
+
+/// SIGINT -> cooperative stop: scenarios not yet started are skipped, the
+/// worker pool drains, and everything already completed is flushed to the
+/// store and the reports before exit (code 130). A second Ctrl-C behaves
+/// the same — the flag is already set, so shutdown stays graceful.
+std::atomic<bool> g_stop{false};
+
+void handle_sigint(int) { g_stop.store(true); }
 
 void print_catalogue() {
   std::printf("registered workload families (one sweep dimension each):\n");
@@ -195,7 +207,7 @@ void write_file(const std::string& path, const std::string& content) {
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv,
                      {"list", "verify-serial", "verify-reference",
-                      "no-wall", "quiet"});
+                      "no-wall", "quiet", "resume", "fail-on-error"});
   if (args.has("help")) {
     std::printf(
         "usage: smache-sweep [--threads N] [--mode sim|elab]\n"
@@ -207,6 +219,8 @@ int main(int argc, char** argv) {
         "  [--kernels ...] [--inputs ...] [--seed N] [--max-cycles N]\n"
         "  [--spec experiment.json] [--save-spec experiment.json]\n"
         "  [--out report.json] [--csv report.csv] [--no-wall]\n"
+        "  [--store DIR] [--resume] [--timeout-ms N]\n"
+        "  [--fail-on-error[=false]]\n"
         "  [--verify-serial] [--verify-reference] [--list] [--quiet]\n"
         "--depths sweeps the cascade (temporal-blocking) depth: each\n"
         "scenario fuses that many time steps per DRAM pass (depth 1 = the\n"
@@ -217,7 +231,22 @@ int main(int argc, char** argv) {
         "(0 = all cores); outputs are bit-identical across meshes and\n"
         "thread counts. --save-spec writes the resolved spec as JSON;\n"
         "--spec re-runs exactly that experiment (exclusive with dimension\n"
-        "flags).\n");
+        "flags).\n"
+        "--store DIR journals every finished scenario into a crash-safe\n"
+        "result store: re-running the same (or a widened) sweep skips\n"
+        "everything already completed and executes only the delta, so a\n"
+        "killed sweep resumes from its last finished scenario. --resume is\n"
+        "the same plus a safety rail: the store directory must already\n"
+        "exist (catches a mistyped path that would silently start cold).\n"
+        "A spec file can carry its store via the \"store\" key; --store\n"
+        "overrides it. --timeout-ms arms a per-scenario wall-clock\n"
+        "watchdog (nondeterministic by nature: tripped scenarios are\n"
+        "reported but never stored). --fail-on-error (default on) exits\n"
+        "non-zero when any scenario captured an error; =false downgrades\n"
+        "captured errors to report entries for sweeps that intentionally\n"
+        "include invalid pairings. Ctrl-C stops gracefully: running\n"
+        "scenarios finish, the rest are skipped, completed results are\n"
+        "flushed to the store and reports, exit code 130.\n");
     return 0;
   }
   if (args.get_bool("list", false)) {
@@ -232,6 +261,25 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "smache-sweep: malformed sweep spec: %s\n",
                  e.what());
+    return 2;
+  }
+
+  // The store location comes from the spec file (its "store" key) unless
+  // --store overrides it; --resume additionally demands the directory
+  // already exists, so a mistyped path fails loudly instead of silently
+  // starting a cold store.
+  if (args.has("store")) {
+    spec.store_dir = args.get_string("store", "");
+    if (spec.store_dir.empty()) {
+      std::fprintf(stderr, "smache-sweep: --store needs a directory\n");
+      return 2;
+    }
+  }
+  const bool resume = args.get_bool("resume", false);
+  if (resume && spec.store_dir.empty()) {
+    std::fprintf(stderr,
+                 "smache-sweep: --resume needs a store (--store DIR or a "
+                 "spec with a \"store\" key)\n");
     return 2;
   }
 
@@ -261,6 +309,36 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("tile-threads", 1));
   if (opts.tile_threads == 0) opts.tile_threads = hardware_threads();
   opts.verify_reference = args.get_bool("verify-reference", false);
+  opts.wall_timeout_ms = static_cast<std::uint32_t>(
+      args.get_int("timeout-ms", 0));
+
+  std::unique_ptr<sweep::ResultStore> store;
+  if (!spec.store_dir.empty()) {
+    try {
+      if (resume && !sweep::real_file_io().exists(spec.store_dir)) {
+        std::fprintf(stderr,
+                     "smache-sweep: --resume: store directory '%s' does "
+                     "not exist (use --store to start a fresh one)\n",
+                     spec.store_dir.c_str());
+        return 2;
+      }
+      store = std::make_unique<sweep::ResultStore>(spec.store_dir);
+    } catch (const sweep::store_io_error& e) {
+      std::fprintf(stderr, "smache-sweep: %s\n", e.what());
+      return 2;
+    }
+    opts.store = store.get();
+    std::printf("store: %s — %zu cached result(s)",
+                spec.store_dir.c_str(), store->size());
+    if (store->dropped_records() != 0)
+      std::printf(", %llu corrupt/torn record(s) dropped (those scenarios "
+                  "re-execute)",
+                  static_cast<unsigned long long>(store->dropped_records()));
+    std::printf("\n");
+  }
+
+  opts.stop = &g_stop;
+  std::signal(SIGINT, handle_sigint);
 
   const auto scenarios = spec.expand();
   std::printf("smache-sweep: %zu scenario point(s) (%zu cartesian), "
@@ -287,8 +365,11 @@ int main(int argc, char** argv) {
     }
     std::printf("%s", t.to_ascii().c_str());
   }
+  std::size_t skipped = 0, from_store = 0;
   for (const auto& r : results) {
-    if (!r.ok) {
+    if (r.skipped) {
+      ++skipped;
+    } else if (!r.ok) {
       ++failed;
       std::fprintf(stderr, "FAIL %s: %s\n", r.scenario.label.c_str(),
                    r.error.c_str());
@@ -297,14 +378,23 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "REFERENCE MISMATCH %s\n",
                    r.scenario.label.c_str());
     }
+    if (r.from_store) ++from_store;
   }
 
   const std::uint64_t digest = sweep::SweepExecutor::digest(results);
   std::printf("digest %016llx  wall %.1f ms  failed %zu\n",
               static_cast<unsigned long long>(digest), wall_ms, failed);
+  if (store != nullptr)
+    std::printf("store: %zu hit(s), %zu executed, %zu record(s) now "
+                "persisted\n",
+                from_store, results.size() - from_store - skipped,
+                store->size());
 
+  const bool interrupted = g_stop.load();
   bool serial_diverged = false;
-  if (args.get_bool("verify-serial", false)) {
+  // Serial verification is meaningless after an interrupt (the serial run
+  // would skip everything, trivially diverging from the partial results).
+  if (args.get_bool("verify-serial", false) && !interrupted) {
     sweep::ExecutorOptions serial = opts;
     serial.threads = 1;
     serial.tile_threads = 1;  // fully serial: tile pools off too
@@ -336,5 +426,25 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", csv_path.c_str());
   }
 
-  return (failed != 0 || mismatched != 0 || serial_diverged) ? 1 : 0;
+  if (interrupted) {
+    // Completed results are already journaled (the executor stores each
+    // one as it finishes) and the reports above are flushed; the exit code
+    // is the conventional 128 + SIGINT.
+    std::fprintf(stderr,
+                 "smache-sweep: interrupted — %zu scenario(s) skipped, "
+                 "completed results flushed%s\n",
+                 skipped,
+                 store != nullptr ? " (resume with the same --store)" : "");
+    return 130;
+  }
+
+  // Captured scenario errors fail the run unless explicitly downgraded
+  // (--fail-on-error=false, for sweeps that intentionally include invalid
+  // pairings as data points). Reference mismatches and serial divergence
+  // are always fatal — those are correctness claims, not data.
+  const bool fail_on_error = args.get_bool("fail-on-error", true);
+  return ((fail_on_error && failed != 0) || mismatched != 0 ||
+          serial_diverged)
+             ? 1
+             : 0;
 }
