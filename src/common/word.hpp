@@ -1,7 +1,9 @@
 // The machine word flowing through the simulated datapaths. The paper's
 // prototype uses 32-bit grid elements; all RTL-level modules move raw
 // 32-bit words, and typed kernels bit-cast at the boundary (see
-// rtl/kernel.hpp).
+// rtl/kernel.hpp). A cell is F consecutive words (CellLayout); the
+// single-field layout (F=1) is the paper's datapath and the default
+// everywhere.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +14,23 @@ namespace smache {
 using word_t = std::uint32_t;
 inline constexpr std::uint32_t kWordBits = 32;
 inline constexpr std::uint32_t kWordBytes = 4;
+
+/// Upper bound on fields per cell. Small on purpose: RTL-side messages
+/// (KernelPipeline results, cascade inter-stage cells) carry fixed
+/// std::array<word_t, kMaxFields> payloads so they stay trivially
+/// copyable, and every registered application fits in 3 fields.
+inline constexpr std::size_t kMaxFields = 4;
+
+/// How a logical cell maps onto datapath words: F fields, stored
+/// interleaved (field-major within the cell) in grids, DRAM rows, stream
+/// and static buffer slots. F=1 reproduces the original word-per-cell
+/// datapath bit-for-bit.
+struct CellLayout {
+  std::size_t fields = 1;
+  constexpr bool single() const noexcept { return fields == 1; }
+  friend constexpr bool operator==(const CellLayout&,
+                                   const CellLayout&) = default;
+};
 
 /// Bit-cast between the raw datapath word and a typed value (int32_t,
 /// float, uint32_t). memcpy is the defined-behaviour idiom; compilers

@@ -23,11 +23,12 @@ namespace {
 /// per-call range check) per cell.
 grid::Grid<word_t> read_output_grid(const mem::DramModel& dram,
                                     std::uint64_t base, std::size_t height,
-                                    std::size_t width) {
-  const std::size_t cells = height * width;
-  const word_t* span = dram.peek_span(base, cells);
+                                    std::size_t width,
+                                    CellLayout layout) {
+  const std::size_t words = height * width * layout.fields;
+  const word_t* span = dram.peek_span(base, words);
   return grid::Grid<word_t>::from_words(
-      height, width, std::vector<word_t>(span, span + cells));
+      height, width, layout, std::vector<word_t>(span, span + words));
 }
 
 /// Internal signal for an expired wall deadline; converted to
@@ -100,6 +101,8 @@ RunResult Engine::run(const ProblemSpec& problem,
                       const grid::Grid<word_t>& initial) const {
   SMACHE_REQUIRE(initial.height() == problem.height &&
                  initial.width() == problem.width);
+  SMACHE_REQUIRE_MSG(initial.fields() == problem.kernel.fields(),
+                     "initial grid's cell layout must match the kernel's");
   return execute(problem, &initial);
 }
 
@@ -111,13 +114,17 @@ RunResult Engine::execute(const ProblemSpec& problem,
                           const grid::Grid<word_t>* initial) const {
   problem.validate();
   const std::size_t cells = problem.cells();
+  const CellLayout layout{problem.kernel.fields()};
+  // Validated against size_t wrap before anything sizes a buffer by it.
+  const std::size_t grid_words = grid::Grid<word_t>::checked_words(
+      problem.height, problem.width, layout.fields);
 
   sim::Simulator sim;
   sim.set_force_eval_all(options_.force_eval_all);
   mem::DramConfig dcfg = options_.dram;
   if (options_.auto_bus)
     dcfg.shared_bus = options_.arch == Architecture::Baseline;
-  mem::DramModel dram(sim, "dram", 2 * cells, dcfg);
+  mem::DramModel dram(sim, "dram", 2 * grid_words, dcfg);
 
   if (initial != nullptr) {
     const auto words = initial->to_words();
@@ -146,14 +153,16 @@ RunResult Engine::execute(const ProblemSpec& problem,
     model::BufferPlan plan = plan_only(problem);
     rtl::SmacheTop top(sim, "smache", plan, problem.kernel, dram,
                        problem.steps);
-    result.estimate = cost::estimate_memory(plan);
+    result.estimate = cost::estimate_memory(
+        plan, static_cast<std::uint32_t>(kWordBits * layout.fields));
     result.timing = cost::estimate_smache_timing(plan);
     if (initial != nullptr) {
       guarded_run(top);
       result.cycles = sim.now();
       result.warmup_cycles = top.warmup_end_cycle();
       result.output = read_output_grid(dram, top.output_base(),
-                                       problem.height, problem.width);
+                                       problem.height, problem.width,
+                                       layout);
     }
     result.resources = cost::measure_actual(sim.ledger(), "smache");
     result.plan = std::move(plan);
@@ -169,14 +178,16 @@ RunResult Engine::execute(const ProblemSpec& problem,
       guarded_run(top);
       result.cycles = sim.now();
       result.output = read_output_grid(dram, top.output_base(),
-                                       problem.height, problem.width);
+                                       problem.height, problem.width,
+                                       layout);
     }
     result.resources = cost::measure_actual(sim.ledger(), "baseline");
   }
 
   result.dram = dram.stats();
-  result.ops = static_cast<std::uint64_t>(cells) * problem.steps *
-               problem.kernel.ops_per_point(problem.shape.size());
+  result.ops =
+      static_cast<std::uint64_t>(cells) * problem.steps *
+      problem.kernel.ops_per_point(problem.shape.size() * layout.fields);
   if (result.timing.fmax_mhz > 0.0 && result.cycles > 0) {
     result.exec_time_us =
         static_cast<double>(result.cycles) / result.timing.fmax_mhz;
@@ -191,16 +202,21 @@ RunResult Engine::run_cascade(const ProblemSpec& problem,
   problem.validate();
   SMACHE_REQUIRE(initial.height() == problem.height &&
                  initial.width() == problem.width);
+  SMACHE_REQUIRE_MSG(initial.fields() == problem.kernel.fields(),
+                     "initial grid's cell layout must match the kernel's");
   SMACHE_REQUIRE_MSG(depth >= 1 && problem.steps % depth == 0,
                      "steps must be a multiple of the cascade depth");
   const std::size_t cells = problem.cells();
+  const CellLayout layout{problem.kernel.fields()};
+  const std::size_t grid_words = grid::Grid<word_t>::checked_words(
+      problem.height, problem.width, layout.fields);
   const std::size_t passes = problem.steps / depth;
 
   sim::Simulator sim;
   sim.set_force_eval_all(options_.force_eval_all);
   mem::DramConfig dcfg = options_.dram;
   if (options_.auto_bus) dcfg.shared_bus = false;
-  mem::DramModel dram(sim, "dram", 2 * cells, dcfg);
+  mem::DramModel dram(sim, "dram", 2 * grid_words, dcfg);
   const auto words = initial.to_words();
   for (std::size_t i = 0; i < words.size(); ++i) dram.poke(i, words[i]);
 
@@ -210,7 +226,8 @@ RunResult Engine::run_cascade(const ProblemSpec& problem,
 
   RunResult result;
   result.arch = Architecture::Smache;
-  result.estimate = cost::estimate_memory(plan);
+  result.estimate = cost::estimate_memory(
+      plan, static_cast<std::uint32_t>(kWordBits * layout.fields));
   // The cascade replicates the stream buffer per fused step.
   result.estimate->r_stream *= depth;
   result.estimate->b_stream *= depth;
@@ -228,12 +245,13 @@ RunResult Engine::run_cascade(const ProblemSpec& problem,
   result.warmup_cycles = top.warmup_end_cycle();
   result.output =
       read_output_grid(dram, top.output_base(), problem.height,
-                       problem.width);
+                       problem.width, layout);
   result.resources = cost::measure_actual(sim.ledger(), "cascade");
   result.plan = std::move(plan);
   result.dram = dram.stats();
-  result.ops = static_cast<std::uint64_t>(cells) * problem.steps *
-               problem.kernel.ops_per_point(problem.shape.size());
+  result.ops =
+      static_cast<std::uint64_t>(cells) * problem.steps *
+      problem.kernel.ops_per_point(problem.shape.size() * layout.fields);
   if (result.timing.fmax_mhz > 0.0 && result.cycles > 0) {
     result.exec_time_us =
         static_cast<double>(result.cycles) / result.timing.fmax_mhz;
@@ -248,6 +266,8 @@ RunResult Engine::run_tiled(const ProblemSpec& problem,
   problem.validate();
   SMACHE_REQUIRE(initial.height() == problem.height &&
                  initial.width() == problem.width);
+  SMACHE_REQUIRE_MSG(initial.fields() == problem.kernel.fields(),
+                     "initial grid's cell layout must match the kernel's");
   SMACHE_REQUIRE_MSG(tiling.depth >= 1 && problem.steps % tiling.depth == 0,
                      "steps must be a multiple of the tiling depth");
   if (tiling.tiles_r == 1 && tiling.tiles_c == 1)
@@ -266,7 +286,8 @@ RunResult Engine::run_tiled(const ProblemSpec& problem,
   std::vector<RunResult> tile_runs(n);
 
   for (std::size_t pass = 0; pass < passes; ++pass) {
-    grid::Grid<word_t> next(problem.height, problem.width);
+    grid::Grid<word_t> next(problem.height, problem.width, initial.layout(),
+                            0);
     // Workers only touch index-owned slots plus disjoint interiors of
     // `next`; `state` is read-only until the pass drains.
     parallel_for_index(n, tiling.threads, [&](std::size_t i) {
@@ -277,11 +298,10 @@ RunResult Engine::run_tiled(const ProblemSpec& problem,
       sub.bc = t.sub_bc;
       sub.steps = tiling.depth;
       const grid::Grid<word_t> fed = grid::gather_tile(state, t, problem.bc);
-      RunResult r = tiling.depth > 1 ? run_cascade(sub, fed, tiling.depth)
-                                     : run(sub, fed);
-      grid::stitch_interior(next, t, *r.output);
-      r.output.reset();  // the stitch consumed it
-      tile_runs[i] = std::move(r);
+      tile_runs[i] = tiling.depth > 1 ? run_cascade(sub, fed, tiling.depth)
+                                      : run(sub, fed);
+      grid::stitch_interior(next, t, tile_runs[i].output.value());
+      tile_runs[i].output.reset();  // the stitch consumed it
     });
     state = std::move(next);
 
@@ -329,7 +349,8 @@ RunResult Engine::run_tiled(const ProblemSpec& problem,
   agg.output = std::move(state);
   // Logical work only — the redundant halo compute is a cost, not output.
   agg.ops = static_cast<std::uint64_t>(problem.cells()) * problem.steps *
-            problem.kernel.ops_per_point(problem.shape.size());
+            problem.kernel.ops_per_point(problem.shape.size() *
+                                         problem.kernel.fields());
   if (agg.timing.fmax_mhz > 0.0 && agg.cycles > 0) {
     agg.exec_time_us = static_cast<double>(agg.cycles) / agg.timing.fmax_mhz;
     agg.mops = static_cast<double>(agg.ops) / agg.exec_time_us;
@@ -342,11 +363,15 @@ grid::Grid<word_t> reference_run(const ProblemSpec& problem,
   problem.validate();
   SMACHE_REQUIRE(initial.height() == problem.height &&
                  initial.width() == problem.width);
-  const auto kernel = [&](const std::vector<grid::TupleElem>& tuple) {
-    return rtl::apply_kernel(problem.kernel, tuple);
+  SMACHE_REQUIRE_MSG(initial.fields() == problem.kernel.fields(),
+                     "initial grid's cell layout must match the kernel's");
+  const std::size_t fields = problem.kernel.fields();
+  const auto kernel = [&](const std::vector<grid::TupleElem>& tuple,
+                          word_t* out) {
+    rtl::apply_kernel_cells(problem.kernel, tuple, fields, out);
   };
-  return grid::run_steps(initial, problem.shape, problem.bc, kernel,
-                         problem.steps);
+  return grid::run_steps_cells(initial, problem.shape, problem.bc, kernel,
+                               problem.steps);
 }
 
 }  // namespace smache

@@ -17,8 +17,22 @@ void ProblemSpec::validate() const {
       width <= std::numeric_limits<std::size_t>::max() / height,
       "grid dimensions overflow std::size_t");
   SMACHE_REQUIRE_MSG(steps >= 1, "at least one work-instance required");
-  SMACHE_REQUIRE_MSG(shape.size() <= rtl::kMaxTuple,
-                     "stencil arity exceeds kMaxTuple");
+  // Multi-field cells widen everything downstream by the kernel's field
+  // count: the gathered tuple carries taps * F words, and every buffer
+  // sized in cells is sized in cells * F words.
+  const std::size_t fields = kernel.fields();
+  SMACHE_REQUIRE_MSG(shape.size() * fields <= rtl::kMaxTuple,
+                     "stencil arity x cell fields exceeds kMaxTuple");
+  SMACHE_REQUIRE_MSG(
+      cells() <= std::numeric_limits<std::size_t>::max() / fields,
+      "cells x fields overflows std::size_t");
+  if (kernel.needs_center_first()) {
+    SMACHE_REQUIRE_MSG(!shape.offsets().empty() &&
+                           shape.offsets()[0].dr == 0 &&
+                           shape.offsets()[0].dc == 0,
+                       "kernel requires a centre-first stencil (tuple "
+                       "element 0 must be offset {0,0})");
+  }
   // The zone construction needs the grid to exceed the stencil's span.
   // A 1-row grid with a row-free stencil is a valid 1D problem.
   const auto rspan = static_cast<std::size_t>(shape.dr_max() -
@@ -36,8 +50,10 @@ std::string ProblemSpec::describe() const {
   out << height << "x" << width << " grid, stencil " << shape.name()
       << " (" << shape.size() << " points), rows "
       << grid::to_string(bc.rows.kind) << ", cols "
-      << grid::to_string(bc.cols.kind) << ", kernel " << kernel.name()
-      << ", " << steps << " work-instance(s)";
+      << grid::to_string(bc.cols.kind) << ", kernel " << kernel.name();
+  if (kernel.fields() > 1)
+    out << " (" << kernel.fields() << " fields/cell)";
+  out << ", " << steps << " work-instance(s)";
   return out.str();
 }
 

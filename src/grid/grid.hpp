@@ -1,6 +1,9 @@
 // 2D grid container with row-major storage — the data the stencil pipeline
 // streams. Deliberately minimal: indexing, bounds checking, and conversion
-// to/from the raw word vectors the simulated DRAM holds.
+// to/from the raw word vectors the simulated DRAM holds. Each cell holds
+// F >= 1 fields (CellLayout), stored interleaved: element (r, c, f) lives
+// at (r * width + c) * F + f. F=1 is the original word-per-cell layout and
+// the default for every constructor.
 #pragma once
 
 #include <cstdint>
@@ -27,22 +30,58 @@ class Grid {
     return height * width;
   }
 
+  /// Validated word count for an F-field grid: checked_cells extended by
+  /// the cells x F product, which must not wrap std::size_t either (the
+  /// same silent-short-allocation hazard, one multiply later). Also clamps
+  /// F to [1, kMaxFields] — RTL message payloads are sized by kMaxFields.
+  static std::size_t checked_words(std::size_t height, std::size_t width,
+                                   std::size_t fields) {
+    const std::size_t cells = checked_cells(height, width);
+    SMACHE_REQUIRE_MSG(fields >= 1 && fields <= kMaxFields,
+                       "cell field count out of [1, kMaxFields]");
+    SMACHE_REQUIRE_MSG(
+        fields <= std::numeric_limits<std::size_t>::max() / cells,
+        "cells x fields overflows std::size_t");
+    return cells * fields;
+  }
+
   Grid(std::size_t height, std::size_t width, T fill = T{})
       : height_(height),
         width_(width),
+        fields_(1),
         data_(checked_cells(height, width), fill) {}
+
+  Grid(std::size_t height, std::size_t width, CellLayout layout, T fill = T{})
+      : height_(height),
+        width_(width),
+        fields_(layout.fields),
+        data_(checked_words(height, width, layout.fields), fill) {}
 
   std::size_t height() const noexcept { return height_; }
   std::size_t width() const noexcept { return width_; }
+  std::size_t fields() const noexcept { return fields_; }
+  CellLayout layout() const noexcept { return CellLayout{fields_}; }
+  std::size_t cells() const noexcept { return height_ * width_; }
+  /// Total element (word) count: cells() * fields().
   std::size_t size() const noexcept { return data_.size(); }
 
-  T& at(std::size_t r, std::size_t c) {
-    SMACHE_REQUIRE(r < height_ && c < width_);
-    return data_[r * width_ + c];
+  T& at(std::size_t r, std::size_t c, std::size_t f = 0) {
+    SMACHE_REQUIRE(r < height_ && c < width_ && f < fields_);
+    return data_[(r * width_ + c) * fields_ + f];
   }
-  const T& at(std::size_t r, std::size_t c) const {
+  const T& at(std::size_t r, std::size_t c, std::size_t f = 0) const {
+    SMACHE_REQUIRE(r < height_ && c < width_ && f < fields_);
+    return data_[(r * width_ + c) * fields_ + f];
+  }
+
+  /// Pointer to a cell's F contiguous fields (the cell-span view).
+  T* cell(std::size_t r, std::size_t c) {
     SMACHE_REQUIRE(r < height_ && c < width_);
-    return data_[r * width_ + c];
+    return &data_[(r * width_ + c) * fields_];
+  }
+  const T* cell(std::size_t r, std::size_t c) const {
+    SMACHE_REQUIRE(r < height_ && c < width_);
+    return &data_[(r * width_ + c) * fields_];
   }
 
   T& operator[](std::size_t i) {
@@ -54,23 +93,25 @@ class Grid {
     return data_[i];
   }
 
+  /// Linear CELL index (not word index) of (r, c).
   std::size_t linear(std::size_t r, std::size_t c) const {
     SMACHE_REQUIRE(r < height_ && c < width_);
     return r * width_ + c;
   }
   std::size_t row_of(std::size_t i) const {
-    SMACHE_REQUIRE(i < data_.size());
+    SMACHE_REQUIRE(i < cells());
     return i / width_;
   }
   std::size_t col_of(std::size_t i) const {
-    SMACHE_REQUIRE(i < data_.size());
+    SMACHE_REQUIRE(i < cells());
     return i % width_;
   }
 
   const std::vector<T>& data() const noexcept { return data_; }
   std::vector<T>& data() noexcept { return data_; }
 
-  /// Pack into raw datapath words (bit-cast per element).
+  /// Pack into raw datapath words (bit-cast per element, interleaved
+  /// field order — exactly the DRAM image).
   std::vector<word_t> to_words() const {
     std::vector<word_t> out(data_.size());
     for (std::size_t i = 0; i < data_.size(); ++i) out[i] = to_word(data_[i]);
@@ -79,8 +120,15 @@ class Grid {
 
   static Grid from_words(std::size_t height, std::size_t width,
                          const std::vector<word_t>& words) {
-    SMACHE_REQUIRE(words.size() == checked_cells(height, width));
-    Grid g(height, width);
+    return from_words(height, width, CellLayout{}, words);
+  }
+
+  static Grid from_words(std::size_t height, std::size_t width,
+                         CellLayout layout,
+                         const std::vector<word_t>& words) {
+    SMACHE_REQUIRE(words.size() == checked_words(height, width,
+                                                 layout.fields));
+    Grid g(height, width, layout);
     for (std::size_t i = 0; i < words.size(); ++i)
       g.data_[i] = from_word<T>(words[i]);
     return g;
@@ -88,12 +136,13 @@ class Grid {
 
   bool operator==(const Grid& other) const {
     return height_ == other.height_ && width_ == other.width_ &&
-           data_ == other.data_;
+           fields_ == other.fields_ && data_ == other.data_;
   }
 
  private:
   std::size_t height_;
   std::size_t width_;
+  std::size_t fields_;
   std::vector<T> data_;
 };
 

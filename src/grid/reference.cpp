@@ -26,4 +26,31 @@ std::vector<TupleElem> gather_tuple(const Grid<word_t>& in,
   return tuple;
 }
 
+std::vector<TupleElem> gather_cell_tuple(const Grid<word_t>& in,
+                                         const StencilShape& shape,
+                                         const BoundarySpec& bc,
+                                         std::size_t r, std::size_t c) {
+  const std::size_t fields = in.fields();
+  std::vector<TupleElem> tuple;
+  tuple.reserve(shape.size() * fields);
+  for (const Offset2& o : shape.offsets()) {
+    const Resolved res =
+        resolve(r, c, o.dr, o.dc, in.height(), in.width(), bc);
+    for (std::size_t f = 0; f < fields; ++f) {
+      switch (res.kind) {
+        case Resolved::Kind::Cell:
+          tuple.push_back(TupleElem{in.at(res.r, res.c, f), true});
+          break;
+        case Resolved::Kind::Constant:
+          tuple.push_back(TupleElem{res.constant, true});
+          break;
+        case Resolved::Kind::Missing:
+          tuple.push_back(TupleElem{0, false});
+          break;
+      }
+    }
+  }
+  return tuple;
+}
+
 }  // namespace smache::grid

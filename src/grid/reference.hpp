@@ -21,6 +21,15 @@ std::vector<TupleElem> gather_tuple(const Grid<word_t>& in,
                                     const BoundarySpec& bc, std::size_t r,
                                     std::size_t c);
 
+/// F-field gather: tap-major tuple of size shape.size() * in.fields(),
+/// tuple[t * F + f] = field f of the cell at offset t. Boundary resolution
+/// happens once per CELL; validity and the constant halo value replicate
+/// across that cell's fields. Identical to gather_tuple for F = 1.
+std::vector<TupleElem> gather_cell_tuple(const Grid<word_t>& in,
+                                         const StencilShape& shape,
+                                         const BoundarySpec& bc,
+                                         std::size_t r, std::size_t c);
+
 /// Apply one stencil step: out(r,c) = kernel(tuple(r,c)). The kernel is any
 /// callable word_t(const std::vector<TupleElem>&).
 template <typename Kernel>
@@ -41,6 +50,30 @@ Grid<word_t> run_steps(Grid<word_t> state, const StencilShape& shape,
                        std::size_t steps) {
   for (std::size_t s = 0; s < steps; ++s)
     state = apply_stencil(state, shape, bc, kernel);
+  return state;
+}
+
+/// Cell-wide stencil step: the kernel is any callable
+/// void(const std::vector<TupleElem>&, word_t* out) that reads the
+/// tap-major F-field tuple and writes the output cell's F words.
+template <typename KernelCells>
+Grid<word_t> apply_stencil_cells(const Grid<word_t>& in,
+                                 const StencilShape& shape,
+                                 const BoundarySpec& bc,
+                                 KernelCells&& kernel) {
+  Grid<word_t> out(in.height(), in.width(), in.layout());
+  for (std::size_t r = 0; r < in.height(); ++r)
+    for (std::size_t c = 0; c < in.width(); ++c)
+      kernel(gather_cell_tuple(in, shape, bc, r, c), out.cell(r, c));
+  return out;
+}
+
+template <typename KernelCells>
+Grid<word_t> run_steps_cells(Grid<word_t> state, const StencilShape& shape,
+                             const BoundarySpec& bc, KernelCells&& kernel,
+                             std::size_t steps) {
+  for (std::size_t s = 0; s < steps; ++s)
+    state = apply_stencil_cells(state, shape, bc, kernel);
   return state;
 }
 

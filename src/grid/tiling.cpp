@@ -171,7 +171,8 @@ Grid<word_t> gather_tile(const Grid<word_t>& global, const TileGeometry& tile,
                          const BoundarySpec& bc) {
   const auto h = static_cast<std::int64_t>(global.height());
   const auto w = static_cast<std::int64_t>(global.width());
-  Grid<word_t> sub(tile.sub_height(), tile.sub_width());
+  const std::size_t fields = global.fields();
+  Grid<word_t> sub(tile.sub_height(), tile.sub_width(), global.layout());
   for (std::size_t sr = 0; sr < sub.height(); ++sr) {
     std::int64_t gr = tile.origin_r() + static_cast<std::int64_t>(sr);
     if (gr < 0 || gr >= h) {
@@ -188,8 +189,10 @@ Grid<word_t> gather_tile(const Grid<word_t>& global, const TileGeometry& tile,
                            "tile halo escapes a non-periodic column edge");
         gc = floor_mod(gc, w);
       }
-      sub.at(sr, sc) = global.at(static_cast<std::size_t>(gr),
-                                 static_cast<std::size_t>(gc));
+      const word_t* src = global.cell(static_cast<std::size_t>(gr),
+                                      static_cast<std::size_t>(gc));
+      word_t* dst = sub.cell(sr, sc);
+      for (std::size_t f = 0; f < fields; ++f) dst[f] = src[f];
     }
   }
   return sub;
@@ -199,12 +202,16 @@ void stitch_interior(Grid<word_t>& global, const TileGeometry& tile,
                      const Grid<word_t>& sub) {
   SMACHE_REQUIRE(sub.height() == tile.sub_height() &&
                  sub.width() == tile.sub_width());
+  SMACHE_REQUIRE(sub.fields() == global.fields());
   SMACHE_REQUIRE(tile.r0 + tile.rows <= global.height() &&
                  tile.c0 + tile.cols <= global.width());
+  const std::size_t fields = global.fields();
   for (std::size_t r = 0; r < tile.rows; ++r)
-    for (std::size_t c = 0; c < tile.cols; ++c)
-      global.at(tile.r0 + r, tile.c0 + c) =
-          sub.at(tile.halo_top + r, tile.halo_left + c);
+    for (std::size_t c = 0; c < tile.cols; ++c) {
+      const word_t* src = sub.cell(tile.halo_top + r, tile.halo_left + c);
+      word_t* dst = global.cell(tile.r0 + r, tile.c0 + c);
+      for (std::size_t f = 0; f < fields; ++f) dst[f] = src[f];
+    }
 }
 
 }  // namespace smache::grid

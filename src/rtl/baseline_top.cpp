@@ -14,6 +14,8 @@ BaselineTop::BaselineTop(sim::Simulator& sim, const std::string& path,
     : height_(height),
       width_(width),
       cells_(height * width),
+      fields_(kernel_spec.fields()),
+      words_(height * width * kernel_spec.fields()),
       steps_(steps),
       shape_(shape),
       cases_(height, width, shape),
@@ -21,17 +23,35 @@ BaselineTop::BaselineTop(sim::Simulator& sim, const std::string& path,
       dram_(dram),
       top_(sim, path + "/ctrl/top_fsm", Top::Run, 3),
       ctrl_(sim, Ctrl{},
-            {{path + "/ctrl/instance", smache::count_bits(steps)},
-             {path + "/ctrl/req_cell", smache::count_bits(cells_)},
-             {path + "/ctrl/req_elem", smache::count_bits(shape.size())},
-             {path + "/ctrl/col_cell", smache::count_bits(cells_)},
-             {path + "/ctrl/col_elem", smache::count_bits(shape.size())},
-             {path + "/ctrl/wb_count", smache::count_bits(cells_)}}),
-      tuple_regs_(sim, path + "/datapath/tuple_regs", shape.size(), 0,
-                  kWordBits) {
+            [&] {
+              // col_elem counts tuple WORDS (taps * F); for F = 1 the list
+              // is byte-identical to the original. F > 1 appends the
+              // write-back staging a multi-word drain holds.
+              const std::size_t f = kernel_spec.fields();
+              std::vector<sim::RegGroup<Ctrl>::FieldCharge> charges = {
+                  {path + "/ctrl/instance", smache::count_bits(steps)},
+                  {path + "/ctrl/req_cell", smache::count_bits(cells_)},
+                  {path + "/ctrl/req_elem", smache::count_bits(shape.size())},
+                  {path + "/ctrl/col_cell", smache::count_bits(cells_)},
+                  {path + "/ctrl/col_elem",
+                   smache::count_bits(shape.size() * f)},
+                  {path + "/ctrl/wb_count", smache::count_bits(cells_)}};
+              if (f > 1) {
+                charges.push_back(
+                    {path + "/ctrl/wb_field", smache::count_bits(f)});
+                charges.push_back(
+                    {path + "/ctrl/wb_index", smache::count_bits(cells_)});
+                charges.push_back(
+                    {path + "/ctrl/wb_vals",
+                     static_cast<std::uint32_t>((f - 1) * kWordBits)});
+              }
+              return charges;
+            }()),
+      tuple_regs_(sim, path + "/datapath/tuple_regs",
+                  shape.size() * kernel_spec.fields(), 0, kWordBits) {
   SMACHE_REQUIRE(steps >= 1);
-  SMACHE_REQUIRE(dram.size_words() >= 2 * cells_);
-  scratch_.resize(shape.size());
+  SMACHE_REQUIRE(dram.size_words() >= 2 * words_);
+  scratch_.resize(shape.size() * fields_);
   // Activity gating: the requester stalls only on request-channel space,
   // the collector only on data arrival / write-channel space — all channel
   // commits we can subscribe to.
@@ -81,37 +101,42 @@ BaselineTop::BaselineTop(sim::Simulator& sim, const std::string& path,
 bool BaselineTop::done() const noexcept { return top_.is(Top::Done); }
 
 std::uint64_t BaselineTop::in_base() const noexcept {
-  return (ctrl_.q().instance % 2 == 0) ? 0 : cells_;
+  return (ctrl_.q().instance % 2 == 0) ? 0 : words_;
 }
 std::uint64_t BaselineTop::out_base() const noexcept {
-  return (ctrl_.q().instance % 2 == 0) ? cells_ : 0;
+  return (ctrl_.q().instance % 2 == 0) ? words_ : 0;
 }
 std::uint64_t BaselineTop::output_base() const noexcept {
-  return (steps_ % 2 == 0) ? 0 : cells_;
+  return (steps_ % 2 == 0) ? 0 : words_;
 }
 
 std::uint64_t BaselineTop::element_addr(std::uint64_t cell,
                                         const Source& s) const {
-  if (!s.is_data) return in_base() + cell;  // dummy read of the centre
+  // Dummy read of the centre cell's words.
+  if (!s.is_data) return in_base() + cell * fields_;
   // (r + row_shift) * W + (c + col_shift) == cell + lin_shift; the zone
   // resolution that produced the shifts guarantees the target stays inside
-  // the grid for every cell of the case.
+  // the grid for every cell of the case. Cell addresses scale by F words.
   const std::int64_t addr = static_cast<std::int64_t>(cell) + s.lin_shift;
   SMACHE_ASSERT(addr >= 0 &&
                 addr < static_cast<std::int64_t>(cells_));
-  return in_base() + static_cast<std::uint64_t>(addr);
+  return in_base() + static_cast<std::uint64_t>(addr) * fields_;
 }
 
 void BaselineTop::eval_run() {
   const std::size_t tuple = shape_.size();
+  const std::size_t tuple_words = tuple * fields_;
   const Ctrl& c = ctrl_.q();
   bool did_work = false;
 
-  // -- requester: one single-word read request per cycle --
+  // -- requester: one read request per tuple element per cycle (an F-word
+  //    burst: the whole cell of the addressed grid point) --
   if (c.req_cell < cells_ && dram_.read_req().can_push()) {
     const std::size_t case_id = case_of_cell_[c.req_cell];
     const Source& s = sources_[case_id][c.req_elem];
-    dram_.read_req().push(mem::DramReadReq{element_addr(c.req_cell, s), 1});
+    dram_.read_req().push(
+        mem::DramReadReq{element_addr(c.req_cell, s),
+                         static_cast<std::uint32_t>(fields_)});
     if (c.req_elem + 1 == tuple) {
       ctrl_.d().req_elem = 0;
       ctrl_.d().req_cell = c.req_cell + 1;
@@ -122,9 +147,27 @@ void BaselineTop::eval_run() {
   }
 
   // -- collector: one data word per cycle; kernel + write on the last --
-  if (c.col_cell < cells_ && dram_.read_data().can_pop()) {
-    const bool last = c.col_elem + 1 == tuple;
-    // On the final element the write must be postable in the same cycle.
+  if (fields_ > 1 && c.wb_field > 0) {
+    // F > 1: drain the staged result cell (one word per cycle) before
+    // collecting further tuple words; field 0 went out on the pop cycle.
+    if (dram_.write_req().can_push()) {
+      dram_.write_req().push(
+          mem::DramWriteReq{out_base() + c.wb_index * fields_ + c.wb_field,
+                            c.wb_vals[c.wb_field]});
+      did_work = true;
+      if (c.wb_field + 1 == static_cast<std::uint32_t>(fields_)) {
+        ctrl_.d().wb_field = 0;
+        ctrl_.d().wb_count = c.wb_count + 1;
+        if (c.wb_count + 1 == cells_) {
+          top_.go(c.instance + 1 == steps_ ? Top::Done : Top::Gap);
+        }
+      } else {
+        ctrl_.d().wb_field = c.wb_field + 1;
+      }
+    }
+  } else if (c.col_cell < cells_ && dram_.read_data().can_pop()) {
+    const bool last = c.col_elem + 1 == tuple_words;
+    // On the final word the write must be postable in the same cycle.
     if (!last || dram_.write_req().can_push()) {
       const word_t v = dram_.read_data().pop();
       did_work = true;
@@ -136,20 +179,32 @@ void BaselineTop::eval_run() {
         const std::size_t case_id = case_of_cell_[cell];
         for (std::size_t j = 0; j < tuple; ++j) {
           const Source& s = sources_[case_id][j];
-          const word_t raw = j + 1 == tuple ? v : tuple_regs_.q(j);
-          if (s.is_data) scratch_[j] = grid::TupleElem{raw, true};
-          else if (s.is_constant)
-            scratch_[j] = grid::TupleElem{s.constant, true};
-          else
-            scratch_[j] = grid::TupleElem{0, false};
+          for (std::size_t f = 0; f < fields_; ++f) {
+            const std::size_t w = j * fields_ + f;
+            const word_t raw = w + 1 == tuple_words ? v : tuple_regs_.q(w);
+            if (s.is_data) scratch_[w] = grid::TupleElem{raw, true};
+            else if (s.is_constant)
+              scratch_[w] = grid::TupleElem{s.constant, true};
+            else
+              scratch_[w] = grid::TupleElem{0, false};
+          }
         }
-        const word_t out = apply_kernel(kernel_spec_, scratch_);
-        dram_.write_req().push(mem::DramWriteReq{out_base() + cell, out});
+        std::array<word_t, kMaxFields> out{};
+        apply_kernel_cells(kernel_spec_, scratch_, fields_, out.data());
+        dram_.write_req().push(
+            mem::DramWriteReq{out_base() + cell * fields_, out[0]});
         ctrl_.d().col_elem = 0;
         ctrl_.d().col_cell = cell + 1;
-        ctrl_.d().wb_count = c.wb_count + 1;
-        if (c.wb_count + 1 == cells_) {
-          top_.go(c.instance + 1 == steps_ ? Top::Done : Top::Gap);
+        if (fields_ == 1) {
+          ctrl_.d().wb_count = c.wb_count + 1;
+          if (c.wb_count + 1 == cells_) {
+            top_.go(c.instance + 1 == steps_ ? Top::Done : Top::Gap);
+          }
+        } else {
+          // Stage fields 1..F-1 for the following cycles' drain.
+          ctrl_.d().wb_index = cell;
+          ctrl_.d().wb_vals = out;
+          ctrl_.d().wb_field = 1;
         }
       }
     }
@@ -179,6 +234,7 @@ void BaselineTop::eval() {
         d.col_cell = 0;
         d.col_elem = 0;
         d.wb_count = 0;
+        d.wb_field = 0;
         top_.go(Top::Run);
       } else {
         // Sound lower bound on the first cycle the fence can pass; write

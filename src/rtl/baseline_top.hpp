@@ -17,6 +17,7 @@
 // making writes contend with reads — tuple+1 issue slots per point.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -78,7 +79,11 @@ class BaselineTop : public sim::Module {
   };
 
   /// All controller registers as one state element (single commit per
-  /// cycle); ledger charges stay per field (see sim::RegGroup).
+  /// cycle); ledger charges stay per field (see sim::RegGroup). For F > 1
+  /// cell layouts the requester reads F-word cells (one burst request per
+  /// tuple element), col_elem counts tuple WORDS (taps * F), and the wb_*
+  /// staging drains the F-word result cell one word per cycle; F = 1 never
+  /// touches (or charges) the staging fields.
   struct Ctrl {
     std::uint64_t req_cell = 0;
     std::uint64_t col_cell = 0;
@@ -86,6 +91,9 @@ class BaselineTop : public sim::Module {
     std::uint32_t instance = 0;
     std::uint32_t req_elem = 0;
     std::uint32_t col_elem = 0;
+    std::uint32_t wb_field = 0;
+    std::uint64_t wb_index = 0;
+    std::array<word_t, kMaxFields> wb_vals{};
   };
 
   std::uint64_t in_base() const noexcept;
@@ -93,7 +101,7 @@ class BaselineTop : public sim::Module {
   std::uint64_t element_addr(std::uint64_t cell, const Source& s) const;
   void eval_run();
 
-  std::size_t height_, width_, cells_, steps_;
+  std::size_t height_, width_, cells_, fields_, words_, steps_;
   grid::StencilShape shape_;
   grid::CaseMap cases_;
   KernelSpec kernel_spec_;

@@ -12,19 +12,37 @@ CascadeTop::CascadeTop(sim::Simulator& sim, const std::string& path,
     : plan_(plan),
       dram_(dram),
       cells_(plan.height() * plan.width()),
+      fields_(kernel_spec.fields()),
+      words_(cells_ * kernel_spec.fields()),
       passes_(passes),
       sim_(sim),
       top_(sim, path + "/ctrl/top_fsm", Top::Run, 3),
       ctrl_(sim, Ctrl{},
-            {{path + "/ctrl/pass", smache::count_bits(passes)},
-             {path + "/ctrl/req_issued", 1},
-             {path + "/ctrl/wb_count", smache::count_bits(cells_)}}) {
+            [&] {
+              // F = 1 keeps the original charge list byte-identical; F > 1
+              // appends the write-back staging a multi-word drain holds.
+              std::vector<sim::RegGroup<Ctrl>::FieldCharge> charges = {
+                  {path + "/ctrl/pass", smache::count_bits(passes)},
+                  {path + "/ctrl/req_issued", 1},
+                  {path + "/ctrl/wb_count", smache::count_bits(cells_)}};
+              if (kernel_spec.fields() > 1) {
+                charges.push_back({path + "/ctrl/wb_field",
+                                   smache::count_bits(kernel_spec.fields())});
+                charges.push_back(
+                    {path + "/ctrl/wb_index", smache::count_bits(cells_)});
+                charges.push_back(
+                    {path + "/ctrl/wb_vals",
+                     static_cast<std::uint32_t>(
+                         (kernel_spec.fields() - 1) * kWordBits)});
+              }
+              return charges;
+            }()) {
   SMACHE_REQUIRE(depth >= 1 && passes >= 1);
   SMACHE_REQUIRE_MSG(plan.static_buffers().empty(),
                      "cascading requires boundaries whose tuples resolve "
                      "in-stream (open/mirror/constant); periodic wraps need "
                      "SmacheTop's double-buffered static buffers");
-  SMACHE_REQUIRE(dram.size_words() >= 2 * cells_);
+  SMACHE_REQUIRE(dram.size_words() >= 2 * words_);
 
   for (std::size_t k = 0; k < depth; ++k) {
     const std::string stage_id = "stage" + std::to_string(k);
@@ -32,21 +50,32 @@ CascadeTop::CascadeTop(sim::Simulator& sim, const std::string& path,
     // Windows charge under <path>/stream/... (entries accumulate across
     // stages, so the ledger's stream totals cover the whole cascade);
     // kernels sit outside the module root, as in SmacheTop.
-    st.window = std::make_unique<StreamBuffer>(sim, path, plan);
+    st.window = std::make_unique<StreamBuffer>(sim, path, plan, fields_);
     st.kernel = std::make_unique<KernelPipeline>(
         sim, "kernel/" + stage_id, kernel_spec, plan.shape().size(),
         cells_);
-    st.ctrl = std::make_unique<sim::RegGroup<StageCtrl>>(
-        sim, StageCtrl{},
-        std::initializer_list<sim::RegGroup<StageCtrl>::FieldCharge>{
-            {path + "/ctrl/" + stage_id + "/shifts",
-             smache::count_bits(cells_ + plan.window_len())},
-            {path + "/ctrl/" + stage_id + "/emit_next",
-             smache::count_bits(cells_)}});
+    {
+      std::vector<sim::RegGroup<StageCtrl>::FieldCharge> scharges = {
+          {path + "/ctrl/" + stage_id + "/shifts",
+           smache::count_bits(cells_ + plan.window_len())},
+          {path + "/ctrl/" + stage_id + "/emit_next",
+           smache::count_bits(cells_)}};
+      // Stage 0 assembles cells from the DRAM word stream; later stages
+      // receive whole cells on the inter-stage channel and stage nothing.
+      if (fields_ > 1 && k == 0) {
+        scharges.push_back({path + "/ctrl/" + stage_id + "/in_fill",
+                            smache::count_bits(fields_)});
+        scharges.push_back(
+            {path + "/ctrl/" + stage_id + "/in_cell",
+             static_cast<std::uint32_t>((fields_ - 1) * kWordBits)});
+      }
+      st.ctrl = std::make_unique<sim::RegGroup<StageCtrl>>(sim, StageCtrl{},
+                                                           scharges);
+    }
     st.input = k == 0 ? nullptr
-                      : std::make_unique<sim::Fifo<word_t>>(
+                      : std::make_unique<sim::Fifo<CellMsg>>(
                             sim, path + "/ctrl/" + stage_id + "/input", 4,
-                            kWordBits);
+                            static_cast<std::uint32_t>(kWordBits * fields_));
     // Activity gating: every stage's channel events can unblock the single
     // controller module, so all stage channels wake it.
     st.kernel->in().set_producer(this);
@@ -66,13 +95,13 @@ CascadeTop::CascadeTop(sim::Simulator& sim, const std::string& path,
 bool CascadeTop::done() const noexcept { return top_.is(Top::Done); }
 
 std::uint64_t CascadeTop::in_base() const noexcept {
-  return (ctrl_.q().pass % 2 == 0) ? 0 : cells_;
+  return (ctrl_.q().pass % 2 == 0) ? 0 : words_;
 }
 std::uint64_t CascadeTop::out_base() const noexcept {
-  return (ctrl_.q().pass % 2 == 0) ? cells_ : 0;
+  return (ctrl_.q().pass % 2 == 0) ? words_ : 0;
 }
 std::uint64_t CascadeTop::output_base() const noexcept {
-  return (passes_ % 2 == 0) ? 0 : cells_;
+  return (passes_ % 2 == 0) ? 0 : words_;
 }
 
 bool CascadeTop::eval_stage(std::size_t k) {
@@ -91,19 +120,25 @@ bool CascadeTop::eval_stage(std::size_t k) {
     // Staged in place; every elems[0..count) field is written below.
     TupleMsg& msg = st.kernel->in().push_slot();
     msg.index = emit_i;
-    msg.count = static_cast<std::uint32_t>(ops.size());
+    msg.count = static_cast<std::uint32_t>(ops.size() * fields_);
     for (std::size_t j = 0; j < ops.size(); ++j) {
       const EmitOp& op = ops[j];
+      grid::TupleElem* dst = msg.elems.data() + j * fields_;
       switch (op.kind) {
         case EmitOp::Kind::Window:
-          msg.elems[j] =
-              grid::TupleElem{st.window->tap_slot(op.slot), true};
+          // op.slot is the cell's field-0 register slot; fields are
+          // adjacent (see StreamBuffer::slot_of_age).
+          for (std::size_t f = 0; f < fields_; ++f)
+            dst[f] =
+                grid::TupleElem{st.window->tap_slot(op.slot + f), true};
           break;
         case EmitOp::Kind::Constant:
-          msg.elems[j] = grid::TupleElem{op.constant, true};
+          for (std::size_t f = 0; f < fields_; ++f)
+            dst[f] = grid::TupleElem{op.constant, true};
           break;
         case EmitOp::Kind::Skip:
-          msg.elems[j] = grid::TupleElem{0, false};
+          for (std::size_t f = 0; f < fields_; ++f)
+            dst[f] = grid::TupleElem{0, false};
           break;
         case EmitOp::Kind::Static:
           SMACHE_ASSERT_MSG(false, "cascade plans never contain static "
@@ -120,38 +155,91 @@ bool CascadeTop::eval_stage(std::size_t k) {
   const std::uint64_t emit_eff = emitting ? emit_i + 1 : emit_i;
   const bool more_shifts = n < cells_ - 1 + center;
   const bool window_room = n < emit_eff + center;
-  bool data_ok = true;
-  if (n < cells_) {
-    data_ok = k == 0 ? dram_.read_data().can_pop() : st.input->can_pop();
-  }
-  if (more_shifts && window_room && data_ok) {
-    word_t in = 0;
-    if (n < cells_)
-      in = k == 0 ? dram_.read_data().pop() : st.input->pop();
-    st.window->shift(in);
-    st.ctrl->d().shifts = n + 1;
-    did_work = true;
+  if (more_shifts && window_room) {
+    if (n >= cells_) {
+      // Flush region past the last real cell: shift a zero cell.
+      const word_t zero[kMaxFields] = {};
+      st.window->shift_cell(zero);
+      st.ctrl->d().shifts = n + 1;
+      did_work = true;
+    } else if (k == 0) {
+      // Stage 0 assembles one cell from the DRAM word stream. For F = 1
+      // the word IS the cell and shifts the same cycle it arrives (the
+      // original timing); F > 1 stages F-1 words, then shifts on the Fth.
+      if (dram_.read_data().can_pop()) {
+        const word_t v = dram_.read_data().pop();
+        const std::uint32_t fill = sc.in_fill;
+        if (fill + 1 == fields_) {
+          word_t cell[kMaxFields] = {};
+          for (std::uint32_t f = 0; f < fill; ++f) cell[f] = sc.in_cell[f];
+          cell[fill] = v;
+          st.window->shift_cell(cell);
+          st.ctrl->d().shifts = n + 1;
+          st.ctrl->d().in_fill = 0;
+        } else {
+          st.ctrl->d().in_cell[fill] = v;
+          st.ctrl->d().in_fill = fill + 1;
+        }
+        did_work = true;
+      }
+    } else if (st.input->can_pop()) {
+      // Later stages receive whole cells on the inter-stage channel.
+      st.window->shift_cell(st.input->pop().w.data());
+      st.ctrl->d().shifts = n + 1;
+      did_work = true;
+    }
   }
 
   // -- drain this stage's kernel into the next stage / DRAM --
   const bool last = k + 1 == stages_.size();
   if (last) {
-    if (st.kernel->out().can_pop() && dram_.write_req().can_push()) {
+    const Ctrl& c = ctrl_.q();
+    if (fields_ == 1) {
+      if (st.kernel->out().can_pop() && dram_.write_req().can_push()) {
+        const ResultMsg res = st.kernel->out().pop();
+        if (warmup_end_ == 0) warmup_end_ = sim_.now();
+        dram_.write_req().push(
+            mem::DramWriteReq{out_base() + res.index, res.values[0]});
+        ctrl_.d().wb_count = c.wb_count + 1;
+        did_work = true;
+        if (c.wb_count + 1 == cells_) {
+          top_.go(c.pass + 1 == passes_ ? Top::Done : Top::Gap);
+        }
+      }
+    } else if (c.wb_field > 0) {
+      // Drain the staged result cell, one word per cycle (fields
+      // 1..F-1; field 0 went out on the pop cycle).
+      if (dram_.write_req().can_push()) {
+        dram_.write_req().push(
+            mem::DramWriteReq{out_base() + c.wb_index * fields_ + c.wb_field,
+                              c.wb_vals[c.wb_field]});
+        did_work = true;
+        if (c.wb_field + 1 == static_cast<std::uint32_t>(fields_)) {
+          ctrl_.d().wb_field = 0;
+          ctrl_.d().wb_count = c.wb_count + 1;
+          if (c.wb_count + 1 == cells_)
+            top_.go(c.pass + 1 == passes_ ? Top::Done : Top::Gap);
+        } else {
+          ctrl_.d().wb_field = c.wb_field + 1;
+        }
+      }
+    } else if (st.kernel->out().can_pop() && dram_.write_req().can_push()) {
       const ResultMsg res = st.kernel->out().pop();
       if (warmup_end_ == 0) warmup_end_ = sim_.now();
       dram_.write_req().push(
-          mem::DramWriteReq{out_base() + res.index, res.value});
-      const Ctrl& c = ctrl_.q();
-      ctrl_.d().wb_count = c.wb_count + 1;
+          mem::DramWriteReq{out_base() + res.index * fields_,
+                            res.values[0]});
+      Ctrl& d = ctrl_.d();
+      d.wb_index = res.index;
+      d.wb_vals = res.values;
+      d.wb_field = 1;
       did_work = true;
-      if (c.wb_count + 1 == cells_) {
-        top_.go(c.pass + 1 == passes_ ? Top::Done : Top::Gap);
-      }
     }
   } else {
-    sim::Fifo<word_t>& next_in = *stages_[k + 1].input;
+    sim::Fifo<CellMsg>& next_in = *stages_[k + 1].input;
     if (st.kernel->out().can_pop() && next_in.can_push()) {
-      next_in.push(st.kernel->out().pop().value);
+      const ResultMsg res = st.kernel->out().pop();
+      next_in.push_slot().w = res.values;
       did_work = true;
     }
   }
@@ -174,7 +262,7 @@ void CascadeTop::eval() {
       const Ctrl& c = ctrl_.q();
       if (!c.req_issued && dram_.read_req().can_push()) {
         dram_.read_req().push(
-            mem::DramReadReq{in_base(), static_cast<std::uint32_t>(cells_)});
+            mem::DramReadReq{in_base(), static_cast<std::uint32_t>(words_)});
         ctrl_.d().req_issued = true;
         did_work = true;
       }
@@ -192,9 +280,11 @@ void CascadeTop::eval() {
         d.pass = c.pass + 1;
         d.req_issued = false;
         d.wb_count = 0;
+        d.wb_field = 0;
         for (auto& st : stages_) {
           st.ctrl->d().shifts = 0;
           st.ctrl->d().emit_next = 0;
+          st.ctrl->d().in_fill = 0;
         }
         top_.go(Top::Run);
       } else {

@@ -23,6 +23,7 @@
 // setting) and rejects Periodic ones; use SmacheTop for those.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -76,10 +77,21 @@ class CascadeTop : public sim::Module {
   enum class Top : std::uint8_t { Run, Gap, Done };
 
   /// Per-stage gather progress counters, one state element per stage (a
-  /// single commit instead of one per counter; see sim::RegGroup).
+  /// single commit instead of one per counter; see sim::RegGroup). The
+  /// in_* staging fields are stage 0's DRAM word-to-cell assembly and are
+  /// only exercised — and only charged — for F > 1 cell layouts.
   struct StageCtrl {
     std::uint64_t shifts = 0;
     std::uint64_t emit_next = 0;
+    std::uint32_t in_fill = 0;
+    std::array<word_t, kMaxFields> in_cell{};
+  };
+
+  /// One cell on the inter-stage channel: F words, moved as one message
+  /// (the channel charges kWordBits * F per slot — for F = 1 exactly the
+  /// original word-wide FIFO).
+  struct CellMsg {
+    std::array<word_t, kMaxFields> w{};
   };
 
   /// One fused time step: a window fed from the previous stage plus its
@@ -88,16 +100,21 @@ class CascadeTop : public sim::Module {
     std::unique_ptr<StreamBuffer> window;
     std::unique_ptr<KernelPipeline> kernel;
     std::unique_ptr<sim::RegGroup<StageCtrl>> ctrl;
-    // Between-stage channel carrying the previous kernel's output words in
+    // Between-stage channel carrying the previous kernel's output cells in
     // cell order (stage 0 reads DRAM directly).
-    std::unique_ptr<sim::Fifo<word_t>> input;
+    std::unique_ptr<sim::Fifo<CellMsg>> input;
   };
 
   /// Pass-level controller registers, one state element (see sim::RegGroup).
+  /// The wb_* staging fields drain an F-word result cell to DRAM one word
+  /// per cycle; F = 1 never touches (or charges) them.
   struct Ctrl {
     std::uint64_t wb_count = 0;
     std::uint32_t pass = 0;
     bool req_issued = false;
+    std::uint32_t wb_field = 0;
+    std::uint64_t wb_index = 0;
+    std::array<word_t, kMaxFields> wb_vals{};
   };
 
   std::uint64_t in_base() const noexcept;
@@ -108,6 +125,8 @@ class CascadeTop : public sim::Module {
   const model::BufferPlan plan_;
   mem::DramModel& dram_;
   std::size_t cells_;
+  std::size_t fields_;  // words per cell (kernel spec's layout)
+  std::size_t words_;   // cells_ * fields_ (one DRAM region)
   std::size_t passes_;
   sim::Simulator& sim_;
 

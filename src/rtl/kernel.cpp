@@ -15,6 +15,9 @@ std::string KernelSpec::name() const {
     case KernelKind::Upwind: base = "upwind"; break;
     case KernelKind::Gaussian3x3: base = "gaussian3x3"; break;
     case KernelKind::Laplacian3x3: base = "laplacian3x3"; break;
+    case KernelKind::Jacobi: base = "jacobi"; break;
+    case KernelKind::Hotspot: base = "hotspot"; break;
+    case KernelKind::FdtdWave: base = "fdtd-wave"; break;
   }
   return base + (value_type == ValueType::Int32 ? "/i32" : "/f32");
 }
@@ -136,8 +139,63 @@ word_t apply_typed(const KernelSpec& spec, TupleView tuple) {
       if (spec.kind == KernelKind::Gaussian3x3) acc >>= 4;
       return to_word(static_cast<std::int32_t>(acc));
     }
+    case KernelKind::Jacobi: {
+      SMACHE_REQUIRE_MSG(!tuple.empty(), "jacobi needs a centre element");
+      const float centre =
+          tuple[0].valid ? from_word<float>(tuple[0].value) : 0.0f;
+      float acc = 0.0f;
+      float n = 0.0f;
+      for (std::size_t i = 1; i < tuple.size(); ++i) {
+        if (!tuple[i].valid) continue;
+        acc += from_word<float>(tuple[i].value);
+        n += 1.0f;
+      }
+      return to_word(n == 0.0f ? centre : acc / n);
+    }
+    case KernelKind::Hotspot:
+    case KernelKind::FdtdWave:
+      SMACHE_REQUIRE_MSG(false,
+                         "multi-field kernel applied through the "
+                         "single-word path; use apply_kernel_cells");
   }
   return 0;
+}
+
+/// Hotspot thermal step over tap-major {temperature, power} tuples.
+void apply_hotspot(const KernelSpec& spec, TupleView tuple, word_t* out) {
+  SMACHE_REQUIRE_MSG(tuple.size() >= 2 && tuple.size() % 2 == 0,
+                     "hotspot needs taps x 2 tuple elements");
+  const std::size_t taps = tuple.size() / 2;
+  const float t0 = tuple[0].valid ? from_word<float>(tuple[0].value) : 0.0f;
+  const float p0 = tuple[1].valid ? from_word<float>(tuple[1].value) : 0.0f;
+  float acc = 0.0f;
+  for (std::size_t t = 1; t < taps; ++t) {
+    const grid::TupleElem& e = tuple[t * 2];
+    if (!e.valid) continue;
+    acc += from_word<float>(e.value) - t0;
+  }
+  out[0] = to_word(t0 + spec.alpha * acc + spec.beta * p0);
+  out[1] = to_word(p0);
+}
+
+/// Scalar-wave FDTD step over tap-major {u, u_prev, c2} tuples.
+void apply_fdtd_wave(const KernelSpec& spec, TupleView tuple, word_t* out) {
+  SMACHE_REQUIRE_MSG(tuple.size() >= 3 && tuple.size() % 3 == 0,
+                     "fdtd-wave needs taps x 3 tuple elements");
+  const std::size_t taps = tuple.size() / 3;
+  const float u = tuple[0].valid ? from_word<float>(tuple[0].value) : 0.0f;
+  const float u_prev =
+      tuple[1].valid ? from_word<float>(tuple[1].value) : 0.0f;
+  const float c2 = tuple[2].valid ? from_word<float>(tuple[2].value) : 0.0f;
+  float lap = 0.0f;
+  for (std::size_t t = 1; t < taps; ++t) {
+    const grid::TupleElem& e = tuple[t * 3];
+    if (!e.valid) continue;
+    lap += from_word<float>(e.value) - u;
+  }
+  out[0] = to_word(2.0f * u - u_prev + spec.alpha * c2 * lap);
+  out[1] = to_word(u);
+  out[2] = to_word(c2);
 }
 
 }  // namespace
@@ -146,6 +204,26 @@ word_t apply_kernel(const KernelSpec& spec, TupleView tuple) {
   return spec.value_type == ValueType::Float32
              ? apply_typed<float>(spec, tuple)
              : apply_typed<std::int32_t>(spec, tuple);
+}
+
+void apply_kernel_cells(const KernelSpec& spec, TupleView tuple,
+                        std::size_t fields, word_t* out) {
+  SMACHE_REQUIRE_MSG(fields == spec.fields(),
+                     "cell field count does not match the kernel's layout");
+  if (fields == 1) {
+    out[0] = apply_kernel(spec, tuple);
+    return;
+  }
+  switch (spec.kind) {
+    case KernelKind::Hotspot:
+      apply_hotspot(spec, tuple, out);
+      return;
+    case KernelKind::FdtdWave:
+      apply_fdtd_wave(spec, tuple, out);
+      return;
+    default:
+      SMACHE_REQUIRE_MSG(false, "kernel kind has no multi-field layout");
+  }
 }
 
 }  // namespace smache::rtl

@@ -41,6 +41,21 @@ enum class KernelKind : std::uint8_t {
   /// Moore-ordered tuple; missing elements reuse the centre so flat
   /// borders report zero response.
   Laplacian3x3,
+  /// Jacobi relaxation: out = mean of the VALID non-centre neighbours
+  /// (the centre value where no neighbour is valid). Centre-first tuple,
+  /// Float32, one field.
+  Jacobi,
+  /// Hotspot thermal step over {temperature, power} cells (F = 2):
+  ///   t' = t + alpha * sum_valid(t_n - t) + beta * p,   p' = p.
+  /// Centre-first tuple; the power field is the per-cell dissipation map
+  /// and streams through unchanged (the SASA/Casper hotspot port).
+  Hotspot,
+  /// 2D scalar-wave FDTD over {u, u_prev, c2} cells (F = 3):
+  ///   u' = 2u - u_prev + alpha * c2 * sum_valid(u_n - u),
+  ///   u_prev' = u,   c2' = c2.
+  /// Centre-first tuple; c2 is the per-cell material (squared wave speed)
+  /// field, so heterogeneous media ride in the cell layout.
+  FdtdWave,
 };
 
 struct KernelSpec {
@@ -68,8 +83,44 @@ struct KernelSpec {
   static KernelSpec laplacian3x3() {
     return {KernelKind::Laplacian3x3, ValueType::Int32, 0.0f, 0.0f};
   }
+  static KernelSpec jacobi() {
+    return {KernelKind::Jacobi, ValueType::Float32, 0.0f, 0.0f};
+  }
+  static KernelSpec hotspot(float alpha, float beta) {
+    return {KernelKind::Hotspot, ValueType::Float32, alpha, beta};
+  }
+  static KernelSpec fdtd_wave(float alpha) {
+    return {KernelKind::FdtdWave, ValueType::Float32, alpha, 0.0f};
+  }
 
   std::string name() const;
+
+  /// Words per cell this kernel consumes and produces (CellLayout fields).
+  /// 1 for every classic kernel — the original word-per-cell datapath.
+  std::size_t fields() const noexcept {
+    switch (kind) {
+      case KernelKind::Hotspot: return 2;
+      case KernelKind::FdtdWave: return 3;
+      default: return 1;
+    }
+  }
+
+  /// Whether the kernel's semantics require tuple element 0 to be the
+  /// centre cell (offset {0,0}); ProblemSpec::validate and the sweep
+  /// registry enforce the pairing. Only the application kernels opt in:
+  /// Diffusion/Upwind historically read tuple[0] as the centre without
+  /// validating the stencil (reference and RTL agree bit-for-bit either
+  /// way), and tightening them now would reject long-standing pairings.
+  bool needs_center_first() const noexcept {
+    switch (kind) {
+      case KernelKind::Jacobi:
+      case KernelKind::Hotspot:
+      case KernelKind::FdtdWave:
+        return true;
+      default:
+        return false;
+    }
+  }
 
   /// Arithmetic operations per application, for the MOPS metric. The paper
   /// counts one op per stencil point (4 for its 4-point filter), so we
@@ -94,11 +145,26 @@ struct TupleView {
 };
 
 /// Apply the kernel to one gathered tuple. Total: invalid elements are
-/// skipped; an all-invalid tuple yields 0.
+/// skipped; an all-invalid tuple yields 0. Single-field kernels only —
+/// multi-field kinds (Hotspot, FdtdWave) must go through
+/// apply_kernel_cells.
 word_t apply_kernel(const KernelSpec& spec, TupleView tuple);
 inline word_t apply_kernel(const KernelSpec& spec,
                            const std::vector<grid::TupleElem>& tuple) {
   return apply_kernel(spec, TupleView{tuple.data(), tuple.size()});
+}
+
+/// Cell-wide kernel application: `tuple` is tap-major with F fields per
+/// tap (tuple.size() == taps * fields), `out` receives the output cell's
+/// F words. F = 1 delegates to apply_kernel, so every classic kernel is
+/// bit-identical through this entry point.
+void apply_kernel_cells(const KernelSpec& spec, TupleView tuple,
+                        std::size_t fields, word_t* out);
+inline void apply_kernel_cells(const KernelSpec& spec,
+                               const std::vector<grid::TupleElem>& tuple,
+                               std::size_t fields, word_t* out) {
+  apply_kernel_cells(spec, TupleView{tuple.data(), tuple.size()}, fields,
+                     out);
 }
 
 }  // namespace smache::rtl

@@ -9,23 +9,28 @@ KernelPipeline::KernelPipeline(sim::Simulator& sim, const std::string& path,
                                std::size_t grid_cells, std::uint32_t latency)
     : spec_(spec),
       tuple_size_(tuple_size),
+      fields_(spec.fields()),
       latency_(latency),
       in_(sim, path + "/in", 2,
-          static_cast<std::uint32_t>(tuple_size * 33 +
+          static_cast<std::uint32_t>(tuple_size * spec.fields() * 33 +
                                      smache::count_bits(grid_cells))),
       out_(sim, path + "/out", 2,
-           32 + smache::count_bits(grid_cells)),
+           static_cast<std::uint32_t>(32 * spec.fields()) +
+               smache::count_bits(grid_cells)),
       pipe_(sim, latency) {
   SMACHE_REQUIRE(latency >= 1);
-  SMACHE_REQUIRE(tuple_size >= 1 && tuple_size <= kMaxTuple);
+  SMACHE_REQUIRE(tuple_size >= 1 && tuple_size * fields_ <= kMaxTuple);
   const std::uint32_t idx_bits = smache::count_bits(grid_cells);
+  const auto f32 = static_cast<std::uint32_t>(fields_);
   for (std::uint32_t s = 0; s < latency; ++s) {
     // Stage 0 still holds the tuple-wide partial state; later stages carry
-    // a narrowing payload down to one word. Charged per stage exactly like
-    // the discrete stage registers the StagePipe replaces.
+    // a narrowing payload down to one cell (F words, plus the wide partial
+    // accumulator in stage 1). Charged per stage exactly like the discrete
+    // stage registers the StagePipe replaces; F = 1 keeps the original
+    // widths bit-for-bit.
     const std::uint32_t payload_bits =
-        s == 0 ? static_cast<std::uint32_t>(tuple_size * 33)
-               : (s == 1 ? 64u : 32u);
+        s == 0 ? static_cast<std::uint32_t>(tuple_size * fields_ * 33)
+               : (s == 1 ? 64u * f32 : 32u * f32);
     sim.ledger().add(path + "/stage" + std::to_string(s),
                      sim::ResKind::RegisterBits, payload_bits + idx_bits + 1);
   }
@@ -67,7 +72,7 @@ void KernelPipeline::eval() {
   if (tail.valid) {
     ResultMsg& res = out_.push_slot();  // staged in place, no copy
     res.index = tail.index;
-    res.value = tail.value;
+    res.values = tail.value;
     --occupancy_;
   }
 
@@ -80,11 +85,12 @@ void KernelPipeline::eval() {
   // charge the bits a real pipeline would hold).
   if (in_.can_pop()) {
     const TupleMsg& msg = in_.front();  // valid until the commit phase
-    SMACHE_ASSERT(msg.count <= tuple_size_);
+    SMACHE_ASSERT(msg.count <= tuple_size_ * fields_);
     Stage head;
     head.valid = true;
     head.index = msg.index;
-    head.value = apply_kernel(spec_, TupleView{msg.elems.data(), msg.count});
+    apply_kernel_cells(spec_, TupleView{msg.elems.data(), msg.count},
+                       fields_, head.value.data());
     next[0] = head;
     in_.drop();
     ++occupancy_;

@@ -32,22 +32,27 @@ namespace smache::rtl {
 /// Maximum tuple arity supported by the fixed message layout.
 inline constexpr std::size_t kMaxTuple = 32;
 
-/// Gathered tuple heading into the kernel.
+/// Gathered tuple heading into the kernel. For multi-field cells the
+/// elements are tap-major (elems[t * F + f]) and count == taps * F; the
+/// taps * F product must fit kMaxTuple.
 struct TupleMsg {
   std::uint64_t index = 0;  // linear output cell index
-  std::uint32_t count = 0;  // tuple arity in use
+  std::uint32_t count = 0;  // tuple arity in use (taps * fields)
   std::array<grid::TupleElem, kMaxTuple> elems{};
 };
 
-/// Kernel result heading to write-back.
+/// Kernel result heading to write-back: the output cell's F words
+/// (values[0..fields) in use; F = 1 uses values[0] only).
 struct ResultMsg {
   std::uint64_t index = 0;
-  word_t value = 0;
+  std::array<word_t, kMaxFields> values{};
 };
 
 class KernelPipeline : public sim::Module {
  public:
-  /// `grid_cells` sizes the index counters; `latency` >= 1.
+  /// `tuple_size` is the stencil arity in TAPS (cells); the cell field
+  /// count comes from spec.fields(). `grid_cells` sizes the index
+  /// counters; `latency` >= 1.
   KernelPipeline(sim::Simulator& sim, const std::string& path,
                  KernelSpec spec, std::size_t tuple_size,
                  std::size_t grid_cells, std::uint32_t latency = 3);
@@ -67,7 +72,7 @@ class KernelPipeline : public sim::Module {
   struct Stage {
     bool valid = false;
     std::uint64_t index = 0;
-    word_t value = 0;
+    std::array<word_t, kMaxFields> value{};
   };
 
   /// All pipeline stages as ONE state element: the whole-pipe shift is a
@@ -101,7 +106,8 @@ class KernelPipeline : public sim::Module {
   };
 
   KernelSpec spec_;
-  std::size_t tuple_size_;
+  std::size_t tuple_size_;  // taps (cells), NOT words
+  std::size_t fields_;      // words per cell (spec_.fields())
   std::uint32_t latency_;
   sim::Fifo<TupleMsg> in_;
   sim::Fifo<ResultMsg> out_;

@@ -5,6 +5,29 @@
 
 namespace smache::rtl {
 
+std::vector<sim::RegGroup<SmacheTop::Ctrl>::FieldCharge>
+SmacheTop::ctrl_charges(const std::string& path,
+                        const model::BufferPlan& plan, std::size_t steps,
+                        std::size_t cells, std::size_t fields) {
+  // For F = 1 this list is byte-identical to the original charge set (the
+  // warm_idx width is count_bits(width * 1)); F > 1 widens warm_idx to the
+  // row's word count. The gather/write-back staging registers F > 1 also
+  // needs live in their own state element (CellStage, constructed right
+  // after ctrl_) so the F = 1 commit stays the original width.
+  std::vector<sim::RegGroup<Ctrl>::FieldCharge> charges = {
+      {path + "/ctrl/instance", smache::count_bits(steps)},
+      {path + "/ctrl/shifts", smache::count_bits(cells + plan.window_len())},
+      {path + "/ctrl/emit_next", smache::count_bits(cells)},
+      {path + "/ctrl/rdata_center", smache::count_bits(cells) + 1},
+      {path + "/ctrl/req_issued", 1},
+      {path + "/ctrl/wb_count", smache::count_bits(cells)},
+      {path + "/ctrl/warm_bank",
+       smache::count_bits(plan.static_buffers().size() + 1)},
+      {path + "/ctrl/warm_idx", smache::count_bits(plan.width() * fields)},
+      {path + "/ctrl/warm_req", 1}};
+  return charges;
+}
+
 SmacheTop::SmacheTop(sim::Simulator& sim, const std::string& path,
                      const model::BufferPlan& plan,
                      const KernelSpec& kernel_spec, mem::DramModel& dram,
@@ -13,30 +36,34 @@ SmacheTop::SmacheTop(sim::Simulator& sim, const std::string& path,
       dram_(dram),
       steps_(steps),
       cells_(plan.height() * plan.width()),
+      fields_(kernel_spec.fields()),
+      words_(cells_ * kernel_spec.fields()),
       center_(plan.center_age()),
       sim_(sim),
-      window_(sim, path, plan),
-      statics_(sim, path, plan),
+      window_(sim, path, plan, kernel_spec.fields()),
+      statics_(sim, path, plan, kernel_spec.fields()),
       // The kernel sits OUTSIDE the Smache module (Figure 1b), so its
       // resources are charged under their own hierarchy root.
       kernel_(sim, "kernel", kernel_spec, plan.shape().size(), cells_),
       top_(sim, path + "/ctrl/top_fsm",
            plan.needs_warmup() ? Top::Warmup : Top::Run, 4),
       ctrl_(sim, Ctrl{},
-            {{path + "/ctrl/instance", smache::count_bits(steps)},
-             {path + "/ctrl/shifts",
-              smache::count_bits(cells_ + plan.window_len())},
-             {path + "/ctrl/emit_next", smache::count_bits(cells_)},
-             {path + "/ctrl/rdata_center", smache::count_bits(cells_) + 1},
-             {path + "/ctrl/req_issued", 1},
-             {path + "/ctrl/wb_count", smache::count_bits(cells_)},
-             {path + "/ctrl/warm_bank",
-              smache::count_bits(plan.static_buffers().size() + 1)},
-             {path + "/ctrl/warm_idx", smache::count_bits(plan.width())},
-             {path + "/ctrl/warm_req", 1}}) {
+            ctrl_charges(path, plan, steps, cells_, kernel_spec.fields())) {
   SMACHE_REQUIRE(steps >= 1);
-  SMACHE_REQUIRE_MSG(dram.size_words() >= 2 * cells_,
+  SMACHE_REQUIRE_MSG(dram.size_words() >= 2 * words_,
                      "DRAM must hold two grid regions (ping-pong)");
+  if (fields_ > 1) {
+    const auto stage_bits =
+        static_cast<std::uint32_t>((fields_ - 1) * kWordBits);
+    stage_ = std::make_unique<sim::RegGroup<CellStage>>(
+        sim, CellStage{},
+        std::vector<sim::RegGroup<CellStage>::FieldCharge>{
+            {path + "/ctrl/in_fill", smache::count_bits(fields_)},
+            {path + "/ctrl/in_cell", stage_bits},
+            {path + "/ctrl/wb_field", smache::count_bits(fields_)},
+            {path + "/ctrl/wb_index", smache::count_bits(cells_)},
+            {path + "/ctrl/wb_vals", stage_bits}});
+  }
   for (std::size_t b = 0; b < plan_.static_buffers().size(); ++b)
     warm_order_.push_back(b);
   // Activity gating: these channel commits are the only external events
@@ -76,15 +103,15 @@ void SmacheTop::build_cell_tables() {
 bool SmacheTop::done() const noexcept { return top_.is(Top::Done); }
 
 std::uint64_t SmacheTop::in_base() const noexcept {
-  return (ctrl_.q().instance % 2 == 0) ? 0 : cells_;
+  return (ctrl_.q().instance % 2 == 0) ? 0 : words_;
 }
 
 std::uint64_t SmacheTop::out_base() const noexcept {
-  return (ctrl_.q().instance % 2 == 0) ? cells_ : 0;
+  return (ctrl_.q().instance % 2 == 0) ? words_ : 0;
 }
 
 std::uint64_t SmacheTop::output_base() const noexcept {
-  return (steps_ % 2 == 0) ? 0 : cells_;
+  return (steps_ % 2 == 0) ? 0 : words_;
 }
 
 void SmacheTop::eval() {
@@ -119,7 +146,9 @@ void SmacheTop::eval_warmup() {
     return;
   }
   StaticBufferBank& bank = statics_.bank(warm_order_[c.warm_bank]);
-  const std::size_t w = plan_.width();
+  // One row = width cells = width * F DRAM words; active_write is
+  // word-indexed, so the burst streams straight into the field banks.
+  const std::size_t w = plan_.width() * fields_;
   if (!c.warm_req) {
     if (dram_.read_req().can_push()) {
       dram_.read_req().push(mem::DramReadReq{
@@ -166,23 +195,54 @@ void SmacheTop::emit_tuple(std::uint64_t cell) {
 
   // Assemble the (wide) tuple directly in the channel's staging slot; the
   // consumer reads exactly elems[0..count), which this loop fully writes.
+  // Tap-major layout: tap j's F fields land at elems[j*F .. j*F+F).
+  // Window slots are word bases (slot_of_age scales by F); static reads
+  // were issued cell-wide, so every field bank's rdata is live; constants
+  // and skips replicate across the cell's fields.
+  const std::size_t F = fields_;
   TupleMsg& msg = kernel_.in().push_slot();
   msg.index = cell;
-  msg.count = static_cast<std::uint32_t>(cp.ops.size());
+  msg.count = static_cast<std::uint32_t>(cp.ops.size() * F);
+  if (F == 1) {
+    // Single-word cells: per-cell hot loop, kept free of the field loops.
+    for (std::size_t j = 0; j < cp.ops.size(); ++j) {
+      const EmitOp& op = cp.ops[j];
+      switch (op.kind) {
+        case EmitOp::Kind::Window:
+          msg.elems[j] = grid::TupleElem{window_.tap_slot(op.slot), true};
+          break;
+        case EmitOp::Kind::Static:
+          msg.elems[j] = grid::TupleElem{op.bank->rdata(op.replica), true};
+          break;
+        case EmitOp::Kind::Constant:
+          msg.elems[j] = grid::TupleElem{op.constant, true};
+          break;
+        case EmitOp::Kind::Skip:
+          msg.elems[j] = grid::TupleElem{0, false};
+          break;
+      }
+    }
+    return;
+  }
   for (std::size_t j = 0; j < cp.ops.size(); ++j) {
     const EmitOp& op = cp.ops[j];
+    grid::TupleElem* e = msg.elems.data() + j * F;
     switch (op.kind) {
       case EmitOp::Kind::Window:
-        msg.elems[j] = grid::TupleElem{window_.tap_slot(op.slot), true};
+        for (std::size_t f = 0; f < F; ++f)
+          e[f] = grid::TupleElem{window_.tap_slot(op.slot + f), true};
         break;
       case EmitOp::Kind::Static:
-        msg.elems[j] = grid::TupleElem{op.bank->rdata(op.replica), true};
+        for (std::size_t f = 0; f < F; ++f)
+          e[f] = grid::TupleElem{op.bank->rdata(op.replica, f), true};
         break;
       case EmitOp::Kind::Constant:
-        msg.elems[j] = grid::TupleElem{op.constant, true};
+        for (std::size_t f = 0; f < F; ++f)
+          e[f] = grid::TupleElem{op.constant, true};
         break;
       case EmitOp::Kind::Skip:
-        msg.elems[j] = grid::TupleElem{0, false};
+        for (std::size_t f = 0; f < F; ++f)
+          e[f] = grid::TupleElem{0, false};
         break;
     }
   }
@@ -198,7 +258,7 @@ void SmacheTop::eval_run() {
   // -- FSM-2a: whole-grid burst request, once per instance --
   if (!c.req_issued && dram_.read_req().can_push()) {
     dram_.read_req().push(
-        mem::DramReadReq{in_base(), static_cast<std::uint32_t>(cells_)});
+        mem::DramReadReq{in_base(), static_cast<std::uint32_t>(words_)});
     ctrl_.d().req_issued = true;
     did_work = true;
   }
@@ -226,31 +286,99 @@ void SmacheTop::eval_run() {
     did_work = true;
   }
 
-  // -- FSM-2d: window shift --
+  // -- FSM-2d: window shift. A shift moves one whole CELL into the
+  // window; for F > 1 the cell's words arrive from DRAM one per cycle and
+  // stage in ctrl.in_cell until the F-th word completes the cell (the
+  // shift fires on that word's arrival cycle). F = 1 degenerates to the
+  // original pop-and-shift-same-cycle datapath, bit- and cycle-exact. --
   const std::uint64_t emit_eff = emitting ? emit_i + 1 : emit_i;
   const bool more_shifts = n < cells_ - 1 + center;
   const bool window_room = n < emit_eff + center;
-  const bool data_ok = n < cells_ ? dram_.read_data().can_pop() : true;
-  if (more_shifts && window_room && data_ok) {
-    const word_t in = n < cells_ ? dram_.read_data().pop() : word_t{0};
-    window_.shift(in);
-    ctrl_.d().shifts = n + 1;
-    did_work = true;
+  if (more_shifts && window_room) {
+    if (fields_ == 1) {
+      // Single-word cells: the original pop-and-shift-same-cycle datapath.
+      const bool data_ok = n < cells_ ? dram_.read_data().can_pop() : true;
+      if (data_ok) {
+        const word_t in = n < cells_ ? dram_.read_data().pop() : word_t{0};
+        window_.shift_cell(&in);
+        ctrl_.d().shifts = n + 1;
+        did_work = true;
+      }
+    } else if (n < cells_) {
+      if (dram_.read_data().can_pop()) {
+        const word_t v = dram_.read_data().pop();
+        const CellStage& st = stage_->q();
+        const std::uint32_t fill = st.in_fill;
+        if (fill + 1 == fields_) {
+          word_t cell[kMaxFields];
+          for (std::uint32_t f = 0; f < fill; ++f) cell[f] = st.in_cell[f];
+          cell[fill] = v;
+          window_.shift_cell(cell);
+          ctrl_.d().shifts = n + 1;
+          stage_->d().in_fill = 0;
+        } else {
+          stage_->d().in_cell[fill] = v;
+          stage_->d().in_fill = fill + 1;
+        }
+        did_work = true;
+      }
+    } else {
+      // Post-data flush: push zero cells until the window drains.
+      const word_t zero_cell[kMaxFields] = {};
+      window_.shift_cell(zero_cell);
+      ctrl_.d().shifts = n + 1;
+      did_work = true;
+    }
   }
 
-  // -- FSM-3: write-back + shadow capture --
-  if (kernel_.out().can_pop() && dram_.write_req().can_push()) {
+  // -- FSM-3: write-back + shadow capture. The kernel retires one result
+  // CELL per pop; DRAM takes one word per cycle, so F > 1 stages the cell
+  // in ctrl.wb_* and drains fields 1..F-1 on the following cycles (the
+  // capture path stores the whole cell on the pop cycle — on-chip banks
+  // are word-parallel). wb_count counts completed cells. --
+  if (fields_ == 1) {
+    if (kernel_.out().can_pop() && dram_.write_req().can_push()) {
+      const ResultMsg res = kernel_.out().pop();
+      dram_.write_req().push(
+          mem::DramWriteReq{out_base() + res.index, res.values[0]});
+      const std::uint32_t row = row_of_cell_[res.index];
+      if (capture_row_[row])
+        statics_.capture_output(row, col_of_cell_[res.index], res.values[0]);
+      ctrl_.d().wb_count = c.wb_count + 1;
+      did_work = true;
+      if (c.wb_count + 1 == cells_) {
+        top_.go(c.instance + 1 == steps_ ? Top::Done : Top::Swap);
+      }
+    }
+  } else if (stage_->q().wb_field > 0) {
+    if (dram_.write_req().can_push()) {
+      const CellStage& st = stage_->q();
+      dram_.write_req().push(mem::DramWriteReq{
+          out_base() + st.wb_index * fields_ + st.wb_field,
+          st.wb_vals[st.wb_field]});
+      did_work = true;
+      if (st.wb_field + 1 == fields_) {
+        stage_->d().wb_field = 0;
+        ctrl_.d().wb_count = c.wb_count + 1;
+        if (c.wb_count + 1 == cells_) {
+          top_.go(c.instance + 1 == steps_ ? Top::Done : Top::Swap);
+        }
+      } else {
+        stage_->d().wb_field = st.wb_field + 1;
+      }
+    }
+  } else if (kernel_.out().can_pop() && dram_.write_req().can_push()) {
     const ResultMsg res = kernel_.out().pop();
     dram_.write_req().push(
-        mem::DramWriteReq{out_base() + res.index, res.value});
+        mem::DramWriteReq{out_base() + res.index * fields_, res.values[0]});
     const std::uint32_t row = row_of_cell_[res.index];
     if (capture_row_[row])
-      statics_.capture_output(row, col_of_cell_[res.index], res.value);
-    ctrl_.d().wb_count = c.wb_count + 1;
+      statics_.capture_output_cell(row, col_of_cell_[res.index],
+                                   res.values.data());
+    stage_->d().wb_index = res.index;
+    stage_->d().wb_vals = res.values;
+    stage_->d().wb_field = 1;
     did_work = true;
-    if (c.wb_count + 1 == cells_) {
-      top_.go(c.instance + 1 == steps_ ? Top::Done : Top::Swap);
-    }
   }
 
   // Starved: every blocker above is an external channel condition (data
@@ -282,6 +410,10 @@ void SmacheTop::eval_swap() {
   d.rdata_center = -1;
   d.req_issued = false;
   d.wb_count = 0;
+  if (stage_) {
+    stage_->d().in_fill = 0;
+    stage_->d().wb_field = 0;
+  }
   top_.go(Top::Run);
 }
 

@@ -29,7 +29,9 @@
 // flipping regions and double buffers.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -86,7 +88,8 @@ class SmacheTop : public sim::Module {
   /// All controller registers as one state element (single commit per
   /// cycle). Field paths/widths are charged to the ledger exactly like the
   /// discrete Regs they replace; hold semantics are identical (see
-  /// sim::RegGroup).
+  /// sim::RegGroup). The multi-field staging fields (in_*, wb_*) are only
+  /// exercised — and only charged — when the cell layout has F > 1.
   struct Ctrl {
     std::uint64_t shifts = 0;
     std::uint64_t emit_next = 0;
@@ -98,6 +101,25 @@ class SmacheTop : public sim::Module {
     bool req_issued = false;
     bool warm_req = false;
   };
+
+  /// F > 1 cell staging, a SEPARATE state element from Ctrl so the F = 1
+  /// controller's per-cycle block-copy commit keeps its original width
+  /// (this runs every cycle of every simulation — single-word cells must
+  /// not pay for multi-word state they never hold).
+  struct CellStage {
+    // Gather staging: words of the partially-arrived input cell.
+    std::uint32_t in_fill = 0;
+    std::array<word_t, kMaxFields> in_cell{};
+    // Write-back staging: the popped result cell drains to DRAM one word
+    // per cycle (fields 1..F-1 after the pop cycle's field 0).
+    std::uint32_t wb_field = 0;
+    std::uint64_t wb_index = 0;
+    std::array<word_t, kMaxFields> wb_vals{};
+  };
+
+  static std::vector<sim::RegGroup<Ctrl>::FieldCharge> ctrl_charges(
+      const std::string& path, const model::BufferPlan& plan,
+      std::size_t steps, std::size_t cells, std::size_t fields);
 
   std::uint64_t in_base() const noexcept;
   std::uint64_t out_base() const noexcept;
@@ -112,6 +134,8 @@ class SmacheTop : public sim::Module {
   mem::DramModel& dram_;
   std::size_t steps_;
   std::size_t cells_;   // grid height * width
+  std::size_t fields_;  // words per cell (kernel spec's layout)
+  std::size_t words_;   // cells_ * fields_ (one DRAM region)
   std::size_t center_;  // plan_.center_age(), hoisted for the cycle loop
   sim::Simulator& sim_;
 
@@ -122,6 +146,8 @@ class SmacheTop : public sim::Module {
   // Controller state (all charged under <path>/ctrl).
   sim::FsmState<Top> top_;
   sim::RegGroup<Ctrl> ctrl_;
+  // Cell staging registers, only instantiated for multi-word cells.
+  std::unique_ptr<sim::RegGroup<CellStage>> stage_;
 
   std::uint64_t warmup_end_ = 0;
   // Warm-up bank order (indices into statics_, write-through first).

@@ -32,36 +32,50 @@ namespace smache::rtl {
 
 class StaticBufferBank {
  public:
+  /// `fields` widens every stored element to an F-word cell, realised as
+  /// one BRAM bank per field (per replica, per phase) sharing the
+  /// active/shadow select. Word-indexed entry points interpret an index
+  /// as cell * F + field, so F = 1 keeps every call site bit-identical.
   StaticBufferBank(sim::Simulator& sim, const std::string& path,
-                   const model::StaticBufferSpec& spec);
+                   const model::StaticBufferSpec& spec,
+                   std::size_t fields = 1);
 
   const model::StaticBufferSpec& spec() const noexcept { return spec_; }
+  std::size_t fields() const noexcept { return fields_; }
 
-  /// Issue a synchronous read on the ACTIVE copy of one replica; the value
-  /// is available from rdata(replica) next cycle.
+  /// Issue a synchronous read of CELL `index` on the ACTIVE copy of one
+  /// replica (all F field banks read in lock-step); field f is available
+  /// from rdata(replica, f) next cycle.
   void read(std::size_t replica, std::size_t index);
-  word_t rdata(std::size_t replica) const;
+  word_t rdata(std::size_t replica, std::size_t field = 0) const;
 
-  /// FSM-3 write-through: store an output-grid element into the SHADOW
-  /// copy of every replica.
+  /// FSM-3 write-through: store one output-grid WORD (cell * F + field)
+  /// into the SHADOW copy of every replica.
   void shadow_write(std::size_t index, word_t value);
 
-  /// FSM-1 warm-up / prefetch: store an input-grid element into the ACTIVE
-  /// copy of every replica.
+  /// Cell-wide shadow write: all F words of `cell` at cell `cell_index`.
+  void shadow_write_cell(std::size_t cell_index, const word_t* cell);
+
+  /// FSM-1 warm-up / prefetch: store one input-grid WORD (cell * F +
+  /// field — DRAM order) into the ACTIVE copy of every replica.
   void active_write(std::size_t index, word_t value);
 
   /// Flip active/shadow at a work-instance boundary (takes effect next
   /// cycle, like any register).
   void swap();
 
-  /// Test backdoor: committed contents of the active copy of replica 0.
+  /// Test backdoor: committed WORD (cell * F + field) of the active copy
+  /// of replica 0.
   word_t peek_active(std::size_t index) const;
 
  private:
-  // copies_[replica][phase]; phase 0/1 selected by active_.
-  mem::BramBank& bank(std::size_t replica, bool shadow) const;
+  // copies_[(replica*2 + phase) * fields + field]; phase selected by
+  // active_.
+  mem::BramBank& bank(std::size_t replica, bool shadow,
+                      std::size_t field) const;
 
   model::StaticBufferSpec spec_;
+  std::size_t fields_;
   sim::Reg<bool> active_;
   std::vector<std::unique_ptr<mem::BramBank>> copies_;
 };
@@ -70,15 +84,19 @@ class StaticBufferBank {
 class StaticBufferSet {
  public:
   StaticBufferSet(sim::Simulator& sim, const std::string& path,
-                  const model::BufferPlan& plan);
+                  const model::BufferPlan& plan, std::size_t fields = 1);
 
   std::size_t count() const noexcept { return banks_.size(); }
   StaticBufferBank& bank(std::size_t i);
   const StaticBufferBank& bank(std::size_t i) const;
 
   /// Banks whose grid_row matches `row` receive this output element via
-  /// write-through (FSM-3 capture path).
+  /// write-through (FSM-3 capture path). Single-field form.
   void capture_output(std::size_t row, std::size_t col, word_t value);
+
+  /// Cell-wide capture: all F words of the output cell at (row, col).
+  void capture_output_cell(std::size_t row, std::size_t col,
+                           const word_t* cell);
 
   void swap_all();
 

@@ -9,8 +9,9 @@
 namespace smache::rtl {
 
 StreamBuffer::StreamBuffer(sim::Simulator& sim, const std::string& path,
-                           const model::BufferPlan& plan)
-    : window_len_(plan.window_len()) {
+                           const model::BufferPlan& plan, std::size_t fields)
+    : window_len_(plan.window_len()), fields_(fields) {
+  SMACHE_REQUIRE(fields >= 1 && fields <= kMaxFields);
   reg_ages_ = plan.reg_ages();
   std::sort(reg_ages_.begin(), reg_ages_.end());
   SMACHE_REQUIRE(!reg_ages_.empty() && reg_ages_.front() == 1);
@@ -20,9 +21,11 @@ StreamBuffer::StreamBuffer(sim::Simulator& sim, const std::string& path,
     age_to_slot_[reg_ages_[slot]] = slot;
   }
 
+  // One cell = F interleaved words; register slot i backs words
+  // [i*F, (i+1)*F). F = 1 keeps the original count and charge.
   regs_ = std::make_unique<sim::RegArray<word_t>>(
-      sim, path + "/stream/window_regs", reg_ages_.size(), word_t{0},
-      kWordBits);
+      sim, path + "/stream/window_regs", reg_ages_.size() * fields_,
+      word_t{0}, kWordBits);
 
   for (std::size_t s = 0; s < plan.fifo_segments().size(); ++s) {
     const model::FifoSegment& fs = plan.fifo_segments()[s];
@@ -34,10 +37,16 @@ StreamBuffer::StreamBuffer(sim::Simulator& sim, const std::string& path,
     seg.out_stage_age = fs.out_stage_age;
     seg.bram_len = fs.bram_len;
     SMACHE_REQUIRE(is_reg_age(fs.in_stage_age));
-    seg.in_slot = age_to_slot_[fs.in_stage_age];
+    seg.in_slot = age_to_slot_[fs.in_stage_age] * fields_;
     const std::string spath = path + "/stream/fifo" + std::to_string(s);
-    seg.bram = std::make_unique<mem::BramBank>(
-        sim, spath, fs.bram_len, kWordBits, mem::BramBank::Mode::Fifo);
+    // Field 0 keeps the original bank path (F = 1 ledger unchanged);
+    // extra fields get their own parallel banks under a /f<k> suffix.
+    for (std::size_t f = 0; f < fields_; ++f) {
+      const std::string fpath =
+          f == 0 ? spath : spath + "/f" + std::to_string(f);
+      seg.brams.push_back(std::make_unique<mem::BramBank>(
+          sim, fpath, fs.bram_len, kWordBits, mem::BramBank::Mode::Fifo));
+    }
     seg.ptr = std::make_unique<sim::Reg<std::uint32_t>>(
         sim, spath + "/ptr", 0u, smache::addr_bits(fs.bram_len));
     segments_.push_back(std::move(seg));
@@ -88,31 +97,68 @@ StreamBuffer::StreamBuffer(sim::Simulator& sim, const std::string& path,
 }
 
 void StreamBuffer::shift(word_t in) {
+  SMACHE_ASSERT(fields_ == 1);
+  shift_cell(&in);
+}
+
+void StreamBuffer::shift_cell(const word_t* cell) {
   // Schedule all register updates (non-blocking; the committed-state reads
   // below see start-of-cycle values, so ordering across chains is
   // irrelevant). Every slot has a feed, so the whole next-state array is
   // written and committed as one block copy. Chains turn the per-slot feed
-  // switch into one head write plus one bulk copy each.
+  // switch into one head write plus one bulk copy each; widths scale by
+  // the cell's F interleaved words.
+  const std::size_t F = fields_;
   word_t* next_state = regs_->next_all();
   const word_t* q = regs_->q_data();
+  if (F == 1) {
+    // Single-word cells are the overwhelmingly common layout and the
+    // hottest loop in the whole simulator — keep the scalar body free of
+    // the per-field loops so F = 1 costs exactly what it did before
+    // multi-field cells existed.
+    for (const Chain& ch : chains_) {
+      next_state[ch.start] =
+          ch.from_input
+              ? cell[0]
+              : static_cast<word_t>(segments_[ch.segment].brams[0]->rdata());
+      if (ch.len > 1)
+        std::memcpy(next_state + ch.start + 1, q + ch.start,
+                    (ch.len - 1) * sizeof(word_t));
+    }
+    for (auto& seg : segments_) {
+      const std::uint32_t p = seg.ptr->q();
+      const std::uint32_t next = p + 1 == seg.bram_len ? 0u : p + 1;
+      mem::BramBank& bram = *seg.brams[0];
+      bram.write(p, regs_->q(seg.in_slot));
+      bram.read(next);
+      seg.ptr->d(next);
+    }
+    return;
+  }
   for (const Chain& ch : chains_) {
-    next_state[ch.start] =
-        ch.from_input
-            ? in
-            : static_cast<word_t>(segments_[ch.segment].bram->rdata());
+    word_t* head = next_state + ch.start * F;
+    if (ch.from_input) {
+      for (std::size_t f = 0; f < F; ++f) head[f] = cell[f];
+    } else {
+      const Segment& seg = segments_[ch.segment];
+      for (std::size_t f = 0; f < F; ++f)
+        head[f] = static_cast<word_t>(seg.brams[f]->rdata());
+    }
     if (ch.len > 1)
-      std::memcpy(next_state + ch.start + 1, q + ch.start,
-                  (ch.len - 1) * sizeof(word_t));
+      std::memcpy(next_state + (ch.start + 1) * F, q + ch.start * F,
+                  (ch.len - 1) * F * sizeof(word_t));
   }
   // Advance every BRAM segment. The pointer wrap is a compare, not a
   // modulo — an integer divide per segment per cycle is the single most
-  // expensive scalar op in the shift.
+  // expensive scalar op in the shift. All field banks share the pointer.
   for (auto& seg : segments_) {
     const std::uint32_t p = seg.ptr->q();
     const std::uint32_t next =
         p + 1 == seg.bram_len ? 0u : p + 1;
-    seg.bram->write(p, regs_->q(seg.in_slot));
-    seg.bram->read(next);
+    for (std::size_t f = 0; f < F; ++f) {
+      seg.brams[f]->write(p, regs_->q(seg.in_slot + f));
+      seg.brams[f]->read(next);
+    }
     seg.ptr->d(next);
   }
 }
@@ -121,7 +167,7 @@ word_t StreamBuffer::tap(std::size_t age) const {
   SMACHE_REQUIRE_MSG(is_reg_age(age),
                      "tap(" + std::to_string(age) +
                          ") is not a register-mapped window position");
-  return regs_->q(age_to_slot_[age]);
+  return regs_->q(age_to_slot_[age] * fields_);
 }
 
 }  // namespace smache::rtl

@@ -38,29 +38,39 @@ namespace smache::rtl {
 
 class StreamBuffer {
  public:
+  /// `fields` widens every window position to an F-word cell (interleaved
+  /// in the backing register file and per-field BRAM segment banks); the
+  /// plan's geometry stays in cell-unit ages. F = 1 reproduces the
+  /// original word-per-cell buffer bit-for-bit, ledger included.
   StreamBuffer(sim::Simulator& sim, const std::string& path,
-               const model::BufferPlan& plan);
+               const model::BufferPlan& plan, std::size_t fields = 1);
 
   std::size_t window_len() const noexcept { return window_len_; }
+  std::size_t fields() const noexcept { return fields_; }
 
   /// Schedule one shift: `in` enters at age 1, every stored element ages by
-  /// one. Must be called at most once per cycle.
+  /// one. Must be called at most once per cycle. Single-field form.
   void shift(word_t in);
 
-  /// Combinational read of a register-mapped age (taps, stages). Ages
-  /// inside BRAM segments are not readable — the planner never taps them.
+  /// Cell-wide shift: `cell` points at the entering cell's F words.
+  void shift_cell(const word_t* cell);
+
+  /// Combinational read of a register-mapped age (taps, stages) — field 0.
+  /// Ages inside BRAM segments are not readable — the planner never taps
+  /// them.
   word_t tap(std::size_t age) const;
 
-  /// Register slot backing a register-mapped age. Gather units that emit
+  /// WORD slot backing a register-mapped age (the base of the cell's F
+  /// consecutive words; field f lives at slot + f). Gather units that emit
   /// the same stencil cases millions of times resolve ages to slots ONCE
   /// (per case, at table-build time) and then read via tap_slot().
   std::size_t slot_of_age(std::size_t age) const {
     SMACHE_REQUIRE_MSG(is_reg_age(age),
                        "slot_of_age on a non-register window position");
-    return age_to_slot_[age];
+    return age_to_slot_[age] * fields_;
   }
 
-  /// Combinational read by precomputed slot (see slot_of_age).
+  /// Combinational read by precomputed WORD slot (see slot_of_age).
   word_t tap_slot(std::size_t slot) const { return regs_->q(slot); }
 
   /// True if `age` is register-mapped (readable via tap()).
@@ -75,12 +85,16 @@ class StreamBuffer {
     std::size_t in_stage_age;
     std::size_t out_stage_age;
     std::size_t bram_len;
-    std::size_t in_slot;  // register slot of in_stage_age (precomputed)
-    std::unique_ptr<mem::BramBank> bram;
+    std::size_t in_slot;  // WORD slot of in_stage_age (precomputed)
+    /// One BRAM bank per cell field (width stays within the 64-bit bank
+    /// limit for any F); all banks share one pointer register, like a
+    /// hardware design sharing the address generator across field lanes.
+    std::vector<std::unique_ptr<mem::BramBank>> brams;
     std::unique_ptr<sim::Reg<std::uint32_t>> ptr;
   };
 
   std::size_t window_len_;
+  std::size_t fields_;
   // Register-mapped ages: age_to_slot_[age] -> slot in regs_, or kNoSlot.
   // A flat table, not a map — tap() runs once per stencil element per
   // cycle, squarely in the simulation hot loop.

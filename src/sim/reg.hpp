@@ -76,6 +76,13 @@ class RegGroup : public Clocked {
 
   RegGroup(Simulator& sim, const S& init,
            std::initializer_list<FieldCharge> fields)
+      : RegGroup(sim, init,
+                 std::vector<FieldCharge>(fields.begin(), fields.end())) {}
+
+  /// Vector overload for callers whose charge list is built conditionally
+  /// (e.g. extra staging registers only present for multi-field cells).
+  RegGroup(Simulator& sim, const S& init,
+           const std::vector<FieldCharge>& fields)
       : q_(init), next_(init) {
     static_assert(std::is_trivially_copyable_v<S>,
                   "RegGroup needs a trivially copyable state struct");

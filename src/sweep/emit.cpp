@@ -87,7 +87,12 @@ std::string emit_json(const std::vector<ScenarioResult>& results,
         << 'x' << s.tiles.width << "\", \"stencil\": \""
         << json_escape(s.stencil) << "\", \"boundary\": \""
         << json_escape(s.boundary) << "\", \"kernel\": \""
-        << json_escape(s.kernel) << "\", \"input\": \""
+        << json_escape(s.kernel) << "\"";
+    // Multi-field cell layouts are the exception; single-word cells stay
+    // implicit so every pre-existing F=1 report remains byte-identical.
+    if (s.problem.kernel.fields() > 1)
+      out << ", \"fields\": " << s.problem.kernel.fields();
+    out << ", \"input\": \""
         << json_escape(s.input) << "\", \"dram\": \"" << json_escape(s.dram)
         << "\", \"seed\": \"" << fmt_hex64(s.seed) << "\", \"ok\": "
         << (r.ok ? "true" : "false");
@@ -123,6 +128,12 @@ std::string emit_json(const std::vector<ScenarioResult>& results,
 std::string emit_csv(const std::vector<ScenarioResult>& results,
                      const EmitOptions& options) {
   std::ostringstream out;
+  // The fields column only appears when some scenario actually uses a
+  // multi-word cell layout, so the pinned header of every F=1-only sweep
+  // (including all committed reports) is unchanged.
+  bool any_fields = false;
+  for (const ScenarioResult& r : results)
+    if (r.scenario.problem.kernel.fields() > 1) any_fields = true;
   out << "label,mode,arch,height,width,steps,depth,tiles,stencil,boundary,"
          "kernel,"
          "input,dram,seed,ok,error,cycles,warmup_cycles,read_requests,"
@@ -130,6 +141,7 @@ std::string emit_csv(const std::vector<ScenarioResult>& results,
          "r_total,b_total,m20k,fmax_mhz,ops,exec_time_us,mops,"
          "reference_match";
   if (options.include_wall) out << ",wall_ms";
+  if (any_fields) out << ",fields";
   out << '\n';
   for (const ScenarioResult& r : results) {
     const Scenario& s = r.scenario;
@@ -158,6 +170,7 @@ std::string emit_csv(const std::vector<ScenarioResult>& results,
         << (r.reference_checked ? (r.reference_match ? "true" : "false")
                                 : "");
     if (options.include_wall) out << ',' << fmt_double(r.wall_ms);
+    if (any_fields) out << ',' << s.problem.kernel.fields();
     out << '\n';
   }
   return out.str();

@@ -192,9 +192,13 @@ std::uint64_t hash_grid(const grid::Grid<word_t>& g) noexcept {
     h *= 1099511628211ull;
   };
   // Shape first: a 2x8 and an 8x2 grid with the same word sequence must
-  // not collide (the word fold alone cannot tell them apart).
+  // not collide (the word fold alone cannot tell them apart). The cell
+  // layout folds the same way — an F=2 grid and an F=1 grid of doubled
+  // width carry identical word sequences — but only for F > 1, so every
+  // single-field hash (committed reports, store records) is unchanged.
   fold(g.height());
   fold(g.width());
+  if (g.fields() > 1) fold(g.fields());
   for (std::size_t i = 0; i < g.size(); ++i)
     fold(static_cast<std::uint64_t>(g[i]));
   return h;
@@ -282,6 +286,10 @@ std::uint64_t SweepExecutor::digest(
     mix(h, r.scenario.depth);
     mix(h, r.scenario.tiles.height);
     mix(h, r.scenario.tiles.width);
+    // Cell layout: folded only for F > 1 so single-field digests (every
+    // sweep that existed before multi-field cells) are byte-identical.
+    if (r.scenario.problem.kernel.fields() > 1)
+      mix(h, r.scenario.problem.kernel.fields());
     mix(h, r.ok);
     mix_str(h, r.error);
     mix(h, r.run.cycles);

@@ -110,6 +110,21 @@ Scenario SweepSpec::scenario_at(std::size_t index) const {
                        "kernel '" + kernel_name +
                            "' assumes the Moore-9 tuple layout; pair it "
                            "with stencil 'moore9'");
+  // Cell layouts must agree end to end: a simulated scenario materialises
+  // the input family's grid, whose words-per-cell count must match what
+  // the kernel consumes. (Elaboration never builds an input, so any input
+  // name aliases through.) Centre-first kernels are checked against the
+  // materialised stencil by ProblemSpec::validate below.
+  if (mode == Mode::Simulate) {
+    const InputFamily& input = find_input(input_name);
+    SMACHE_REQUIRE_MSG(
+        input.fields == kernel.spec.fields(),
+        "input family '" + input_name + "' produces " +
+            std::to_string(input.fields) + "-field cells but kernel '" +
+            kernel_name + "' consumes " +
+            std::to_string(kernel.spec.fields()) +
+            "-field cells; pair layouts exactly");
+  }
 
   // Depth is a cascade-architecture knob: the baseline has no cascade and
   // elaboration runs no passes, so both alias every depth to 1 (the label

@@ -295,6 +295,14 @@ std::uint64_t ResultStore::scenario_key(const Scenario& scenario,
                 sizeof scenario.engine.max_cycles);
   const std::uint8_t verify = verify_reference ? 1 : 0;
   h = fnv_bytes(h, &verify, 1);
+  // Cell layout, folded only for F > 1: the kernel name inside the label
+  // already separates layouts, but an explicit fold keeps the key honest if
+  // a future kernel family ever parameterises its field count — while every
+  // single-field key (all pre-multi-field store segments) stays identical.
+  if (scenario.problem.kernel.fields() > 1) {
+    const std::uint64_t fields = scenario.problem.kernel.fields();
+    h = fnv_bytes(h, &fields, sizeof fields);
+  }
   return h;
 }
 

@@ -28,6 +28,14 @@ grid::StencilShape make_upwind3(std::uint64_t) {
   return grid::StencilShape::upwind3();
 }
 
+/// Centre-FIRST plus: the same point set as plus5, reordered so tuple
+/// element 0 is offset {0,0} — the layout the application kernels
+/// (jacobi, hotspot, fdtd) contractually require.
+grid::StencilShape make_star5(std::uint64_t) {
+  return grid::StencilShape::custom(
+      "star5", {{0, 0}, {-1, 0}, {0, -1}, {0, 1}, {1, 0}});
+}
+
 /// 13-point diamond (|dr|+|dc| <= 2) in row-major order — the radius-2
 /// von Neumann neighbourhood common in lattice-Boltzmann-style updates.
 grid::StencilShape make_diamond13(std::uint64_t) {
@@ -121,6 +129,66 @@ grid::Grid<word_t> input_checker(std::size_t h, std::size_t w,
   return g;
 }
 
+// ---- application inputs (multi-field cell layouts) ----------------------
+
+/// Jacobi relaxation start state: seeded float field in [0, 10) — a rough
+/// potential surface the solver smooths toward its boundary values.
+grid::Grid<word_t> input_jacobi_init(std::size_t h, std::size_t w,
+                                     std::uint64_t seed) {
+  Rng rng(seed ^ 0x1AC0B1ull);
+  grid::Grid<word_t> g(h, w);
+  for (std::size_t i = 0; i < g.size(); ++i)
+    g[i] = to_word(static_cast<float>(rng.next_below(1000)) * 0.01f);
+  return g;
+}
+
+/// Hotspot chip state, F = 2 {temperature, power}: ambient temperature
+/// everywhere plus a seeded rectangular hot block dissipating power — the
+/// classic thermal-floorplan workload, with the power map riding in the
+/// cell layout instead of a second DRAM image.
+grid::Grid<word_t> input_hotspot_chip(std::size_t h, std::size_t w,
+                                      std::uint64_t seed) {
+  Rng rng(seed ^ 0x407590ull);
+  grid::Grid<word_t> g(h, w, CellLayout{2}, 0);
+  const std::size_t br = static_cast<std::size_t>(rng.next_below(h));
+  const std::size_t bc = static_cast<std::size_t>(rng.next_below(w));
+  const std::size_t bh = 1 + static_cast<std::size_t>(rng.next_below(3));
+  const std::size_t bw = 1 + static_cast<std::size_t>(rng.next_below(3));
+  for (std::size_t r = 0; r < h; ++r) {
+    for (std::size_t c = 0; c < w; ++c) {
+      const bool hot = r >= br && r < br + bh && c >= bc && c < bc + bw;
+      g.at(r, c, 0) = to_word(25.0f);
+      g.at(r, c, 1) = to_word(hot ? 4.0f : 0.125f);
+    }
+  }
+  return g;
+}
+
+/// FDTD cavity state, F = 3 {u, u_prev, c2}: one seeded unit pulse at rest
+/// (u == u_prev, zero initial velocity) in a two-material medium — a
+/// horizontal slab of slower material crosses the cavity, so heterogeneous
+/// wave speeds ride in the per-cell material field.
+grid::Grid<word_t> input_fdtd_cavity(std::size_t h, std::size_t w,
+                                     std::uint64_t seed) {
+  Rng rng(seed ^ 0xFD7Dull);
+  grid::Grid<word_t> g(h, w, CellLayout{3}, 0);
+  const std::size_t pr = static_cast<std::size_t>(rng.next_below(h));
+  const std::size_t pc = static_cast<std::size_t>(rng.next_below(w));
+  const std::size_t slab = static_cast<std::size_t>(rng.next_below(h));
+  const std::size_t slab_end =
+      slab + 1 + static_cast<std::size_t>(rng.next_below(3));
+  for (std::size_t r = 0; r < h; ++r) {
+    for (std::size_t c = 0; c < w; ++c) {
+      const float u = (r == pr && c == pc) ? 1.0f : 0.0f;
+      const float c2 = (r >= slab && r < slab_end) ? 0.0625f : 0.25f;
+      g.at(r, c, 0) = to_word(u);
+      g.at(r, c, 1) = to_word(u);
+      g.at(r, c, 2) = to_word(c2);
+    }
+  }
+  return g;
+}
+
 // ---- catalogue construction ---------------------------------------------
 
 std::vector<StencilFamily> build_stencils() {
@@ -138,6 +206,9 @@ std::vector<StencilFamily> build_stencils() {
        false, &make_asym5},
       {"upwind3", "asymmetric upwind {(0,0),(0,-1),(-1,0)} (advection)",
        false, &make_upwind3},
+      {"star5", "centre-first plus (plus5 reordered for application "
+       "kernels)",
+       false, &make_star5},
       {"random5", "seeded random 5-point shape from the radius-2 box", true,
        &make_random5},
       {"random8", "seeded random 8-point shape from the radius-2 box", true,
@@ -178,6 +249,14 @@ std::vector<InputFamily> build_inputs() {
       {"gradient", "linear ramp modulo 997, seed-offset", &input_gradient},
       {"checker", "two seed-derived values in a checkerboard",
        &input_checker},
+      {"jacobi-init", "seeded float field in [0, 10) for jacobi relaxation",
+       &input_jacobi_init},
+      {"hotspot-chip", "F=2 {temperature, power}: ambient plate + seeded "
+       "hot block",
+       &input_hotspot_chip, 2},
+      {"fdtd-cavity", "F=3 {u, u_prev, c2}: seeded pulse at rest in a "
+       "two-material cavity",
+       &input_fdtd_cavity, 3},
   };
 }
 
@@ -195,6 +274,15 @@ std::vector<KernelFamily> build_kernels() {
        true, rtl::KernelSpec::gaussian3x3()},
       {"laplacian3x3", "3x3 Laplacian edge detect (Moore-9 tuple only)",
        true, rtl::KernelSpec::laplacian3x3()},
+      {"jacobi", "Jacobi relaxation: mean of valid neighbours "
+       "(centre-first tuple)",
+       false, rtl::KernelSpec::jacobi()},
+      {"hotspot", "hotspot thermal step over {t, p} cells (F=2, "
+       "centre-first)",
+       false, rtl::KernelSpec::hotspot(0.05f, 0.1f)},
+      {"fdtd", "2D scalar-wave FDTD over {u, u_prev, c2} cells (F=3, "
+       "centre-first)",
+       false, rtl::KernelSpec::fdtd_wave(0.1f)},
   };
 }
 

@@ -43,12 +43,15 @@ struct BoundaryFamily {
 
 /// One registered input-grid generator. All generators are seeded; pattern
 /// families fold the seed into offsets/values so every scenario gets a
-/// distinct but reproducible grid.
+/// distinct but reproducible grid. `fields` is the cell layout the
+/// generator produces (words per cell); SweepSpec validation rejects
+/// pairing a generator with a kernel of a different field count.
 struct InputFamily {
   std::string name;
   std::string summary;
   grid::Grid<word_t> (*make)(std::size_t height, std::size_t width,
                              std::uint64_t seed);
+  std::size_t fields = 1;
 };
 
 /// One registered computation kernel. `needs_moore9` marks kernels whose

@@ -125,7 +125,7 @@ TEST(KernelPipeline, FixedLatencyAndOrder) {
   ASSERT_EQ(results.size(), 3u);
   for (std::uint64_t i = 0; i < 3; ++i) {
     EXPECT_EQ(results[i].index, i);
-    EXPECT_EQ(from_word<std::int32_t>(results[i].value),
+    EXPECT_EQ(from_word<std::int32_t>(results[i].values[0]),
               static_cast<std::int32_t>(4 * i));
   }
 }

@@ -71,17 +71,20 @@ void print_catalogue() {
     bounds.add_cell(f.summary);
   }
   std::printf("%s\n", bounds.to_ascii().c_str());
-  TextTable kernels({"kernel", "summary"});
+  TextTable kernels({"kernel", "fields", "arity", "summary"});
   for (const auto& f : sweep::kernel_catalogue()) {
     kernels.begin_row();
     kernels.add_cell(f.name);
+    kernels.add_cell(std::to_string(f.spec.fields()));
+    kernels.add_cell(f.needs_moore9 ? "moore9" : "any");
     kernels.add_cell(f.summary);
   }
   std::printf("%s\n", kernels.to_ascii().c_str());
-  TextTable inputs({"input", "summary"});
+  TextTable inputs({"input", "fields", "summary"});
   for (const auto& f : sweep::input_catalogue()) {
     inputs.begin_row();
     inputs.add_cell(f.name);
+    inputs.add_cell(std::to_string(f.fields));
     inputs.add_cell(f.summary);
   }
   std::printf("%s\n", inputs.to_ascii().c_str());
