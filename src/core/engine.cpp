@@ -9,6 +9,7 @@
 #include "grid/reference.hpp"
 #include "grid/tiling.hpp"
 #include "mem/dram.hpp"
+#include "obs/perfetto.hpp"
 #include "rtl/baseline_top.hpp"
 #include "rtl/cascade_top.hpp"
 #include "rtl/smache_top.hpp"
@@ -121,6 +122,10 @@ RunResult Engine::execute(const ProblemSpec& problem,
 
   sim::Simulator sim;
   sim.set_force_eval_all(options_.force_eval_all);
+  // Observability is switched on before any module registers so span lanes
+  // and metric slots appear in construction order — deterministic output.
+  if (options_.profile) sim.enable_profiling();
+  if (options_.trace) sim.enable_spans();
   mem::DramConfig dcfg = options_.dram;
   if (options_.auto_bus)
     dcfg.shared_bus = options_.arch == Architecture::Baseline;
@@ -184,6 +189,11 @@ RunResult Engine::execute(const ProblemSpec& problem,
     result.resources = cost::measure_actual(sim.ledger(), "baseline");
   }
 
+  if (options_.profile || options_.trace) {
+    sim.finalize_observability();
+    if (options_.profile) result.metrics = sim.metrics().snapshot();
+    if (options_.trace) result.trace_json = obs::to_trace_json(sim.spans());
+  }
   result.dram = dram.stats();
   result.ops =
       static_cast<std::uint64_t>(cells) * problem.steps *
@@ -214,6 +224,8 @@ RunResult Engine::run_cascade(const ProblemSpec& problem,
 
   sim::Simulator sim;
   sim.set_force_eval_all(options_.force_eval_all);
+  if (options_.profile) sim.enable_profiling();
+  if (options_.trace) sim.enable_spans();
   mem::DramConfig dcfg = options_.dram;
   if (options_.auto_bus) dcfg.shared_bus = false;
   mem::DramModel dram(sim, "dram", 2 * grid_words, dcfg);
@@ -246,6 +258,11 @@ RunResult Engine::run_cascade(const ProblemSpec& problem,
   result.output =
       read_output_grid(dram, top.output_base(), problem.height,
                        problem.width, layout);
+  if (options_.profile || options_.trace) {
+    sim.finalize_observability();
+    if (options_.profile) result.metrics = sim.metrics().snapshot();
+    if (options_.trace) result.trace_json = obs::to_trace_json(sim.spans());
+  }
   result.resources = cost::measure_actual(sim.ledger(), "cascade");
   result.plan = std::move(plan);
   result.dram = dram.stats();
@@ -273,6 +290,9 @@ RunResult Engine::run_tiled(const ProblemSpec& problem,
   if (tiling.tiles_r == 1 && tiling.tiles_c == 1)
     return tiling.depth > 1 ? run_cascade(problem, initial, tiling.depth)
                             : run(problem, initial);
+  SMACHE_REQUIRE_MSG(!options_.trace,
+                     "span/trace export is per-simulator; tiled runs do not "
+                     "support it (metrics profiling folds fine)");
 
   const grid::TilingLayout layout = grid::plan_tiling(
       problem.height, problem.width, tiling.tiles_r, tiling.tiles_c,
@@ -312,6 +332,9 @@ RunResult Engine::run_tiled(const ProblemSpec& problem,
     std::uint64_t pass_cycles = 0;
     for (const RunResult& r : tile_runs) {
       pass_cycles = std::max(pass_cycles, r.cycles);
+      // Counter samples sum across tiles and passes (stall totals over the
+      // whole scenario); watermarks keep the max (see merge_samples).
+      if (options_.profile) obs::merge_samples(agg.metrics, r.metrics);
       agg.dram.read_requests += r.dram.read_requests;
       agg.dram.words_read += r.dram.words_read;
       agg.dram.words_written += r.dram.words_written;

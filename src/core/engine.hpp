@@ -18,6 +18,7 @@
 #include "grid/grid.hpp"
 #include "mem/dram_config.hpp"
 #include "model/planner.hpp"
+#include "obs/metrics.hpp"
 
 namespace smache {
 
@@ -53,6 +54,16 @@ struct EngineOptions {
   /// property suite enforces it); force mode exists for that cross-check
   /// and for debugging a suspect quiescence declaration.
   bool force_eval_all = false;
+  /// Collect the cycle-attribution profile and stall/occupancy metrics
+  /// into RunResult::metrics. Unlike tracing, profiling does NOT disable
+  /// activity gating — it classifies the gated schedule itself — so the
+  /// simulated results stay bit-identical to an unprofiled run.
+  bool profile = false;
+  /// Record module-activity and DRAM-transaction spans and export them as
+  /// Chrome trace-event JSON in RunResult::trace_json (load in
+  /// chrome://tracing / Perfetto). Also leaves results bit-identical.
+  /// Per-simulator, so tiled runs reject it.
+  bool trace = false;
 
   static EngineOptions smache(model::StreamImpl impl =
                                   model::StreamImpl::Hybrid) {
@@ -114,6 +125,15 @@ struct RunResult {
   /// and `dram` hold the progress at abort (diagnostics only — they are as
   /// nondeterministic as the trip itself), `output` is empty.
   bool timed_out = false;
+
+  /// Deterministic metric snapshot (EngineOptions::profile): cycle
+  /// attribution per module, wake reasons, stall counters, FIFO high-water
+  /// marks — sorted by path, zero-valued entries included. Tiled runs fold
+  /// per-tile snapshots (counters sum, watermarks max). Empty when
+  /// profiling is off.
+  std::vector<obs::MetricSample> metrics;
+  /// Chrome trace-event JSON (EngineOptions::trace); empty when off.
+  std::string trace_json;
 
   std::string summary() const;
 };

@@ -9,10 +9,20 @@ DramModel::DramModel(sim::Simulator& sim, const std::string& path,
       read_req_(sim, path + "/read_req", config.req_queue_depth),
       read_data_(sim, path + "/read_data", config.data_queue_depth),
       write_req_(sim, path + "/write_req", config.write_queue_depth),
-      transit_(config.read_latency >= 1 ? config.read_latency : 1) {
+      transit_(config.read_latency >= 1 ? config.read_latency : 1),
+      sim_(sim),
+      mreg_(&sim.metrics()),
+      s_backpressure_(
+          mreg_->slot(path, "/stall/backpressure",
+                      obs::MetricKind::Counter)),
+      s_row_wait_(
+          mreg_->slot(path, "/stall/row_wait", obs::MetricKind::Counter)),
+      slog_(&sim.spans()),
+      read_lane_(slog_->lane(path, "read txn")) {
   SMACHE_REQUIRE(size_words >= 1);
   SMACHE_REQUIRE_MSG(config.read_latency >= 1,
                      "read_latency must be >= 1 (transit stage count)");
+  set_obs_name(path);
   // Activity gating: while inert the model sleeps; a committed push on
   // either request channel is new work, and a committed pop on read_data
   // is what releases a full-channel back-pressure freeze.
@@ -72,6 +82,7 @@ void DramModel::eval() {
   if (line_full && !transit_.empty()) {
     const bool head_valid = transit_.front().has_value();
     if (head_valid && !read_data_.can_push()) {
+      mreg_->count(s_backpressure_);
       // Back-pressure from the design: the whole read pipe holds. With no
       // posted writes left to drain this state is fully frozen — every
       // future cycle is a no-op until the design commits a read_data pop
@@ -105,6 +116,16 @@ void DramModel::eval() {
       ++stats_.read_busy_cycles;
       --inflight_words_;
       head_delay_decided_ = false;
+      if (slog_->enabled() && !pending_reads_.empty()) {
+        // The delivered word always belongs to the oldest open
+        // transaction (strict FIFO service); closing it here stamps the
+        // full request-pop -> last-word-delivered lifetime.
+        PendingRead& p = pending_reads_.front();
+        if (--p.words_left == 0) {
+          slog_->add(read_lane_, p.begin, sim_.now() + 1);
+          pending_reads_.pop_front();
+        }
+      }
     }
     transit_.pop_front();
   }
@@ -114,6 +135,7 @@ void DramModel::eval() {
   const bool bus_free = !config_.shared_bus || !wrote;
   if (wait_issue_ > 0) {
     --wait_issue_;
+    mreg_->count(s_row_wait_);
   } else if (bus_free) {
     if (burst_left_ == 0 && read_req_.can_pop()) {
       const DramReadReq req = read_req_.pop();
@@ -124,6 +146,8 @@ void DramModel::eval() {
       burst_left_ = req.burst;
       ++stats_.read_requests;
       charge_row(cur_addr_);
+      if (slog_->enabled())
+        pending_reads_.push_back(PendingRead{sim_.now(), req.burst});
     }
     if (burst_left_ > 0 && wait_issue_ == 0) {
       issued = store_[cur_addr_];

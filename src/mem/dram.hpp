@@ -27,6 +27,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <string>
 #include <vector>
@@ -140,6 +141,22 @@ class DramModel : public sim::Module {
   // a fixed ring buffer, not a deque, since the depth never changes.
   sim::RingBuffer<std::optional<word_t>> transit_;
   std::uint32_t inflight_words_ = 0;
+
+  // -- observability --
+  sim::Simulator& sim_;
+  obs::MetricsRegistry* mreg_;
+  obs::MetricsRegistry::Slot s_backpressure_;  // <path>/stall/backpressure
+  obs::MetricsRegistry::Slot s_row_wait_;      // <path>/stall/row_wait
+  obs::SpanLog* slog_;
+  std::uint32_t read_lane_;  // "<path> / read txn" span lane
+  // Read transactions in issue order (requests are served strictly FIFO,
+  // words deliver in order), so span close is a front-of-queue decrement.
+  // Only populated while span recording is enabled.
+  struct PendingRead {
+    std::uint64_t begin;
+    std::uint32_t words_left;
+  };
+  std::deque<PendingRead> pending_reads_;
 };
 
 }  // namespace smache::mem

@@ -1,0 +1,134 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/assert.hpp"
+
+namespace smache::obs {
+
+namespace {
+
+// Process-wide path pool (moved here from sim/resources.cpp so metric and
+// ledger paths share one pool). Interning is the ONLY place that
+// allocates for path storage; lookups take a shared lock. The deque keeps
+// element addresses stable across growth.
+struct PathPool {
+  std::shared_mutex mu;
+  std::deque<std::string> storage;
+  std::unordered_map<std::string_view, const std::string*> index;
+};
+
+PathPool& pool() {
+  static PathPool p;
+  return p;
+}
+
+}  // namespace
+
+const char* to_string(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::MaxWatermark: return "max";
+  }
+  return "?";
+}
+
+const std::string* intern_path(std::string_view path) {
+  PathPool& p = pool();
+  {
+    std::shared_lock lock(p.mu);
+    auto it = p.index.find(path);
+    if (it != p.index.end()) return it->second;
+  }
+  std::unique_lock lock(p.mu);
+  auto it = p.index.find(path);  // re-check: another thread may have won
+  if (it != p.index.end()) return it->second;
+  p.storage.emplace_back(path);
+  const std::string* stored = &p.storage.back();
+  p.index.emplace(std::string_view(*stored), stored);
+  return stored;
+}
+
+MetricsRegistry::Slot MetricsRegistry::slot(std::string_view path,
+                                            MetricKind kind) {
+  const std::string* interned = intern_path(path);
+  auto [it, inserted] =
+      index_.try_emplace(interned, static_cast<Slot>(slots_.size()));
+  if (inserted) {
+    slots_.push_back(Entry{interned, kind, 0});
+  } else {
+    SMACHE_REQUIRE_MSG(slots_[it->second].kind == kind,
+                       "metric re-registered with a different kind: " +
+                           *interned);
+  }
+  return it->second;
+}
+
+MetricsRegistry::Slot MetricsRegistry::slot(std::string_view base,
+                                            std::string_view suffix,
+                                            MetricKind kind) {
+  std::string joined;
+  joined.reserve(base.size() + suffix.size());
+  joined.append(base);
+  joined.append(suffix);
+  return slot(joined, kind);
+}
+
+void MetricsRegistry::count_path(std::string_view path, std::uint64_t n) {
+  count(slot(path, MetricKind::Counter), n);
+}
+
+void MetricsRegistry::set_path(std::string_view path, MetricKind kind,
+                               std::uint64_t v) {
+  const Slot s = slot(path, kind);
+  if (enabled_) slots_[s].value = v;
+}
+
+std::uint64_t MetricsRegistry::value(std::string_view path) const {
+  const std::string* interned = intern_path(path);
+  auto it = index_.find(interned);
+  return it == index_.end() ? 0 : slots_[it->second].value;
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::vector<MetricSample> out;
+  out.reserve(slots_.size());
+  for (const Entry& e : slots_) {
+    out.push_back(MetricSample{*e.path, e.kind, e.value});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.path < b.path;
+            });
+  return out;
+}
+
+void MetricsRegistry::clear_values() noexcept {
+  for (Entry& e : slots_) e.value = 0;
+}
+
+void merge_samples(std::vector<MetricSample>& into,
+                   const std::vector<MetricSample>& from) {
+  if (from.empty()) return;
+  std::map<std::string, MetricSample> merged;
+  for (const MetricSample& s : into) merged.emplace(s.path, s);
+  for (const MetricSample& s : from) {
+    auto [it, inserted] = merged.emplace(s.path, s);
+    if (inserted) continue;
+    if (s.kind == MetricKind::Counter) {
+      it->second.value += s.value;
+    } else {
+      it->second.value = std::max(it->second.value, s.value);
+    }
+  }
+  into.clear();
+  into.reserve(merged.size());
+  for (auto& [path, sample] : merged) into.push_back(std::move(sample));
+}
+
+}  // namespace smache::obs

@@ -1,0 +1,19 @@
+// Chrome trace-event export: render a SpanLog as the JSON object format
+// both chrome://tracing and Perfetto's trace viewer load directly.
+//
+// Mapping: one process (pid 1, "smache-sim"), one trace-viewer thread per
+// lane (tid = lane id + 1, named by the lane's thread string via "M"
+// metadata events), one "X" complete event per span with ts/dur in
+// microseconds where 1 simulated cycle == 1 us. Output is byte-
+// deterministic: lanes in registration order, spans in insertion order.
+#pragma once
+
+#include <string>
+
+#include "obs/spans.hpp"
+
+namespace smache::obs {
+
+std::string to_trace_json(const SpanLog& log);
+
+}  // namespace smache::obs

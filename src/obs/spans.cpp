@@ -1,0 +1,13 @@
+#include "obs/spans.hpp"
+
+namespace smache::obs {
+
+std::uint32_t SpanLog::lane(std::string_view thread, std::string_view event) {
+  for (std::uint32_t i = 0; i < lanes_.size(); ++i) {
+    if (lanes_[i].thread == thread && lanes_[i].event == event) return i;
+  }
+  lanes_.push_back(Lane{std::string(thread), std::string(event)});
+  return static_cast<std::uint32_t>(lanes_.size() - 1);
+}
+
+}  // namespace smache::obs

@@ -48,8 +48,18 @@ BaselineTop::BaselineTop(sim::Simulator& sim, const std::string& path,
               return charges;
             }()),
       tuple_regs_(sim, path + "/datapath/tuple_regs",
-                  shape.size() * kernel_spec.fields(), 0, kWordBits) {
+                  shape.size() * kernel_spec.fields(), 0, kWordBits),
+      mreg_(&sim.metrics()),
+      s_req_bp_(mreg_->slot(path, "/stall/request_backpressure",
+                            obs::MetricKind::Counter)),
+      s_dram_wait_(
+          mreg_->slot(path, "/stall/dram_wait", obs::MetricKind::Counter)),
+      s_wb_bp_(mreg_->slot(path, "/stall/writeback_backpressure",
+                           obs::MetricKind::Counter)),
+      s_wb_drain_(mreg_->slot(path, "/writeback_drain_cycles",
+                              obs::MetricKind::Counter)) {
   SMACHE_REQUIRE(steps >= 1);
+  set_obs_name(path);
   SMACHE_REQUIRE(dram.size_words() >= 2 * words_);
   scratch_.resize(shape.size() * fields_);
   // Activity gating: the requester stalls only on request-channel space,
@@ -131,19 +141,23 @@ void BaselineTop::eval_run() {
 
   // -- requester: one read request per tuple element per cycle (an F-word
   //    burst: the whole cell of the addressed grid point) --
-  if (c.req_cell < cells_ && dram_.read_req().can_push()) {
-    const std::size_t case_id = case_of_cell_[c.req_cell];
-    const Source& s = sources_[case_id][c.req_elem];
-    dram_.read_req().push(
-        mem::DramReadReq{element_addr(c.req_cell, s),
-                         static_cast<std::uint32_t>(fields_)});
-    if (c.req_elem + 1 == tuple) {
-      ctrl_.d().req_elem = 0;
-      ctrl_.d().req_cell = c.req_cell + 1;
+  if (c.req_cell < cells_) {
+    if (dram_.read_req().can_push()) {
+      const std::size_t case_id = case_of_cell_[c.req_cell];
+      const Source& s = sources_[case_id][c.req_elem];
+      dram_.read_req().push(
+          mem::DramReadReq{element_addr(c.req_cell, s),
+                           static_cast<std::uint32_t>(fields_)});
+      if (c.req_elem + 1 == tuple) {
+        ctrl_.d().req_elem = 0;
+        ctrl_.d().req_cell = c.req_cell + 1;
+      } else {
+        ctrl_.d().req_elem = c.req_elem + 1;
+      }
+      did_work = true;
     } else {
-      ctrl_.d().req_elem = c.req_elem + 1;
+      mreg_->count(s_req_bp_);
     }
-    did_work = true;
   }
 
   // -- collector: one data word per cycle; kernel + write on the last --
@@ -154,6 +168,7 @@ void BaselineTop::eval_run() {
       dram_.write_req().push(
           mem::DramWriteReq{out_base() + c.wb_index * fields_ + c.wb_field,
                             c.wb_vals[c.wb_field]});
+      mreg_->count(s_wb_drain_);
       did_work = true;
       if (c.wb_field + 1 == static_cast<std::uint32_t>(fields_)) {
         ctrl_.d().wb_field = 0;
@@ -164,8 +179,12 @@ void BaselineTop::eval_run() {
       } else {
         ctrl_.d().wb_field = c.wb_field + 1;
       }
+    } else {
+      mreg_->count(s_wb_bp_);
     }
-  } else if (c.col_cell < cells_ && dram_.read_data().can_pop()) {
+  } else if (c.col_cell < cells_ && !dram_.read_data().can_pop()) {
+    mreg_->count(s_dram_wait_);
+  } else if (c.col_cell < cells_) {
     const bool last = c.col_elem + 1 == tuple_words;
     // On the final word the write must be postable in the same cycle.
     if (!last || dram_.write_req().can_push()) {
@@ -207,6 +226,8 @@ void BaselineTop::eval_run() {
           ctrl_.d().wb_field = 1;
         }
       }
+    } else {
+      mreg_->count(s_wb_bp_);
     }
   }
 

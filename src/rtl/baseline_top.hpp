@@ -120,6 +120,14 @@ class BaselineTop : public sim::Module {
   sim::RegArray<word_t> tuple_regs_;
 
   std::vector<grid::TupleElem> scratch_;
+
+  // -- observability: stalled-eval / drain-cycle counters (see SmacheTop
+  // for the episode-vs-cycle counting semantics under gating) --
+  obs::MetricsRegistry* mreg_;
+  obs::MetricsRegistry::Slot s_req_bp_;    // read_req channel full
+  obs::MetricsRegistry::Slot s_dram_wait_; // read_data not ready
+  obs::MetricsRegistry::Slot s_wb_bp_;     // write_req channel full
+  obs::MetricsRegistry::Slot s_wb_drain_;  // F>1 cell-drain cycles
 };
 
 }  // namespace smache::rtl

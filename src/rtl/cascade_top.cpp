@@ -36,8 +36,24 @@ CascadeTop::CascadeTop(sim::Simulator& sim, const std::string& path,
                          (kernel_spec.fields() - 1) * kWordBits)});
               }
               return charges;
-            }()) {
+            }()),
+      mreg_(&sim.metrics()),
+      s_req_bp_(mreg_->slot(path, "/stall/request_backpressure",
+                            obs::MetricKind::Counter)),
+      s_dram_wait_(
+          mreg_->slot(path, "/stall/dram_wait", obs::MetricKind::Counter)),
+      s_kernel_bp_(mreg_->slot(path, "/stall/kernel_backpressure",
+                               obs::MetricKind::Counter)),
+      s_interstage_bp_(mreg_->slot(path, "/stall/interstage_backpressure",
+                                   obs::MetricKind::Counter)),
+      s_wb_bp_(mreg_->slot(path, "/stall/writeback_backpressure",
+                           obs::MetricKind::Counter)),
+      s_gather_staging_(mreg_->slot(path, "/gather_staging_cycles",
+                                    obs::MetricKind::Counter)),
+      s_wb_drain_(mreg_->slot(path, "/writeback_drain_cycles",
+                              obs::MetricKind::Counter)) {
   SMACHE_REQUIRE(depth >= 1 && passes >= 1);
+  set_obs_name(path);
   SMACHE_REQUIRE_MSG(plan.static_buffers().empty(),
                      "cascading requires boundaries whose tuples resolve "
                      "in-stream (open/mirror/constant); periodic wraps need "
@@ -114,41 +130,44 @@ bool CascadeTop::eval_stage(std::size_t k) {
 
   // -- tuple emission into this stage's kernel --
   bool emitting = false;
-  if (emit_i < cells_ && n >= emit_i + center &&
-      st.kernel->in().can_push()) {
-    const auto& ops = case_plans_[case_of_cell_[emit_i]].ops;
-    // Staged in place; every elems[0..count) field is written below.
-    TupleMsg& msg = st.kernel->in().push_slot();
-    msg.index = emit_i;
-    msg.count = static_cast<std::uint32_t>(ops.size() * fields_);
-    for (std::size_t j = 0; j < ops.size(); ++j) {
-      const EmitOp& op = ops[j];
-      grid::TupleElem* dst = msg.elems.data() + j * fields_;
-      switch (op.kind) {
-        case EmitOp::Kind::Window:
-          // op.slot is the cell's field-0 register slot; fields are
-          // adjacent (see StreamBuffer::slot_of_age).
-          for (std::size_t f = 0; f < fields_; ++f)
-            dst[f] =
-                grid::TupleElem{st.window->tap_slot(op.slot + f), true};
-          break;
-        case EmitOp::Kind::Constant:
-          for (std::size_t f = 0; f < fields_; ++f)
-            dst[f] = grid::TupleElem{op.constant, true};
-          break;
-        case EmitOp::Kind::Skip:
-          for (std::size_t f = 0; f < fields_; ++f)
-            dst[f] = grid::TupleElem{0, false};
-          break;
-        case EmitOp::Kind::Static:
-          SMACHE_ASSERT_MSG(false, "cascade plans never contain static "
-                                   "sources");
-          break;
+  if (emit_i < cells_ && n >= emit_i + center) {
+    if (!st.kernel->in().can_push()) {
+      mreg_->count(s_kernel_bp_);
+    } else {
+      const auto& ops = case_plans_[case_of_cell_[emit_i]].ops;
+      // Staged in place; every elems[0..count) field is written below.
+      TupleMsg& msg = st.kernel->in().push_slot();
+      msg.index = emit_i;
+      msg.count = static_cast<std::uint32_t>(ops.size() * fields_);
+      for (std::size_t j = 0; j < ops.size(); ++j) {
+        const EmitOp& op = ops[j];
+        grid::TupleElem* dst = msg.elems.data() + j * fields_;
+        switch (op.kind) {
+          case EmitOp::Kind::Window:
+            // op.slot is the cell's field-0 register slot; fields are
+            // adjacent (see StreamBuffer::slot_of_age).
+            for (std::size_t f = 0; f < fields_; ++f)
+              dst[f] =
+                  grid::TupleElem{st.window->tap_slot(op.slot + f), true};
+            break;
+          case EmitOp::Kind::Constant:
+            for (std::size_t f = 0; f < fields_; ++f)
+              dst[f] = grid::TupleElem{op.constant, true};
+            break;
+          case EmitOp::Kind::Skip:
+            for (std::size_t f = 0; f < fields_; ++f)
+              dst[f] = grid::TupleElem{0, false};
+            break;
+          case EmitOp::Kind::Static:
+            SMACHE_ASSERT_MSG(false, "cascade plans never contain static "
+                                     "sources");
+            break;
+        }
       }
+      st.ctrl->d().emit_next = emit_i + 1;
+      emitting = true;
+      did_work = true;
     }
-    st.ctrl->d().emit_next = emit_i + 1;
-    emitting = true;
-    did_work = true;
   }
 
   // -- window shift from this stage's input channel --
@@ -179,14 +198,19 @@ bool CascadeTop::eval_stage(std::size_t k) {
         } else {
           st.ctrl->d().in_cell[fill] = v;
           st.ctrl->d().in_fill = fill + 1;
+          mreg_->count(s_gather_staging_);
         }
         did_work = true;
+      } else {
+        mreg_->count(s_dram_wait_);
       }
     } else if (st.input->can_pop()) {
       // Later stages receive whole cells on the inter-stage channel.
       st.window->shift_cell(st.input->pop().w.data());
       st.ctrl->d().shifts = n + 1;
       did_work = true;
+    } else {
+      mreg_->count(s_interstage_bp_);
     }
   }
 
@@ -195,15 +219,19 @@ bool CascadeTop::eval_stage(std::size_t k) {
   if (last) {
     const Ctrl& c = ctrl_.q();
     if (fields_ == 1) {
-      if (st.kernel->out().can_pop() && dram_.write_req().can_push()) {
-        const ResultMsg res = st.kernel->out().pop();
-        if (warmup_end_ == 0) warmup_end_ = sim_.now();
-        dram_.write_req().push(
-            mem::DramWriteReq{out_base() + res.index, res.values[0]});
-        ctrl_.d().wb_count = c.wb_count + 1;
-        did_work = true;
-        if (c.wb_count + 1 == cells_) {
-          top_.go(c.pass + 1 == passes_ ? Top::Done : Top::Gap);
+      if (st.kernel->out().can_pop()) {
+        if (dram_.write_req().can_push()) {
+          const ResultMsg res = st.kernel->out().pop();
+          if (warmup_end_ == 0) warmup_end_ = sim_.now();
+          dram_.write_req().push(
+              mem::DramWriteReq{out_base() + res.index, res.values[0]});
+          ctrl_.d().wb_count = c.wb_count + 1;
+          did_work = true;
+          if (c.wb_count + 1 == cells_) {
+            top_.go(c.pass + 1 == passes_ ? Top::Done : Top::Gap);
+          }
+        } else {
+          mreg_->count(s_wb_bp_);
         }
       }
     } else if (c.wb_field > 0) {
@@ -213,6 +241,7 @@ bool CascadeTop::eval_stage(std::size_t k) {
         dram_.write_req().push(
             mem::DramWriteReq{out_base() + c.wb_index * fields_ + c.wb_field,
                               c.wb_vals[c.wb_field]});
+        mreg_->count(s_wb_drain_);
         did_work = true;
         if (c.wb_field + 1 == static_cast<std::uint32_t>(fields_)) {
           ctrl_.d().wb_field = 0;
@@ -222,25 +251,35 @@ bool CascadeTop::eval_stage(std::size_t k) {
         } else {
           ctrl_.d().wb_field = c.wb_field + 1;
         }
+      } else {
+        mreg_->count(s_wb_bp_);
       }
-    } else if (st.kernel->out().can_pop() && dram_.write_req().can_push()) {
-      const ResultMsg res = st.kernel->out().pop();
-      if (warmup_end_ == 0) warmup_end_ = sim_.now();
-      dram_.write_req().push(
-          mem::DramWriteReq{out_base() + res.index * fields_,
-                            res.values[0]});
-      Ctrl& d = ctrl_.d();
-      d.wb_index = res.index;
-      d.wb_vals = res.values;
-      d.wb_field = 1;
-      did_work = true;
+    } else if (st.kernel->out().can_pop()) {
+      if (dram_.write_req().can_push()) {
+        const ResultMsg res = st.kernel->out().pop();
+        if (warmup_end_ == 0) warmup_end_ = sim_.now();
+        dram_.write_req().push(
+            mem::DramWriteReq{out_base() + res.index * fields_,
+                              res.values[0]});
+        Ctrl& d = ctrl_.d();
+        d.wb_index = res.index;
+        d.wb_vals = res.values;
+        d.wb_field = 1;
+        did_work = true;
+      } else {
+        mreg_->count(s_wb_bp_);
+      }
     }
   } else {
     sim::Fifo<CellMsg>& next_in = *stages_[k + 1].input;
-    if (st.kernel->out().can_pop() && next_in.can_push()) {
-      const ResultMsg res = st.kernel->out().pop();
-      next_in.push_slot().w = res.values;
-      did_work = true;
+    if (st.kernel->out().can_pop()) {
+      if (next_in.can_push()) {
+        const ResultMsg res = st.kernel->out().pop();
+        next_in.push_slot().w = res.values;
+        did_work = true;
+      } else {
+        mreg_->count(s_interstage_bp_);
+      }
     }
   }
   return did_work;
@@ -260,11 +299,16 @@ void CascadeTop::eval() {
     case Top::Run: {
       bool did_work = false;
       const Ctrl& c = ctrl_.q();
-      if (!c.req_issued && dram_.read_req().can_push()) {
-        dram_.read_req().push(
-            mem::DramReadReq{in_base(), static_cast<std::uint32_t>(words_)});
-        ctrl_.d().req_issued = true;
-        did_work = true;
+      if (!c.req_issued) {
+        if (dram_.read_req().can_push()) {
+          dram_.read_req().push(
+              mem::DramReadReq{in_base(),
+                               static_cast<std::uint32_t>(words_)});
+          ctrl_.d().req_issued = true;
+          did_work = true;
+        } else {
+          mreg_->count(s_req_bp_);
+        }
       }
       for (std::size_t k = 0; k < stages_.size(); ++k)
         did_work |= eval_stage(k);

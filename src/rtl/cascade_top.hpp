@@ -142,6 +142,17 @@ class CascadeTop : public sim::Module {
   // Behavioural observability only (like SmacheTop::warmup_end_): not a
   // hardware register, never charged to the ledger.
   std::uint64_t warmup_end_ = 0;
+
+  // -- observability: stalled-eval / staging-cycle counters, aggregated
+  // across stages (see SmacheTop for episode-vs-cycle semantics) --
+  obs::MetricsRegistry* mreg_;
+  obs::MetricsRegistry::Slot s_req_bp_;          // read_req channel full
+  obs::MetricsRegistry::Slot s_dram_wait_;       // stage-0 data not ready
+  obs::MetricsRegistry::Slot s_kernel_bp_;       // a stage kernel in full
+  obs::MetricsRegistry::Slot s_interstage_bp_;   // next stage's input full
+  obs::MetricsRegistry::Slot s_wb_bp_;           // write_req channel full
+  obs::MetricsRegistry::Slot s_gather_staging_;  // F>1 cell-fill cycles
+  obs::MetricsRegistry::Slot s_wb_drain_;        // F>1 cell-drain cycles
 };
 
 }  // namespace smache::rtl

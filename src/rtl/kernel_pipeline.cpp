@@ -17,8 +17,12 @@ KernelPipeline::KernelPipeline(sim::Simulator& sim, const std::string& path,
       out_(sim, path + "/out", 2,
            static_cast<std::uint32_t>(32 * spec.fields()) +
                smache::count_bits(grid_cells)),
-      pipe_(sim, latency) {
+      pipe_(sim, latency),
+      mreg_(&sim.metrics()),
+      s_out_bp_(mreg_->slot(path, "/stall/out_backpressure",
+                            obs::MetricKind::Counter)) {
   SMACHE_REQUIRE(latency >= 1);
+  set_obs_name(path);
   SMACHE_REQUIRE(tuple_size >= 1 && tuple_size * fields_ <= kMaxTuple);
   const std::uint32_t idx_bits = smache::count_bits(grid_cells);
   const auto f32 = static_cast<std::uint32_t>(fields_);
@@ -65,6 +69,7 @@ void KernelPipeline::eval() {
   const Stage& tail = pipe_.q(latency_ - 1);
   const bool can_retire = !tail.valid || out_.can_push();
   if (!can_retire) {
+    mreg_->count(s_out_bp_);
     sleep();
     return;
   }

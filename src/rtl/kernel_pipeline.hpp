@@ -116,6 +116,10 @@ class KernelPipeline : public sim::Module {
   // private to eval): when zero with no input waiting, the pipeline is
   // quiescent — eval sleeps until the input channel's push commit wakes it.
   std::uint32_t occupancy_ = 0;
+
+  // -- observability: stalled-eval counter for a full output channel --
+  obs::MetricsRegistry* mreg_;
+  obs::MetricsRegistry::Slot s_out_bp_;
 };
 
 }  // namespace smache::rtl

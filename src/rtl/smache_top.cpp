@@ -48,8 +48,22 @@ SmacheTop::SmacheTop(sim::Simulator& sim, const std::string& path,
       top_(sim, path + "/ctrl/top_fsm",
            plan.needs_warmup() ? Top::Warmup : Top::Run, 4),
       ctrl_(sim, Ctrl{},
-            ctrl_charges(path, plan, steps, cells_, kernel_spec.fields())) {
+            ctrl_charges(path, plan, steps, cells_, kernel_spec.fields())),
+      mreg_(&sim.metrics()),
+      s_req_bp_(mreg_->slot(path, "/stall/request_backpressure",
+                            obs::MetricKind::Counter)),
+      s_dram_wait_(
+          mreg_->slot(path, "/stall/dram_wait", obs::MetricKind::Counter)),
+      s_kernel_bp_(mreg_->slot(path, "/stall/kernel_backpressure",
+                               obs::MetricKind::Counter)),
+      s_wb_bp_(mreg_->slot(path, "/stall/writeback_backpressure",
+                           obs::MetricKind::Counter)),
+      s_gather_staging_(mreg_->slot(path, "/gather_staging_cycles",
+                                    obs::MetricKind::Counter)),
+      s_wb_drain_(mreg_->slot(path, "/writeback_drain_cycles",
+                              obs::MetricKind::Counter)) {
   SMACHE_REQUIRE(steps >= 1);
+  set_obs_name(path);
   SMACHE_REQUIRE_MSG(dram.size_words() >= 2 * words_,
                      "DRAM must hold two grid regions (ping-pong)");
   if (fields_ > 1) {
@@ -156,6 +170,7 @@ void SmacheTop::eval_warmup() {
           static_cast<std::uint32_t>(w)});
       ctrl_.d().warm_req = true;
     } else {
+      mreg_->count(s_req_bp_);
       sleep();  // wake: read_req pop commit frees a request slot
     }
     return;
@@ -171,6 +186,7 @@ void SmacheTop::eval_warmup() {
       ctrl_.d().warm_idx = c.warm_idx + 1;
     }
   } else {
+    mreg_->count(s_dram_wait_);
     sleep();  // wake: read_data push commit delivers the next burst word
   }
 }
@@ -256,22 +272,29 @@ void SmacheTop::eval_run() {
   bool did_work = false;
 
   // -- FSM-2a: whole-grid burst request, once per instance --
-  if (!c.req_issued && dram_.read_req().can_push()) {
-    dram_.read_req().push(
-        mem::DramReadReq{in_base(), static_cast<std::uint32_t>(words_)});
-    ctrl_.d().req_issued = true;
-    did_work = true;
+  if (!c.req_issued) {
+    if (dram_.read_req().can_push()) {
+      dram_.read_req().push(
+          mem::DramReadReq{in_base(), static_cast<std::uint32_t>(words_)});
+      ctrl_.d().req_issued = true;
+      did_work = true;
+    } else {
+      mreg_->count(s_req_bp_);
+    }
   }
 
   // -- FSM-2b: tuple emission --
   bool emitting = false;
   if (emit_i < cells_ && n >= emit_i + center &&
-      c.rdata_center == static_cast<std::int64_t>(emit_i) &&
-      kernel_.in().can_push()) {
-    emit_tuple(emit_i);
-    ctrl_.d().emit_next = emit_i + 1;
-    emitting = true;
-    did_work = true;
+      c.rdata_center == static_cast<std::int64_t>(emit_i)) {
+    if (kernel_.in().can_push()) {
+      emit_tuple(emit_i);
+      ctrl_.d().emit_next = emit_i + 1;
+      emitting = true;
+      did_work = true;
+    } else {
+      mreg_->count(s_kernel_bp_);
+    }
   }
 
   // -- FSM-2c: pre-issue static reads for the next centre. Re-issues for
@@ -303,6 +326,8 @@ void SmacheTop::eval_run() {
         window_.shift_cell(&in);
         ctrl_.d().shifts = n + 1;
         did_work = true;
+      } else {
+        mreg_->count(s_dram_wait_);
       }
     } else if (n < cells_) {
       if (dram_.read_data().can_pop()) {
@@ -319,8 +344,11 @@ void SmacheTop::eval_run() {
         } else {
           stage_->d().in_cell[fill] = v;
           stage_->d().in_fill = fill + 1;
+          mreg_->count(s_gather_staging_);
         }
         did_work = true;
+      } else {
+        mreg_->count(s_dram_wait_);
       }
     } else {
       // Post-data flush: push zero cells until the window drains.
@@ -337,17 +365,22 @@ void SmacheTop::eval_run() {
   // capture path stores the whole cell on the pop cycle — on-chip banks
   // are word-parallel). wb_count counts completed cells. --
   if (fields_ == 1) {
-    if (kernel_.out().can_pop() && dram_.write_req().can_push()) {
-      const ResultMsg res = kernel_.out().pop();
-      dram_.write_req().push(
-          mem::DramWriteReq{out_base() + res.index, res.values[0]});
-      const std::uint32_t row = row_of_cell_[res.index];
-      if (capture_row_[row])
-        statics_.capture_output(row, col_of_cell_[res.index], res.values[0]);
-      ctrl_.d().wb_count = c.wb_count + 1;
-      did_work = true;
-      if (c.wb_count + 1 == cells_) {
-        top_.go(c.instance + 1 == steps_ ? Top::Done : Top::Swap);
+    if (kernel_.out().can_pop()) {
+      if (dram_.write_req().can_push()) {
+        const ResultMsg res = kernel_.out().pop();
+        dram_.write_req().push(
+            mem::DramWriteReq{out_base() + res.index, res.values[0]});
+        const std::uint32_t row = row_of_cell_[res.index];
+        if (capture_row_[row])
+          statics_.capture_output(row, col_of_cell_[res.index],
+                                  res.values[0]);
+        ctrl_.d().wb_count = c.wb_count + 1;
+        did_work = true;
+        if (c.wb_count + 1 == cells_) {
+          top_.go(c.instance + 1 == steps_ ? Top::Done : Top::Swap);
+        }
+      } else {
+        mreg_->count(s_wb_bp_);
       }
     }
   } else if (stage_->q().wb_field > 0) {
@@ -356,6 +389,7 @@ void SmacheTop::eval_run() {
       dram_.write_req().push(mem::DramWriteReq{
           out_base() + st.wb_index * fields_ + st.wb_field,
           st.wb_vals[st.wb_field]});
+      mreg_->count(s_wb_drain_);
       did_work = true;
       if (st.wb_field + 1 == fields_) {
         stage_->d().wb_field = 0;
@@ -366,19 +400,25 @@ void SmacheTop::eval_run() {
       } else {
         stage_->d().wb_field = st.wb_field + 1;
       }
+    } else {
+      mreg_->count(s_wb_bp_);
     }
-  } else if (kernel_.out().can_pop() && dram_.write_req().can_push()) {
-    const ResultMsg res = kernel_.out().pop();
-    dram_.write_req().push(
-        mem::DramWriteReq{out_base() + res.index * fields_, res.values[0]});
-    const std::uint32_t row = row_of_cell_[res.index];
-    if (capture_row_[row])
-      statics_.capture_output_cell(row, col_of_cell_[res.index],
-                                   res.values.data());
-    stage_->d().wb_index = res.index;
-    stage_->d().wb_vals = res.values;
-    stage_->d().wb_field = 1;
-    did_work = true;
+  } else if (kernel_.out().can_pop()) {
+    if (dram_.write_req().can_push()) {
+      const ResultMsg res = kernel_.out().pop();
+      dram_.write_req().push(mem::DramWriteReq{
+          out_base() + res.index * fields_, res.values[0]});
+      const std::uint32_t row = row_of_cell_[res.index];
+      if (capture_row_[row])
+        statics_.capture_output_cell(row, col_of_cell_[res.index],
+                                     res.values.data());
+      stage_->d().wb_index = res.index;
+      stage_->d().wb_vals = res.values;
+      stage_->d().wb_field = 1;
+      did_work = true;
+    } else {
+      mreg_->count(s_wb_bp_);
+    }
   }
 
   // Starved: every blocker above is an external channel condition (data

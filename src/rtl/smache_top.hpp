@@ -166,6 +166,18 @@ class SmacheTop : public sim::Module {
   // row -> 1 iff some write-through static buffer captures it (FSM-3 skips
   // the capture call for every other row).
   std::vector<std::uint8_t> capture_row_;
+
+  // -- observability: stalled-eval / staging-cycle counters. With gating
+  // on, a fully starved controller sleeps, so a counter ticks once per
+  // stalled eval (one per cycle only while some other FSM keeps the
+  // module awake); the stall DURATION shows up as scheduler asleep time.
+  obs::MetricsRegistry* mreg_;
+  obs::MetricsRegistry::Slot s_req_bp_;          // read_req channel full
+  obs::MetricsRegistry::Slot s_dram_wait_;       // read_data not ready
+  obs::MetricsRegistry::Slot s_kernel_bp_;       // kernel input full
+  obs::MetricsRegistry::Slot s_wb_bp_;           // write_req channel full
+  obs::MetricsRegistry::Slot s_gather_staging_;  // F>1 cell-fill cycles
+  obs::MetricsRegistry::Slot s_wb_drain_;        // F>1 cell-drain cycles
 };
 
 }  // namespace smache::rtl

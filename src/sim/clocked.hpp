@@ -29,6 +29,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <string_view>
 
 namespace smache::sim {
 
@@ -158,6 +160,12 @@ class Module {
   /// is evaluated from cycle t+1 on. Defined in simulator.hpp.
   void wake() noexcept;
 
+  /// Name this module for observability output: per-module cycle
+  /// attribution metrics ("sched/module/<name>/...") and span lanes use it
+  /// instead of the positional "module<N>" default. Call from the module's
+  /// constructor (the name is interned once). Defined in simulator.hpp.
+  void set_obs_name(std::string_view name);
+
  protected:
   /// Declare quiescence until a registered wake event (defined in
   /// simulator.hpp). No-op unless the owning simulator allows gating.
@@ -177,6 +185,13 @@ class Module {
   std::uint64_t wake_at_ = kNoWake;
   bool asleep_ = false;
   bool timed_queued_ = false;  // on the simulator's timed-sleeper list
+
+  // -- observability (see Simulator::enable_profiling/enable_spans; all
+  // fields are scheduler-maintained and cost nothing when disabled) --
+  const std::string* obs_path_ = nullptr;  // interned display name
+  std::uint64_t obs_awake_cycles_ = 0;     // cycles this module evaluated
+  std::uint64_t obs_awake_since_ = 0;      // open activity-span start
+  std::uint32_t obs_lane_ = 0;             // span lane id
 };
 
 }  // namespace smache::sim

@@ -47,6 +47,8 @@ class Fifo : public Clocked {
     sim.ledger().add(path, ResKind::RegisterBits,
                      static_cast<std::uint64_t>(capacity) * bits_each +
                          ptr_bits);
+    mreg_ = &sim.metrics();
+    hwm_slot_ = mreg_->slot(path, "/hwm", obs::MetricKind::MaxWatermark);
   }
 
   /// Register the module that consumes this channel: a committed push
@@ -83,6 +85,12 @@ class Fifo : public Clocked {
     SMACHE_REQUIRE_MSG(can_push(), "fifo overflow or double push in a cycle");
     push_pending_ = true;
     mark_dirty();
+    // Occupancy high-water mark (<path>/hwm): committed size plus the push
+    // being scheduled. The occupancy math stays behind the enabled check
+    // so the disabled path is one branch, not a computation.
+    if (mreg_->enabled())
+      mreg_->watermark(hwm_slot_,
+                       static_cast<std::uint64_t>(items_.size()) + 1);
     return items_.staging_back();
   }
 
@@ -129,6 +137,8 @@ class Fifo : public Clocked {
   bool push_pending_ = false;
   bool pop_pending_ = false;
   FifoCommitCtl commit_ctl_;
+  obs::MetricsRegistry* mreg_ = nullptr;  // owned by the Simulator
+  obs::MetricsRegistry::Slot hwm_slot_ = 0;
 };
 
 }  // namespace smache::sim

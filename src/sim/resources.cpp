@@ -1,50 +1,18 @@
 #include "sim/resources.hpp"
 
-#include <deque>
 #include <map>
-#include <mutex>
-#include <shared_mutex>
 #include <sstream>
+
+#include "obs/metrics.hpp"
 
 namespace smache::sim {
 
-namespace {
-
-/// Process-wide path pool. A deque gives stable element addresses, so the
-/// map's string_view keys (and every pointer handed out) stay valid as the
-/// pool grows. Entries are never freed: the population is the set of
-/// distinct hierarchy paths the process ever elaborates, which is fixed by
-/// the design structures, not by how many runs execute.
-struct PathPool {
-  std::shared_mutex mu;
-  std::deque<std::string> storage;
-  std::unordered_map<std::string_view, const std::string*> map;
-};
-
-PathPool& pool() {
-  static PathPool p;
-  return p;
-}
-
-}  // namespace
-
+// The process-wide path pool moved to the observability layer so ledger
+// paths and metric paths intern into ONE pool (a module's stall counter
+// "smache/stall/dram_wait" shares the "smache" spelling with its ledger
+// charges). This forwarder keeps the historical sim-layer entry point.
 const std::string* intern_path(std::string_view path) {
-  PathPool& p = pool();
-  {
-    // After the first elaboration of a design shape, every lookup hits —
-    // concurrent sweep workers share the pool read-side, so interning is
-    // not a serialization point for parallel elaborations.
-    std::shared_lock<std::shared_mutex> read(p.mu);
-    const auto it = p.map.find(path);
-    if (it != p.map.end()) return it->second;
-  }
-  std::unique_lock<std::shared_mutex> write(p.mu);
-  const auto it = p.map.find(path);  // re-check: raced inserts are benign
-  if (it != p.map.end()) return it->second;
-  p.storage.emplace_back(path);
-  const std::string* interned = &p.storage.back();
-  p.map.emplace(std::string_view(*interned), interned);
-  return interned;
+  return obs::intern_path(path);
 }
 
 void ResourceLedger::add(std::string_view path, ResKind kind,

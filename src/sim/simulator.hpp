@@ -25,6 +25,8 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
+#include "obs/spans.hpp"
 #include "sim/clocked.hpp"
 #include "sim/resources.hpp"
 #include "sim/trace.hpp"
@@ -53,6 +55,7 @@ class Simulator {
     m->sched_ = this;
     modules_.push_back(m);
     active_stale_ = true;
+    if (spans_on_) init_span_state(m, modules_.size() - 1);
   }
 
   /// Register a state element. Only elements that schedule a write in a
@@ -107,6 +110,81 @@ class Simulator {
   Tracer& tracer() noexcept { return tracer_; }
   const Tracer& tracer() const noexcept { return tracer_; }
 
+  /// Shared metrics registry (disabled by default — instrumented code
+  /// registers slots unconditionally but every touch is one branch while
+  /// disabled, the Tracer contract).
+  obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
+
+  /// Module-activity / DRAM-transaction span log for trace export.
+  obs::SpanLog& spans() noexcept { return spans_; }
+  const obs::SpanLog& spans() const noexcept { return spans_; }
+
+  /// Turn on cycle attribution and the metrics registry. Unlike tracing,
+  /// profiling does NOT disable activity gating: attribution classifies
+  /// the gated schedule itself (awake / asleep / fast-forwarded), so the
+  /// simulated results stay bit-identical to an unprofiled run.
+  void enable_profiling() noexcept {
+    prof_ = true;
+    metrics_.set_enabled(true);
+    prof_anchor_ = cycle_;
+  }
+  bool profiling() const noexcept { return prof_; }
+
+  /// Turn on span recording (module activity intervals; modules with span
+  /// sources of their own, e.g. DramModel, key off this flag too). Also
+  /// does not affect gating or results.
+  void enable_spans() {
+    spans_on_ = true;
+    spans_.set_enabled(true);
+    for (std::size_t i = 0; i < modules_.size(); ++i)
+      init_span_state(modules_[i], i);
+  }
+  bool spans_enabled() const noexcept { return spans_on_; }
+
+  /// End-of-run bookkeeping: close still-open activity spans and fold the
+  /// scheduler's attribution counters into the metrics registry —
+  ///   sched/cycles/{total,eval,idle,fastforward}
+  ///   sched/wakes/{channel,timer,explicit}
+  ///   sched/module/<name>/{awake,asleep,fastforward}
+  /// Invariants (asserted by tests): eval+idle+fastforward == total, and
+  /// per module awake+asleep+fastforward == total. Call once, after the
+  /// last step.
+  void finalize_observability() {
+    if (spans_on_) {
+      for (Module* m : modules_)
+        if (!m->asleep_) spans_.add(m->obs_lane_, m->obs_awake_since_, cycle_);
+    }
+    if (!prof_) return;
+    const std::uint64_t total = cycle_ - prof_anchor_;
+    auto put = [&](const std::string& path, std::uint64_t v) {
+      metrics_.set_path(path, obs::MetricKind::Counter, v);
+    };
+    put("sched/cycles/total", total);
+    put("sched/cycles/eval", prof_eval_cycles_);
+    put("sched/cycles/idle", prof_idle_cycles_);
+    put("sched/cycles/fastforward", prof_ff_cycles_);
+    // wake() transitions split into channel (FIFO commit) and explicit;
+    // timer wakes bypass wake() and are counted at the firing site.
+    put("sched/wakes/channel", wakes_channel_);
+    put("sched/wakes/timer", wakes_timer_);
+    put("sched/wakes/explicit", wake_transitions_ - wakes_channel_);
+    for (std::size_t i = 0; i < modules_.size(); ++i) {
+      const Module* m = modules_[i];
+      const std::string name = module_obs_name(m, i);
+      const std::uint64_t awake = m->obs_awake_cycles_;
+      // Fast-forwarded stretches skip every module; a module neither
+      // evaluated nor fast-forwarded was asleep (idle-commit cycles
+      // included). Clamped only against modules registered mid-profile.
+      const std::uint64_t asleep =
+          total >= awake + prof_ff_cycles_ ? total - awake - prof_ff_cycles_
+                                           : 0;
+      put("sched/module/" + name + "/awake", awake);
+      put("sched/module/" + name + "/asleep", asleep);
+      put("sched/module/" + name + "/fastforward", prof_ff_cycles_);
+    }
+  }
+
   /// Advance exactly one cycle: eval phase (awake modules only) then commit
   /// phase (elements with writes scheduled this cycle only). A dedicated
   /// body (no burst bookkeeping, no idle fast-forward — a single idle cycle
@@ -119,6 +197,7 @@ class Simulator {
       // exactly the commit of whatever the testbench scheduled directly on
       // FIFOs/BRAMs/registers. The primitive microbenches live here.
       if (!commit_set_.empty()) commit_retained();
+      if (prof_) ++prof_idle_cycles_;
       ++cycle_;
       return;
     }
@@ -127,12 +206,17 @@ class Simulator {
       // Every module is asleep (and no timer is due): evals are provably
       // state-neutral, so only the scheduled commits can do work.
       if (!commit_set_.empty()) commit_retained();
+      if (prof_) ++prof_idle_cycles_;
       ++cycle_;
       return;
     }
     Module* const* mods = active_.data();
     const std::size_t m = active_.size();
     for (std::size_t i = 0; i < m; ++i) mods[i]->eval();
+    if (prof_) {
+      ++prof_eval_cycles_;
+      for (std::size_t i = 0; i < m; ++i) ++mods[i]->obs_awake_cycles_;
+    }
     commit_retained();
     ++cycle_;
   }
@@ -198,6 +282,7 @@ class Simulator {
         std::uint64_t idle = n - k;
         if (next_timer_wake_ != Module::kNoWake)
           idle = std::min(idle, next_timer_wake_ - cycle_);
+        if (prof_) prof_ff_cycles_ += idle;
         cycle_ += idle;
         k += idle - 1;
         continue;
@@ -205,6 +290,14 @@ class Simulator {
       Module* const* mods = active_.data();
       const std::size_t m = active_.size();
       for (std::size_t i = 0; i < m; ++i) mods[i]->eval();
+      if (prof_) {
+        if (m == 0) {
+          ++prof_idle_cycles_;  // commit-only cycle, no module awake
+        } else {
+          ++prof_eval_cycles_;
+          for (std::size_t i = 0; i < m; ++i) ++mods[i]->obs_awake_cycles_;
+        }
+      }
       commit_retained();
       ++cycle_;
     }
@@ -255,12 +348,18 @@ class Simulator {
             *f->head = *f->head + 1 == f->capacity ? 0 : *f->head + 1;
             --*f->size;
             *f->pop_pending = false;
-            if (f->producer != nullptr) f->producer->wake();
+            if (f->producer != nullptr) {
+              if (prof_ && f->producer->asleep_) ++wakes_channel_;
+              f->producer->wake();
+            }
           }
           if (*f->push_pending) {
             ++*f->size;
             *f->push_pending = false;
-            if (f->consumer != nullptr) f->consumer->wake();
+            if (f->consumer != nullptr) {
+              if (prof_ && f->consumer->asleep_) ++wakes_channel_;
+              f->consumer->wake();
+            }
           }
           break;
         }
@@ -314,6 +413,10 @@ class Simulator {
         m->wake_at_ = Module::kNoWake;
         m->asleep_ = false;
         active_stale_ = true;
+        if (prof_) ++wakes_timer_;
+        // A timer fires at the START of cycle_, so the module evals this
+        // very cycle (unlike event wakes, which take effect next cycle).
+        if (spans_on_) m->obs_awake_since_ = cycle_;
       } else {
         timed_[keep++] = m;
         next = std::min(next, m->wake_at_);
@@ -331,6 +434,16 @@ class Simulator {
     next_timer_wake_ = std::min(next_timer_wake_, m->wake_at_);
   }
 
+  std::string module_obs_name(const Module* m, std::size_t idx) const {
+    if (m->obs_path_ != nullptr) return *m->obs_path_;
+    return "module" + std::to_string(idx);
+  }
+
+  void init_span_state(Module* m, std::size_t idx) {
+    m->obs_lane_ = spans_.lane(module_obs_name(m, idx), "awake");
+    if (!m->asleep_) m->obs_awake_since_ = cycle_;
+  }
+
   friend class Clocked;  // mark_dirty() appends to commit_set_
   friend class Module;   // sleep/sleep_for/wake flip scheduling state
 
@@ -345,6 +458,19 @@ class Simulator {
   std::vector<Clocked*> commit_set_;  // retained across cycles
   ResourceLedger ledger_;
   Tracer tracer_;
+
+  // -- observability (enable_profiling / enable_spans) --
+  obs::MetricsRegistry metrics_;
+  obs::SpanLog spans_;
+  bool prof_ = false;
+  bool spans_on_ = false;
+  std::uint64_t prof_anchor_ = 0;      // cycle profiling was enabled at
+  std::uint64_t prof_eval_cycles_ = 0; // >=1 module evaluated
+  std::uint64_t prof_idle_cycles_ = 0; // stepped, no module awake
+  std::uint64_t prof_ff_cycles_ = 0;   // skipped by the idle fast-forward
+  std::uint64_t wakes_channel_ = 0;    // FIFO-commit wakes (asleep targets)
+  std::uint64_t wakes_timer_ = 0;      // sleep_for deadline firings
+  std::uint64_t wake_transitions_ = 0; // all wake() asleep->awake flips
 };
 
 inline void Clocked::mark_dirty() {
@@ -362,10 +488,15 @@ inline void Module::wake() noexcept {
   asleep_ = false;
   wake_at_ = kNoWake;
   sched_->active_stale_ = true;
+  if (sched_->prof_) ++sched_->wake_transitions_;
+  // Event wakes take effect for the NEXT eval sweep.
+  if (sched_->spans_on_) obs_awake_since_ = sched_->cycle_ + 1;
 }
 
 inline void Module::sleep() noexcept {
   if (sched_ == nullptr || !sched_->gating_allowed()) return;
+  if (sched_->spans_on_ && !asleep_)
+    sched_->spans_.add(obs_lane_, obs_awake_since_, sched_->cycle_ + 1);
   asleep_ = true;
   wake_at_ = kNoWake;
   sched_->active_stale_ = true;
@@ -373,11 +504,17 @@ inline void Module::sleep() noexcept {
 
 inline void Module::sleep_for(std::uint64_t n) noexcept {
   if (sched_ == nullptr || !sched_->gating_allowed()) return;
+  if (sched_->spans_on_ && !asleep_)
+    sched_->spans_.add(obs_lane_, obs_awake_since_, sched_->cycle_ + 1);
   if (n == 0) n = 1;
   asleep_ = true;
   wake_at_ = sched_->now() + n;
   sched_->active_stale_ = true;
   sched_->note_timed_sleep(this);
+}
+
+inline void Module::set_obs_name(std::string_view name) {
+  obs_path_ = obs::intern_path(name);
 }
 
 }  // namespace smache::sim

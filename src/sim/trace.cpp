@@ -1,15 +1,42 @@
 #include "sim/trace.hpp"
 
-#include <sstream>
-
 namespace smache::sim {
 
+namespace {
+
+// RFC-4180 quoting, matching sweep::emit_csv: quote only when the field
+// contains a comma, quote or newline; embedded quotes double.
+void append_csv_field(std::string& out, const std::string& s) {
+  const bool needs = s.find_first_of(",\"\n") != std::string::npos;
+  if (!needs) {
+    out += s;
+    return;
+  }
+  out += '"';
+  for (const char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
 std::string Tracer::to_csv() const {
-  std::ostringstream out;
-  out << "cycle,signal,value\n";
-  for (const auto& r : rows_)
-    out << r.cycle << ',' << r.signal << ',' << r.value << '\n';
-  return out.str();
+  std::string out;
+  // Rows are "cycle,signal,value\n"; ~24 bytes covers typical numeric
+  // widths, so one up-front reservation absorbs the append loop.
+  out.reserve(16 + rows_.size() * 24);
+  out += "cycle,signal,value\n";
+  for (const auto& r : rows_) {
+    out += std::to_string(r.cycle);
+    out += ',';
+    append_csv_field(out, r.signal);
+    out += ',';
+    out += std::to_string(r.value);
+    out += '\n';
+  }
+  return out;
 }
 
 }  // namespace smache::sim

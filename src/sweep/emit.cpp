@@ -119,6 +119,16 @@ std::string emit_json(const std::vector<ScenarioResult>& results,
     }
     if (options.include_wall)
       out << ", \"wall_ms\": " << fmt_double(r.wall_ms);
+    if (options.include_store_hit)
+      out << ", \"store_hit\": " << (r.from_store ? "true" : "false");
+    if (options.include_metrics) {
+      out << ", \"metrics\": {";
+      for (std::size_t m = 0; m < r.run.metrics.size(); ++m)
+        out << (m == 0 ? "" : ", ") << "\""
+            << json_escape(r.run.metrics[m].path)
+            << "\": " << r.run.metrics[m].value;
+      out << "}";
+    }
     out << "}";
   }
   out << "\n  ]\n}\n";
@@ -141,6 +151,8 @@ std::string emit_csv(const std::vector<ScenarioResult>& results,
          "r_total,b_total,m20k,fmax_mhz,ops,exec_time_us,mops,"
          "reference_match";
   if (options.include_wall) out << ",wall_ms";
+  if (options.include_store_hit) out << ",store_hit";
+  if (options.include_metrics) out << ",metrics";
   if (any_fields) out << ",fields";
   out << '\n';
   for (const ScenarioResult& r : results) {
@@ -170,6 +182,20 @@ std::string emit_csv(const std::vector<ScenarioResult>& results,
         << (r.reference_checked ? (r.reference_match ? "true" : "false")
                                 : "");
     if (options.include_wall) out << ',' << fmt_double(r.wall_ms);
+    if (options.include_store_hit)
+      out << ',' << (r.from_store ? "true" : "false");
+    if (options.include_metrics) {
+      // One cell of path=value pairs; ';' keeps it comma-free, csv_quote
+      // guards the invariant anyway.
+      std::string cell;
+      for (std::size_t m = 0; m < r.run.metrics.size(); ++m) {
+        if (m != 0) cell += ';';
+        cell += r.run.metrics[m].path;
+        cell += '=';
+        cell += std::to_string(r.run.metrics[m].value);
+      }
+      out << ',' << csv_quote(cell);
+    }
     if (any_fields) out << ',' << s.problem.kernel.fields();
     out << '\n';
   }

@@ -18,6 +18,16 @@ struct EmitOptions {
   /// Include per-scenario wall_ms (and the report-level wall summary).
   /// Leave off for byte-identical cross-thread-count comparisons.
   bool include_wall = false;
+  /// Include the store provenance as an explicit store_hit column instead
+  /// of the old "wall_ms == 0" convention. Like wall_ms, never part of
+  /// digests: a warm (store-served) rerun and a cold run differ here by
+  /// construction, so byte-compare reports must leave it off.
+  bool include_store_hit = false;
+  /// Include each scenario's metric snapshot (ExecutorOptions::metrics):
+  /// a JSON object / CSV "path=value;..." column. The snapshots themselves
+  /// are deterministic, but store-served scenarios carry none — so this
+  /// column is never digested and byte-compare reports leave it off too.
+  bool include_metrics = false;
   /// Report name stamped into the JSON header.
   std::string name = "smache-sweep";
 };

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstring>
 #include <exception>
+#include <mutex>
 #include <thread>
 
 #include "common/assert.hpp"
@@ -176,6 +177,7 @@ void put_with_retry(ResultStore& store, const StoredResult& record,
                   " (result kept in memory; it will re-execute on resume)");
         return;
       }
+      store.note_retry();
       std::this_thread::sleep_for(
           std::chrono::milliseconds(static_cast<std::uint64_t>(backoff_ms)
                                     << attempt));
@@ -243,6 +245,35 @@ std::vector<ScenarioResult> SweepExecutor::run(
     for (std::size_t i = 0; i < scenarios.size(); ++i) pending[i] = i;
   }
 
+  // Progress telemetry: the callback fires serialised under prog_mu; the
+  // wall-derived fields (elapsed/eta) never feed back into results.
+  SweepProgress prog;
+  prog.total = scenarios.size();
+  prog.store_hits = scenarios.size() - pending.size();
+  prog.done = prog.store_hits;
+  std::mutex prog_mu;
+  const auto exec_t0 = std::chrono::steady_clock::now();
+  if (options_.progress) options_.progress(prog);
+  const auto note_progress = [&](const ScenarioResult& out) {
+    if (!options_.progress) return;
+    const std::lock_guard<std::mutex> lock(prog_mu);
+    if (out.skipped) {
+      ++prog.skipped;
+    } else {
+      ++prog.executed;
+      if (!out.ok) ++prog.failed;
+    }
+    ++prog.done;
+    prog.elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - exec_t0)
+                          .count();
+    prog.eta_ms = prog.executed > 0
+                      ? prog.elapsed_ms / static_cast<double>(prog.executed) *
+                            static_cast<double>(prog.total - prog.done)
+                      : 0.0;
+    options_.progress(prog);
+  };
+
   parallel_for_index(pending.size(), options_.threads, [&](std::size_t j) {
     const std::size_t i = pending[j];
     ScenarioResult& out = results[i];
@@ -252,6 +283,7 @@ std::vector<ScenarioResult> SweepExecutor::run(
       out.skipped = true;
       out.ok = false;
       out.error = "skipped: stop requested before execution";
+      note_progress(out);
       return;
     }
     Scenario scenario = scenarios[i];
@@ -259,7 +291,14 @@ std::vector<ScenarioResult> SweepExecutor::run(
       options_.fault_plan->apply(scenario.label, &scenario.engine.dram);
     if (options_.wall_timeout_ms != 0)
       scenario.engine.wall_timeout_ms = options_.wall_timeout_ms;
+    if (options_.metrics) scenario.engine.profile = true;
+    // Trace export is per-simulator; a tiled scenario fans out over many,
+    // so it gets no trace rather than a misleading partial one.
+    if (options_.trace && scenario.tiles.height == 1 &&
+        scenario.tiles.width == 1)
+      scenario.engine.trace = true;
     run_one(scenario, options_, out);
+    note_progress(out);
     // Journal the finished result — deterministic failures included (they
     // are results too, and resume must reproduce them byte-for-byte).
     // Wall-timeout abandons are the one exclusion: their counters depend

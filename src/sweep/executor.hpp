@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,22 @@ namespace smache::sweep {
 
 class ResultStore;
 struct FaultPlan;
+
+/// Progress snapshot handed to ExecutorOptions::progress — once after the
+/// store-hit prefill, then after every scenario finishes. Wall-clock
+/// derived fields are diagnostics only and never enter reports.
+struct SweepProgress {
+  std::size_t done = 0;        // store_hits + executed + skipped
+  std::size_t total = 0;
+  std::size_t store_hits = 0;  // served from the result store, not executed
+  std::size_t executed = 0;
+  std::size_t failed = 0;      // executed with ok=false
+  std::size_t skipped = 0;     // stop flag observed before execution
+  double elapsed_ms = 0.0;     // since execution began (prefill excluded)
+  /// Linear extrapolation over executed scenarios; 0 until the first one
+  /// completes.
+  double eta_ms = 0.0;
+};
 
 struct ExecutorOptions {
   /// Worker count; 0 = hardware_threads(), 1 = serial on the caller.
@@ -73,6 +90,20 @@ struct ExecutorOptions {
   /// faults, so mixing them would cross-contaminate faulted and clean
   /// results under one address.
   const FaultPlan* fault_plan = nullptr;
+  /// Forward EngineOptions::profile to every executed scenario: each
+  /// result carries its metric snapshot (cycle attribution, stall
+  /// counters, FIFO high-water marks) in run.metrics. Profiling never
+  /// alters the simulated results (digests stay identical on/off); the
+  /// snapshots are opt-in report columns, never digested — a store-served
+  /// scenario carries none.
+  bool metrics = false;
+  /// Forward EngineOptions::trace to every executed UNTILED scenario: the
+  /// Chrome trace-event JSON lands in run.trace_json (tiled scenarios run
+  /// many simulators, so they get no trace rather than a partial one).
+  bool trace = false;
+  /// Progress reporting; invoked serialised under an internal mutex from
+  /// whichever worker finished — keep the callback cheap.
+  std::function<void(const SweepProgress&)> progress = nullptr;
 };
 
 /// One scenario's outcome. A scenario that throws (contract violation,

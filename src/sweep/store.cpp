@@ -412,9 +412,25 @@ bool ResultStore::contains(std::uint64_t key) const {
 bool ResultStore::find(std::uint64_t key, StoredResult* out) const {
   const std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(key);
-  if (it == index_.end()) return false;
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
   if (out != nullptr) *out = it->second;
   return true;
+}
+
+StoreStats ResultStore::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  StoreStats s = stats_;
+  s.dropped = dropped_;
+  return s;
+}
+
+void ResultStore::note_retry() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.retries;
 }
 
 void ResultStore::rotate_locked() {
@@ -442,6 +458,7 @@ void ResultStore::put(const StoredResult& record) {
     throw;
   }
   active_bytes_ += bytes.size();
+  ++stats_.appends;
   index_[record.key] = record;
 }
 

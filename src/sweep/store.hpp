@@ -98,6 +98,17 @@ struct StoreOptions {
   FileIo* io = nullptr;
 };
 
+/// Structured lifetime counters for one ResultStore (telemetry only —
+/// never part of digests or stored records).
+struct StoreStats {
+  std::uint64_t hits = 0;     // find() served a cached record
+  std::uint64_t misses = 0;   // find() had no record for the key
+  std::uint64_t appends = 0;  // records journaled by put()
+  std::uint64_t retries = 0;  // failed put attempts the caller retried
+                              // (reported via note_retry)
+  std::uint64_t dropped = 0;  // corrupt/torn records dropped at open
+};
+
 /// One persisted scenario outcome: exactly the deterministic result fields
 /// that participate in SweepExecutor::digest and report emission, so a
 /// store hit reconstructs a ScenarioResult that is byte-identical in every
@@ -145,6 +156,11 @@ class ResultStore {
   /// Records dropped during open() recovery (torn tails, checksum
   /// failures, foreign-version or unreadable segments' remainders).
   std::uint64_t dropped_records() const;
+  /// Lifetime telemetry counters (hits/misses/appends/retries/dropped).
+  StoreStats stats() const;
+  /// Count one retried put() attempt — called by drivers whose retry loop
+  /// wraps put(), so the store's own telemetry sees the failures too.
+  void note_retry();
 
   bool contains(std::uint64_t key) const;
   /// Copy-out lookup (thread-safe against concurrent put()).
@@ -186,6 +202,7 @@ class ResultStore {
   FileIo* io_ = nullptr;
 
   mutable std::mutex mu_;
+  mutable StoreStats stats_;  // hit/miss counted inside const find()
   std::map<std::uint64_t, StoredResult> index_;
   std::vector<std::string> segment_files_;  // loaded + created, for compact
   std::uint64_t next_segment_ = 1;

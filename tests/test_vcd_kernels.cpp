@@ -55,6 +55,41 @@ TEST(Vcd, FullEngineTraceRendersNonTrivially) {
   EXPECT_GT(vcd.size(), 100u);
 }
 
+TEST(TraceCsv, HeaderAndRowsRoundTrip) {
+  sim::Tracer tracer(true);
+  tracer.sample(0, "smache.state", 3);
+  tracer.sample(7, "dram.busy", 1);
+  EXPECT_EQ(tracer.to_csv(),
+            "cycle,signal,value\n0,smache.state,3\n7,dram.busy,1\n");
+  ASSERT_EQ(tracer.rows().size(), 2u);
+  tracer.clear();
+  EXPECT_EQ(tracer.to_csv(), "cycle,signal,value\n");
+}
+
+TEST(TraceCsv, SignalNamesQuotePerRfc4180) {
+  // Signal names are caller-chosen strings; commas, quotes and newlines
+  // must not corrupt the row structure (same quoting rules as
+  // sweep::emit_csv).
+  sim::Tracer tracer(true);
+  tracer.sample(1, "a,b", 2);
+  tracer.sample(2, "say \"hi\"", 3);
+  tracer.sample(3, "line\nbreak", 4);
+  tracer.sample(4, "plain", 5);
+  EXPECT_EQ(tracer.to_csv(),
+            "cycle,signal,value\n"
+            "1,\"a,b\",2\n"
+            "2,\"say \"\"hi\"\"\",3\n"
+            "3,\"line\nbreak\",4\n"
+            "4,plain,5\n");
+}
+
+TEST(TraceCsv, DisabledTracerEmitsHeaderOnly) {
+  sim::Tracer tracer(false);
+  tracer.sample(0, "ignored", 1);
+  EXPECT_TRUE(tracer.rows().empty());
+  EXPECT_EQ(tracer.to_csv(), "cycle,signal,value\n");
+}
+
 grid::Grid<word_t> random_image(std::size_t n, std::uint64_t seed) {
   Rng rng(seed);
   grid::Grid<word_t> g(n, n);

@@ -26,6 +26,7 @@
 //   smache-sweep --spec experiment.json     # reproduce the digest above
 //   smache-sweep --list                     # print the workload catalogue
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -210,7 +211,8 @@ void write_file(const std::string& path, const std::string& content) {
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv,
                      {"list", "verify-serial", "verify-reference",
-                      "no-wall", "quiet", "resume", "fail-on-error"});
+                      "no-wall", "quiet", "resume", "fail-on-error",
+                      "metrics", "progress"});
   if (args.has("help")) {
     std::printf(
         "usage: smache-sweep [--threads N] [--mode sim|elab]\n"
@@ -223,6 +225,7 @@ int main(int argc, char** argv) {
         "  [--spec experiment.json] [--save-spec experiment.json]\n"
         "  [--out report.json] [--csv report.csv] [--no-wall]\n"
         "  [--store DIR] [--resume] [--timeout-ms N]\n"
+        "  [--metrics] [--trace-out DIR] [--progress]\n"
         "  [--fail-on-error[=false]]\n"
         "  [--verify-serial] [--verify-reference] [--list] [--quiet]\n"
         "--depths sweeps the cascade (temporal-blocking) depth: each\n"
@@ -244,7 +247,15 @@ int main(int argc, char** argv) {
         "A spec file can carry its store via the \"store\" key; --store\n"
         "overrides it. --timeout-ms arms a per-scenario wall-clock\n"
         "watchdog (nondeterministic by nature: tripped scenarios are\n"
-        "reported but never stored). --fail-on-error (default on) exits\n"
+        "reported but never stored). --metrics profiles every executed\n"
+        "scenario (cycle attribution, stall counters, FIFO high-water\n"
+        "marks) and adds a metrics column to the reports — simulated\n"
+        "results and digests are bit-identical with or without it. The\n"
+        "metrics and store_hit columns are wall-class (store hits carry no\n"
+        "snapshot), so --no-wall drops them too. --trace-out DIR writes a\n"
+        "Chrome trace-event JSON (chrome://tracing / Perfetto) per\n"
+        "executed untiled scenario. --progress prints a live done/total\n"
+        "line with an ETA to stderr. --fail-on-error (default on) exits\n"
         "non-zero when any scenario captured an error; =false downgrades\n"
         "captured errors to report entries for sweeps that intentionally\n"
         "include invalid pairings. Ctrl-C stops gracefully: running\n"
@@ -314,6 +325,23 @@ int main(int argc, char** argv) {
   opts.verify_reference = args.get_bool("verify-reference", false);
   opts.wall_timeout_ms = static_cast<std::uint32_t>(
       args.get_int("timeout-ms", 0));
+  opts.metrics = args.get_bool("metrics", false);
+  const std::string trace_dir = args.get_string("trace-out", "");
+  if (args.has("trace-out") && trace_dir.empty()) {
+    std::fprintf(stderr, "smache-sweep: --trace-out needs a directory\n");
+    return 2;
+  }
+  opts.trace = !trace_dir.empty();
+  if (args.get_bool("progress", false)) {
+    opts.progress = [](const sweep::SweepProgress& p) {
+      std::fprintf(stderr,
+                   "\rsweep: %zu/%zu done (%zu store hit(s), %zu executed, "
+                   "%zu failed, %zu skipped) eta %.1fs ",
+                   p.done, p.total, p.store_hits, p.executed, p.failed,
+                   p.skipped, p.eta_ms / 1000.0);
+      std::fflush(stderr);
+    };
+  }
 
   std::unique_ptr<sweep::ResultStore> store;
   if (!spec.store_dir.empty()) {
@@ -351,6 +379,32 @@ int main(int argc, char** argv) {
   std::vector<sweep::ScenarioResult> results;
   const double wall_ms = run_wall_ms(
       [&] { results = sweep::SweepExecutor(opts).run(scenarios); });
+  if (opts.progress) std::fprintf(stderr, "\n");
+
+  if (!trace_dir.empty()) {
+    try {
+      sweep::real_file_io().create_directories(trace_dir);
+      std::size_t written = 0;
+      for (const auto& r : results) {
+        if (r.run.trace_json.empty()) continue;
+        // Labels are filesystem-hostile by construction (they encode the
+        // whole scenario); keep a conservative character set.
+        std::string name = r.scenario.label;
+        for (char& c : name)
+          if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' &&
+              c != '.' && c != '_')
+            c = '_';
+        write_file(trace_dir + "/" + name + ".trace.json",
+                   r.run.trace_json);
+        ++written;
+      }
+      std::printf("wrote %zu trace file(s) to %s\n", written,
+                  trace_dir.c_str());
+    } catch (const sweep::store_io_error& e) {
+      std::fprintf(stderr, "smache-sweep: %s\n", e.what());
+      return 2;
+    }
+  }
 
   std::size_t failed = 0, mismatched = 0;
   if (!args.get_bool("quiet", false)) {
@@ -387,11 +441,20 @@ int main(int argc, char** argv) {
   const std::uint64_t digest = sweep::SweepExecutor::digest(results);
   std::printf("digest %016llx  wall %.1f ms  failed %zu\n",
               static_cast<unsigned long long>(digest), wall_ms, failed);
-  if (store != nullptr)
+  if (store != nullptr) {
+    const sweep::StoreStats st = store->stats();
     std::printf("store: %zu hit(s), %zu executed, %zu record(s) now "
                 "persisted\n",
                 from_store, results.size() - from_store - skipped,
                 store->size());
+    std::printf("store counters: hits %llu, misses %llu, appends %llu, "
+                "retries %llu, dropped %llu\n",
+                static_cast<unsigned long long>(st.hits),
+                static_cast<unsigned long long>(st.misses),
+                static_cast<unsigned long long>(st.appends),
+                static_cast<unsigned long long>(st.retries),
+                static_cast<unsigned long long>(st.dropped));
+  }
 
   const bool interrupted = g_stop.load();
   bool serial_diverged = false;
@@ -418,6 +481,10 @@ int main(int argc, char** argv) {
 
   sweep::EmitOptions emit;
   emit.include_wall = !args.get_bool("no-wall", false);
+  // store_hit and metrics are wall-class columns (warm vs cold runs differ
+  // there), so --no-wall keeps byte-compare reports free of both.
+  emit.include_store_hit = store != nullptr && emit.include_wall;
+  emit.include_metrics = opts.metrics && emit.include_wall;
   const std::string json_path = args.get_string("out", "");
   if (!json_path.empty()) {
     write_file(json_path, emit_json(results, emit));
