@@ -24,12 +24,12 @@ namespace {
 /// per-call range check) per cell.
 grid::Grid<word_t> read_output_grid(const mem::DramModel& dram,
                                     std::uint64_t base, std::size_t height,
-                                    std::size_t width,
+                                    std::size_t width, std::size_t depth,
                                     CellLayout layout) {
-  const std::size_t words = height * width * layout.fields;
+  const std::size_t words = height * width * depth * layout.fields;
   const word_t* span = dram.peek_span(base, words);
   return grid::Grid<word_t>::from_words(
-      height, width, layout, std::vector<word_t>(span, span + words));
+      height, width, depth, layout, std::vector<word_t>(span, span + words));
 }
 
 /// Internal signal for an expired wall deadline; converted to
@@ -95,13 +95,15 @@ model::BufferPlan Engine::plan_only(const ProblemSpec& problem) const {
   popts.stream_impl = options_.stream_impl;
   popts.bram_segment_threshold = options_.bram_segment_threshold;
   return model::Planner(popts).plan(problem.height, problem.width,
-                                    problem.shape, problem.bc);
+                                    problem.depth, problem.shape,
+                                    problem.bc);
 }
 
 RunResult Engine::run(const ProblemSpec& problem,
                       const grid::Grid<word_t>& initial) const {
   SMACHE_REQUIRE(initial.height() == problem.height &&
-                 initial.width() == problem.width);
+                 initial.width() == problem.width &&
+                 initial.depth() == problem.depth);
   SMACHE_REQUIRE_MSG(initial.fields() == problem.kernel.fields(),
                      "initial grid's cell layout must match the kernel's");
   return execute(problem, &initial);
@@ -118,7 +120,7 @@ RunResult Engine::execute(const ProblemSpec& problem,
   const CellLayout layout{problem.kernel.fields()};
   // Validated against size_t wrap before anything sizes a buffer by it.
   const std::size_t grid_words = grid::Grid<word_t>::checked_words(
-      problem.height, problem.width, layout.fields);
+      problem.height, problem.width, problem.depth, layout.fields);
 
   sim::Simulator sim;
   sim.set_force_eval_all(options_.force_eval_all);
@@ -167,24 +169,25 @@ RunResult Engine::execute(const ProblemSpec& problem,
       result.warmup_cycles = top.warmup_end_cycle();
       result.output = read_output_grid(dram, top.output_base(),
                                        problem.height, problem.width,
-                                       layout);
+                                       problem.depth, layout);
     }
     result.resources = cost::measure_actual(sim.ledger(), "smache");
     result.plan = std::move(plan);
   } else {
     rtl::BaselineTop top(sim, "baseline", problem.height, problem.width,
                          problem.shape, problem.bc, problem.kernel, dram,
-                         problem.steps);
+                         problem.steps, problem.depth);
     result.timing = cost::estimate_baseline_timing(
         problem.shape.size(),
-        grid::CaseMap(problem.height, problem.width, problem.shape)
+        grid::CaseMap(problem.height, problem.width, problem.depth,
+                      problem.shape)
             .case_count());
     if (initial != nullptr) {
       guarded_run(top);
       result.cycles = sim.now();
       result.output = read_output_grid(dram, top.output_base(),
                                        problem.height, problem.width,
-                                       layout);
+                                       problem.depth, layout);
     }
     result.resources = cost::measure_actual(sim.ledger(), "baseline");
   }
@@ -211,7 +214,8 @@ RunResult Engine::run_cascade(const ProblemSpec& problem,
                               std::size_t depth) const {
   problem.validate();
   SMACHE_REQUIRE(initial.height() == problem.height &&
-                 initial.width() == problem.width);
+                 initial.width() == problem.width &&
+                 initial.depth() == problem.depth);
   SMACHE_REQUIRE_MSG(initial.fields() == problem.kernel.fields(),
                      "initial grid's cell layout must match the kernel's");
   SMACHE_REQUIRE_MSG(depth >= 1 && problem.steps % depth == 0,
@@ -219,7 +223,7 @@ RunResult Engine::run_cascade(const ProblemSpec& problem,
   const std::size_t cells = problem.cells();
   const CellLayout layout{problem.kernel.fields()};
   const std::size_t grid_words = grid::Grid<word_t>::checked_words(
-      problem.height, problem.width, layout.fields);
+      problem.height, problem.width, problem.depth, layout.fields);
   const std::size_t passes = problem.steps / depth;
 
   sim::Simulator sim;
@@ -257,7 +261,7 @@ RunResult Engine::run_cascade(const ProblemSpec& problem,
   result.warmup_cycles = top.warmup_end_cycle();
   result.output =
       read_output_grid(dram, top.output_base(), problem.height,
-                       problem.width, layout);
+                       problem.width, problem.depth, layout);
   if (options_.profile || options_.trace) {
     sim.finalize_observability();
     if (options_.profile) result.metrics = sim.metrics().snapshot();
@@ -282,12 +286,13 @@ RunResult Engine::run_tiled(const ProblemSpec& problem,
                             const TilingSpec& tiling) const {
   problem.validate();
   SMACHE_REQUIRE(initial.height() == problem.height &&
-                 initial.width() == problem.width);
+                 initial.width() == problem.width &&
+                 initial.depth() == problem.depth);
   SMACHE_REQUIRE_MSG(initial.fields() == problem.kernel.fields(),
                      "initial grid's cell layout must match the kernel's");
   SMACHE_REQUIRE_MSG(tiling.depth >= 1 && problem.steps % tiling.depth == 0,
                      "steps must be a multiple of the tiling depth");
-  if (tiling.tiles_r == 1 && tiling.tiles_c == 1)
+  if (tiling.tiles_r == 1 && tiling.tiles_c == 1 && tiling.tiles_s == 1)
     return tiling.depth > 1 ? run_cascade(problem, initial, tiling.depth)
                             : run(problem, initial);
   SMACHE_REQUIRE_MSG(!options_.trace,
@@ -295,8 +300,9 @@ RunResult Engine::run_tiled(const ProblemSpec& problem,
                      "support it (metrics profiling folds fine)");
 
   const grid::TilingLayout layout = grid::plan_tiling(
-      problem.height, problem.width, tiling.tiles_r, tiling.tiles_c,
-      problem.shape, problem.bc, tiling.depth);
+      problem.height, problem.width, problem.depth, tiling.tiles_r,
+      tiling.tiles_c, tiling.tiles_s, problem.shape, problem.bc,
+      tiling.depth);
   const std::size_t passes = problem.steps / tiling.depth;
   const std::size_t n = layout.tiles.size();
 
@@ -306,8 +312,8 @@ RunResult Engine::run_tiled(const ProblemSpec& problem,
   std::vector<RunResult> tile_runs(n);
 
   for (std::size_t pass = 0; pass < passes; ++pass) {
-    grid::Grid<word_t> next(problem.height, problem.width, initial.layout(),
-                            0);
+    grid::Grid<word_t> next(problem.height, problem.width, problem.depth,
+                            initial.layout(), 0);
     // Workers only touch index-owned slots plus disjoint interiors of
     // `next`; `state` is read-only until the pass drains.
     parallel_for_index(n, tiling.threads, [&](std::size_t i) {
@@ -315,6 +321,7 @@ RunResult Engine::run_tiled(const ProblemSpec& problem,
       ProblemSpec sub = problem;
       sub.height = t.sub_height();
       sub.width = t.sub_width();
+      sub.depth = t.sub_depth();
       sub.bc = t.sub_bc;
       sub.steps = tiling.depth;
       const grid::Grid<word_t> fed = grid::gather_tile(state, t, problem.bc);
@@ -385,7 +392,8 @@ grid::Grid<word_t> reference_run(const ProblemSpec& problem,
                                  const grid::Grid<word_t>& initial) {
   problem.validate();
   SMACHE_REQUIRE(initial.height() == problem.height &&
-                 initial.width() == problem.width);
+                 initial.width() == problem.width &&
+                 initial.depth() == problem.depth);
   SMACHE_REQUIRE_MSG(initial.fields() == problem.kernel.fields(),
                      "initial grid's cell layout must match the kernel's");
   const std::size_t fields = problem.kernel.fields();

@@ -93,6 +93,10 @@ struct TilingSpec {
   /// Time steps fused on chip between halo exchanges (each tile sub-run is
   /// a depth-deep cascade). problem.steps must be a multiple of depth.
   std::size_t depth = 1;
+  /// Tile count on the slice (depth) axis of a 3D problem; must stay 1
+  /// for 2D grids. Declared last so every pre-3D positional initialiser
+  /// keeps its meaning.
+  std::size_t tiles_s = 1;
 };
 
 struct RunResult {

@@ -4,18 +4,18 @@
 #include <sstream>
 
 #include "common/assert.hpp"
+#include "grid/grid.hpp"
 #include "rtl/kernel_pipeline.hpp"
 
 namespace smache {
 
 void ProblemSpec::validate() const {
-  SMACHE_REQUIRE_MSG(height >= 1 && width >= 1,
-                     "grid must be at least 1x1");
-  // cells() computes height * width without a guard; reject a product that
-  // would wrap std::size_t before anything downstream sizes a buffer by it.
-  SMACHE_REQUIRE_MSG(
-      width <= std::numeric_limits<std::size_t>::max() / height,
-      "grid dimensions overflow std::size_t");
+  SMACHE_REQUIRE_MSG(height >= 1 && width >= 1 && depth >= 1,
+                     "grid must be at least 1x1x1");
+  // cells() computes height * width * depth without a guard; reject a
+  // product that would wrap std::size_t before anything downstream sizes a
+  // buffer by it (checked_cells applies the same per-factor guards).
+  grid::Grid<word_t>::checked_cells(height, width, depth);
   SMACHE_REQUIRE_MSG(steps >= 1, "at least one work-instance required");
   // Multi-field cells widen everything downstream by the kernel's field
   // count: the gathered tuple carries taps * F words, and every buffer
@@ -28,10 +28,11 @@ void ProblemSpec::validate() const {
       "cells x fields overflows std::size_t");
   if (kernel.needs_center_first()) {
     SMACHE_REQUIRE_MSG(!shape.offsets().empty() &&
+                           shape.offsets()[0].ds == 0 &&
                            shape.offsets()[0].dr == 0 &&
                            shape.offsets()[0].dc == 0,
                        "kernel requires a centre-first stencil (tuple "
-                       "element 0 must be offset {0,0})");
+                       "element 0 must be offset {0,0,0})");
   }
   // The zone construction needs the grid to exceed the stencil's span.
   // A 1-row grid with a row-free stencil is a valid 1D problem.
@@ -39,18 +40,26 @@ void ProblemSpec::validate() const {
                                               shape.dr_min());
   const auto cspan = static_cast<std::size_t>(shape.dc_max() -
                                               shape.dc_min());
+  const auto sspan = static_cast<std::size_t>(shape.ds_max() -
+                                              shape.ds_min());
   SMACHE_REQUIRE_MSG(height > rspan,
                      "grid height must exceed the stencil's row span");
   SMACHE_REQUIRE_MSG(width > cspan,
                      "grid width must exceed the stencil's column span");
+  SMACHE_REQUIRE_MSG(depth > sspan,
+                     "grid depth must exceed the stencil's slice span");
 }
 
 std::string ProblemSpec::describe() const {
   std::ostringstream out;
-  out << height << "x" << width << " grid, stencil " << shape.name()
+  out << height << "x" << width;
+  if (depth > 1) out << "x" << depth;
+  out << " grid, stencil " << shape.name()
       << " (" << shape.size() << " points), rows "
       << grid::to_string(bc.rows.kind) << ", cols "
-      << grid::to_string(bc.cols.kind) << ", kernel " << kernel.name();
+      << grid::to_string(bc.cols.kind);
+  if (depth > 1) out << ", slices " << grid::to_string(bc.slices.kind);
+  out << ", kernel " << kernel.name();
   if (kernel.fields() > 1)
     out << " (" << kernel.fields() << " fields/cell)";
   out << ", " << steps << " work-instance(s)";

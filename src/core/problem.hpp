@@ -14,13 +14,16 @@ namespace smache {
 struct ProblemSpec {
   std::size_t height = 0;
   std::size_t width = 0;
+  /// Slice extent of the grid (1 = the original 2D problem). 3D grids
+  /// stream slice-major: element (s,r,c) at global row s*height + r.
+  std::size_t depth = 1;
   grid::StencilShape shape = grid::StencilShape::von_neumann4();
   grid::BoundarySpec bc = grid::BoundarySpec::paper_example();
   rtl::KernelSpec kernel = rtl::KernelSpec::average_int();
   /// Number of work-instances (time steps); output of step k feeds k+1.
   std::size_t steps = 1;
 
-  std::size_t cells() const noexcept { return height * width; }
+  std::size_t cells() const noexcept { return height * width * depth; }
 
   /// The paper's evaluation problem: 11x11 grid, 4-point averaging filter,
   /// circular top/bottom + open left/right boundaries, 100 work-instances.

@@ -39,24 +39,35 @@ struct AxisBoundary {
   friend bool operator==(const AxisBoundary&, const AxisBoundary&) = default;
 };
 
-/// Boundary specification for a 2D grid: rows = vertical axis (top/bottom
-/// edges), cols = horizontal axis (left/right edges).
+/// Boundary specification per grid axis: rows = vertical axis (top/bottom
+/// edges), cols = horizontal axis (left/right edges), slices = the depth
+/// axis (front/back faces of a 3D grid). `slices` is a third member with
+/// an Open default so every 2D `{rows, cols}` brace initialiser keeps its
+/// meaning; a D=1 grid never consults it.
 struct BoundarySpec {
   AxisBoundary rows;
   AxisBoundary cols;
+  // The default member initialiser (not just AxisBoundary's own defaults)
+  // is load-bearing: it lets every pre-3D two-member brace initialiser
+  // compile unchanged under -Werror=missing-field-initializers.
+  AxisBoundary slices = AxisBoundary::open();
 
   /// The paper's configuration: circular top/bottom, open left/right.
   static BoundarySpec paper_example() {
-    return {AxisBoundary::periodic(), AxisBoundary::open()};
+    return {AxisBoundary::periodic(), AxisBoundary::open(),
+            AxisBoundary::open()};
   }
   static BoundarySpec all_periodic() {
-    return {AxisBoundary::periodic(), AxisBoundary::periodic()};
+    return {AxisBoundary::periodic(), AxisBoundary::periodic(),
+            AxisBoundary::periodic()};
   }
   static BoundarySpec all_open() {
-    return {AxisBoundary::open(), AxisBoundary::open()};
+    return {AxisBoundary::open(), AxisBoundary::open(),
+            AxisBoundary::open()};
   }
   static BoundarySpec all_mirror() {
-    return {AxisBoundary::mirror(), AxisBoundary::mirror()};
+    return {AxisBoundary::mirror(), AxisBoundary::mirror(),
+            AxisBoundary::mirror()};
   }
 
   friend bool operator==(const BoundarySpec&, const BoundarySpec&) = default;
@@ -68,6 +79,7 @@ struct Resolved {
   enum class Kind : std::uint8_t { Cell, Constant, Missing } kind;
   std::size_t r = 0, c = 0;  // valid when kind == Cell
   word_t constant = 0;       // valid when kind == Constant
+  std::size_t s = 0;         // slice, valid when kind == Cell (0 in 2D)
 };
 
 /// Resolve coordinate `x + dx` on an axis of extent `n` under `b`.
@@ -84,6 +96,15 @@ AxisResolved resolve_axis(std::int64_t x, std::int64_t dx, std::size_t n,
 /// Constant of that axis (row axis takes precedence when both are constant).
 Resolved resolve(std::size_t r, std::size_t c, std::int64_t dr,
                  std::int64_t dc, std::size_t height, std::size_t width,
+                 const BoundarySpec& bc) noexcept;
+
+/// Full 3D resolution. Missing on any axis wins; among Constant axes the
+/// outermost takes precedence (slices, then rows, then cols — consistent
+/// with the 2D rows-before-cols rule). Identical to the 2D overload when
+/// depth == 1 and ds == 0.
+Resolved resolve(std::size_t s, std::size_t r, std::size_t c,
+                 std::int64_t ds, std::int64_t dr, std::int64_t dc,
+                 std::size_t depth, std::size_t height, std::size_t width,
                  const BoundarySpec& bc) noexcept;
 
 }  // namespace smache::grid

@@ -1,9 +1,12 @@
-// 2D grid container with row-major storage — the data the stencil pipeline
-// streams. Deliberately minimal: indexing, bounds checking, and conversion
-// to/from the raw word vectors the simulated DRAM holds. Each cell holds
-// F >= 1 fields (CellLayout), stored interleaved: element (r, c, f) lives
-// at (r * width + c) * F + f. F=1 is the original word-per-cell layout and
-// the default for every constructor.
+// Grid container with slice-major row-major storage — the data the stencil
+// pipeline streams. Deliberately minimal: indexing, bounds checking, and
+// conversion to/from the raw word vectors the simulated DRAM holds. Each
+// cell holds F >= 1 fields (CellLayout), stored interleaved, and a grid
+// carries D >= 1 slices (the depth axis): element (s, r, c, f) lives at
+// ((s * height + r) * width + c) * F + f. A 3D grid therefore streams
+// exactly like a 2D grid of D*height "global rows" — the 2-coordinate
+// accessors below accept global rows, so D=1 (the default for every 2D
+// constructor) is the original layout verbatim.
 #pragma once
 
 #include <cstdint>
@@ -30,13 +33,32 @@ class Grid {
     return height * width;
   }
 
+  /// Three-axis cell count: the 2D product extended by the depth axis,
+  /// with the same wrap check one multiply later. Runs before allocation.
+  static std::size_t checked_cells(std::size_t height, std::size_t width,
+                                   std::size_t depth) {
+    const std::size_t plane = checked_cells(height, width);
+    SMACHE_REQUIRE(depth >= 1);
+    SMACHE_REQUIRE_MSG(
+        depth <= std::numeric_limits<std::size_t>::max() / plane,
+        "grid dimensions overflow std::size_t");
+    return plane * depth;
+  }
+
   /// Validated word count for an F-field grid: checked_cells extended by
   /// the cells x F product, which must not wrap std::size_t either (the
   /// same silent-short-allocation hazard, one multiply later). Also clamps
   /// F to [1, kMaxFields] — RTL message payloads are sized by kMaxFields.
   static std::size_t checked_words(std::size_t height, std::size_t width,
                                    std::size_t fields) {
-    const std::size_t cells = checked_cells(height, width);
+    return checked_words(height, width, 1, fields);
+  }
+
+  /// h*w*d*F word count, every partial product wrap-checked before any
+  /// allocation happens.
+  static std::size_t checked_words(std::size_t height, std::size_t width,
+                                   std::size_t depth, std::size_t fields) {
+    const std::size_t cells = checked_cells(height, width, depth);
     SMACHE_REQUIRE_MSG(fields >= 1 && fields <= kMaxFields,
                        "cell field count out of [1, kMaxFields]");
     SMACHE_REQUIRE_MSG(
@@ -48,40 +70,79 @@ class Grid {
   Grid(std::size_t height, std::size_t width, T fill = T{})
       : height_(height),
         width_(width),
+        depth_(1),
         fields_(1),
         data_(checked_cells(height, width), fill) {}
 
   Grid(std::size_t height, std::size_t width, CellLayout layout, T fill = T{})
       : height_(height),
         width_(width),
+        depth_(1),
         fields_(layout.fields),
         data_(checked_words(height, width, layout.fields), fill) {}
 
+  /// 3D constructor. The CellLayout argument is mandatory — with a default
+  /// it would be ambiguous against Grid(h, w, fill).
+  Grid(std::size_t height, std::size_t width, std::size_t depth,
+       CellLayout layout, T fill = T{})
+      : height_(height),
+        width_(width),
+        depth_(depth),
+        fields_(layout.fields),
+        data_(checked_words(height, width, depth, layout.fields), fill) {}
+
   std::size_t height() const noexcept { return height_; }
   std::size_t width() const noexcept { return width_; }
+  std::size_t depth() const noexcept { return depth_; }
   std::size_t fields() const noexcept { return fields_; }
   CellLayout layout() const noexcept { return CellLayout{fields_}; }
-  std::size_t cells() const noexcept { return height_ * width_; }
+  std::size_t cells() const noexcept { return height_ * width_ * depth_; }
+  /// Rows of the streamed (slice-major) image: depth() * height().
+  std::size_t global_rows() const noexcept { return depth_ * height_; }
   /// Total element (word) count: cells() * fields().
   std::size_t size() const noexcept { return data_.size(); }
 
+  /// 2-coordinate accessors take a GLOBAL row in [0, depth*height) — for
+  /// D=1 that is the plain row, so all 2D call sites are unchanged.
   T& at(std::size_t r, std::size_t c, std::size_t f = 0) {
-    SMACHE_REQUIRE(r < height_ && c < width_ && f < fields_);
+    SMACHE_REQUIRE(r < global_rows() && c < width_ && f < fields_);
     return data_[(r * width_ + c) * fields_ + f];
   }
   const T& at(std::size_t r, std::size_t c, std::size_t f = 0) const {
-    SMACHE_REQUIRE(r < height_ && c < width_ && f < fields_);
+    SMACHE_REQUIRE(r < global_rows() && c < width_ && f < fields_);
     return data_[(r * width_ + c) * fields_ + f];
   }
 
+  /// Slice-explicit element access. All four coordinates are required —
+  /// a defaulted f would let at(s, r, c) silently bind the 2D overload's
+  /// (r, c, f) instead.
+  T& at(std::size_t s, std::size_t r, std::size_t c, std::size_t f) {
+    SMACHE_REQUIRE(s < depth_ && r < height_);
+    return at(s * height_ + r, c, f);
+  }
+  const T& at(std::size_t s, std::size_t r, std::size_t c,
+              std::size_t f) const {
+    SMACHE_REQUIRE(s < depth_ && r < height_);
+    return at(s * height_ + r, c, f);
+  }
+
   /// Pointer to a cell's F contiguous fields (the cell-span view).
+  /// `r` is a global row, like at().
   T* cell(std::size_t r, std::size_t c) {
-    SMACHE_REQUIRE(r < height_ && c < width_);
+    SMACHE_REQUIRE(r < global_rows() && c < width_);
     return &data_[(r * width_ + c) * fields_];
   }
   const T* cell(std::size_t r, std::size_t c) const {
-    SMACHE_REQUIRE(r < height_ && c < width_);
+    SMACHE_REQUIRE(r < global_rows() && c < width_);
     return &data_[(r * width_ + c) * fields_];
+  }
+  T* cell(std::size_t s, std::size_t r, std::size_t c) {
+    SMACHE_REQUIRE(s < depth_ && r < height_);
+    return cell(s * height_ + r, c);
+  }
+  const T* cell(std::size_t s, std::size_t r, std::size_t c) const {
+    SMACHE_REQUIRE(s < depth_ && r < height_);
+    return cell(s * height_ + r, c);
   }
 
   T& operator[](std::size_t i) {
@@ -93,9 +154,9 @@ class Grid {
     return data_[i];
   }
 
-  /// Linear CELL index (not word index) of (r, c).
+  /// Linear CELL index (not word index) of global row r, column c.
   std::size_t linear(std::size_t r, std::size_t c) const {
-    SMACHE_REQUIRE(r < height_ && c < width_);
+    SMACHE_REQUIRE(r < global_rows() && c < width_);
     return r * width_ + c;
   }
   std::size_t row_of(std::size_t i) const {
@@ -126,9 +187,15 @@ class Grid {
   static Grid from_words(std::size_t height, std::size_t width,
                          CellLayout layout,
                          const std::vector<word_t>& words) {
-    SMACHE_REQUIRE(words.size() == checked_words(height, width,
-                                                 layout.fields));
-    Grid g(height, width, layout);
+    return from_words(height, width, 1, layout, words);
+  }
+
+  static Grid from_words(std::size_t height, std::size_t width,
+                         std::size_t depth, CellLayout layout,
+                         const std::vector<word_t>& words) {
+    SMACHE_REQUIRE(words.size() ==
+                   checked_words(height, width, depth, layout.fields));
+    Grid g(height, width, depth, layout);
     for (std::size_t i = 0; i < words.size(); ++i)
       g.data_[i] = from_word<T>(words[i]);
     return g;
@@ -136,12 +203,14 @@ class Grid {
 
   bool operator==(const Grid& other) const {
     return height_ == other.height_ && width_ == other.width_ &&
-           fields_ == other.fields_ && data_ == other.data_;
+           depth_ == other.depth_ && fields_ == other.fields_ &&
+           data_ == other.data_;
   }
 
  private:
   std::size_t height_;
   std::size_t width_;
+  std::size_t depth_;
   std::size_t fields_;
   std::vector<T> data_;
 };

@@ -1,19 +1,31 @@
 #include "grid/reference.hpp"
 
+#include "common/assert.hpp"
+
 namespace smache::grid {
 
 std::vector<TupleElem> gather_tuple(const Grid<word_t>& in,
                                     const StencilShape& shape,
                                     const BoundarySpec& bc, std::size_t r,
                                     std::size_t c) {
+  SMACHE_REQUIRE_MSG(in.depth() == 1,
+                     "2D gather_tuple on a 3D grid: pass the slice");
+  return gather_tuple(in, shape, bc, 0, r, c);
+}
+
+std::vector<TupleElem> gather_tuple(const Grid<word_t>& in,
+                                    const StencilShape& shape,
+                                    const BoundarySpec& bc, std::size_t s,
+                                    std::size_t r, std::size_t c) {
   std::vector<TupleElem> tuple;
   tuple.reserve(shape.size());
   for (const Offset2& o : shape.offsets()) {
-    const Resolved res =
-        resolve(r, c, o.dr, o.dc, in.height(), in.width(), bc);
+    const Resolved res = resolve(s, r, c, o.ds, o.dr, o.dc, in.depth(),
+                                 in.height(), in.width(), bc);
     switch (res.kind) {
       case Resolved::Kind::Cell:
-        tuple.push_back(TupleElem{in.at(res.r, res.c), true});
+        tuple.push_back(
+            TupleElem{in.at(res.s * in.height() + res.r, res.c), true});
         break;
       case Resolved::Kind::Constant:
         tuple.push_back(TupleElem{res.constant, true});
@@ -30,16 +42,27 @@ std::vector<TupleElem> gather_cell_tuple(const Grid<word_t>& in,
                                          const StencilShape& shape,
                                          const BoundarySpec& bc,
                                          std::size_t r, std::size_t c) {
+  SMACHE_REQUIRE_MSG(in.depth() == 1,
+                     "2D gather_cell_tuple on a 3D grid: pass the slice");
+  return gather_cell_tuple(in, shape, bc, 0, r, c);
+}
+
+std::vector<TupleElem> gather_cell_tuple(const Grid<word_t>& in,
+                                         const StencilShape& shape,
+                                         const BoundarySpec& bc,
+                                         std::size_t s, std::size_t r,
+                                         std::size_t c) {
   const std::size_t fields = in.fields();
   std::vector<TupleElem> tuple;
   tuple.reserve(shape.size() * fields);
   for (const Offset2& o : shape.offsets()) {
-    const Resolved res =
-        resolve(r, c, o.dr, o.dc, in.height(), in.width(), bc);
+    const Resolved res = resolve(s, r, c, o.ds, o.dr, o.dc, in.depth(),
+                                 in.height(), in.width(), bc);
     for (std::size_t f = 0; f < fields; ++f) {
       switch (res.kind) {
         case Resolved::Kind::Cell:
-          tuple.push_back(TupleElem{in.at(res.r, res.c, f), true});
+          tuple.push_back(TupleElem{
+              in.at(res.s * in.height() + res.r, res.c, f), true});
           break;
         case Resolved::Kind::Constant:
           tuple.push_back(TupleElem{res.constant, true});

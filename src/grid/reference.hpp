@@ -21,6 +21,13 @@ std::vector<TupleElem> gather_tuple(const Grid<word_t>& in,
                                     const BoundarySpec& bc, std::size_t r,
                                     std::size_t c);
 
+/// Slice-explicit gather for cell (s, r, c) of a 3D grid. Reduces to the
+/// 2D overload when in.depth() == 1, s == 0 and the shape is 2D.
+std::vector<TupleElem> gather_tuple(const Grid<word_t>& in,
+                                    const StencilShape& shape,
+                                    const BoundarySpec& bc, std::size_t s,
+                                    std::size_t r, std::size_t c);
+
 /// F-field gather: tap-major tuple of size shape.size() * in.fields(),
 /// tuple[t * F + f] = field f of the cell at offset t. Boundary resolution
 /// happens once per CELL; validity and the constant halo value replicate
@@ -30,15 +37,24 @@ std::vector<TupleElem> gather_cell_tuple(const Grid<word_t>& in,
                                          const BoundarySpec& bc,
                                          std::size_t r, std::size_t c);
 
+/// Slice-explicit F-field gather (3D counterpart of gather_cell_tuple).
+std::vector<TupleElem> gather_cell_tuple(const Grid<word_t>& in,
+                                         const StencilShape& shape,
+                                         const BoundarySpec& bc,
+                                         std::size_t s, std::size_t r,
+                                         std::size_t c);
+
 /// Apply one stencil step: out(r,c) = kernel(tuple(r,c)). The kernel is any
 /// callable word_t(const std::vector<TupleElem>&).
 template <typename Kernel>
 Grid<word_t> apply_stencil(const Grid<word_t>& in, const StencilShape& shape,
                            const BoundarySpec& bc, Kernel&& kernel) {
-  Grid<word_t> out(in.height(), in.width());
-  for (std::size_t r = 0; r < in.height(); ++r)
-    for (std::size_t c = 0; c < in.width(); ++c)
-      out.at(r, c) = kernel(gather_tuple(in, shape, bc, r, c));
+  Grid<word_t> out(in.height(), in.width(), in.depth(), CellLayout{});
+  for (std::size_t s = 0; s < in.depth(); ++s)
+    for (std::size_t r = 0; r < in.height(); ++r)
+      for (std::size_t c = 0; c < in.width(); ++c)
+        out.at(s * in.height() + r, c) =
+            kernel(gather_tuple(in, shape, bc, s, r, c));
   return out;
 }
 
@@ -61,10 +77,12 @@ Grid<word_t> apply_stencil_cells(const Grid<word_t>& in,
                                  const StencilShape& shape,
                                  const BoundarySpec& bc,
                                  KernelCells&& kernel) {
-  Grid<word_t> out(in.height(), in.width(), in.layout());
-  for (std::size_t r = 0; r < in.height(); ++r)
-    for (std::size_t c = 0; c < in.width(); ++c)
-      kernel(gather_cell_tuple(in, shape, bc, r, c), out.cell(r, c));
+  Grid<word_t> out(in.height(), in.width(), in.depth(), in.layout());
+  for (std::size_t s = 0; s < in.depth(); ++s)
+    for (std::size_t r = 0; r < in.height(); ++r)
+      for (std::size_t c = 0; c < in.width(); ++c)
+        kernel(gather_cell_tuple(in, shape, bc, s, r, c),
+               out.cell(s * in.height() + r, c));
   return out;
 }
 

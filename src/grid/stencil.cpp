@@ -16,12 +16,35 @@ StencilShape::StencilShape(std::string name, std::vector<Offset2> offsets)
                          "duplicate stencil offset");
   dr_min_ = dr_max_ = offsets_[0].dr;
   dc_min_ = dc_max_ = offsets_[0].dc;
+  ds_min_ = ds_max_ = offsets_[0].ds;
   for (const auto& o : offsets_) {
     dr_min_ = std::min(dr_min_, o.dr);
     dr_max_ = std::max(dr_max_, o.dr);
     dc_min_ = std::min(dc_min_, o.dc);
     dc_max_ = std::max(dc_max_, o.dc);
+    ds_min_ = std::min(ds_min_, o.ds);
+    ds_max_ = std::max(ds_max_, o.ds);
   }
+}
+
+std::int64_t StencilShape::reach3(std::size_t w, std::size_t h)
+    const noexcept {
+  std::int64_t lo = 0, hi = 0;
+  bool first = true;
+  for (const auto& o : offsets_) {
+    const std::int64_t lin =
+        (o.ds * static_cast<std::int64_t>(h) + o.dr) *
+            static_cast<std::int64_t>(w) +
+        o.dc;
+    if (first) {
+      lo = hi = lin;
+      first = false;
+    } else {
+      lo = std::min(lo, lin);
+      hi = std::max(hi, lin);
+    }
+  }
+  return hi - lo;
 }
 
 std::int64_t StencilShape::reach(std::size_t w) const noexcept {
@@ -68,6 +91,16 @@ StencilShape StencilShape::cross(std::int64_t k) {
 
 StencilShape StencilShape::upwind3() {
   return StencilShape("upwind3", {{0, 0}, {0, -1}, {-1, 0}});
+}
+
+StencilShape StencilShape::star7() {
+  return StencilShape("star7", {{0, 0, 0},
+                                {0, 0, -1},
+                                {-1, 0, 0},
+                                {0, -1, 0},
+                                {0, 1, 0},
+                                {1, 0, 0},
+                                {0, 0, 1}});
 }
 
 StencilShape StencilShape::custom(std::string name,

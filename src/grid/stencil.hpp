@@ -13,6 +13,10 @@ namespace smache::grid {
 struct Offset2 {
   std::int64_t dr = 0;
   std::int64_t dc = 0;
+  /// Slice (depth-axis) component. Third member with a zero default so
+  /// every 2D `{dr, dc}` brace initialiser keeps its meaning; a 3D shape
+  /// spells all three components explicitly.
+  std::int64_t ds = 0;
   friend bool operator==(const Offset2&, const Offset2&) = default;
 };
 
@@ -36,10 +40,21 @@ class StencilShape {
   std::int64_t dr_max() const noexcept { return dr_max_; }
   std::int64_t dc_min() const noexcept { return dc_min_; }
   std::int64_t dc_max() const noexcept { return dc_max_; }
+  std::int64_t ds_min() const noexcept { return ds_min_; }
+  std::int64_t ds_max() const noexcept { return ds_max_; }
+
+  /// True if any offset leaves the slice plane (3D shape).
+  bool is_3d() const noexcept { return ds_min_ != 0 || ds_max_ != 0; }
 
   /// Paper §II: the reach of the linearised tuple on a row-major grid of
-  /// row width `w` — max linear offset minus min linear offset.
+  /// row width `w` — max linear offset minus min linear offset. Ignores
+  /// the slice component; use reach3 for 3D shapes.
   std::int64_t reach(std::size_t w) const noexcept;
+
+  /// 3D reach on a slice-major grid: element (s, r, c) streams at linear
+  /// position (s*h + r)*w + c, so an offset's stream distance is
+  /// (ds*h + dr)*w + dc. Equals reach(w) for 2D shapes regardless of h.
+  std::int64_t reach3(std::size_t w, std::size_t h) const noexcept;
 
   /// True if the shape contains the given offset.
   bool contains(Offset2 o) const noexcept;
@@ -57,6 +72,10 @@ class StencilShape {
   /// Asymmetric upwind shape used in advection examples:
   /// {(0,0),(0,-1),(-1,0)}.
   static StencilShape upwind3();
+  /// 7-point 3D star (centre + the six face neighbours), centre first and
+  /// the rest in stream order: front slice, north, west, east, south,
+  /// back slice.
+  static StencilShape star7();
   /// Arbitrary custom shape.
   static StencilShape custom(std::string name, std::vector<Offset2> offsets);
 
@@ -64,6 +83,7 @@ class StencilShape {
   std::string name_;
   std::vector<Offset2> offsets_;
   std::int64_t dr_min_ = 0, dr_max_ = 0, dc_min_ = 0, dc_max_ = 0;
+  std::int64_t ds_min_ = 0, ds_max_ = 0;
 };
 
 }  // namespace smache::grid

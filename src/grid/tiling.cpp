@@ -40,8 +40,11 @@ std::vector<AxisCut> plan_axis(const char* axis, std::size_t n,
   if (k == 1) {
     // No cuts: the tile keeps the global boundary and needs no halo. A
     // periodic wrap on an uncut axis would have to be resolved by the tile
-    // datapath itself, which the cascade cannot do.
-    if (ab.kind == BoundaryKind::Periodic && depth > 1) {
+    // datapath itself, which the cascade cannot do — except on an axis of
+    // extent 1 (a 2D grid's slice axis), where the wrap is the identity
+    // and no offset can reach it anyway (validate requires the extent to
+    // exceed the stencil's span).
+    if (ab.kind == BoundaryKind::Periodic && depth > 1 && n > 1) {
       std::ostringstream msg;
       msg << "depth " << depth << " cannot fuse across an unsplit periodic "
           << axis << " axis (the wrap needs the per-instance engine's "
@@ -132,9 +135,21 @@ TilingLayout plan_tiling(std::size_t height, std::size_t width,
                          std::size_t tiles_r, std::size_t tiles_c,
                          const StencilShape& shape, const BoundarySpec& bc,
                          std::size_t depth) {
-  SMACHE_REQUIRE_MSG(depth >= 1, "tiling depth must be >= 1");
-  grid::Grid<word_t>::checked_cells(height, width);
+  return plan_tiling(height, width, 1, tiles_r, tiles_c, 1, shape, bc,
+                     depth);
+}
 
+TilingLayout plan_tiling(std::size_t height, std::size_t width,
+                         std::size_t grid_depth, std::size_t tiles_r,
+                         std::size_t tiles_c, std::size_t tiles_s,
+                         const StencilShape& shape, const BoundarySpec& bc,
+                         std::size_t depth) {
+  SMACHE_REQUIRE_MSG(depth >= 1, "tiling depth must be >= 1");
+  grid::Grid<word_t>::checked_cells(height, width, grid_depth);
+
+  const auto slice_cuts =
+      plan_axis("slice", grid_depth, tiles_s, reach_neg(shape.ds_min()),
+                reach_pos(shape.ds_max()), bc.slices, depth);
   const auto row_cuts =
       plan_axis("row", height, tiles_r, reach_neg(shape.dr_min()),
                 reach_pos(shape.dr_max()), bc.rows, depth);
@@ -145,23 +160,31 @@ TilingLayout plan_tiling(std::size_t height, std::size_t width,
   TilingLayout layout;
   layout.height = height;
   layout.width = width;
+  layout.grid_depth = grid_depth;
   layout.tiles_r = tiles_r;
   layout.tiles_c = tiles_c;
+  layout.tiles_s = tiles_s;
   layout.depth = depth;
-  layout.tiles.reserve(tiles_r * tiles_c);
-  for (const AxisCut& rc : row_cuts) {
-    for (const AxisCut& cc : col_cuts) {
-      TileGeometry t;
-      t.r0 = rc.lo;
-      t.c0 = cc.lo;
-      t.rows = rc.extent;
-      t.cols = cc.extent;
-      t.halo_top = rc.halo_lo;
-      t.halo_bottom = rc.halo_hi;
-      t.halo_left = cc.halo_lo;
-      t.halo_right = cc.halo_hi;
-      t.sub_bc = BoundarySpec{rc.sub, cc.sub};
-      layout.tiles.push_back(t);
+  layout.tiles.reserve(tiles_r * tiles_c * tiles_s);
+  for (const AxisCut& sc : slice_cuts) {
+    for (const AxisCut& rc : row_cuts) {
+      for (const AxisCut& cc : col_cuts) {
+        TileGeometry t;
+        t.r0 = rc.lo;
+        t.c0 = cc.lo;
+        t.s0 = sc.lo;
+        t.rows = rc.extent;
+        t.cols = cc.extent;
+        t.slices = sc.extent;
+        t.halo_top = rc.halo_lo;
+        t.halo_bottom = rc.halo_hi;
+        t.halo_left = cc.halo_lo;
+        t.halo_right = cc.halo_hi;
+        t.halo_front = sc.halo_lo;
+        t.halo_back = sc.halo_hi;
+        t.sub_bc = BoundarySpec{rc.sub, cc.sub, sc.sub};
+        layout.tiles.push_back(t);
+      }
     }
   }
   return layout;
@@ -171,28 +194,39 @@ Grid<word_t> gather_tile(const Grid<word_t>& global, const TileGeometry& tile,
                          const BoundarySpec& bc) {
   const auto h = static_cast<std::int64_t>(global.height());
   const auto w = static_cast<std::int64_t>(global.width());
+  const auto d = static_cast<std::int64_t>(global.depth());
   const std::size_t fields = global.fields();
-  Grid<word_t> sub(tile.sub_height(), tile.sub_width(), global.layout());
-  for (std::size_t sr = 0; sr < sub.height(); ++sr) {
-    std::int64_t gr = tile.origin_r() + static_cast<std::int64_t>(sr);
-    if (gr < 0 || gr >= h) {
+  Grid<word_t> sub(tile.sub_height(), tile.sub_width(), tile.sub_depth(),
+                   global.layout());
+  for (std::size_t ss = 0; ss < sub.depth(); ++ss) {
+    std::int64_t gs = tile.origin_s() + static_cast<std::int64_t>(ss);
+    if (gs < 0 || gs >= d) {
       // plan_tiling clips halos at every non-periodic edge, so an
       // out-of-range halo cell can only mean a wrapped periodic axis.
-      SMACHE_REQUIRE_MSG(bc.rows.kind == BoundaryKind::Periodic,
-                         "tile halo escapes a non-periodic row edge");
-      gr = floor_mod(gr, h);
+      SMACHE_REQUIRE_MSG(bc.slices.kind == BoundaryKind::Periodic,
+                         "tile halo escapes a non-periodic slice face");
+      gs = floor_mod(gs, d);
     }
-    for (std::size_t sc = 0; sc < sub.width(); ++sc) {
-      std::int64_t gc = tile.origin_c() + static_cast<std::int64_t>(sc);
-      if (gc < 0 || gc >= w) {
-        SMACHE_REQUIRE_MSG(bc.cols.kind == BoundaryKind::Periodic,
-                           "tile halo escapes a non-periodic column edge");
-        gc = floor_mod(gc, w);
+    for (std::size_t sr = 0; sr < sub.height(); ++sr) {
+      std::int64_t gr = tile.origin_r() + static_cast<std::int64_t>(sr);
+      if (gr < 0 || gr >= h) {
+        SMACHE_REQUIRE_MSG(bc.rows.kind == BoundaryKind::Periodic,
+                           "tile halo escapes a non-periodic row edge");
+        gr = floor_mod(gr, h);
       }
-      const word_t* src = global.cell(static_cast<std::size_t>(gr),
-                                      static_cast<std::size_t>(gc));
-      word_t* dst = sub.cell(sr, sc);
-      for (std::size_t f = 0; f < fields; ++f) dst[f] = src[f];
+      for (std::size_t sc = 0; sc < sub.width(); ++sc) {
+        std::int64_t gc = tile.origin_c() + static_cast<std::int64_t>(sc);
+        if (gc < 0 || gc >= w) {
+          SMACHE_REQUIRE_MSG(bc.cols.kind == BoundaryKind::Periodic,
+                             "tile halo escapes a non-periodic column edge");
+          gc = floor_mod(gc, w);
+        }
+        const word_t* src = global.cell(static_cast<std::size_t>(gs),
+                                        static_cast<std::size_t>(gr),
+                                        static_cast<std::size_t>(gc));
+        word_t* dst = sub.cell(ss, sr, sc);
+        for (std::size_t f = 0; f < fields; ++f) dst[f] = src[f];
+      }
     }
   }
   return sub;
@@ -201,17 +235,21 @@ Grid<word_t> gather_tile(const Grid<word_t>& global, const TileGeometry& tile,
 void stitch_interior(Grid<word_t>& global, const TileGeometry& tile,
                      const Grid<word_t>& sub) {
   SMACHE_REQUIRE(sub.height() == tile.sub_height() &&
-                 sub.width() == tile.sub_width());
+                 sub.width() == tile.sub_width() &&
+                 sub.depth() == tile.sub_depth());
   SMACHE_REQUIRE(sub.fields() == global.fields());
   SMACHE_REQUIRE(tile.r0 + tile.rows <= global.height() &&
-                 tile.c0 + tile.cols <= global.width());
+                 tile.c0 + tile.cols <= global.width() &&
+                 tile.s0 + tile.slices <= global.depth());
   const std::size_t fields = global.fields();
-  for (std::size_t r = 0; r < tile.rows; ++r)
-    for (std::size_t c = 0; c < tile.cols; ++c) {
-      const word_t* src = sub.cell(tile.halo_top + r, tile.halo_left + c);
-      word_t* dst = global.cell(tile.r0 + r, tile.c0 + c);
-      for (std::size_t f = 0; f < fields; ++f) dst[f] = src[f];
-    }
+  for (std::size_t s = 0; s < tile.slices; ++s)
+    for (std::size_t r = 0; r < tile.rows; ++r)
+      for (std::size_t c = 0; c < tile.cols; ++c) {
+        const word_t* src = sub.cell(tile.halo_front + s, tile.halo_top + r,
+                                     tile.halo_left + c);
+        word_t* dst = global.cell(tile.s0 + s, tile.r0 + r, tile.c0 + c);
+        for (std::size_t f = 0; f < fields; ++f) dst[f] = src[f];
+      }
 }
 
 }  // namespace smache::grid

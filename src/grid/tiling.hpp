@@ -42,13 +42,19 @@
 
 namespace smache::grid {
 
-/// One tile: an interior rectangle of the global grid (owned cells, written
+/// One tile: an interior box of the global grid (owned cells, written
 /// back by the stitch) plus per-side halo widths (read-only ghost cells).
+/// The slice axis mirrors rows/cols: s0/slices interior, front = toward
+/// slice 0, back = toward slice D-1. 2D tiles keep slices = 1 with zero
+/// slice halos, so every 2D geometry is unchanged.
 struct TileGeometry {
   std::size_t r0 = 0, c0 = 0;      ///< interior origin, global coordinates
   std::size_t rows = 0, cols = 0;  ///< interior extent
+  std::size_t s0 = 0;              ///< interior origin on the slice axis
+  std::size_t slices = 1;          ///< interior slice extent
   std::size_t halo_top = 0, halo_bottom = 0;
   std::size_t halo_left = 0, halo_right = 0;
+  std::size_t halo_front = 0, halo_back = 0;
   /// Boundary spec of the padded sub-problem (split periodic axes become
   /// open; everything else keeps the global family).
   BoundarySpec sub_bc;
@@ -59,6 +65,9 @@ struct TileGeometry {
   std::size_t sub_width() const noexcept {
     return halo_left + cols + halo_right;
   }
+  std::size_t sub_depth() const noexcept {
+    return halo_front + slices + halo_back;
+  }
   /// Global coordinate of subgrid cell (0,0); negative when a periodic
   /// halo wraps past the grid origin.
   std::int64_t origin_r() const noexcept {
@@ -68,14 +77,20 @@ struct TileGeometry {
     return static_cast<std::int64_t>(c0) -
            static_cast<std::int64_t>(halo_left);
   }
+  std::int64_t origin_s() const noexcept {
+    return static_cast<std::int64_t>(s0) -
+           static_cast<std::int64_t>(halo_front);
+  }
 };
 
-/// A full decomposition: tiles in row-major tile order, interiors disjoint
-/// and covering the grid exactly.
+/// A full decomposition: tiles in slice-major row-major tile order,
+/// interiors disjoint and covering the grid exactly.
 struct TilingLayout {
   std::size_t height = 0, width = 0;
   std::size_t tiles_r = 1, tiles_c = 1;
   std::size_t depth = 1;
+  std::size_t grid_depth = 1;  ///< slice extent of the tiled grid
+  std::size_t tiles_s = 1;     ///< tile count on the slice axis
   std::vector<TileGeometry> tiles;
 };
 
@@ -92,6 +107,17 @@ struct TilingLayout {
 ///     axis turns the wrap into halo exchange and is supported).
 TilingLayout plan_tiling(std::size_t height, std::size_t width,
                          std::size_t tiles_r, std::size_t tiles_c,
+                         const StencilShape& shape, const BoundarySpec& bc,
+                         std::size_t depth);
+
+/// Three-axis overload: tiles_r x tiles_c x tiles_s mesh over an
+/// h x w x grid_depth grid (`grid_depth` = slice extent; `depth` keeps its
+/// meaning of fused time steps). The slice axis obeys exactly the same
+/// cut/halo/boundary rules as rows and columns. The 2D overload is this
+/// one with grid_depth = tiles_s = 1.
+TilingLayout plan_tiling(std::size_t height, std::size_t width,
+                         std::size_t grid_depth, std::size_t tiles_r,
+                         std::size_t tiles_c, std::size_t tiles_s,
                          const StencilShape& shape, const BoundarySpec& bc,
                          std::size_t depth);
 

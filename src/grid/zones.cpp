@@ -50,7 +50,12 @@ std::size_t AxisZones::population(std::size_t zone) const {
 
 CaseMap::CaseMap(std::size_t height, std::size_t width,
                  const StencilShape& shape)
-    : rows_(height, shape.dr_min(), shape.dr_max()),
+    : CaseMap(height, width, 1, shape) {}
+
+CaseMap::CaseMap(std::size_t height, std::size_t width, std::size_t depth,
+                 const StencilShape& shape)
+    : slices_(depth, shape.ds_min(), shape.ds_max()),
+      rows_(height, shape.dr_min(), shape.dr_max()),
       cols_(width, shape.dc_min(), shape.dc_max()) {}
 
 std::size_t CaseMap::case_id(std::size_t zone_r, std::size_t zone_c) const {
@@ -58,9 +63,21 @@ std::size_t CaseMap::case_id(std::size_t zone_r, std::size_t zone_c) const {
   return zone_r * cols_.count() + zone_c;
 }
 
+std::size_t CaseMap::case_id(std::size_t zone_s, std::size_t zone_r,
+                             std::size_t zone_c) const {
+  SMACHE_REQUIRE(zone_s < slices_.count() && zone_r < rows_.count() &&
+                 zone_c < cols_.count());
+  return (zone_s * rows_.count() + zone_r) * cols_.count() + zone_c;
+}
+
+std::size_t CaseMap::zone_s_of(std::size_t case_id) const {
+  SMACHE_REQUIRE(case_id < case_count());
+  return case_id / (rows_.count() * cols_.count());
+}
+
 std::size_t CaseMap::zone_r_of(std::size_t case_id) const {
   SMACHE_REQUIRE(case_id < case_count());
-  return case_id / cols_.count();
+  return (case_id / cols_.count()) % rows_.count();
 }
 
 std::size_t CaseMap::zone_c_of(std::size_t case_id) const {
@@ -77,12 +94,16 @@ std::string zone_label(const AxisZones& z, std::size_t zone,
 }  // namespace
 
 std::string CaseMap::label(std::size_t id) const {
-  return zone_label(rows_, zone_r_of(id), "row") + "/" +
+  std::string out;
+  if (slices_.count() > 1)
+    out = zone_label(slices_, zone_s_of(id), "slice") + "/";
+  return out + zone_label(rows_, zone_r_of(id), "row") + "/" +
          zone_label(cols_, zone_c_of(id), "col");
 }
 
 std::size_t CaseMap::population(std::size_t id) const {
-  return rows_.population(zone_r_of(id)) * cols_.population(zone_c_of(id));
+  return slices_.population(zone_s_of(id)) *
+         rows_.population(zone_r_of(id)) * cols_.population(zone_c_of(id));
 }
 
 }  // namespace smache::grid

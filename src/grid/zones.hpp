@@ -59,35 +59,53 @@ class AxisZones {
   std::size_t hi_span_;
 };
 
-/// Combined 2D case map for a grid + stencil.
+/// Combined case map for a grid + stencil. Carries a slice (depth) axis;
+/// the 2D constructor pins it to one Mid-only zone, so every 2D case id,
+/// count and label is unchanged (the slice zone index is always 0).
 class CaseMap {
  public:
   CaseMap(std::size_t height, std::size_t width, const StencilShape& shape);
+  /// 3D case map: slice zones from the shape's ds extents. A 3D shape on
+  /// depth == 1 is rejected by AxisZones ("axis too short").
+  CaseMap(std::size_t height, std::size_t width, std::size_t depth,
+          const StencilShape& shape);
 
   const AxisZones& rows() const noexcept { return rows_; }
   const AxisZones& cols() const noexcept { return cols_; }
+  const AxisZones& slices() const noexcept { return slices_; }
 
-  /// Total number of cases (rows.count() * cols.count()).
+  /// Total number of cases (slices.count() * rows.count() * cols.count()).
   std::size_t case_count() const noexcept {
-    return rows_.count() * cols_.count();
+    return slices_.count() * rows_.count() * cols_.count();
   }
 
-  /// Case id of a cell.
+  /// Case id of a cell (slice 0 — the only slice of a 2D map).
   std::size_t case_of(std::size_t r, std::size_t c) const {
     return rows_.zone_of(r) * cols_.count() + cols_.zone_of(c);
   }
+  /// Slice-major case id: with one slice zone this reduces to the 2D id.
+  std::size_t case_of(std::size_t s, std::size_t r, std::size_t c) const {
+    return (slices_.zone_of(s) * rows_.count() + rows_.zone_of(r)) *
+               cols_.count() +
+           cols_.zone_of(c);
+  }
 
   std::size_t case_id(std::size_t zone_r, std::size_t zone_c) const;
+  std::size_t case_id(std::size_t zone_s, std::size_t zone_r,
+                      std::size_t zone_c) const;
+  std::size_t zone_s_of(std::size_t case_id) const;
   std::size_t zone_r_of(std::size_t case_id) const;
   std::size_t zone_c_of(std::size_t case_id) const;
 
   /// Human-readable label, e.g. "row0/colMid" (for reports and tests).
+  /// A "sliceK/" prefix appears only when the map has slice zones.
   std::string label(std::size_t case_id) const;
 
   /// Number of cells in a case.
   std::size_t population(std::size_t case_id) const;
 
  private:
+  AxisZones slices_;
   AxisZones rows_;
   AxisZones cols_;
 };

@@ -15,11 +15,17 @@ const char* to_string(StreamImpl impl) noexcept {
 
 BufferPlan::BufferPlan(std::size_t height, std::size_t width,
                        grid::StencilShape shape, grid::BoundarySpec bc)
+    : BufferPlan(height, width, 1, std::move(shape), bc) {}
+
+BufferPlan::BufferPlan(std::size_t height, std::size_t width,
+                       std::size_t depth, grid::StencilShape shape,
+                       grid::BoundarySpec bc)
     : height_(height),
       width_(width),
+      depth_(depth),
       shape_(std::move(shape)),
       bc_(bc),
-      cases_(height, width, shape_) {}
+      cases_(height, width, depth, shape_) {}
 
 const std::vector<GatherSource>& BufferPlan::gather(
     std::size_t case_id) const {
@@ -41,9 +47,16 @@ bool BufferPlan::needs_warmup() const noexcept {
 
 std::string BufferPlan::describe() const {
   std::ostringstream out;
-  out << "BufferPlan " << height_ << "x" << width_ << " stencil="
+  out << "BufferPlan " << height_ << "x" << width_;
+  // Depth is spelled only for 3D plans so every 2D description — some are
+  // golden-compared in tests — is byte-identical.
+  if (depth_ > 1) out << "x" << depth_;
+  out << " stencil="
       << shape_.name() << " rows=" << grid::to_string(bc_.rows.kind)
-      << " cols=" << grid::to_string(bc_.cols.kind) << "\n";
+      << " cols=" << grid::to_string(bc_.cols.kind);
+  if (depth_ > 1)
+    out << " slices=" << grid::to_string(bc_.slices.kind);
+  out << "\n";
   out << "  stream impl: " << to_string(stream_impl_) << "\n";
   out << "  window: " << window_len_ << " elements (centre age "
       << center_age_ << "), " << reg_ages_.size() << " in registers, "
@@ -64,12 +77,13 @@ namespace {
 
 /// Intermediate resolution for one (case, offset): what resolve() said,
 /// plus the linear stream distance for Cell targets and whether the target
-/// row is pinned to an exact value (required for static buffering).
+/// GLOBAL row (slice * height + row) is pinned to an exact value (required
+/// for static buffering — a bank holds one concrete stream row).
 struct Entry {
   grid::Resolved resolved;
-  std::int64_t d = 0;       // (rr - r*) * W + (cc - c*) for Cell kind
-  bool row_exact = false;   // target row known exactly for this case
-  std::size_t target_row = 0;
+  std::int64_t d = 0;       // linear stream distance for Cell kind
+  bool row_exact = false;   // target global row known exactly for this case
+  std::size_t target_row = 0;  // global row
   // decision:
   bool use_static = false;
 };
@@ -79,51 +93,72 @@ struct Entry {
 BufferPlan Planner::plan(std::size_t height, std::size_t width,
                          const grid::StencilShape& shape,
                          const grid::BoundarySpec& bc) const {
+  return plan(height, width, 1, shape, bc);
+}
+
+BufferPlan Planner::plan(std::size_t height, std::size_t width,
+                         std::size_t depth,
+                         const grid::StencilShape& shape,
+                         const grid::BoundarySpec& bc) const {
   SMACHE_REQUIRE_MSG(opts_.bram_segment_threshold >= 3,
                      "bram_segment_threshold must be >= 3 so every BRAM "
                      "FIFO is deep enough for its pointer discipline");
-  BufferPlan plan(height, width, shape, bc);
+  BufferPlan plan(height, width, depth, shape, bc);
   plan.stream_impl_ = opts_.stream_impl;
 
   const auto& cases = plan.cases();
   const auto W = static_cast<std::int64_t>(width);
+  const auto H = static_cast<std::int64_t>(height);
   const std::size_t n_cases = cases.case_count();
   const std::size_t n_off = shape.size();
 
   // ---- Pass 1: resolve every (case, offset) pair ----
   std::vector<std::vector<Entry>> entries(n_cases,
                                           std::vector<Entry>(n_off));
+  for (std::size_t zs = 0; zs < cases.slices().count(); ++zs) {
   for (std::size_t zr = 0; zr < cases.rows().count(); ++zr) {
     for (std::size_t zc = 0; zc < cases.cols().count(); ++zc) {
-      const std::size_t id = cases.case_id(zr, zc);
+      const std::size_t id = cases.case_id(zs, zr, zc);
+      const std::size_t s_rep = cases.slices().representative(zs);
       const std::size_t r_rep = cases.rows().representative(zr);
       const std::size_t c_rep = cases.cols().representative(zc);
       for (std::size_t j = 0; j < n_off; ++j) {
         const grid::Offset2 o = shape.offsets()[j];
         Entry& e = entries[id][j];
-        e.resolved = grid::resolve(r_rep, c_rep, o.dr, o.dc, height, width,
-                                   bc);
+        e.resolved = grid::resolve(s_rep, r_rep, c_rep, o.ds, o.dr, o.dc,
+                                   depth, height, width, bc);
         if (e.resolved.kind == grid::Resolved::Kind::Cell) {
-          e.d = (static_cast<std::int64_t>(e.resolved.r) -
-                 static_cast<std::int64_t>(r_rep)) *
+          // Linear stream distance on the slice-major stream: element
+          // (s, r, c) streams at ((s*H + r)*W + c).
+          e.d = ((static_cast<std::int64_t>(e.resolved.s) -
+                  static_cast<std::int64_t>(s_rep)) *
+                     H +
+                 (static_cast<std::int64_t>(e.resolved.r) -
+                  static_cast<std::int64_t>(r_rep))) *
                     W +
                 (static_cast<std::int64_t>(e.resolved.c) -
                  static_cast<std::int64_t>(c_rep));
-          // The target row is exact when the cell's own row is exact (non
-          // Mid zone); Mid zones never wrap by zone construction, so their
-          // targets are relative.
-          e.row_exact = cases.rows().is_exact(zr);
-          e.target_row = e.resolved.r;
+          // The target global row is exact when the cell's own row zone is
+          // exact (non Mid) AND — for 3D plans — its slice zone is exact;
+          // Mid zones never wrap by zone construction, so their targets
+          // are relative. For depth == 1 the single slice zone is Mid and
+          // pinned by construction, so the 2D decision is unchanged.
+          const bool slice_pinned =
+              depth == 1 || cases.slices().is_exact(zs);
+          e.row_exact = slice_pinned && cases.rows().is_exact(zr);
+          e.target_row = e.resolved.s * height + e.resolved.r;
         }
       }
     }
+  }
   }
 
   // ---- Pass 2: base window span from the all-Mid case ----
   // The span always includes 0 (the pass-through position), which also
   // guarantees a well-formed window for pure-future or pure-past shapes.
   const std::size_t mid_case =
-      cases.case_id(cases.rows().mid(), cases.cols().mid());
+      cases.case_id(cases.slices().mid(), cases.rows().mid(),
+                    cases.cols().mid());
   std::int64_t d_lo = 0, d_hi = 0;
   for (std::size_t j = 0; j < n_off; ++j) {
     const Entry& e = entries[mid_case][j];
@@ -203,9 +238,10 @@ BufferPlan Planner::plan(std::size_t height, std::size_t width,
   }
 
   plan.gather_.assign(n_cases, std::vector<GatherSource>(n_off));
+  for (std::size_t zs = 0; zs < cases.slices().count(); ++zs) {
   for (std::size_t zr = 0; zr < cases.rows().count(); ++zr) {
     for (std::size_t zc = 0; zc < cases.cols().count(); ++zc) {
-      const std::size_t id = cases.case_id(zr, zc);
+      const std::size_t id = cases.case_id(zs, zr, zc);
       const std::size_t c_rep = cases.cols().representative(zc);
       std::map<std::size_t, std::size_t> reads_per_bank;
       for (std::size_t j = 0; j < n_off; ++j) {
@@ -244,6 +280,7 @@ BufferPlan Planner::plan(std::size_t height, std::size_t width,
         }
       }
     }
+  }
   }
   plan.static_buffers_ = std::move(banks);
 

@@ -79,9 +79,19 @@ class BufferPlan {
  public:
   BufferPlan(std::size_t height, std::size_t width,
              grid::StencilShape shape, grid::BoundarySpec bc);
+  /// 3D plan: the stream is the slice-major linearisation, so a depth-D
+  /// grid plans like a 2D grid of D*height global rows (static banks hold
+  /// global rows; window distances use the 3D linear stream distance).
+  BufferPlan(std::size_t height, std::size_t width, std::size_t depth,
+             grid::StencilShape shape, grid::BoundarySpec bc);
 
   std::size_t height() const noexcept { return height_; }
   std::size_t width() const noexcept { return width_; }
+  std::size_t depth() const noexcept { return depth_; }
+  /// Cell count of the planned grid (height * width * depth).
+  std::size_t cells() const noexcept { return height_ * width_ * depth_; }
+  /// Rows of the streamed image: depth * height.
+  std::size_t global_rows() const noexcept { return depth_ * height_; }
   const grid::StencilShape& shape() const noexcept { return shape_; }
   const grid::BoundarySpec& bc() const noexcept { return bc_; }
   const grid::CaseMap& cases() const noexcept { return cases_; }
@@ -122,6 +132,7 @@ class BufferPlan {
 
   std::size_t height_;
   std::size_t width_;
+  std::size_t depth_;
   grid::StencilShape shape_;
   grid::BoundarySpec bc_;
   grid::CaseMap cases_;
@@ -144,6 +155,11 @@ class Planner {
   /// with a descriptive message when the problem is infeasible (grid too
   /// small for the stencil, or over the on-chip budget).
   BufferPlan plan(std::size_t height, std::size_t width,
+                  const grid::StencilShape& shape,
+                  const grid::BoundarySpec& bc) const;
+
+  /// Depth-aware overload; the 2D form is this one with depth = 1.
+  BufferPlan plan(std::size_t height, std::size_t width, std::size_t depth,
                   const grid::StencilShape& shape,
                   const grid::BoundarySpec& bc) const;
 

@@ -10,15 +10,16 @@ BaselineTop::BaselineTop(sim::Simulator& sim, const std::string& path,
                          const grid::StencilShape& shape,
                          const grid::BoundarySpec& bc,
                          const KernelSpec& kernel_spec, mem::DramModel& dram,
-                         std::size_t steps)
+                         std::size_t steps, std::size_t depth)
     : height_(height),
       width_(width),
-      cells_(height * width),
+      depth_(depth),
+      cells_(height * width * depth),
       fields_(kernel_spec.fields()),
-      words_(height * width * kernel_spec.fields()),
+      words_(height * width * depth * kernel_spec.fields()),
       steps_(steps),
       shape_(shape),
-      cases_(height, width, shape),
+      cases_(height, width, depth, shape),
       kernel_spec_(kernel_spec),
       dram_(dram),
       top_(sim, path + "/ctrl/top_fsm", Top::Run, 3),
@@ -72,15 +73,18 @@ BaselineTop::BaselineTop(sim::Simulator& sim, const std::string& path,
   // Build the per-case source table (the baseline's address/mask logic).
   const std::size_t n_cases = cases_.case_count();
   sources_.assign(n_cases, std::vector<Source>(shape.size()));
+  for (std::size_t zs = 0; zs < cases_.slices().count(); ++zs) {
   for (std::size_t zr = 0; zr < cases_.rows().count(); ++zr) {
     for (std::size_t zc = 0; zc < cases_.cols().count(); ++zc) {
-      const std::size_t id = cases_.case_id(zr, zc);
+      const std::size_t id = cases_.case_id(zs, zr, zc);
+      const std::size_t s_rep = cases_.slices().representative(zs);
       const std::size_t r_rep = cases_.rows().representative(zr);
       const std::size_t c_rep = cases_.cols().representative(zc);
       for (std::size_t j = 0; j < shape.size(); ++j) {
         const grid::Offset2 o = shape.offsets()[j];
         const grid::Resolved res =
-            grid::resolve(r_rep, c_rep, o.dr, o.dc, height, width, bc);
+            grid::resolve(s_rep, r_rep, c_rep, o.ds, o.dr, o.dc, depth,
+                          height, width, bc);
         Source& s = sources_[id][j];
         switch (res.kind) {
           case grid::Resolved::Kind::Missing:
@@ -98,12 +102,17 @@ BaselineTop::BaselineTop(sim::Simulator& sim, const std::string& path,
                           static_cast<std::int64_t>(r_rep);
             s.col_shift = static_cast<std::int64_t>(res.c) -
                           static_cast<std::int64_t>(c_rep);
-            s.lin_shift =
-                s.row_shift * static_cast<std::int64_t>(width) + s.col_shift;
+            s.slice_shift = static_cast<std::int64_t>(res.s) -
+                            static_cast<std::int64_t>(s_rep);
+            s.lin_shift = (s.slice_shift * static_cast<std::int64_t>(height) +
+                           s.row_shift) *
+                              static_cast<std::int64_t>(width) +
+                          s.col_shift;
             break;
         }
       }
     }
+  }
   }
   sim.add_module(this);
 }
@@ -238,7 +247,7 @@ void BaselineTop::eval_run() {
 
 void BaselineTop::eval() {
   if (case_of_cell_.empty())
-    case_of_cell_ = build_case_table(cases_, height_, width_);
+    case_of_cell_ = build_case_table(cases_, height_, width_, depth_);
   switch (top_.state()) {
     case Top::Run:
       eval_run();

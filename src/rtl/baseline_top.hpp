@@ -37,11 +37,12 @@ namespace smache::rtl {
 
 class BaselineTop : public sim::Module {
  public:
+  /// `depth` = slice extent of the grid (1 = 2D, the original design).
   BaselineTop(sim::Simulator& sim, const std::string& path,
               std::size_t height, std::size_t width,
               const grid::StencilShape& shape, const grid::BoundarySpec& bc,
               const KernelSpec& kernel_spec, mem::DramModel& dram,
-              std::size_t steps);
+              std::size_t steps, std::size_t depth = 1);
 
   bool done() const noexcept;
   std::uint64_t output_base() const noexcept;
@@ -62,19 +63,20 @@ class BaselineTop : public sim::Module {
   enum class Top : std::uint8_t { Run, Gap, Done };
 
   /// How one tuple element of one case is served. Addressing is uniform:
-  /// address = (r + row_shift) * W + (c + col_shift). Shifts are computed
-  /// against the case's representative cell; exact (boundary) zones pin
-  /// the coordinate, so the shifted address is exact for every cell of the
-  /// case, wrapped or not.
+  /// address = ((s + slice_shift) * H + r + row_shift) * W + (c +
+  /// col_shift). Shifts are computed against the case's representative
+  /// cell; exact (boundary) zones pin the coordinate, so the shifted
+  /// address is exact for every cell of the case, wrapped or not.
   struct Source {
     bool is_data = false;      // a DRAM word participates in the tuple
     bool is_constant = false;  // constant halo value instead
     word_t constant = 0;
     std::int64_t row_shift = 0;
     std::int64_t col_shift = 0;
-    // row_shift * W + col_shift: with row-major addressing the shifted
-    // address is simply cell + lin_shift, saving the requester a div/mod
-    // pair every cycle.
+    std::int64_t slice_shift = 0;
+    // (slice_shift * H + row_shift) * W + col_shift: with slice-major
+    // addressing the shifted address is simply cell + lin_shift, saving
+    // the requester a div/mod chain every cycle.
     std::int64_t lin_shift = 0;
   };
 
@@ -101,7 +103,7 @@ class BaselineTop : public sim::Module {
   std::uint64_t element_addr(std::uint64_t cell, const Source& s) const;
   void eval_run();
 
-  std::size_t height_, width_, cells_, fields_, words_, steps_;
+  std::size_t height_, width_, depth_, cells_, fields_, words_, steps_;
   grid::StencilShape shape_;
   grid::CaseMap cases_;
   KernelSpec kernel_spec_;

@@ -11,7 +11,7 @@ CascadeTop::CascadeTop(sim::Simulator& sim, const std::string& path,
                        std::size_t depth, std::size_t passes)
     : plan_(plan),
       dram_(dram),
-      cells_(plan.height() * plan.width()),
+      cells_(plan.cells()),
       fields_(kernel_spec.fields()),
       words_(cells_ * kernel_spec.fields()),
       passes_(passes),
@@ -287,8 +287,8 @@ bool CascadeTop::eval_stage(std::size_t k) {
 
 void CascadeTop::eval() {
   if (case_of_cell_.empty()) {
-    case_of_cell_ =
-        build_case_table(plan_.cases(), plan_.height(), plan_.width());
+    case_of_cell_ = build_case_table(plan_.cases(), plan_.height(),
+                                     plan_.width(), plan_.depth());
     // Pre-resolve every case's gather sources (window ages to register
     // slots); the stage windows share one layout, so one table serves all.
     // No statics by construction (enforced in the constructor and again in

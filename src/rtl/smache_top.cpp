@@ -35,7 +35,7 @@ SmacheTop::SmacheTop(sim::Simulator& sim, const std::string& path,
     : plan_(plan),
       dram_(dram),
       steps_(steps),
-      cells_(plan.height() * plan.width()),
+      cells_(plan.cells()),
       fields_(kernel_spec.fields()),
       words_(cells_ * kernel_spec.fields()),
       center_(plan.center_age()),
@@ -92,14 +92,19 @@ SmacheTop::SmacheTop(sim::Simulator& sim, const std::string& path,
 }
 
 void SmacheTop::build_cell_tables() {
-  case_of_cell_ =
-      build_case_table(plan_.cases(), plan_.height(), plan_.width());
+  case_of_cell_ = build_case_table(plan_.cases(), plan_.height(),
+                                   plan_.width(), plan_.depth());
   row_of_cell_.reserve(cells_);
   col_of_cell_.reserve(cells_);
-  for (std::size_t r = 0; r < plan_.height(); ++r) {
-    for (std::size_t c = 0; c < plan_.width(); ++c) {
-      row_of_cell_.push_back(static_cast<std::uint32_t>(r));
-      col_of_cell_.push_back(static_cast<std::uint32_t>(c));
+  // row_of_cell_ holds GLOBAL rows (s * height + r): static banks, the
+  // capture path and the DRAM layout all speak the slice-major stream.
+  for (std::size_t s = 0; s < plan_.depth(); ++s) {
+    for (std::size_t r = 0; r < plan_.height(); ++r) {
+      for (std::size_t c = 0; c < plan_.width(); ++c) {
+        row_of_cell_.push_back(
+            static_cast<std::uint32_t>(s * plan_.height() + r));
+        col_of_cell_.push_back(static_cast<std::uint32_t>(c));
+      }
     }
   }
   // Pre-resolve every case's gather sources: window ages to register
@@ -107,7 +112,7 @@ void SmacheTop::build_cell_tables() {
   // touches no plan/map structures at all, and interior cases skip the
   // static pre-issue loop outright.
   case_plans_ = build_case_plans(plan_, window_, &statics_);
-  capture_row_.assign(plan_.height(), 0);
+  capture_row_.assign(plan_.global_rows(), 0);
   for (std::size_t b = 0; b < plan_.static_buffers().size(); ++b) {
     const auto& spec = plan_.static_buffers()[b];
     if (spec.write_through) capture_row_[spec.grid_row] = 1;

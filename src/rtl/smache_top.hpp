@@ -133,7 +133,7 @@ class SmacheTop : public sim::Module {
   const model::BufferPlan plan_;
   mem::DramModel& dram_;
   std::size_t steps_;
-  std::size_t cells_;   // grid height * width
+  std::size_t cells_;   // grid height * width * depth
   std::size_t fields_;  // words per cell (kernel spec's layout)
   std::size_t words_;   // cells_ * fields_ (one DRAM region)
   std::size_t center_;  // plan_.center_age(), hoisted for the cycle loop
@@ -152,7 +152,7 @@ class SmacheTop : public sim::Module {
   std::uint64_t warmup_end_ = 0;
   // Warm-up bank order (indices into statics_, write-through first).
   std::vector<std::size_t> warm_order_;
-  // cell -> case id / row / column, precomputed (behavioural lookups,
+  // cell -> case id / global row / column, precomputed (behavioural lookups,
   // nothing charged): the gather, pre-issue and write-through stages each
   // resolve them every cycle, and div/mod is the costliest scalar op in
   // the loop. Built lazily on the first eval — elaborate-only flows

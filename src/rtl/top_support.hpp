@@ -30,19 +30,21 @@ inline std::uint64_t outstanding_writeback_bound(
   return remaining - written;
 }
 
-/// Flatten a CaseMap into a cell-indexed table. case_of() resolves zones
-/// with a per-axis walk — far too slow to repeat for every cell touch of
-/// every cycle. Behavioural lookup only: charges nothing to the ledger.
-/// Tops build it lazily on their first eval so elaborate-only flows
-/// (Table I's 1024x1024 rows) never pay O(cells).
+/// Flatten a CaseMap into a cell-indexed table (slice-major stream order).
+/// case_of() resolves zones with a per-axis walk — far too slow to repeat
+/// for every cell touch of every cycle. Behavioural lookup only: charges
+/// nothing to the ledger. Tops build it lazily on their first eval so
+/// elaborate-only flows (Table I's 1024x1024 rows) never pay O(cells).
 inline std::vector<std::uint32_t> build_case_table(const grid::CaseMap& cases,
                                                    std::size_t height,
-                                                   std::size_t width) {
+                                                   std::size_t width,
+                                                   std::size_t depth = 1) {
   std::vector<std::uint32_t> table;
-  table.reserve(height * width);
-  for (std::size_t r = 0; r < height; ++r)
-    for (std::size_t c = 0; c < width; ++c)
-      table.push_back(static_cast<std::uint32_t>(cases.case_of(r, c)));
+  table.reserve(height * width * depth);
+  for (std::size_t s = 0; s < depth; ++s)
+    for (std::size_t r = 0; r < height; ++r)
+      for (std::size_t c = 0; c < width; ++c)
+        table.push_back(static_cast<std::uint32_t>(cases.case_of(s, r, c)));
   return table;
 }
 

@@ -48,17 +48,20 @@ void run_one(const Scenario& scenario, const ExecutorOptions& options,
     } else {
       const grid::Grid<word_t> init =
           make_input(scenario.input, scenario.problem.height,
-                     scenario.problem.width, scenario.seed);
+                     scenario.problem.width, scenario.problem.depth,
+                     scenario.seed);
       // Depth 1 is the per-instance SmacheTop/BaselineTop engine; depth > 1
       // fuses that many time steps per DRAM pass through CascadeTop; a
       // non-trivial tile mesh routes through run_tiled (which folds the
       // depth into each tile's sub-cascade). The reference run below is
       // depth- and tiling-independent (same problem.steps), so
       // verification holds across fused passes and tile meshes.
-      if (scenario.tiles.height > 1 || scenario.tiles.width > 1) {
+      if (scenario.tiles.height > 1 || scenario.tiles.width > 1 ||
+          scenario.tiles.depth > 1) {
         TilingSpec tiling;
         tiling.tiles_r = scenario.tiles.height;
         tiling.tiles_c = scenario.tiles.width;
+        tiling.tiles_s = scenario.tiles.depth;
         tiling.threads = options.tile_threads;
         tiling.depth = scenario.depth;
         out.run = engine.run_tiled(scenario.problem, init, tiling);
@@ -195,11 +198,13 @@ std::uint64_t hash_grid(const grid::Grid<word_t>& g) noexcept {
   };
   // Shape first: a 2x8 and an 8x2 grid with the same word sequence must
   // not collide (the word fold alone cannot tell them apart). The cell
-  // layout folds the same way — an F=2 grid and an F=1 grid of doubled
-  // width carry identical word sequences — but only for F > 1, so every
-  // single-field hash (committed reports, store records) is unchanged.
+  // layout and the slice axis fold the same way — an F=2 grid and an F=1
+  // grid of doubled width carry identical word sequences, as do 8x8x2 and
+  // 8x16x1 — but only for F > 1 / D > 1, so every single-field 2D hash
+  // (committed reports, store records) is unchanged.
   fold(g.height());
   fold(g.width());
+  if (g.depth() > 1) fold(g.depth());
   if (g.fields() > 1) fold(g.fields());
   for (std::size_t i = 0; i < g.size(); ++i)
     fold(static_cast<std::uint64_t>(g[i]));
@@ -295,7 +300,7 @@ std::vector<ScenarioResult> SweepExecutor::run(
     // Trace export is per-simulator; a tiled scenario fans out over many,
     // so it gets no trace rather than a misleading partial one.
     if (options_.trace && scenario.tiles.height == 1 &&
-        scenario.tiles.width == 1)
+        scenario.tiles.width == 1 && scenario.tiles.depth == 1)
       scenario.engine.trace = true;
     run_one(scenario, options_, out);
     note_progress(out);
@@ -325,10 +330,13 @@ std::uint64_t SweepExecutor::digest(
     mix(h, r.scenario.depth);
     mix(h, r.scenario.tiles.height);
     mix(h, r.scenario.tiles.width);
-    // Cell layout: folded only for F > 1 so single-field digests (every
-    // sweep that existed before multi-field cells) are byte-identical.
+    // Cell layout and slice axis: folded only for F > 1 / D > 1 so
+    // single-field 2D digests (every sweep that existed before those axes)
+    // are byte-identical.
     if (r.scenario.problem.kernel.fields() > 1)
       mix(h, r.scenario.problem.kernel.fields());
+    if (r.scenario.problem.depth > 1) mix(h, r.scenario.problem.depth);
+    if (r.scenario.tiles.depth > 1) mix(h, r.scenario.tiles.depth);
     mix(h, r.ok);
     mix_str(h, r.error);
     mix(h, r.run.cycles);

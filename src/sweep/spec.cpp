@@ -82,17 +82,25 @@ Scenario SweepSpec::scenario_at(std::size_t index) const {
                      "bram segment thresholds below 3 are unplannable");
   SMACHE_REQUIRE_MSG(step_count >= 1, "steps must be >= 1");
   SMACHE_REQUIRE_MSG(depth_raw >= 1, "cascade depth must be >= 1");
-  SMACHE_REQUIRE_MSG(tiles_raw.height >= 1 && tiles_raw.width >= 1,
+  SMACHE_REQUIRE_MSG(tiles_raw.height >= 1 && tiles_raw.width >= 1 &&
+                         tiles_raw.depth >= 1,
                      "tile counts must be >= 1");
   // Statically knowable from the spec's dimensions (like steps % depth),
   // so reject the whole spec; geometry-dependent tiling failures (mirror
   // reach, padded extent vs. stencil span) stay per-scenario runtime
-  // errors.
-  SMACHE_REQUIRE_MSG(
-      tiles_raw.height <= grid.height && tiles_raw.width <= grid.width,
-      "tiles=" + std::to_string(tiles_raw.height) + 'x' +
-          std::to_string(tiles_raw.width) + " exceeds the grid extent " +
-          std::to_string(grid.height) + 'x' + std::to_string(grid.width));
+  // errors. A slice-axis tile count over a 2D grid is caught here too
+  // (tiles 1x1x2 over 16x16 is 2 tiles over 1 slice).
+  const auto dim_tag = [](const GridDim& g) {
+    std::string s =
+        std::to_string(g.height) + 'x' + std::to_string(g.width);
+    if (g.depth > 1) s += 'x' + std::to_string(g.depth);
+    return s;
+  };
+  SMACHE_REQUIRE_MSG(tiles_raw.height <= grid.height &&
+                         tiles_raw.width <= grid.width &&
+                         tiles_raw.depth <= grid.depth,
+                     "tiles=" + dim_tag(tiles_raw) +
+                         " exceeds the grid extent " + dim_tag(grid));
   // Checked on the RAW pairing, before aliasing: a spec that pairs an
   // indivisible steps/depth combination is malformed even where the depth
   // would be ignored — "reject loudly" beats "run something else".
@@ -135,7 +143,7 @@ Scenario SweepSpec::scenario_at(std::size_t index) const {
   // Tiling is an execution knob: elaboration runs no cycles, so every mesh
   // aliases to the untiled point there. Both architectures tile.
   const GridDim tile_mesh =
-      mode == Mode::Simulate ? tiles_raw : GridDim{1, 1};
+      mode == Mode::Simulate ? tiles_raw : GridDim{1, 1, 1};
 
   Scenario s;
   s.index = index;
@@ -166,11 +174,12 @@ Scenario SweepSpec::scenario_at(std::size_t index) const {
   if (depth > 1) s.label += "/d" + std::to_string(depth);
   // 1x1 is the untiled engine, labelled exactly as before the dimension
   // existed (and collapsed by expand() wherever tiling is aliased away).
-  if (tile_mesh.height > 1 || tile_mesh.width > 1)
-    s.label += "/t" + std::to_string(tile_mesh.height) + 'x' +
-               std::to_string(tile_mesh.width);
-  s.label += '/' + std::to_string(grid.height) + 'x' +
-             std::to_string(grid.width);
+  // Depth-1 grids and meshes omit the xD segment, so every 2D label — and
+  // with it every store scenario_key — is byte-identical to before the
+  // slice axis existed.
+  if (tile_mesh.height > 1 || tile_mesh.width > 1 || tile_mesh.depth > 1)
+    s.label += "/t" + dim_tag(tile_mesh);
+  s.label += '/' + dim_tag(grid);
   if (mode == Mode::Simulate) s.label += '/' + dram_name;
   s.label += "/s" + std::to_string(step_count);
   s.label += '/' + stencil_name;
@@ -186,13 +195,14 @@ Scenario SweepSpec::scenario_at(std::size_t index) const {
   // seeded stencil family materialises from its own name alone, so e.g. a
   // threshold ablation over random8 sweeps ONE shape, not eight.
   const std::string workload_key =
-      std::to_string(grid.height) + 'x' + std::to_string(grid.width) +
-      "/s" + std::to_string(step_count) + '/' + stencil_name + '/' +
-      boundary_name + '/' + kernel_name + '/' + input_name;
+      dim_tag(grid) + "/s" + std::to_string(step_count) + '/' +
+      stencil_name + '/' + boundary_name + '/' + kernel_name + '/' +
+      input_name;
   s.seed = mix_seed(base_seed, fnv1a(workload_key));
 
   s.problem.height = grid.height;
   s.problem.width = grid.width;
+  s.problem.depth = grid.depth;
   s.problem.shape =
       make_stencil(stencil_name,
                    mix_seed(base_seed, fnv1a("stencil/" + stencil_name)));
@@ -292,13 +302,37 @@ std::uint64_t parse_u64(std::string_view token, const char* what) {
 }
 
 GridDim parse_grid(std::string_view token) {
-  const std::size_t x = token.find('x');
-  if (x == std::string_view::npos) {
-    const std::size_t n = parse_count(token, "grid size");
+  // Errors always name the FULL token: "16x0" must report '16x0', not the
+  // bare '0' the axis parse saw — a sweep flag carries many tokens and the
+  // user needs to know which one is malformed.
+  const auto reject = [&](const char* why) -> std::size_t {
+    throw contract_error("malformed grid size '" + std::string(token) +
+                         "' (" + why + "; want H, HxW or HxWxD with every "
+                         "axis a positive integer)");
+  };
+  const auto axis = [&](std::string_view part,
+                        const char* what) -> std::size_t {
+    std::size_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(part.data(), part.data() + part.size(), value);
+    if (ec != std::errc{} || ptr != part.data() + part.size())
+      return reject(what);
+    if (value == 0) return reject("0 is not a valid axis extent");
+    return value;
+  };
+  const std::size_t x1 = token.find('x');
+  if (x1 == std::string_view::npos) {
+    const std::size_t n = axis(token, "not an integer");
     return GridDim{n, n};
   }
-  return GridDim{parse_count(token.substr(0, x), "grid height"),
-                 parse_count(token.substr(x + 1), "grid width")};
+  const std::size_t x2 = token.find('x', x1 + 1);
+  const std::size_t h = axis(token.substr(0, x1), "bad height");
+  if (x2 == std::string_view::npos)
+    return GridDim{h, axis(token.substr(x1 + 1), "bad width")};
+  if (token.find('x', x2 + 1) != std::string_view::npos)
+    reject("too many axes");
+  return GridDim{h, axis(token.substr(x1 + 1, x2 - x1 - 1), "bad width"),
+                 axis(token.substr(x2 + 1), "bad depth")};
 }
 
 }  // namespace smache::sweep

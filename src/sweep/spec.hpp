@@ -23,9 +23,13 @@ enum class Mode { Simulate, ElaborateOnly };
 
 const char* to_string(Mode mode) noexcept;
 
+/// Grid (or tile-mesh) dimensions. `depth` is the slice extent (grids) or
+/// the slice-axis tile count (meshes); it is a third member with a 1
+/// default so every 2D `{h, w}` brace initialiser keeps its meaning.
 struct GridDim {
   std::size_t height = 0;
   std::size_t width = 0;
+  std::size_t depth = 1;
   friend bool operator==(const GridDim&, const GridDim&) = default;
 };
 
@@ -132,7 +136,9 @@ std::vector<std::string> split_list(std::string_view csv);
 Architecture parse_arch(std::string_view token);       // smache | baseline
 model::StreamImpl parse_impl(std::string_view token);  // hybrid | reg
 Mode parse_mode(std::string_view token);               // sim | elab
-GridDim parse_grid(std::string_view token);            // "16" or "16x32"
+/// "16" (square), "16x32", or "16x32x8" (3D: HxWxD). Every axis must be a
+/// positive integer; errors name the full offending token.
+GridDim parse_grid(std::string_view token);
 std::size_t parse_count(std::string_view token, const char* what);
 
 /// Full-range unsigned 64-bit parse (0 allowed — seeds use the whole

@@ -250,25 +250,21 @@ std::string emit_spec_json(const SweepSpec& spec) {
                       [](model::StreamImpl i) { return impl_token(i); })
       << ",\n";
   out << "  \"thresholds\": " << count_array(spec.thresholds) << ",\n";
-  out << "  \"grids\": "
-      << string_array(spec.grids,
-                      [](const GridDim& g) {
-                        return std::to_string(g.height) + 'x' +
-                               std::to_string(g.width);
-                      })
-      << ",\n";
+  // Depth-1 grids/meshes emit the 2D HxW token, so every spec saved before
+  // the slice axis existed round-trips byte-exactly; parse_grid accepts
+  // both forms.
+  const auto grid_token = [](const GridDim& g) {
+    std::string s = std::to_string(g.height) + 'x' + std::to_string(g.width);
+    if (g.depth > 1) s += 'x' + std::to_string(g.depth);
+    return s;
+  };
+  out << "  \"grids\": " << string_array(spec.grids, grid_token) << ",\n";
   out << "  \"drams\": "
       << string_array(spec.drams, [](const std::string& s) { return s; })
       << ",\n";
   out << "  \"steps\": " << count_array(spec.steps) << ",\n";
   out << "  \"depths\": " << count_array(spec.depths) << ",\n";
-  out << "  \"tiles\": "
-      << string_array(spec.tiles,
-                      [](const GridDim& t) {
-                        return std::to_string(t.height) + 'x' +
-                               std::to_string(t.width);
-                      })
-      << ",\n";
+  out << "  \"tiles\": " << string_array(spec.tiles, grid_token) << ",\n";
   out << "  \"stencils\": "
       << string_array(spec.stencils, [](const std::string& s) { return s; })
       << ",\n";

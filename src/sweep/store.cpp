@@ -303,6 +303,14 @@ std::uint64_t ResultStore::scenario_key(const Scenario& scenario,
     const std::uint64_t fields = scenario.problem.kernel.fields();
     h = fnv_bytes(h, &fields, sizeof fields);
   }
+  // Slice axis, same contract: the label's xD grid segment already
+  // separates 3D scenarios, the explicit fold is belt-and-braces — and
+  // folding only for D > 1 keeps every 2D key (all pre-3D store segments)
+  // byte-identical.
+  if (scenario.problem.depth > 1) {
+    const std::uint64_t slices = scenario.problem.depth;
+    h = fnv_bytes(h, &slices, sizeof slices);
+  }
   return h;
 }
 

@@ -81,49 +81,59 @@ grid::StencilShape make_random8(std::uint64_t seed) {
   return make_random_k(8, seed);
 }
 
+/// Centre-first 3D 7-point star (the slice-axis extension of star5) — the
+/// canonical 3D Jacobi / heat neighbourhood. Requires a depth > 1 grid.
+grid::StencilShape make_star7(std::uint64_t) {
+  return grid::StencilShape::star7();
+}
+
 // ---- input-grid generators ----------------------------------------------
 
-grid::Grid<word_t> input_random(std::size_t h, std::size_t w,
+// Every generator takes the slice extent `d`; d == 1 keeps the 2D grid
+// AND its Rng draw sequence byte-identical (depth-dependent draws happen
+// only when d > 1, after all the 2D draws).
+
+grid::Grid<word_t> input_random(std::size_t h, std::size_t w, std::size_t d,
                                 std::uint64_t seed) {
   Rng rng(seed);
-  grid::Grid<word_t> g(h, w);
+  grid::Grid<word_t> g(h, w, d, CellLayout{});
   for (std::size_t i = 0; i < g.size(); ++i)
     g[i] = static_cast<word_t>(rng.next_below(1000));
   return g;
 }
 
 grid::Grid<word_t> input_random_wide(std::size_t h, std::size_t w,
-                                     std::uint64_t seed) {
+                                     std::size_t d, std::uint64_t seed) {
   Rng rng(seed);
-  grid::Grid<word_t> g(h, w);
+  grid::Grid<word_t> g(h, w, d, CellLayout{});
   for (std::size_t i = 0; i < g.size(); ++i)
     g[i] = static_cast<word_t>(rng.next_u64());
   return g;
 }
 
-grid::Grid<word_t> input_impulse(std::size_t h, std::size_t w,
+grid::Grid<word_t> input_impulse(std::size_t h, std::size_t w, std::size_t d,
                                  std::uint64_t seed) {
   Rng rng(seed);
-  grid::Grid<word_t> g(h, w, 0);
-  const std::size_t at = static_cast<std::size_t>(rng.next_below(h * w));
+  grid::Grid<word_t> g(h, w, d, CellLayout{}, 0);
+  const std::size_t at = static_cast<std::size_t>(rng.next_below(h * w * d));
   g[at] = 4096;
   return g;
 }
 
-grid::Grid<word_t> input_gradient(std::size_t h, std::size_t w,
+grid::Grid<word_t> input_gradient(std::size_t h, std::size_t w, std::size_t d,
                                   std::uint64_t seed) {
-  grid::Grid<word_t> g(h, w);
+  grid::Grid<word_t> g(h, w, d, CellLayout{});
   for (std::size_t i = 0; i < g.size(); ++i)
     g[i] = static_cast<word_t>((i + seed) % 997);
   return g;
 }
 
-grid::Grid<word_t> input_checker(std::size_t h, std::size_t w,
+grid::Grid<word_t> input_checker(std::size_t h, std::size_t w, std::size_t d,
                                  std::uint64_t seed) {
   const word_t a = static_cast<word_t>(seed % 500);
   const word_t b = static_cast<word_t>(500 + (seed / 500) % 500);
-  grid::Grid<word_t> g(h, w);
-  for (std::size_t r = 0; r < h; ++r)
+  grid::Grid<word_t> g(h, w, d, CellLayout{});
+  for (std::size_t r = 0; r < g.global_rows(); ++r)
     for (std::size_t c = 0; c < w; ++c)
       g.at(r, c) = ((r + c) % 2 == 0) ? a : b;
   return g;
@@ -134,9 +144,9 @@ grid::Grid<word_t> input_checker(std::size_t h, std::size_t w,
 /// Jacobi relaxation start state: seeded float field in [0, 10) — a rough
 /// potential surface the solver smooths toward its boundary values.
 grid::Grid<word_t> input_jacobi_init(std::size_t h, std::size_t w,
-                                     std::uint64_t seed) {
+                                     std::size_t d, std::uint64_t seed) {
   Rng rng(seed ^ 0x1AC0B1ull);
-  grid::Grid<word_t> g(h, w);
+  grid::Grid<word_t> g(h, w, d, CellLayout{});
   for (std::size_t i = 0; i < g.size(); ++i)
     g[i] = to_word(static_cast<float>(rng.next_below(1000)) * 0.01f);
   return g;
@@ -147,18 +157,28 @@ grid::Grid<word_t> input_jacobi_init(std::size_t h, std::size_t w,
 /// classic thermal-floorplan workload, with the power map riding in the
 /// cell layout instead of a second DRAM image.
 grid::Grid<word_t> input_hotspot_chip(std::size_t h, std::size_t w,
-                                      std::uint64_t seed) {
+                                      std::size_t d, std::uint64_t seed) {
   Rng rng(seed ^ 0x407590ull);
-  grid::Grid<word_t> g(h, w, CellLayout{2}, 0);
+  grid::Grid<word_t> g(h, w, d, CellLayout{2}, 0);
   const std::size_t br = static_cast<std::size_t>(rng.next_below(h));
   const std::size_t bc = static_cast<std::size_t>(rng.next_below(w));
   const std::size_t bh = 1 + static_cast<std::size_t>(rng.next_below(3));
   const std::size_t bw = 1 + static_cast<std::size_t>(rng.next_below(3));
-  for (std::size_t r = 0; r < h; ++r) {
-    for (std::size_t c = 0; c < w; ++c) {
-      const bool hot = r >= br && r < br + bh && c >= bc && c < bc + bw;
-      g.at(r, c, 0) = to_word(25.0f);
-      g.at(r, c, 1) = to_word(hot ? 4.0f : 0.125f);
+  // 3D chips stack: the hot block occupies a seeded slice range (draws
+  // happen after all 2D draws so d == 1 keeps the 2D sequence).
+  std::size_t bs = 0, bd = 1;
+  if (d > 1) {
+    bs = static_cast<std::size_t>(rng.next_below(d));
+    bd = 1 + static_cast<std::size_t>(rng.next_below(2));
+  }
+  for (std::size_t s = 0; s < d; ++s) {
+    for (std::size_t r = 0; r < h; ++r) {
+      for (std::size_t c = 0; c < w; ++c) {
+        const bool hot = s >= bs && s < bs + bd && r >= br && r < br + bh &&
+                         c >= bc && c < bc + bw;
+        g.at(s, r, c, 0) = to_word(25.0f);
+        g.at(s, r, c, 1) = to_word(hot ? 4.0f : 0.125f);
+      }
     }
   }
   return g;
@@ -169,21 +189,27 @@ grid::Grid<word_t> input_hotspot_chip(std::size_t h, std::size_t w,
 /// horizontal slab of slower material crosses the cavity, so heterogeneous
 /// wave speeds ride in the per-cell material field.
 grid::Grid<word_t> input_fdtd_cavity(std::size_t h, std::size_t w,
-                                     std::uint64_t seed) {
+                                     std::size_t d, std::uint64_t seed) {
   Rng rng(seed ^ 0xFD7Dull);
-  grid::Grid<word_t> g(h, w, CellLayout{3}, 0);
+  grid::Grid<word_t> g(h, w, d, CellLayout{3}, 0);
   const std::size_t pr = static_cast<std::size_t>(rng.next_below(h));
   const std::size_t pc = static_cast<std::size_t>(rng.next_below(w));
   const std::size_t slab = static_cast<std::size_t>(rng.next_below(h));
   const std::size_t slab_end =
       slab + 1 + static_cast<std::size_t>(rng.next_below(3));
-  for (std::size_t r = 0; r < h; ++r) {
-    for (std::size_t c = 0; c < w; ++c) {
-      const float u = (r == pr && c == pc) ? 1.0f : 0.0f;
-      const float c2 = (r >= slab && r < slab_end) ? 0.0625f : 0.25f;
-      g.at(r, c, 0) = to_word(u);
-      g.at(r, c, 1) = to_word(u);
-      g.at(r, c, 2) = to_word(c2);
+  // 3D cavities put the pulse in a seeded slice; the slab stays a
+  // row-range crossing every slice (draw after all 2D draws, see above).
+  std::size_t ps = 0;
+  if (d > 1) ps = static_cast<std::size_t>(rng.next_below(d));
+  for (std::size_t s = 0; s < d; ++s) {
+    for (std::size_t r = 0; r < h; ++r) {
+      for (std::size_t c = 0; c < w; ++c) {
+        const float u = (s == ps && r == pr && c == pc) ? 1.0f : 0.0f;
+        const float c2 = (r >= slab && r < slab_end) ? 0.0625f : 0.25f;
+        g.at(s, r, c, 0) = to_word(u);
+        g.at(s, r, c, 1) = to_word(u);
+        g.at(s, r, c, 2) = to_word(c2);
+      }
     }
   }
   return g;
@@ -209,6 +235,9 @@ std::vector<StencilFamily> build_stencils() {
       {"star5", "centre-first plus (plus5 reordered for application "
        "kernels)",
        false, &make_star5},
+      {"star7", "centre-first 3D 7-point star (star5 + front/back slices; "
+       "needs a 3D grid)",
+       false, &make_star7},
       {"random5", "seeded random 5-point shape from the radius-2 box", true,
        &make_random5},
       {"random8", "seeded random 8-point shape from the radius-2 box", true,
@@ -228,15 +257,18 @@ std::vector<BoundaryFamily> build_boundaries() {
        BoundarySpec::all_periodic()},
       {"mirror", "mirror on both axes (fully reflecting box)",
        BoundarySpec::all_mirror()},
-      {"island", "constant-0 halo on both axes (domain in a zero sea)",
+      {"island", "constant-0 halo on every axis (domain in a zero sea)",
        BoundarySpec{AxisBoundary::constant_halo(0),
+                    AxisBoundary::constant_halo(0),
                     AxisBoundary::constant_halo(0)}},
       {"striped", "periodic rows + mirror cols (wrap one axis, reflect the "
-       "other)",
-       BoundarySpec{AxisBoundary::periodic(), AxisBoundary::mirror()}},
+       "other; open slices)",
+       BoundarySpec{AxisBoundary::periodic(), AxisBoundary::mirror(),
+                    AxisBoundary::open()}},
       {"quadrant", "mirror rows + open cols (symmetric half-domain, "
-       "truncated sideways)",
-       BoundarySpec{AxisBoundary::mirror(), AxisBoundary::open()}},
+       "truncated sideways; open slices)",
+       BoundarySpec{AxisBoundary::mirror(), AxisBoundary::open(),
+                    AxisBoundary::open()}},
   };
 }
 
@@ -359,8 +391,9 @@ grid::BoundarySpec make_boundary(std::string_view name) {
   return find_boundary(name).spec;
 }
 grid::Grid<word_t> make_input(std::string_view name, std::size_t height,
-                              std::size_t width, std::uint64_t seed) {
-  return find_input(name).make(height, width, seed);
+                              std::size_t width, std::size_t depth,
+                              std::uint64_t seed) {
+  return find_input(name).make(height, width, depth, seed);
 }
 rtl::KernelSpec make_kernel(std::string_view name) {
   return find_kernel(name).spec;

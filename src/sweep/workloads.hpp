@@ -45,12 +45,14 @@ struct BoundaryFamily {
 /// families fold the seed into offsets/values so every scenario gets a
 /// distinct but reproducible grid. `fields` is the cell layout the
 /// generator produces (words per cell); SweepSpec validation rejects
-/// pairing a generator with a kernel of a different field count.
+/// pairing a generator with a kernel of a different field count. Every
+/// generator is depth-aware (3D grids); depth == 1 reproduces the 2D
+/// grid and its Rng draw sequence byte-identically.
 struct InputFamily {
   std::string name;
   std::string summary;
   grid::Grid<word_t> (*make)(std::size_t height, std::size_t width,
-                             std::uint64_t seed);
+                             std::size_t depth, std::uint64_t seed);
   std::size_t fields = 1;
 };
 
@@ -89,7 +91,8 @@ grid::StencilShape make_stencil(std::string_view name,
                                 std::uint64_t seed = 0);
 grid::BoundarySpec make_boundary(std::string_view name);
 grid::Grid<word_t> make_input(std::string_view name, std::size_t height,
-                              std::size_t width, std::uint64_t seed);
+                              std::size_t width, std::size_t depth,
+                              std::uint64_t seed);
 rtl::KernelSpec make_kernel(std::string_view name);
 mem::DramConfig make_dram(std::string_view name);
 

@@ -103,7 +103,7 @@ TEST(MultiFieldGuards, ProblemValidateRejectsFieldOverflowAndArity) {
 TEST(MultiFieldGuards, EngineRejectsLayoutMismatchedInitialGrid) {
   const ProblemSpec p =
       app_problem(app_cases()[1], 6, 6, BoundarySpec::all_open(), 1);
-  const auto wrong = sweep::make_input("random", 6, 6, 3);  // F=1 vs F=2
+  const auto wrong = sweep::make_input("random", 6, 6, 1, 3);  // F=1 vs F=2
   EXPECT_THROW((void)Engine(EngineOptions::smache()).run(p, wrong),
                contract_error);
   EXPECT_THROW((void)reference_run(p, wrong), contract_error);
@@ -179,7 +179,7 @@ TEST(MultiFieldTiling, GatherStitchRoundTripsF2AndF3) {
                               BoundarySpec::all_periodic(),
                               BoundarySpec::all_mirror()};
   for (const auto& c : cases) {
-    const auto src = sweep::make_input(c.input, 9, 7, 77);
+    const auto src = sweep::make_input(c.input, 9, 7, 1, 77);
     for (const BoundarySpec& bc : bcs) {
       const TilingLayout layout = grid::plan_tiling(
           9, 7, 2, 2, sweep::make_stencil("star5"), bc, 1);
@@ -201,7 +201,7 @@ TEST(MultiFieldTiling, ThreadedMatchesSerialIncludingPeriodicDepth2) {
   const AppCase hotspot = app_cases()[1];
   const ProblemSpec p =
       app_problem(hotspot, 12, 12, BoundarySpec::all_periodic(), 4);
-  const auto init = sweep::make_input(hotspot.input, 12, 12, 901);
+  const auto init = sweep::make_input(hotspot.input, 12, 12, 1, 901);
   const auto golden = reference_run(p, init);
   Engine engine(EngineOptions::smache());
   const TilingSpec serial{2, 2, 1, 2};
@@ -219,7 +219,7 @@ TEST(MultiFieldTiling, Fdtd2x2MeshMatchesReferenceAtBothDepths) {
   for (const std::size_t depth : {std::size_t{1}, std::size_t{2}}) {
     const ProblemSpec p =
         app_problem(fdtd, 10, 12, BoundarySpec::all_open(), 4);
-    const auto init = sweep::make_input(fdtd.input, 10, 12, 31 + depth);
+    const auto init = sweep::make_input(fdtd.input, 10, 12, 1, 31 + depth);
     const auto golden = reference_run(p, init);
     const auto tiled = Engine(EngineOptions::smache())
                            .run_tiled(p, init, TilingSpec{2, 2, 1, depth});
@@ -232,7 +232,7 @@ TEST(MultiFieldTiling, Fdtd2x2MeshMatchesReferenceAtBothDepths) {
 
 TEST(MultiFieldEngine, WorkloadsMatchReferenceAcrossArchsAndDepths) {
   for (const AppCase& app : app_cases()) {
-    const auto init = sweep::make_input(app.input, 10, 12, 4242);
+    const auto init = sweep::make_input(app.input, 10, 12, 1, 4242);
     ASSERT_EQ(init.fields(), app.fields);
 
     // Depth 1 through both architectures, with the paper's mixed boundary.

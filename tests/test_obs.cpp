@@ -355,7 +355,7 @@ TEST(Profile, MultiFieldHotspotAttributionSumsToTotal) {
   p.bc = grid::BoundarySpec::all_open();
   p.kernel = sweep::make_kernel("hotspot");
   p.steps = 2;
-  const auto init = sweep::make_input("hotspot-chip", 8, 8, 15);
+  const auto init = sweep::make_input("hotspot-chip", 8, 8, 1, 15);
   EngineOptions opts = EngineOptions::smache();
   opts.profile = true;
   const auto res = Engine(opts).run(p, init);

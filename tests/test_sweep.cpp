@@ -59,7 +59,7 @@ TEST(WorkloadRegistry, CataloguesAreNonEmptyAndResolvable) {
 TEST(WorkloadRegistry, UnknownNamesThrow) {
   EXPECT_THROW(make_stencil("nope"), contract_error);
   EXPECT_THROW(make_boundary("nope"), contract_error);
-  EXPECT_THROW(make_input("nope", 4, 4, 1), contract_error);
+  EXPECT_THROW(make_input("nope", 4, 4, 1, 1), contract_error);
   EXPECT_THROW(make_kernel("nope"), contract_error);
   EXPECT_THROW(make_dram("nope"), contract_error);
 }
@@ -68,14 +68,16 @@ TEST(WorkloadRegistry, StencilFamiliesProduceValidShapes) {
   for (const auto& f : stencil_catalogue()) {
     const grid::StencilShape shape = make_stencil(f.name, 123);
     EXPECT_GE(shape.size(), 3u) << f.name;
-    std::set<std::pair<std::int64_t, std::int64_t>> seen;
-    for (const auto& o : shape.offsets()) seen.insert({o.dr, o.dc});
+    std::set<std::tuple<std::int64_t, std::int64_t, std::int64_t>> seen;
+    for (const auto& o : shape.offsets()) seen.insert({o.ds, o.dr, o.dc});
     EXPECT_EQ(seen.size(), shape.size()) << f.name << " has duplicate "
                                             "offsets";
-    // Every family fits an 11x11 problem (radius <= 3 by construction).
+    // Every family fits an 11x11 problem (radius <= 3 by construction);
+    // 3D families additionally need a few slices.
     ProblemSpec p;
     p.height = 11;
     p.width = 11;
+    if (shape.ds_min() != 0 || shape.ds_max() != 0) p.depth = 4;
     p.shape = shape;
     p.steps = 1;
     EXPECT_NO_THROW(p.validate()) << f.name;
@@ -91,10 +93,10 @@ TEST(WorkloadRegistry, SeededFamiliesAreReproducible) {
     EXPECT_EQ(a.offsets()[i], b.offsets()[i]);
   EXPECT_TRUE(a.contains({0, 0}));
 
-  const auto g1 = make_input("random", 6, 6, 42);
-  const auto g2 = make_input("random", 6, 6, 42);
+  const auto g1 = make_input("random", 6, 6, 1, 42);
+  const auto g2 = make_input("random", 6, 6, 1, 42);
   EXPECT_EQ(g1, g2);
-  const auto g3 = make_input("random", 6, 6, 43);
+  const auto g3 = make_input("random", 6, 6, 1, 43);
   EXPECT_NE(g1, g3);
 }
 
@@ -530,7 +532,8 @@ TEST(SweepExecutor, MatchesADirectEngineRun) {
   ASSERT_TRUE(results[0].ok) << results[0].error;
   const Scenario& s = results[0].scenario;
   const auto init =
-      make_input(s.input, s.problem.height, s.problem.width, s.seed);
+      make_input(s.input, s.problem.height, s.problem.width,
+                 s.problem.depth, s.seed);
   const RunResult direct = Engine(s.engine).run(s.problem, init);
   EXPECT_EQ(results[0].run.cycles, direct.cycles);
   EXPECT_EQ(results[0].run.dram.words_read, direct.dram.words_read);
@@ -581,7 +584,8 @@ TEST(SweepExecutor, DepthScenarioMatchesDirectCascadeRun) {
   const Scenario& s = results[0].scenario;
   EXPECT_EQ(s.depth, 2u);
   const auto init =
-      make_input(s.input, s.problem.height, s.problem.width, s.seed);
+      make_input(s.input, s.problem.height, s.problem.width,
+                 s.problem.depth, s.seed);
   const RunResult direct = Engine(s.engine).run_cascade(s.problem, init, 2);
   EXPECT_EQ(results[0].run.cycles, direct.cycles);
   EXPECT_EQ(results[0].run.dram.words_read, direct.dram.words_read);
@@ -608,7 +612,8 @@ TEST(SweepExecutor, TiledScenarioMatchesDirectTiledRun) {
   EXPECT_EQ(s.tiles.height, 2u);
   EXPECT_EQ(s.tiles.width, 2u);
   const auto init =
-      make_input(s.input, s.problem.height, s.problem.width, s.seed);
+      make_input(s.input, s.problem.height, s.problem.width,
+                 s.problem.depth, s.seed);
   TilingSpec tiling;
   tiling.tiles_r = 2;
   tiling.tiles_c = 2;

@@ -58,10 +58,15 @@ void handle_sigint(int) { g_stop.store(true); }
 
 void print_catalogue() {
   std::printf("registered workload families (one sweep dimension each):\n");
-  TextTable stencils({"stencil", "summary"});
+  TextTable stencils({"stencil", "dims", "summary"});
   for (const auto& f : sweep::stencil_catalogue()) {
     stencils.begin_row();
     stencils.add_cell(f.name + (f.seeded ? " (seeded)" : ""));
+    // Dimensionality from the shape itself (seed 0 for seeded families —
+    // the random families draw offsets on the 2D axes only).
+    const grid::StencilShape shape = f.make(0);
+    stencils.add_cell(shape.ds_min() != 0 || shape.ds_max() != 0 ? "3D"
+                                                                 : "2D");
     stencils.add_cell(f.summary);
   }
   std::printf("%s\n", stencils.to_ascii().c_str());
@@ -217,7 +222,7 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: smache-sweep [--threads N] [--mode sim|elab]\n"
         "  [--archs smache,baseline] [--impls hybrid,reg]\n"
-        "  [--thresholds 4,...] [--grids 11,16x24,...]\n"
+        "  [--thresholds 4,...] [--grids 11,16x24,16x16x8,...]\n"
         "  [--drams functional,ddr,stall] [--steps 3,...]\n"
         "  [--depths 1,2,...] [--tiles 1,2x2,...] [--tile-threads N]\n"
         "  [--stencils ...] [--boundaries ...]\n"
@@ -232,7 +237,8 @@ int main(int argc, char** argv) {
         "scenario fuses that many time steps per DRAM pass (depth 1 = the\n"
         "per-instance engine); every steps value must divide by every\n"
         "depth. --tiles sweeps the halo-exchange tile mesh (\"2x3\" = 2\n"
-        "tile rows x 3 tile cols, bare \"2\" = 2x2, 1 = untiled) and\n"
+        "tile rows x 3 tile cols, \"2x2x2\" adds slice-axis tiles for 3D\n"
+        "grids, bare \"2\" = 2x2, 1 = untiled) and\n"
         "--tile-threads sets the worker count INSIDE each tiled scenario\n"
         "(0 = all cores); outputs are bit-identical across meshes and\n"
         "thread counts. --save-spec writes the resolved spec as JSON;\n"
